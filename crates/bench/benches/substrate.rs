@@ -1,0 +1,143 @@
+//! Benchmarks for the substrates behind the figures and the simulator:
+//! block-tree operations, BU validity scans (Figure 1's rules), node views
+//! (Figure 2's splits), the games (Figure 4), and simulator throughput
+//! (the Stone §2.3 experiments and the Figure 3 traces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bvc_chain::incremental::IncrementalView;
+use bvc_chain::{BlockId, BlockTree, BuRizunRule, ByteSize, MinerId, NodeView, ValidityRule};
+use bvc_games::{BlockSizeIncreasingGame, EbChoosingGame, MinerGroup};
+use bvc_sim::{DelayModel, HonestStrategy, MinerSpec, Simulation, SplitterStrategy};
+
+/// Figure 1 substrate: a full sticky-gate validity scan over a 1000-block
+/// chain with one excessive block.
+fn bench_validity_scan(c: &mut Criterion) {
+    let mut sizes = vec![ByteSize::mb(16)];
+    sizes.extend(std::iter::repeat(ByteSize(900_000)).take(999));
+    let rule = BuRizunRule::new(ByteSize::mb(1), 6);
+    let mut g = c.benchmark_group("figure1_validity");
+    g.bench_function("rizun_scan_1000_blocks", |b| {
+        b.iter(|| black_box(rule.chain_valid(black_box(&sizes))))
+    });
+    g.finish();
+}
+
+/// Figure 2 substrate: building a 200-block tree and driving two diverging
+/// node views through a split.
+fn bench_views(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_views");
+    g.bench_function("split_and_resolve_200_blocks", |b| {
+        b.iter(|| {
+            let mut tree = BlockTree::new();
+            let mut bob = NodeView::new(BuRizunRule::new(ByteSize::mb(1), 6));
+            let mut carol = NodeView::new(BuRizunRule::new(ByteSize::mb(16), 6));
+            let mut tip = tree.extend(BlockId::GENESIS, ByteSize::mb(16), MinerId(0));
+            bob.receive(&tree, tip);
+            carol.receive(&tree, tip);
+            for i in 0..199 {
+                tip = tree.extend(tip, ByteSize(900_000), MinerId(1 + i % 2));
+                bob.receive(&tree, tip);
+                carol.receive(&tree, tip);
+            }
+            black_box((bob.accepted_height(), carol.accepted_height()))
+        })
+    });
+    g.finish();
+}
+
+/// The incremental view against the batch-scanning reference view on a
+/// 2000-block linear chain: the production path must win by orders of
+/// magnitude (O(1) vs O(chain) per delivery).
+fn bench_incremental_view(c: &mut Criterion) {
+    let mut tree = BlockTree::new();
+    let mut tip = tree.extend(BlockId::GENESIS, ByteSize::mb(16), MinerId(0));
+    for _ in 0..1999 {
+        tip = tree.extend(tip, ByteSize(900_000), MinerId(1));
+    }
+    let blocks: Vec<BlockId> = tree.iter().skip(1).map(|b| b.id).collect();
+    let rule = BuRizunRule::new(ByteSize::mb(1), 6);
+    let mut g = c.benchmark_group("incremental_view");
+    g.sample_size(10);
+    g.bench_function("incremental_2000_blocks", |b| {
+        b.iter(|| {
+            let mut view = IncrementalView::new(rule);
+            for &blk in &blocks {
+                view.receive(&tree, blk);
+            }
+            black_box(view.accepted_height())
+        })
+    });
+    g.bench_function("batch_nodeview_2000_blocks", |b| {
+        b.iter(|| {
+            let mut view = NodeView::new(rule);
+            for &blk in &blocks {
+                view.receive(&tree, blk);
+            }
+            black_box(view.accepted_height())
+        })
+    });
+    g.finish();
+}
+
+/// Figure 3 / Stone §2.3 substrate: simulator throughput with an adaptive
+/// splitter attacker (blocks simulated per iteration: 2000).
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stone_simulator");
+    g.sample_size(10);
+    g.bench_function("splitter_2000_blocks", |b| {
+        b.iter(|| {
+            let mb1 = ByteSize::mb(1);
+            let ebc = ByteSize::mb(16);
+            let miners = vec![
+                MinerSpec {
+                    power: 0.1,
+                    rule: BuRizunRule::new(ebc, 6),
+                    strategy: Box::new(SplitterStrategy::against(ebc, mb1, 6, mb1)),
+                },
+                MinerSpec {
+                    power: 0.45,
+                    rule: BuRizunRule::new(mb1, 6),
+                    strategy: Box::new(HonestStrategy { mg: mb1 }),
+                },
+                MinerSpec {
+                    power: 0.45,
+                    rule: BuRizunRule::new(ebc, 6),
+                    strategy: Box::new(HonestStrategy { mg: mb1 }),
+                },
+            ];
+            let mut sim = Simulation::new(miners, DelayModel::Zero, 5);
+            black_box(sim.run(2000).reorgs.len())
+        })
+    });
+    g.finish();
+}
+
+/// Figure 4 / §5 substrate: game solving.
+fn bench_games(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure4_games");
+    g.bench_function("stable_sets_64_groups", |b| {
+        let groups: Vec<MinerGroup> = (0..64)
+            .map(|i| MinerGroup { mpb: i as f64 + 1.0, power: 1.0 / 64.0 })
+            .collect();
+        let game = BlockSizeIncreasingGame::new(groups);
+        b.iter(|| black_box(game.play().terminal))
+    });
+    g.bench_function("eb_game_equilibria_n12", |b| {
+        let powers: Vec<f64> = (0..12).map(|_| 1.0 / 12.0).collect();
+        let game = EbChoosingGame::new(powers);
+        b.iter(|| black_box(game.enumerate_equilibria().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validity_scan,
+    bench_views,
+    bench_incremental_view,
+    bench_simulator,
+    bench_games
+);
+criterion_main!(benches);

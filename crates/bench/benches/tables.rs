@@ -1,0 +1,100 @@
+//! Benchmarks for the analytic pipeline behind each reproduced table:
+//! model construction and the solver work of one representative cell per
+//! table. Absolute numbers are machine-dependent; the groups exist to
+//! track regressions in the state-space generator and the solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bvc_bench::{setting2_model, standard_model};
+use bvc_bitcoin::{BitcoinConfig, BitcoinModel};
+use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_build");
+    g.bench_function("bu_setting1", |b| {
+        b.iter(|| {
+            let cfg = AttackConfig::with_ratio(
+                0.2,
+                (1, 1),
+                Setting::One,
+                IncentiveModel::CompliantProfitDriven,
+            );
+            black_box(AttackModel::build(cfg).unwrap().num_states())
+        })
+    });
+    g.bench_function("bu_setting2", |b| {
+        b.iter(|| {
+            let cfg = AttackConfig::with_ratio(
+                0.2,
+                (1, 1),
+                Setting::Two,
+                IncentiveModel::CompliantProfitDriven,
+            );
+            black_box(AttackModel::build(cfg).unwrap().num_states())
+        })
+    });
+    g.bench_function("bitcoin_cap40", |b| {
+        b.iter(|| {
+            black_box(
+                BitcoinModel::build(BitcoinConfig::smds(0.25, 0.5)).unwrap().num_states(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Table 2: one ratio-objective solve (compliant Alice).
+fn bench_table2_cell(c: &mut Criterion) {
+    let model = standard_model(IncentiveModel::CompliantProfitDriven);
+    let opts = SolveOptions::default();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("relative_revenue_setting1_a20_1to1", |b| {
+        b.iter(|| black_box(model.optimal_relative_revenue(&opts).unwrap().value))
+    });
+    g.finish();
+}
+
+/// Table 3: one average-reward solve (non-compliant Alice), settings 1 & 2,
+/// plus the Bitcoin SM+DS baseline.
+fn bench_table3_cell(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    let m1 = standard_model(IncentiveModel::non_compliant_default());
+    g.bench_function("absolute_revenue_setting1_a20_1to1", |b| {
+        b.iter(|| black_box(m1.optimal_absolute_revenue(&opts).unwrap().value))
+    });
+    let m2 = setting2_model(IncentiveModel::non_compliant_default());
+    g.bench_function("absolute_revenue_setting2_a20_1to1", |b| {
+        b.iter(|| black_box(m2.optimal_absolute_revenue(&opts).unwrap().value))
+    });
+    let bm = BitcoinModel::build(BitcoinConfig::smds(0.25, 0.5)).unwrap();
+    let bopts = bvc_bitcoin::SolveOptions::default();
+    g.bench_function("bitcoin_smds_a25_g05", |b| {
+        b.iter(|| black_box(bm.optimal_absolute_revenue(&bopts).unwrap().value))
+    });
+    g.finish();
+}
+
+/// Table 4: one orphan-rate ratio solve (non-profit Alice, Wait action).
+fn bench_table4_cell(c: &mut Criterion) {
+    let model = standard_model(IncentiveModel::NonProfitDriven);
+    let opts = SolveOptions::default();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("orphan_rate_setting1_a20_1to1", |b| {
+        b.iter(|| black_box(model.optimal_orphan_rate(&opts).unwrap().value))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_build,
+    bench_table2_cell,
+    bench_table3_cell,
+    bench_table4_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! State and action space of the Bitcoin selfish-mining MDP, after
+//! Sapirshtein, Sompolinsky & Zohar ("Optimal Selfish Mining Strategies in
+//! Bitcoin").
+
+use std::fmt;
+
+/// Whether an equal-length match is currently possible, and whether the
+/// network is split after one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fork {
+    /// The last block was mined by the attacker: honest miners saw their own
+    /// chain first, so publishing an equal-length chain cannot split them.
+    Irrelevant,
+    /// The last block was mined by the honest network: the attacker may
+    /// `Match` it with an equal-length published chain.
+    Relevant,
+    /// A match is in effect: a fraction γ of honest mining power works on
+    /// the attacker's published branch.
+    Active,
+}
+
+/// MDP state: the attacker's private lead and the honest chain since the
+/// last common ancestor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SmState {
+    /// Length of the attacker's private chain since the fork point.
+    pub a: u8,
+    /// Length of the honest network's chain since the fork point.
+    pub h: u8,
+    /// Match status.
+    pub fork: Fork,
+}
+
+impl SmState {
+    /// The start state: no fork, nothing mined.
+    pub const START: SmState = SmState { a: 0, h: 0, fork: Fork::Irrelevant };
+}
+
+impl fmt::Display for SmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.fork {
+            Fork::Irrelevant => "i",
+            Fork::Relevant => "r",
+            Fork::Active => "a",
+        };
+        write!(f, "({}, {}, {tag})", self.a, self.h)
+    }
+}
+
+/// The attacker's actions. Every action incorporates the discovery of the
+/// next block, so each MDP step corresponds to exactly one block being
+/// mined somewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmAction {
+    /// Give up the private chain and mine on the honest tip.
+    Adopt,
+    /// Publish `h + 1` blocks, orphaning the honest chain (requires
+    /// `a > h`).
+    Override,
+    /// Publish `h` blocks to create a tie (requires `a ≥ h ≥ 1` and
+    /// [`Fork::Relevant`]).
+    Match,
+    /// Keep mining privately.
+    Wait,
+}
+
+impl SmAction {
+    /// Stable numeric label used in the MDP.
+    pub const fn label(self) -> usize {
+        match self {
+            SmAction::Adopt => 0,
+            SmAction::Override => 1,
+            SmAction::Match => 2,
+            SmAction::Wait => 3,
+        }
+    }
+
+    /// Inverse of [`SmAction::label`].
+    pub fn from_label(label: usize) -> Self {
+        match label {
+            0 => SmAction::Adopt,
+            1 => SmAction::Override,
+            2 => SmAction::Match,
+            3 => SmAction::Wait,
+            other => panic!("unknown action label {other}"),
+        }
+    }
+}
+
+impl fmt::Display for SmAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SmAction::Adopt => "Adopt",
+            SmAction::Override => "Override",
+            SmAction::Match => "Match",
+            SmAction::Wait => "Wait",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for a in [SmAction::Adopt, SmAction::Override, SmAction::Match, SmAction::Wait] {
+            assert_eq!(SmAction::from_label(a.label()), a);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SmState::START.to_string(), "(0, 0, i)");
+        let s = SmState { a: 3, h: 2, fork: Fork::Active };
+        assert_eq!(s.to_string(), "(3, 2, a)");
+        assert_eq!(SmAction::Match.to_string(), "Match");
+    }
+}

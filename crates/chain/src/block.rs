@@ -1,0 +1,139 @@
+//! Block primitives.
+//!
+//! The analysis never needs transaction contents, hashes, or proof-of-work
+//! verification — per the paper's threat model a miner "is capable of
+//! creating blocks of any size" and all that matters for consensus is each
+//! block's *size*, *parent*, and *miner*. Blocks are therefore plain value
+//! types identified by arena indices.
+
+use std::fmt;
+
+/// One megabyte, the pre-BU Bitcoin block size limit.
+pub const MB: u64 = 1_000_000;
+
+/// The maximum size of a Bitcoin network message (32 MB) — the only limit
+/// that remains once a Bitcoin Unlimited sticky gate is open.
+pub const MAX_MESSAGE_SIZE: ByteSize = ByteSize(32 * MB);
+
+/// Number of consecutive non-excessive blocks after which an open sticky
+/// gate closes again ("roughly a day" of blocks).
+pub const STICKY_GATE_BLOCKS: u64 = 144;
+
+/// A block size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// A size expressed in whole megabytes.
+    pub const fn mb(n: u64) -> Self {
+        ByteSize(n * MB)
+    }
+
+    /// The raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MB && self.0 % MB == 0 {
+            write!(f, "{} MB", self.0 / MB)
+        } else if self.0 >= MB {
+            write!(f, "{:.3} MB", self.0 as f64 / MB as f64)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{} kB", self.0 / 1_000)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// Height of a block: its distance from the genesis block.
+pub type Height = u64;
+
+/// Identifier of a miner (or miner group) in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MinerId(pub usize);
+
+impl fmt::Display for MinerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "miner{}", self.0)
+    }
+}
+
+/// Arena index of a block inside a [`crate::BlockTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+impl BlockId {
+    /// The genesis block's id in every tree.
+    pub const GENESIS: BlockId = BlockId(0);
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A block: parent link, height, size, and the miner who found it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// Parent block; `None` only for genesis.
+    pub parent: Option<BlockId>,
+    /// Distance from genesis (genesis has height 0).
+    pub height: Height,
+    /// Block size in bytes, the only validity-relevant content.
+    pub size: ByteSize,
+    /// The miner who produced the block.
+    pub miner: MinerId,
+}
+
+impl Block {
+    /// Whether this is the genesis block.
+    pub fn is_genesis(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_constructor_and_display() {
+        assert_eq!(ByteSize::mb(1).bytes(), 1_000_000);
+        assert_eq!(ByteSize::mb(16).to_string(), "16 MB");
+        assert_eq!(ByteSize(500).to_string(), "500 B");
+        assert_eq!(ByteSize(900_000).to_string(), "900 kB");
+        assert_eq!(ByteSize(1_500_000).to_string(), "1.500 MB");
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        assert!(ByteSize::mb(1) < ByteSize::mb(2));
+        assert!(ByteSize(1_000_001) > ByteSize::mb(1));
+    }
+
+    #[test]
+    fn max_message_size_is_32mb() {
+        assert_eq!(MAX_MESSAGE_SIZE, ByteSize::mb(32));
+    }
+
+    #[test]
+    fn genesis_detection() {
+        let g = Block {
+            id: BlockId::GENESIS,
+            parent: None,
+            height: 0,
+            size: ByteSize(0),
+            miner: MinerId(0),
+        };
+        assert!(g.is_genesis());
+        let b = Block { id: BlockId(1), parent: Some(BlockId::GENESIS), height: 1, ..g.clone() };
+        assert!(!b.is_genesis());
+    }
+}

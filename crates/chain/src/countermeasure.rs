@@ -1,0 +1,260 @@
+//! The paper's proposed countermeasure (§6.3): a dynamically adjustable
+//! block size limit that **never abandons the prescribed block validity
+//! consensus**.
+//!
+//! Miners vote for or against a block size increase *with their blocks*.
+//! At the end of each `period`-block window (2016 blocks in Bitcoin, one
+//! difficulty adjustment period):
+//!
+//! * if the proportion of blocks voting **for** an increase is at least
+//!   `up_for` and the proportion voting **against** is at most
+//!   `up_against`, the limit increases by a fixed `step`;
+//! * the limit can decrease symmetrically (`down_for` / `down_against`);
+//! * because the chain might be forked at the period boundary, an
+//!   adjustment only takes effect after `activation` further blocks of the
+//!   next period have been mined.
+//!
+//! Crucially, the limit in effect at any height is a **pure function of the
+//! chain itself** — every node, whatever its resources, computes the same
+//! limit and therefore the same validity verdict. There are no node-local
+//! parameters to split the network over: the `EB`-style attack of §4 is
+//! impossible by construction (see [`DynamicLimitRule::chain_valid`] and
+//! the tests).
+
+use crate::block::ByteSize;
+
+/// A miner's block-size vote, embedded in each block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vote {
+    /// Vote to raise the limit.
+    Increase,
+    /// Vote to lower the limit.
+    Decrease,
+    /// No preference.
+    Abstain,
+}
+
+/// The consensus-relevant content of one block under the countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VotingBlock {
+    /// The block's size.
+    pub size: ByteSize,
+    /// The miner's vote.
+    pub vote: Vote,
+}
+
+impl VotingBlock {
+    /// A block with no vote.
+    pub fn abstain(size: ByteSize) -> Self {
+        VotingBlock { size, vote: Vote::Abstain }
+    }
+}
+
+/// The prescribed, dynamically adjustable block validity rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicLimitRule {
+    /// Limit in effect at genesis.
+    pub initial_limit: ByteSize,
+    /// Adjustment granularity ("a small fixed value").
+    pub step: ByteSize,
+    /// Voting window length (Bitcoin: 2016).
+    pub period: u64,
+    /// Blocks of the next period that must be mined before an adjustment
+    /// becomes effective ("say two hundred").
+    pub activation: u64,
+    /// Minimum proportion of for-votes to raise the limit.
+    pub up_for: f64,
+    /// Maximum proportion of against-votes tolerated when raising.
+    pub up_against: f64,
+    /// Minimum proportion of against-votes to lower the limit.
+    pub down_for: f64,
+    /// Maximum proportion of for-votes tolerated when lowering.
+    pub down_against: f64,
+    /// The limit never falls below this floor.
+    pub min_limit: ByteSize,
+}
+
+impl DynamicLimitRule {
+    /// The parameterization suggested by the paper's discussion: 2016-block
+    /// periods, 200-block activation, 75%/10% thresholds, 1 MB floor and
+    /// initial limit, 100 kB steps.
+    pub fn suggested() -> Self {
+        DynamicLimitRule {
+            initial_limit: ByteSize::mb(1),
+            step: ByteSize(100_000),
+            period: 2016,
+            activation: 200,
+            up_for: 0.75,
+            up_against: 0.10,
+            down_for: 0.75,
+            down_against: 0.10,
+            min_limit: ByteSize::mb(1),
+        }
+    }
+
+    /// The limit in effect for the block at 1-based height `h`, given the
+    /// chain `blocks` (genesis excluded). Only blocks *below* `h` influence
+    /// the limit, so the function is well-defined while validating block
+    /// `h` itself.
+    ///
+    /// A pure function of chain data: every node computes the same value —
+    /// this is what makes the rule a *prescribed* BVC.
+    pub fn limit_at(&self, blocks: &[VotingBlock], h: u64) -> ByteSize {
+        let mut limit = self.initial_limit;
+        // Walk completed periods; each may schedule an adjustment that
+        // becomes effective `activation` blocks into the next period.
+        let mut period_start = 1u64; // height of the first block of the period
+        loop {
+            let period_end = period_start + self.period - 1;
+            let effective_from = period_end + self.activation + 1;
+            if period_end >= h || (blocks.len() as u64) < period_end {
+                break; // period incomplete or decided after h
+            }
+            if effective_from <= h {
+                let window =
+                    &blocks[(period_start - 1) as usize..period_end as usize];
+                let n = window.len() as f64;
+                let for_votes =
+                    window.iter().filter(|b| b.vote == Vote::Increase).count() as f64 / n;
+                let against_votes =
+                    window.iter().filter(|b| b.vote == Vote::Decrease).count() as f64 / n;
+                if for_votes >= self.up_for && against_votes <= self.up_against {
+                    limit = ByteSize(limit.bytes() + self.step.bytes());
+                } else if against_votes >= self.down_for && for_votes <= self.down_against {
+                    limit = ByteSize(
+                        limit.bytes().saturating_sub(self.step.bytes()).max(self.min_limit.bytes()),
+                    );
+                }
+            }
+            period_start = period_end + 1;
+        }
+        limit
+    }
+
+    /// Whether the whole chain is valid: every block within the limit in
+    /// effect at its height. Identical for every node by construction.
+    pub fn chain_valid(&self, blocks: &[VotingBlock]) -> bool {
+        blocks
+            .iter()
+            .enumerate()
+            .all(|(i, b)| b.size <= self.limit_at(blocks, i as u64 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast-turnaround rule for tests: 10-block periods, 3-block
+    /// activation delay.
+    fn rule() -> DynamicLimitRule {
+        DynamicLimitRule {
+            initial_limit: ByteSize::mb(1),
+            step: ByteSize(100_000),
+            period: 10,
+            activation: 3,
+            up_for: 0.75,
+            up_against: 0.10,
+            down_for: 0.75,
+            down_against: 0.10,
+            min_limit: ByteSize::mb(1),
+        }
+    }
+
+    fn blocks(votes: &[Vote]) -> Vec<VotingBlock> {
+        votes.iter().map(|&vote| VotingBlock { size: ByteSize(500_000), vote }).collect()
+    }
+
+    #[test]
+    fn unanimous_increase_takes_effect_after_activation() {
+        let r = rule();
+        let mut chain = blocks(&[Vote::Increase; 10]);
+        chain.extend(blocks(&[Vote::Abstain; 5]));
+        // Heights 11..=13: old limit (activation pending).
+        assert_eq!(r.limit_at(&chain, 11), ByteSize::mb(1));
+        assert_eq!(r.limit_at(&chain, 13), ByteSize::mb(1));
+        // Height 14 = 10 + 3 + 1: the raise is active.
+        assert_eq!(r.limit_at(&chain, 14), ByteSize(1_100_000));
+    }
+
+    #[test]
+    fn contested_vote_does_not_adjust() {
+        let r = rule();
+        // 8 for, 2 against: meets up_for (0.8 >= 0.75) but fails
+        // up_against (0.2 > 0.10).
+        let mut votes = vec![Vote::Increase; 8];
+        votes.extend([Vote::Decrease; 2]);
+        let mut chain = blocks(&votes);
+        chain.extend(blocks(&[Vote::Abstain; 10]));
+        assert_eq!(r.limit_at(&chain, 20), ByteSize::mb(1));
+    }
+
+    #[test]
+    fn decrease_respects_floor() {
+        let r = rule();
+        let mut chain = blocks(&[Vote::Decrease; 10]);
+        chain.extend(blocks(&[Vote::Abstain; 10]));
+        // Would decrease, but the floor equals the initial limit.
+        assert_eq!(r.limit_at(&chain, 20), ByteSize::mb(1));
+    }
+
+    #[test]
+    fn increase_then_decrease_round_trips() {
+        let r = rule();
+        let mut chain = blocks(&[Vote::Increase; 10]); // period 1: +step
+        chain.extend(blocks(&[Vote::Decrease; 10])); // period 2: -step
+        chain.extend(blocks(&[Vote::Abstain; 10]));
+        assert_eq!(r.limit_at(&chain, 14), ByteSize(1_100_000));
+        assert_eq!(r.limit_at(&chain, 23), ByteSize(1_100_000)); // not yet active
+        assert_eq!(r.limit_at(&chain, 24), ByteSize::mb(1)); // decrease active
+    }
+
+    #[test]
+    fn partial_period_never_adjusts() {
+        let r = rule();
+        let chain = blocks(&[Vote::Increase; 9]); // one block short
+        assert_eq!(r.limit_at(&chain, 10), ByteSize::mb(1));
+    }
+
+    #[test]
+    fn validity_tracks_the_moving_limit() {
+        let r = rule();
+        let mut chain = blocks(&[Vote::Increase; 10]);
+        chain.extend(blocks(&[Vote::Abstain; 3]));
+        // A 1.05 MB block at height 14 (limit 1.1 MB) is valid...
+        chain.push(VotingBlock { size: ByteSize(1_050_000), vote: Vote::Abstain });
+        assert!(r.chain_valid(&chain));
+        // ...but the same block at height 13 (old limit) would not be.
+        let mut early = blocks(&[Vote::Increase; 10]);
+        early.extend(blocks(&[Vote::Abstain; 2]));
+        early.push(VotingBlock { size: ByteSize(1_050_000), vote: Vote::Abstain });
+        assert!(!r.chain_valid(&early));
+    }
+
+    /// The countermeasure's core guarantee: validity is a pure function of
+    /// the chain, so *any* two nodes agree on *any* chain — there is no
+    /// analogue of the EB split. We check agreement across a sweep of
+    /// chains including oversize blocks at various heights.
+    #[test]
+    fn every_node_agrees_on_every_chain() {
+        let r1 = rule();
+        let r2 = rule(); // "another node" — same prescribed rule
+        for oversize_at in 0..25usize {
+            let mut chain = blocks(&[Vote::Increase; 10]);
+            chain.extend(blocks(&[Vote::Abstain; 15]));
+            if oversize_at < chain.len() {
+                chain[oversize_at].size = ByteSize(1_050_000);
+            }
+            assert_eq!(r1.chain_valid(&chain), r2.chain_valid(&chain));
+        }
+    }
+
+    #[test]
+    fn suggested_parameters_are_sane() {
+        let r = DynamicLimitRule::suggested();
+        assert_eq!(r.period, 2016);
+        assert_eq!(r.activation, 200);
+        assert!(r.up_for > 0.5);
+        assert_eq!(r.min_limit, ByteSize::mb(1));
+    }
+}

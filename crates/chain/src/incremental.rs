@@ -1,0 +1,437 @@
+//! Incremental chain validity: O(AD)-amortized per-block validity tracking.
+//!
+//! [`crate::NodeView`] recomputes a full genesis-to-tip scan whenever it
+//! judges a chain, which is O(chain length) per received block — fine for
+//! analysis, quadratic over a long simulation. This module provides the
+//! production path: an [`IncrementalRule`] carries a bounded per-block
+//! *scan state* such that the state after block `b` is a function of the
+//! state after `b`'s parent and `b`'s size alone. An [`IncrementalView`]
+//! caches one state per block in the shared tree, making each delivery
+//! O(state size) instead of O(chain).
+//!
+//! The subtlety for BU is that AD-acceptance is *retroactive*: an excessive
+//! block is invalid until `AD` blocks (including itself) exist on top, at
+//! which point the sticky gate opens **at the excessive block's position**
+//! and the blocks after it are re-interpreted under the open gate. The
+//! incremental state therefore buffers the sizes seen since the first
+//! unresolved excessive block — a window that can never exceed `AD`
+//! entries, because the chain becomes acceptable (and the buffer drains)
+//! exactly when the window reaches `AD`.
+//!
+//! Equivalence with the batch scanners is enforced by property tests in
+//! `tests/proptest_incremental.rs`.
+
+use std::collections::HashMap;
+
+use crate::block::{BlockId, ByteSize, Height, MAX_MESSAGE_SIZE, STICKY_GATE_BLOCKS};
+use crate::tree::BlockTree;
+use crate::validity::{BitcoinRule, BuRizunRule, ValidityRule};
+
+/// A validity rule with an incrementally maintainable scan state.
+pub trait IncrementalRule: ValidityRule {
+    /// The per-block scan state. Must be bounded in size for the
+    /// incremental view to beat the batch scan.
+    type State: Clone;
+
+    /// The state of the empty chain (genesis).
+    fn initial_state(&self) -> Self::State;
+
+    /// The state after appending a block of `size` to a chain in `state`.
+    fn step(&self, state: &Self::State, size: ByteSize) -> Self::State;
+
+    /// Whether a chain in `state` is currently acceptable in full.
+    fn state_valid(&self, state: &Self::State) -> bool;
+}
+
+impl IncrementalRule for BitcoinRule {
+    /// `true` while every block so far is within the limit.
+    type State = bool;
+
+    fn initial_state(&self) -> bool {
+        true
+    }
+
+    fn step(&self, state: &bool, size: ByteSize) -> bool {
+        *state && size <= self.max_size
+    }
+
+    fn state_valid(&self, state: &bool) -> bool {
+        *state
+    }
+}
+
+/// Incremental scan state for [`BuRizunRule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuScanState {
+    /// The chain up to here is acceptable; the sticky gate is closed.
+    ValidClosed,
+    /// The chain is acceptable; the gate is open and closes after
+    /// `remaining` more consecutive non-excessive blocks.
+    ValidOpen {
+        /// Consecutive non-excessive blocks still required to close.
+        remaining: u64,
+    },
+    /// The chain contains an unresolved excessive block and is currently
+    /// *not* acceptable. `window` holds the sizes from that excessive block
+    /// (inclusive) to the tip — at most `AD − 1` entries, since at `AD` the
+    /// chain resolves. `gate_was_open_remaining` records the gate state in
+    /// force *before* the pending excessive block, needed to resume when
+    /// the window resolves without... (it cannot: an excessive block while
+    /// the gate is open is accepted outright, so a pending window always
+    /// starts from a closed gate).
+    Pending {
+        /// Sizes from the unresolved excessive block to the tip.
+        window: Vec<ByteSize>,
+    },
+    /// The chain contains a block that can never become valid (over the
+    /// 32 MB message cap).
+    Dead,
+}
+
+impl IncrementalRule for BuRizunRule {
+    type State = BuScanState;
+
+    fn initial_state(&self) -> BuScanState {
+        BuScanState::ValidClosed
+    }
+
+    fn step(&self, state: &BuScanState, size: ByteSize) -> BuScanState {
+        if size > MAX_MESSAGE_SIZE {
+            return BuScanState::Dead;
+        }
+        match state {
+            BuScanState::Dead => BuScanState::Dead,
+            BuScanState::ValidClosed => {
+                if size <= self.eb {
+                    BuScanState::ValidClosed
+                } else if self.ad <= 1 {
+                    // Degenerate AD: the excessive block is accepted alone.
+                    self.resolve_acceptance()
+                } else {
+                    BuScanState::Pending { window: vec![size] }
+                }
+            }
+            BuScanState::ValidOpen { remaining } => {
+                if size <= self.eb {
+                    if *remaining <= 1 {
+                        BuScanState::ValidClosed
+                    } else {
+                        BuScanState::ValidOpen { remaining: remaining - 1 }
+                    }
+                } else {
+                    // Excessive while open: accepted, countdown resets.
+                    BuScanState::ValidOpen { remaining: STICKY_GATE_BLOCKS }
+                }
+            }
+            BuScanState::Pending { window } => {
+                let mut window = window.clone();
+                window.push(size);
+                if window.len() as u64 >= self.ad {
+                    // The pending excessive block now has AD depth: the
+                    // chain resolves. Replay the rest of the window under
+                    // the post-acceptance gate state; `step` recursively
+                    // handles any nested pending runs (e.g. a second
+                    // excessive block inside the window under the
+                    // gate-less rule).
+                    let mut s = self.resolve_acceptance();
+                    for &sz in &window[1..] {
+                        s = self.step(&s, sz);
+                    }
+                    s
+                } else {
+                    BuScanState::Pending { window }
+                }
+            }
+        }
+    }
+
+    fn state_valid(&self, state: &BuScanState) -> bool {
+        matches!(state, BuScanState::ValidClosed | BuScanState::ValidOpen { .. })
+    }
+}
+
+impl BuRizunRule {
+    /// The state right after an excessive block is accepted via AD depth.
+    fn resolve_acceptance(&self) -> BuScanState {
+        if self.sticky {
+            BuScanState::ValidOpen { remaining: STICKY_GATE_BLOCKS }
+        } else {
+            BuScanState::ValidClosed
+        }
+    }
+}
+
+/// Incremental scan state for [`crate::BuSourceCodeRule`]: the window rule
+/// needs the heights of recent excessive blocks, which is bounded data —
+/// only excessive blocks within the last `AD + 143` heights can influence
+/// the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceCodeScanState {
+    /// Current chain length (tip height).
+    len: u64,
+    /// Heights of excessive blocks within the influence window, ascending.
+    recent_excessive: Vec<u64>,
+    /// A block above the 32 MB cap makes the chain permanently invalid.
+    dead: bool,
+}
+
+impl IncrementalRule for crate::validity::BuSourceCodeRule {
+    type State = SourceCodeScanState;
+
+    fn initial_state(&self) -> SourceCodeScanState {
+        SourceCodeScanState { len: 0, recent_excessive: Vec::new(), dead: false }
+    }
+
+    fn step(&self, state: &SourceCodeScanState, size: ByteSize) -> SourceCodeScanState {
+        let mut s = state.clone();
+        if s.dead || size > MAX_MESSAGE_SIZE {
+            s.dead = true;
+            s.len += 1;
+            return s;
+        }
+        s.len += 1;
+        if size > self.eb {
+            s.recent_excessive.push(s.len);
+        }
+        // Drop excessive heights that can no longer influence any clause:
+        // both the latest-AD clause and the window's lower bound
+        // `h − AD − 143` only look back `AD + 143` heights.
+        let horizon = s.len.saturating_sub(self.ad + 143);
+        s.recent_excessive.retain(|&h| h >= horizon);
+        s
+    }
+
+    fn state_valid(&self, state: &SourceCodeScanState) -> bool {
+        if state.dead {
+            return false;
+        }
+        let h = state.len;
+        // Clause 1: the latest AD blocks are all non-excessive.
+        let tail_lo = h.saturating_sub(self.ad) + 1;
+        let latest_ok =
+            !state.recent_excessive.iter().any(|&e| e >= tail_lo && e <= h);
+        if latest_ok {
+            return true;
+        }
+        // Clause 2: an excessive block with height in [h−AD−143, h−AD+1].
+        let hi = h as i64 - self.ad as i64 + 1;
+        let lo = (h as i64 - self.ad as i64 - 143).max(1);
+        if hi < 1 || lo > hi {
+            return false;
+        }
+        state
+            .recent_excessive
+            .iter()
+            .any(|&e| (e as i64) >= lo && (e as i64) <= hi)
+    }
+}
+
+/// A per-node view with cached per-block scan states: each delivered block
+/// costs one [`IncrementalRule::step`] (O(AD) worst case for BU) instead of
+/// a full-chain rescan.
+///
+/// Mirrors the semantics of [`crate::NodeView`]: the accepted tip is the
+/// highest block whose chain is valid under the node's rule, first
+/// received winning ties.
+pub struct IncrementalView<R: IncrementalRule> {
+    rule: R,
+    states: HashMap<BlockId, R::State>,
+    best: BlockId,
+    best_height: Height,
+}
+
+impl<R: IncrementalRule> IncrementalView<R> {
+    /// Creates a view that has seen only genesis.
+    pub fn new(rule: R) -> Self {
+        let mut states = HashMap::new();
+        states.insert(BlockId::GENESIS, rule.initial_state());
+        IncrementalView { rule, states, best: BlockId::GENESIS, best_height: 0 }
+    }
+
+    /// The node's validity rule.
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+
+    /// The block this node currently mines on.
+    pub fn accepted_tip(&self) -> BlockId {
+        self.best
+    }
+
+    /// Height of the accepted tip.
+    pub fn accepted_height(&self) -> Height {
+        self.best_height
+    }
+
+    /// Delivers `block`; the parent must have been delivered before (the
+    /// propagation layer guarantees ordering). Returns `true` when the
+    /// accepted tip changed.
+    ///
+    /// # Panics
+    /// Panics if the parent has not been delivered.
+    pub fn receive(&mut self, tree: &BlockTree, block: BlockId) -> bool {
+        let b = tree.block(block);
+        let parent = b.parent.expect("genesis is never delivered");
+        let parent_state = self
+            .states
+            .get(&parent)
+            .expect("parent must be delivered before its child");
+        let state = self.rule.step(parent_state, b.size);
+        let valid = self.rule.state_valid(&state);
+        self.states.insert(block, state);
+        if valid && b.height > self.best_height {
+            self.best = block;
+            self.best_height = b.height;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops cached states for blocks at or below `height` (history that
+    /// can no longer matter once all candidate tips are above it). Keeps
+    /// the memory footprint proportional to the active frontier.
+    pub fn prune_below(&mut self, tree: &BlockTree, height: Height) {
+        self.states.retain(|&id, _| tree.height(id) >= height || id == self.best);
+    }
+
+    /// Number of cached per-block states (for tests and memory accounting).
+    pub fn cached_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MinerId;
+
+    const EB: ByteSize = ByteSize(1_000_000);
+
+    fn small() -> ByteSize {
+        ByteSize(900_000)
+    }
+    fn excessive() -> ByteSize {
+        ByteSize(16_000_000)
+    }
+
+    /// Batch-scan a size slice through the incremental state machine.
+    fn fold(rule: &BuRizunRule, sizes: &[ByteSize]) -> BuScanState {
+        let mut s = rule.initial_state();
+        for &sz in sizes {
+            s = rule.step(&s, sz);
+        }
+        s
+    }
+
+    #[test]
+    fn matches_batch_on_basic_patterns() {
+        let rule = BuRizunRule::new(EB, 3);
+        let cases: Vec<Vec<ByteSize>> = vec![
+            vec![],
+            vec![small()],
+            vec![excessive()],
+            vec![excessive(), small()],
+            vec![excessive(), small(), small()],
+            vec![small(), excessive(), small(), small()],
+            vec![excessive(), small(), small(), ByteSize::mb(20)],
+            vec![ByteSize(MAX_MESSAGE_SIZE.bytes() + 1)],
+        ];
+        for sizes in cases {
+            let inc = rule.state_valid(&fold(&rule, &sizes));
+            let batch = rule.chain_valid(&sizes);
+            assert_eq!(inc, batch, "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn pending_window_is_bounded_by_ad() {
+        let rule = BuRizunRule::new(EB, 5);
+        let mut s = rule.initial_state();
+        s = rule.step(&s, excessive());
+        for _ in 0..3 {
+            s = rule.step(&s, small());
+            if let BuScanState::Pending { window } = &s {
+                assert!(window.len() < 5);
+            } else {
+                panic!("expected pending, got {s:?}");
+            }
+        }
+        s = rule.step(&s, small()); // fifth block: resolves
+        assert!(rule.state_valid(&s));
+    }
+
+    #[test]
+    fn gateless_window_with_second_excessive_restarts_pending() {
+        let rule = BuRizunRule::without_sticky_gate(EB, 3);
+        // [X, small, X]: first X resolves at depth 3, but the replayed
+        // window contains the second X with depth 1 -> still pending.
+        let s = fold(&rule, &[excessive(), small(), excessive()]);
+        assert!(!rule.state_valid(&s));
+        // Two more smalls resolve the second X.
+        let s = fold(&rule, &[excessive(), small(), excessive(), small(), small()]);
+        assert!(rule.state_valid(&s));
+    }
+
+    #[test]
+    fn incremental_view_tracks_node_view() {
+        let rule = BuRizunRule::new(EB, 3);
+        let mut tree = BlockTree::new();
+        let mut fast = IncrementalView::new(rule);
+        let mut slow = crate::view::NodeView::new(rule);
+        // Build a fork: excessive branch and a small branch.
+        let e = tree.extend(BlockId::GENESIS, excessive(), MinerId(0));
+        let s1 = tree.extend(BlockId::GENESIS, small(), MinerId(1));
+        let e1 = tree.extend(e, small(), MinerId(0));
+        let e2 = tree.extend(e1, small(), MinerId(0));
+        let s2 = tree.extend(s1, small(), MinerId(1));
+        for b in [e, s1, e1, s2, e2] {
+            assert_eq!(fast.receive(&tree, b), slow.receive(&tree, b), "block {b}");
+            assert_eq!(fast.accepted_tip(), slow.accepted_tip(), "after {b}");
+        }
+        // The excessive branch resolves at depth 3 and wins (height 3 > 2).
+        assert_eq!(fast.accepted_tip(), e2);
+    }
+
+    #[test]
+    fn bitcoin_incremental_rule() {
+        let rule = BitcoinRule::classic();
+        let mut s = rule.initial_state();
+        s = rule.step(&s, small());
+        assert!(rule.state_valid(&s));
+        s = rule.step(&s, ByteSize::mb(2));
+        assert!(!rule.state_valid(&s));
+        // Once invalid, forever invalid.
+        s = rule.step(&s, small());
+        assert!(!rule.state_valid(&s));
+    }
+
+    #[test]
+    fn prune_keeps_frontier() {
+        let rule = BuRizunRule::new(EB, 3);
+        let mut tree = BlockTree::new();
+        let mut view = IncrementalView::new(rule);
+        let mut tip = BlockId::GENESIS;
+        for _ in 0..50 {
+            tip = tree.extend(tip, small(), MinerId(0));
+            view.receive(&tree, tip);
+        }
+        assert_eq!(view.cached_states(), 51);
+        view.prune_below(&tree, 45);
+        assert!(view.cached_states() <= 7);
+        // The view still extends correctly after pruning.
+        let next = tree.extend(tip, small(), MinerId(0));
+        assert!(view.receive(&tree, next));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent must be delivered")]
+    fn out_of_order_delivery_panics() {
+        let rule = BuRizunRule::new(EB, 3);
+        let mut tree = BlockTree::new();
+        let mut view = IncrementalView::new(rule);
+        let a = tree.extend(BlockId::GENESIS, small(), MinerId(0));
+        let b = tree.extend(a, small(), MinerId(0));
+        view.receive(&tree, b); // parent a not delivered
+    }
+}

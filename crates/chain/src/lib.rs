@@ -1,0 +1,61 @@
+//! # bvc-chain — blockchain substrate for block-validity-consensus analysis
+//!
+//! A minimal but faithful model of the consensus-relevant parts of Bitcoin
+//! and Bitcoin Unlimited: blocks carry only what validity depends on (size,
+//! parent, miner), a shared append-only [`BlockTree`] holds every fork, and
+//! per-node [`NodeView`]s decide which chain each participant accepts.
+//!
+//! Three validity rules are provided:
+//!
+//! * [`BitcoinRule`] — the prescribed block validity consensus (fixed size
+//!   limit, identical for everyone);
+//! * [`BuRizunRule`] — Bitcoin Unlimited as described by Rizun, with the
+//!   `EB` / `AD` parameters and the 32 MB **sticky gate** (the semantics the
+//!   paper models); the gate can be disabled to model BUIP038 / the paper's
+//!   setting 1;
+//! * [`BuSourceCodeRule`] — the divergent acceptance logic of the March 2017
+//!   BU source code, including the counter-intuitive edge case the paper
+//!   documents.
+//!
+//! ## Example: the phase-1 split
+//!
+//! ```
+//! use bvc_chain::{BlockTree, NodeView, BuRizunRule, BlockId, ByteSize, MinerId};
+//!
+//! let eb_bob = ByteSize::mb(1);
+//! let eb_carol = ByteSize::mb(16);
+//! let mut tree = BlockTree::new();
+//! let mut bob = NodeView::new(BuRizunRule::new(eb_bob, 6));
+//! let mut carol = NodeView::new(BuRizunRule::new(eb_carol, 6));
+//!
+//! // Alice mines a block of size exactly EB_Carol: Carol accepts it, Bob
+//! // considers it excessive — the network is split.
+//! let a = tree.extend(BlockId::GENESIS, eb_carol, MinerId(0));
+//! bob.receive(&tree, a);
+//! carol.receive(&tree, a);
+//! assert_eq!(bob.accepted_tip(), BlockId::GENESIS);
+//! assert_eq!(carol.accepted_tip(), a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod countermeasure;
+pub mod incremental;
+pub mod params;
+pub mod render;
+pub mod tree;
+pub mod validity;
+pub mod view;
+
+pub use countermeasure::{DynamicLimitRule, Vote, VotingBlock};
+pub use incremental::{IncrementalRule, IncrementalView};
+pub use block::{
+    Block, BlockId, ByteSize, Height, MinerId, MAX_MESSAGE_SIZE, MB, STICKY_GATE_BLOCKS,
+};
+pub use params::{BuParams, Signal, APRIL_2017_SNAPSHOT};
+pub use render::{ascii_tree, dot, no_notes};
+pub use tree::BlockTree;
+pub use validity::{BitcoinRule, BuRizunRule, BuSourceCodeRule, GateStatus, ValidityRule};
+pub use view::NodeView;

@@ -1,0 +1,85 @@
+//! Bitcoin Unlimited node parameters and the April 2017 network snapshot
+//! the paper cites.
+
+use crate::block::ByteSize;
+
+/// The three locally chosen BU parameters (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuParams {
+    /// Maximum generation size: the largest block this miner will produce.
+    pub mg: ByteSize,
+    /// Excessive block size: the largest block accepted outright.
+    pub eb: ByteSize,
+    /// Excessive acceptance depth.
+    pub ad: u64,
+}
+
+impl BuParams {
+    /// Parameters equivalent to Bitcoin's prescribed consensus
+    /// (`MG = EB = 1 MB`), which all BU miners signalled in April 2017;
+    /// `AD = 6` per the majority of BU mining power.
+    pub fn bitcoin_equivalent() -> Self {
+        BuParams { mg: ByteSize::mb(1), eb: ByteSize::mb(1), ad: 6 }
+    }
+}
+
+/// A signalling participant in the April 2017 snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    /// Who is signalling.
+    pub who: &'static str,
+    /// Whether the participant mines.
+    pub mines: bool,
+    /// The signalled parameters.
+    pub params: BuParams,
+}
+
+/// The parameter choices the paper reports for April 2017: all BU miners at
+/// `MG = EB = 1 MB`; the majority of BU mining power at `AD = 6`; BitClub
+/// Network at `AD = 20`; almost all BU public nodes at `AD = 12`,
+/// `EB = 16 MB`.
+pub const APRIL_2017_SNAPSHOT: &[Signal] = &[
+    Signal {
+        who: "BU miner majority",
+        mines: true,
+        params: BuParams { mg: ByteSize(1_000_000), eb: ByteSize(1_000_000), ad: 6 },
+    },
+    Signal {
+        who: "BitClub Network",
+        mines: true,
+        params: BuParams { mg: ByteSize(1_000_000), eb: ByteSize(1_000_000), ad: 20 },
+    },
+    Signal {
+        who: "BU public nodes",
+        mines: false,
+        params: BuParams { mg: ByteSize(1_000_000), eb: ByteSize(16_000_000), ad: 12 },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitcoin_equivalent_matches_deployed_limits() {
+        let p = BuParams::bitcoin_equivalent();
+        assert_eq!(p.mg, ByteSize::mb(1));
+        assert_eq!(p.eb, ByteSize::mb(1));
+        assert_eq!(p.ad, 6);
+    }
+
+    #[test]
+    fn snapshot_miners_all_meet_bitcoin_bvc() {
+        for s in APRIL_2017_SNAPSHOT.iter().filter(|s| s.mines) {
+            assert_eq!(s.params.eb, ByteSize::mb(1), "{}", s.who);
+            assert_eq!(s.params.mg, ByteSize::mb(1), "{}", s.who);
+        }
+    }
+
+    #[test]
+    fn snapshot_public_nodes_use_larger_eb() {
+        let nodes = APRIL_2017_SNAPSHOT.iter().find(|s| !s.mines).unwrap();
+        assert_eq!(nodes.params.eb, ByteSize::mb(16));
+        assert_eq!(nodes.params.ad, 12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Text rendering of block trees — the tooling behind the figure
+//! reproductions and an aid for debugging fork scenarios.
+//!
+//! Two formats:
+//!
+//! * [`ascii_tree`] — an indented fork diagram with per-block annotations
+//!   (miner, size, optional per-node acceptance marks), the textual
+//!   equivalent of the paper's Figures 1–3;
+//! * [`dot`] — Graphviz `digraph` output for publication-quality figures.
+
+use std::fmt::Write as _;
+
+use crate::block::{Block, BlockId};
+use crate::tree::BlockTree;
+
+/// A caller-supplied annotation for one block (e.g. which nodes accept it).
+pub type Annotator<'a> = dyn Fn(&Block) -> String + 'a;
+
+/// Renders the tree as an indented ASCII fork diagram. Children are listed
+/// in insertion order; each extra sibling increases the indent.
+///
+/// ```text
+/// #0 genesis
+/// └ #1 miner0 16 MB   [carol]
+///   └ #3 miner2 900 B ...
+/// └ #2 miner1 900 B   [bob]
+/// ```
+pub fn ascii_tree(tree: &BlockTree, annotate: &Annotator<'_>) -> String {
+    let mut out = String::new();
+    fn recurse(
+        tree: &BlockTree,
+        id: BlockId,
+        depth: usize,
+        out: &mut String,
+        annotate: &Annotator<'_>,
+    ) {
+        let b = tree.block(id);
+        if b.is_genesis() {
+            let _ = writeln!(out, "{} genesis", b.id);
+        } else {
+            let indent = "  ".repeat(depth.saturating_sub(1));
+            let note = annotate(b);
+            let _ = writeln!(
+                out,
+                "{indent}└ {} {} {}{}{}",
+                b.id,
+                b.miner,
+                b.size,
+                if note.is_empty() { "" } else { "   " },
+                note
+            );
+        }
+        for &c in tree.children(id) {
+            recurse(tree, c, depth + 1, out, annotate);
+        }
+    }
+    recurse(tree, BlockId::GENESIS, 0, &mut out, annotate);
+    out
+}
+
+/// Renders the tree as a Graphviz `digraph` (edges point from parent to
+/// child; labels carry miner and size).
+pub fn dot(tree: &BlockTree, annotate: &Annotator<'_>) -> String {
+    let mut out = String::from("digraph blocktree {\n  rankdir=LR;\n  node [shape=box];\n");
+    for b in tree.iter() {
+        let label = if b.is_genesis() {
+            "genesis".to_string()
+        } else {
+            let note = annotate(b);
+            if note.is_empty() {
+                format!("{}\\n{} {}", b.id, b.miner, b.size)
+            } else {
+                format!("{}\\n{} {}\\n{}", b.id, b.miner, b.size, note)
+            }
+        };
+        let _ = writeln!(out, "  b{} [label=\"{label}\"];", b.id.0);
+        if let Some(p) = b.parent {
+            let _ = writeln!(out, "  b{} -> b{};", p.0, b.id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A no-op annotator.
+pub fn no_notes() -> impl Fn(&Block) -> String {
+    |_: &Block| String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{ByteSize, MinerId};
+
+    fn fork_tree() -> BlockTree {
+        let mut t = BlockTree::new();
+        let a = t.extend(BlockId::GENESIS, ByteSize::mb(16), MinerId(0));
+        t.extend(a, ByteSize(900_000), MinerId(2));
+        t.extend(BlockId::GENESIS, ByteSize(900_000), MinerId(1));
+        t
+    }
+
+    #[test]
+    fn ascii_contains_every_block_once() {
+        let t = fork_tree();
+        let text = ascii_tree(&t, &no_notes());
+        for b in t.iter() {
+            let needle = format!("{} ", b.id);
+            assert_eq!(
+                text.matches(&needle).count(),
+                1,
+                "block {} should appear exactly once in:\n{text}",
+                b.id
+            );
+        }
+        assert!(text.contains("genesis"));
+    }
+
+    #[test]
+    fn ascii_annotations_appear() {
+        let t = fork_tree();
+        let text = ascii_tree(&t, &|b: &Block| {
+            if b.size > ByteSize::mb(1) { "EXCESSIVE".into() } else { String::new() }
+        });
+        assert_eq!(text.matches("EXCESSIVE").count(), 1);
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let t = fork_tree();
+        let text = dot(&t, &no_notes());
+        assert!(text.starts_with("digraph"));
+        assert!(text.trim_end().ends_with('}'));
+        // One node line per block, one edge per non-genesis block.
+        assert_eq!(text.matches("label=").count(), t.len());
+        assert_eq!(text.matches("->").count(), t.len() - 1);
+    }
+
+    #[test]
+    fn fork_structure_is_visible() {
+        let t = fork_tree();
+        let text = ascii_tree(&t, &no_notes());
+        // Two children of genesis => two lines at the minimum indent.
+        let top_level =
+            text.lines().filter(|l| l.starts_with("└ ")).count();
+        assert_eq!(top_level, 2, "{text}");
+    }
+}

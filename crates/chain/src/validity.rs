@@ -1,0 +1,370 @@
+//! Block validity rules: Bitcoin's prescribed consensus and both variants of
+//! Bitcoin Unlimited's local acceptance logic.
+//!
+//! A rule judges a *chain* — the sequence of block sizes from (but not
+//! including) genesis to a tip — because BU validity is inherently
+//! contextual: whether an excessive block is acceptable depends on how much
+//! chain has been built on it ([`BuRizunRule`]) or on a sliding window of
+//! recent heights ([`BuSourceCodeRule`]). Judging sizes rather than full
+//! blocks keeps rules pure and trivially testable.
+
+use crate::block::{ByteSize, MAX_MESSAGE_SIZE, STICKY_GATE_BLOCKS};
+
+/// A node's local chain-acceptance policy.
+pub trait ValidityRule: Send + Sync {
+    /// Whether the chain with these block sizes (genesis excluded, ordered
+    /// by increasing height) is currently acceptable in full.
+    fn chain_valid(&self, sizes: &[ByteSize]) -> bool;
+
+    /// Human-readable rule name for traces and tables.
+    fn name(&self) -> &'static str {
+        "validity rule"
+    }
+}
+
+/// Bitcoin's prescribed block validity consensus: a block is valid iff its
+/// size is within the fixed limit; a chain is valid iff all its blocks are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitcoinRule {
+    /// The consensus block size limit (1 MB in deployed Bitcoin).
+    pub max_size: ByteSize,
+}
+
+impl BitcoinRule {
+    /// The deployed 1 MB rule.
+    pub fn classic() -> Self {
+        BitcoinRule { max_size: ByteSize::mb(1) }
+    }
+}
+
+impl ValidityRule for BitcoinRule {
+    fn chain_valid(&self, sizes: &[ByteSize]) -> bool {
+        sizes.iter().all(|&s| s <= self.max_size)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bitcoin"
+    }
+}
+
+/// Sticky-gate condition after scanning a chain, reported by
+/// [`BuRizunRule::gate_after`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// No excessive block accepted on this chain (or the gate has re-closed).
+    Closed,
+    /// An excessive block was accepted; `remaining` more consecutive
+    /// non-excessive blocks are needed before the gate closes.
+    Open {
+        /// Consecutive non-excessive blocks still required to close.
+        remaining: u64,
+    },
+}
+
+/// Bitcoin Unlimited acceptance as described by the project's Chief
+/// Scientist Rizun (the semantics the paper models):
+///
+/// * a block larger than the local `EB` is *excessive* and invalid until a
+///   chain of `AD` blocks — starting from and including the excessive block
+///   itself — is built on it;
+/// * once an excessive block is accepted this way, a **sticky gate** opens
+///   on that chain: the size limit is released to the 32 MB network message
+///   cap until [`STICKY_GATE_BLOCKS`] consecutive non-excessive blocks
+///   appear, after which the gate closes and `EB` applies again.
+///
+/// Setting `sticky: false` models BUIP038 ("Revert sticky gate"): the AD
+/// acceptance rule still applies, but accepting an excessive block never
+/// lifts the limit — this is the paper's *setting 1*, where the system stays
+/// in phase 1 forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuRizunRule {
+    /// Excessive block size: the largest block this node accepts outright.
+    pub eb: ByteSize,
+    /// Excessive acceptance depth.
+    pub ad: u64,
+    /// Whether the sticky gate mechanism is enabled.
+    pub sticky: bool,
+}
+
+impl BuRizunRule {
+    /// A BU node with the sticky gate enabled (deployed behaviour).
+    pub fn new(eb: ByteSize, ad: u64) -> Self {
+        BuRizunRule { eb, ad, sticky: true }
+    }
+
+    /// A BU node with the sticky gate removed (BUIP038 / paper setting 1).
+    pub fn without_sticky_gate(eb: ByteSize, ad: u64) -> Self {
+        BuRizunRule { eb, ad, sticky: false }
+    }
+
+    /// Scans a chain and reports both validity and the gate state at the
+    /// tip. This is the single source of truth for this rule; see
+    /// [`ValidityRule::chain_valid`] and [`BuRizunRule::gate_after`].
+    pub fn scan(&self, sizes: &[ByteSize]) -> (bool, GateStatus) {
+        let n = sizes.len();
+        let mut gate_open = false;
+        let mut consecutive: u64 = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            // Nothing above the network message cap ever propagates.
+            if s > MAX_MESSAGE_SIZE {
+                return (false, GateStatus::Closed);
+            }
+            if gate_open {
+                if s <= self.eb {
+                    consecutive += 1;
+                    if consecutive >= STICKY_GATE_BLOCKS {
+                        gate_open = false;
+                        consecutive = 0;
+                    }
+                } else {
+                    // An excessive block while the gate is open is accepted
+                    // outright but resets the closure countdown.
+                    consecutive = 0;
+                }
+            } else if s > self.eb {
+                // Excessive while the gate is closed: acceptable only with a
+                // chain of at least AD blocks starting from and including it.
+                if (n - i) as u64 >= self.ad {
+                    if self.sticky {
+                        gate_open = true;
+                        consecutive = 0;
+                    }
+                } else {
+                    return (false, GateStatus::Closed);
+                }
+            }
+        }
+        let status = if gate_open {
+            GateStatus::Open { remaining: STICKY_GATE_BLOCKS - consecutive }
+        } else {
+            GateStatus::Closed
+        };
+        (true, status)
+    }
+
+    /// The sticky-gate state after a (valid) chain; [`GateStatus::Closed`]
+    /// for invalid chains.
+    pub fn gate_after(&self, sizes: &[ByteSize]) -> GateStatus {
+        self.scan(sizes).1
+    }
+}
+
+impl ValidityRule for BuRizunRule {
+    fn chain_valid(&self, sizes: &[ByteSize]) -> bool {
+        self.scan(sizes).0
+    }
+
+    fn name(&self) -> &'static str {
+        "BU (Rizun)"
+    }
+}
+
+/// Bitcoin Unlimited acceptance as implemented in the March 2017 release
+/// source code, which the paper documents as inconsistent with Rizun's
+/// description: a chain whose latest block has height `h` is valid iff
+///
+/// * the latest `AD` blocks are all non-excessive, **or**
+/// * the chain contains an excessive block whose height lies between
+///   `h − AD + 1` and `h − AD − 143`, inclusive.
+///
+/// The paper calls out a counter-intuitive consequence — a chain with
+/// exactly two excessive blocks at heights `h` and `h − AD − 143` is valid
+/// but becomes *invalid* when any further block is added — which this
+/// implementation reproduces (see the crate's tests). The paper treats this
+/// as an implementation error and models [`BuRizunRule`] instead; this type
+/// exists to document and exercise the divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuSourceCodeRule {
+    /// Excessive block size.
+    pub eb: ByteSize,
+    /// Excessive acceptance depth.
+    pub ad: u64,
+}
+
+impl ValidityRule for BuSourceCodeRule {
+    fn chain_valid(&self, sizes: &[ByteSize]) -> bool {
+        let n = sizes.len() as u64;
+        if sizes.iter().any(|&s| s > MAX_MESSAGE_SIZE) {
+            return false;
+        }
+        // Block sizes[i] has height i + 1; the tip height is n.
+        let tail = self.ad.min(n) as usize;
+        let latest_ok =
+            sizes[sizes.len() - tail..].iter().all(|&s| s <= self.eb);
+        if latest_ok {
+            return true;
+        }
+        // Window of heights [h - AD - 143, h - AD + 1], clamped to the chain.
+        // Signed arithmetic: for short chains the window can lie entirely
+        // below height 1, in which case it is empty.
+        let h = n as i64;
+        let hi = (h - self.ad as i64 + 1).min(n as i64);
+        let lo = (h - self.ad as i64 - 143).max(1);
+        if lo > hi || hi < 1 {
+            return false;
+        }
+        (lo..=hi).any(|height| sizes[(height - 1) as usize] > self.eb)
+    }
+
+    fn name(&self) -> &'static str {
+        "BU (source code)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EB: ByteSize = ByteSize(1_000_000);
+
+    fn small() -> ByteSize {
+        ByteSize(900_000)
+    }
+    fn excessive() -> ByteSize {
+        ByteSize(1_000_001)
+    }
+
+    #[test]
+    fn bitcoin_rule_rejects_oversize_anywhere() {
+        let r = BitcoinRule::classic();
+        assert!(r.chain_valid(&[small(), small()]));
+        assert!(!r.chain_valid(&[small(), excessive(), small()]));
+        assert!(r.chain_valid(&[]));
+        // A block of exactly the limit is valid.
+        assert!(r.chain_valid(&[ByteSize::mb(1)]));
+    }
+
+    #[test]
+    fn exact_eb_block_is_not_excessive() {
+        // "As a block with the exact size EB is not an excessive block" (§2.2)
+        let r = BuRizunRule::new(EB, 3);
+        assert!(r.chain_valid(&[ByteSize(1_000_000)]));
+    }
+
+    #[test]
+    fn excessive_block_needs_ad_depth() {
+        let r = BuRizunRule::new(EB, 3);
+        // Depth counts the excessive block itself: 1 block so far => invalid.
+        assert!(!r.chain_valid(&[excessive()]));
+        assert!(!r.chain_valid(&[excessive(), small()]));
+        // Three blocks starting from the excessive one => accepted.
+        assert!(r.chain_valid(&[excessive(), small(), small()]));
+        // Excessive block buried under earlier small blocks.
+        assert!(!r.chain_valid(&[small(), excessive(), small()]));
+        assert!(r.chain_valid(&[small(), excessive(), small(), small()]));
+    }
+
+    #[test]
+    fn gate_opens_on_acceptance_and_releases_to_32mb() {
+        let r = BuRizunRule::new(EB, 3);
+        // Once the gate is open, a 20 MB block is fine...
+        let chain = [excessive(), small(), small(), ByteSize::mb(20)];
+        assert!(r.chain_valid(&chain));
+        // ...but without the sticky gate, that 20 MB block needs its own AD.
+        let no_gate = BuRizunRule::without_sticky_gate(EB, 3);
+        assert!(!no_gate.chain_valid(&chain));
+        let mut extended = chain.to_vec();
+        extended.extend([small(), small()]);
+        assert!(no_gate.chain_valid(&extended));
+    }
+
+    #[test]
+    fn nothing_above_message_cap_is_ever_valid() {
+        let r = BuRizunRule::new(EB, 1);
+        let giant = ByteSize(MAX_MESSAGE_SIZE.bytes() + 1);
+        assert!(!r.chain_valid(&[giant, small(), small(), small()]));
+        // Even with an open gate.
+        let chain = [excessive(), small(), small(), giant];
+        let r3 = BuRizunRule::new(EB, 3);
+        assert!(!r3.chain_valid(&chain));
+    }
+
+    #[test]
+    fn gate_closes_after_144_consecutive_small_blocks() {
+        let r = BuRizunRule::new(EB, 3);
+        let mut chain = vec![excessive(), small(), small()];
+        assert_eq!(r.gate_after(&chain), GateStatus::Open { remaining: 142 });
+        chain.extend(std::iter::repeat(small()).take(142));
+        assert_eq!(r.gate_after(&chain), GateStatus::Closed);
+        // After closing, a new oversize block again needs AD depth.
+        chain.push(ByteSize::mb(20));
+        assert!(!r.chain_valid(&chain));
+        chain.extend([small(), small()]);
+        assert!(r.chain_valid(&chain));
+    }
+
+    #[test]
+    fn excessive_block_resets_gate_countdown() {
+        let r = BuRizunRule::new(EB, 3);
+        let mut chain = vec![excessive(), small(), small()]; // gate open, 142 left
+        chain.extend(std::iter::repeat(small()).take(100));
+        assert_eq!(r.gate_after(&chain), GateStatus::Open { remaining: 42 });
+        chain.push(ByteSize::mb(20)); // excessive while open: accepted, resets
+        assert_eq!(
+            r.gate_after(&chain),
+            GateStatus::Open { remaining: STICKY_GATE_BLOCKS }
+        );
+    }
+
+    #[test]
+    fn source_code_rule_latest_ad_clause() {
+        let r = BuSourceCodeRule { eb: EB, ad: 3 };
+        assert!(r.chain_valid(&[small(), small(), small()]));
+        // Excessive block inside the latest-AD window and no window hit.
+        assert!(!r.chain_valid(&[small(), small(), excessive()]));
+        // Short chains: all blocks are "the latest AD blocks".
+        assert!(r.chain_valid(&[small()]));
+        assert!(!r.chain_valid(&[excessive()]));
+    }
+
+    #[test]
+    fn source_code_rule_window_clause() {
+        let ad = 3u64;
+        let r = BuSourceCodeRule { eb: EB, ad };
+        // Tip block (height 4) is excessive, so the latest-AD clause fails;
+        // but the window [h-AD-143, h-AD+1] = [1, 2] contains the excessive
+        // block at height 1, so the chain is (counter-intuitively) valid.
+        let chain = vec![excessive(), small(), small(), excessive()];
+        assert!(r.chain_valid(&chain));
+        // Under gate-less Rizun semantics the tip excessive block lacks
+        // depth. (With the sticky gate the first excessive block opens the
+        // gate, which covers the tip — that case agrees with the source
+        // code here.)
+        assert!(!BuRizunRule::without_sticky_gate(EB, ad).chain_valid(&chain));
+        assert!(BuRizunRule::new(EB, ad).chain_valid(&chain));
+    }
+
+    /// The paper's counter-example: two excessive blocks at heights `h` and
+    /// `h − AD − 143` make a valid chain that is invalidated by adding one
+    /// more block.
+    #[test]
+    fn source_code_rule_paper_edge_case() {
+        let ad = 3u64;
+        let r = BuSourceCodeRule { eb: EB, ad };
+        let gap = (ad + 143) as usize; // height difference between the two
+        let h = 1 + gap; // put the first excessive block at height 1
+        let mut chain = vec![excessive()];
+        chain.extend(std::iter::repeat(small()).take(gap - 1));
+        chain.push(excessive());
+        assert_eq!(chain.len(), h);
+        // Latest AD blocks include the tip (excessive) -> clause 1 fails;
+        // window [h-AD-143, h-AD+1] = [1, h-AD+1] contains height 1 -> valid.
+        assert!(r.chain_valid(&chain));
+        // Under Rizun semantics the same chain is *invalid*: the tip
+        // excessive block has depth 1 < AD (this is the divergence between
+        // description and implementation the paper highlights).
+        let rizun = BuRizunRule::new(EB, ad);
+        assert!(!rizun.chain_valid(&chain));
+        // One more block: the height-1 block leaves the window, the tip
+        // excessive block is still not deep enough -> invalid.
+        chain.push(small());
+        assert!(!r.chain_valid(&chain));
+    }
+
+    #[test]
+    fn rule_names() {
+        assert_eq!(BitcoinRule::classic().name(), "Bitcoin");
+        assert_eq!(BuRizunRule::new(EB, 6).name(), "BU (Rizun)");
+        assert_eq!(BuSourceCodeRule { eb: EB, ad: 6 }.name(), "BU (source code)");
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the chain substrate: tree invariants, validity
+//! rule laws, and view consistency under arbitrary block sequences.
+
+use bvc_chain::{
+    BitcoinRule, BlockId, BlockTree, BuRizunRule, ByteSize, GateStatus, MinerId, NodeView,
+    ValidityRule, MAX_MESSAGE_SIZE,
+};
+use proptest::prelude::*;
+
+/// A compact script for building arbitrary trees: each entry picks a parent
+/// (modulo the current tree size) and a size class.
+#[derive(Debug, Clone)]
+struct TreeScript {
+    steps: Vec<(usize, u8)>,
+}
+
+fn tree_script() -> impl Strategy<Value = TreeScript> {
+    proptest::collection::vec((0usize..64, 0u8..4), 1..60)
+        .prop_map(|steps| TreeScript { steps })
+}
+
+fn size_class(class: u8) -> ByteSize {
+    match class {
+        0 => ByteSize(500_000),          // small
+        1 => ByteSize(1_000_000),        // exactly 1 MB
+        2 => ByteSize(16_000_000),       // large (excessive for 1 MB EB)
+        _ => ByteSize(20_000_000),       // larger still, within 32 MB
+    }
+}
+
+fn build(script: &TreeScript) -> BlockTree {
+    let mut tree = BlockTree::new();
+    for (i, &(parent_raw, class)) in script.steps.iter().enumerate() {
+        let parent = BlockId(parent_raw % tree.len());
+        tree.extend(parent, size_class(class), MinerId(i % 3));
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Heights always equal parent height + 1; ancestors walk to genesis.
+    #[test]
+    fn tree_height_invariants(script in tree_script()) {
+        let tree = build(&script);
+        for b in tree.iter() {
+            match b.parent {
+                None => prop_assert_eq!(b.height, 0),
+                Some(p) => prop_assert_eq!(b.height, tree.height(p) + 1),
+            }
+            let chain = tree.chain(b.id);
+            prop_assert_eq!(chain.len() as u64, b.height);
+            // The chain is strictly increasing in height and ends at b.
+            if let Some(&last) = chain.last() {
+                prop_assert_eq!(last, b.id);
+            }
+        }
+    }
+
+    /// common_ancestor is symmetric, is an ancestor of both, and is the
+    /// deepest such block.
+    #[test]
+    fn common_ancestor_laws(script in tree_script()) {
+        let tree = build(&script);
+        let n = tree.len();
+        for i in (0..n).step_by(3) {
+            for j in (0..n).step_by(5) {
+                let (a, b) = (BlockId(i), BlockId(j));
+                let c = tree.common_ancestor(a, b);
+                prop_assert_eq!(c, tree.common_ancestor(b, a));
+                prop_assert!(tree.is_ancestor(c, a));
+                prop_assert!(tree.is_ancestor(c, b));
+                // No child of c is an ancestor of both.
+                for &child in tree.children(c) {
+                    prop_assert!(
+                        !(tree.is_ancestor(child, a) && tree.is_ancestor(child, b))
+                    );
+                }
+            }
+        }
+    }
+
+    /// orphaned_by partitions: winner's chain and orphans are disjoint, and
+    /// orphans are exactly the tip-chain blocks above the fork.
+    #[test]
+    fn orphan_partition(script in tree_script()) {
+        let tree = build(&script);
+        let tips = tree.tips();
+        if tips.len() >= 2 {
+            let (t0, t1) = (tips[0], tips[1]);
+            let orphans = tree.orphaned_by(t0, t1);
+            let winner_chain = tree.chain(t1);
+            for o in &orphans {
+                prop_assert!(!winner_chain.contains(o));
+                prop_assert!(tree.is_ancestor(*o, t0));
+            }
+            let fork = tree.common_ancestor(t0, t1);
+            prop_assert_eq!(
+                orphans.len() as u64,
+                tree.height(t0) - tree.height(fork)
+            );
+        }
+    }
+
+    /// Bitcoin-rule validity is prefix-closed: if a chain is valid, every
+    /// prefix is valid. (BU validity is deliberately *not* prefix-closed —
+    /// that is the whole point of AD acceptance.)
+    #[test]
+    fn bitcoin_validity_prefix_closed(sizes in proptest::collection::vec(0u8..4, 0..30)) {
+        let rule = BitcoinRule::classic();
+        let sizes: Vec<ByteSize> = sizes.into_iter().map(size_class).collect();
+        if rule.chain_valid(&sizes) {
+            for k in 0..sizes.len() {
+                prop_assert!(rule.chain_valid(&sizes[..k]));
+            }
+        }
+    }
+
+    /// Monotone extension law for the gate-less BU rule: appending a small
+    /// (non-excessive) block never invalidates a valid chain, and a valid
+    /// chain stays valid under further small blocks.
+    #[test]
+    fn gateless_bu_valid_chains_stay_valid_under_small_blocks(
+        sizes in proptest::collection::vec(0u8..4, 0..30)
+    ) {
+        let rule = BuRizunRule::without_sticky_gate(ByteSize::mb(1), 4);
+        let mut sizes: Vec<ByteSize> = sizes.into_iter().map(size_class).collect();
+        if rule.chain_valid(&sizes) {
+            sizes.push(ByteSize(500_000));
+            prop_assert!(rule.chain_valid(&sizes));
+        }
+    }
+
+    /// The sticky-gate scan agrees with chain_valid (the scan is the single
+    /// source of truth), and an open gate implies the chain was valid.
+    #[test]
+    fn gate_scan_consistency(sizes in proptest::collection::vec(0u8..4, 0..40)) {
+        let rule = BuRizunRule::new(ByteSize::mb(1), 3);
+        let sizes: Vec<ByteSize> = sizes.into_iter().map(size_class).collect();
+        let (valid, gate) = rule.scan(&sizes);
+        prop_assert_eq!(valid, rule.chain_valid(&sizes));
+        if let GateStatus::Open { remaining } = gate {
+            prop_assert!(valid);
+            prop_assert!(remaining >= 1 && remaining <= 144);
+        }
+        // Nothing over the message cap is ever valid.
+        if sizes.iter().any(|&s| s > MAX_MESSAGE_SIZE) {
+            prop_assert!(!valid);
+        }
+    }
+
+    /// A node view's incremental accepted tip equals a from-scratch
+    /// recomputation after any delivery sequence (parents always delivered
+    /// first here, as the simulator guarantees).
+    #[test]
+    fn view_incremental_equals_recompute(script in tree_script()) {
+        let tree = build(&script);
+        for rule in [
+            BuRizunRule::new(ByteSize::mb(1), 3),
+            BuRizunRule::without_sticky_gate(ByteSize::mb(1), 3),
+            BuRizunRule::new(ByteSize::mb(16), 2),
+        ] {
+            let mut view = NodeView::new(rule);
+            // Deliver in insertion order (parents precede children).
+            let ids: Vec<BlockId> = tree.iter().skip(1).map(|b| b.id).collect();
+            for b in ids {
+                view.receive(&tree, b);
+            }
+            let incremental = view.accepted_tip();
+            view.recompute(&tree);
+            prop_assert_eq!(view.accepted_tip(), incremental);
+        }
+    }
+
+    /// Two nodes with the same rule always accept the same tip — the
+    /// prescribed-BVC property; two nodes with different EBs may diverge,
+    /// but the lower-EB node's accepted chain is always valid for the
+    /// higher-EB node (EB-monotonicity of validity).
+    #[test]
+    fn eb_monotonicity(script in tree_script()) {
+        let tree = build(&script);
+        let small = BuRizunRule::without_sticky_gate(ByteSize::mb(1), 3);
+        let large = BuRizunRule::without_sticky_gate(ByteSize::mb(16), 3);
+        let mut v_small = NodeView::new(small);
+        let mut v_large = NodeView::new(large);
+        let ids: Vec<BlockId> = tree.iter().skip(1).map(|b| b.id).collect();
+        for b in ids {
+            v_small.receive(&tree, b);
+            v_large.receive(&tree, b);
+        }
+        // Whatever the small-EB node accepts is valid for the large-EB node.
+        let sizes = NodeView::<BuRizunRule>::chain_sizes(&tree, v_small.accepted_tip());
+        prop_assert!(large.chain_valid(&sizes));
+        // And the large-EB node's tip is at least as high.
+        prop_assert!(v_large.accepted_height() >= v_small.accepted_height());
+    }
+}

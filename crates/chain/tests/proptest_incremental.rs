@@ -1,0 +1,129 @@
+//! Property tests: the incremental scan states are *equivalent* to the
+//! batch scanners on arbitrary chains, and the incremental view agrees
+//! with the reference `NodeView` on arbitrary trees.
+
+use bvc_chain::incremental::{IncrementalRule, IncrementalView};
+use bvc_chain::{
+    BitcoinRule, BlockId, BlockTree, BuRizunRule, BuSourceCodeRule, ByteSize, MinerId,
+    NodeView, ValidityRule,
+};
+use proptest::prelude::*;
+
+fn size_class(class: u8) -> ByteSize {
+    match class {
+        0 => ByteSize(500_000),
+        1 => ByteSize(1_000_000),
+        2 => ByteSize(16_000_000),
+        3 => ByteSize(20_000_000),
+        _ => ByteSize(33_000_000), // over the message cap
+    }
+}
+
+fn rules() -> Vec<BuRizunRule> {
+    vec![
+        BuRizunRule::new(ByteSize::mb(1), 2),
+        BuRizunRule::new(ByteSize::mb(1), 3),
+        BuRizunRule::new(ByteSize::mb(1), 6),
+        BuRizunRule::without_sticky_gate(ByteSize::mb(1), 3),
+        BuRizunRule::without_sticky_gate(ByteSize::mb(1), 6),
+        BuRizunRule::new(ByteSize::mb(16), 4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Folding the incremental state over a chain gives exactly the batch
+    /// verdict — for every prefix, not just the whole chain.
+    #[test]
+    fn incremental_equals_batch_on_all_prefixes(
+        classes in proptest::collection::vec(0u8..5, 0..50)
+    ) {
+        let sizes: Vec<ByteSize> = classes.into_iter().map(size_class).collect();
+        for rule in rules() {
+            let mut state = rule.initial_state();
+            for k in 0..sizes.len() {
+                state = rule.step(&state, sizes[k]);
+                let batch = rule.chain_valid(&sizes[..=k]);
+                prop_assert_eq!(
+                    rule.state_valid(&state), batch,
+                    "rule {:?}, prefix {:?}", rule, &sizes[..=k]
+                );
+            }
+        }
+    }
+
+    /// Same equivalence for the March-2017 source-code rule, whose window
+    /// clause spans 143 + AD heights.
+    #[test]
+    fn source_code_incremental_equals_batch(
+        classes in proptest::collection::vec(0u8..5, 0..60)
+    ) {
+        let sizes: Vec<ByteSize> = classes.into_iter().map(size_class).collect();
+        for ad in [2u64, 3, 6] {
+            let rule = BuSourceCodeRule { eb: ByteSize::mb(1), ad };
+            let mut state = rule.initial_state();
+            for k in 0..sizes.len() {
+                state = rule.step(&state, sizes[k]);
+                prop_assert_eq!(
+                    rule.state_valid(&state),
+                    rule.chain_valid(&sizes[..=k]),
+                    "ad {}, prefix {:?}", ad, &sizes[..=k]
+                );
+            }
+        }
+    }
+
+    /// Same equivalence for the Bitcoin rule.
+    #[test]
+    fn bitcoin_incremental_equals_batch(
+        classes in proptest::collection::vec(0u8..5, 0..50)
+    ) {
+        let sizes: Vec<ByteSize> = classes.into_iter().map(size_class).collect();
+        let rule = BitcoinRule::classic();
+        let mut state = rule.initial_state();
+        for k in 0..sizes.len() {
+            state = rule.step(&state, sizes[k]);
+            prop_assert_eq!(rule.state_valid(&state), rule.chain_valid(&sizes[..=k]));
+        }
+    }
+
+    /// The incremental view and the reference view accept the same tip
+    /// after every delivery, on arbitrary block trees.
+    #[test]
+    fn views_agree_on_arbitrary_trees(
+        steps in proptest::collection::vec((0usize..32, 0u8..4), 1..48)
+    ) {
+        let mut tree = BlockTree::new();
+        for (i, &(parent_raw, class)) in steps.iter().enumerate() {
+            let parent = BlockId(parent_raw % tree.len());
+            tree.extend(parent, size_class(class), MinerId(i % 3));
+        }
+        for rule in rules() {
+            let mut fast = IncrementalView::new(rule);
+            let mut slow = NodeView::new(rule);
+            for b in tree.iter().skip(1).map(|b| b.id).collect::<Vec<_>>() {
+                let f = fast.receive(&tree, b);
+                let s = slow.receive(&tree, b);
+                prop_assert_eq!(f, s, "tip-change disagreement at {}", b);
+                prop_assert_eq!(fast.accepted_tip(), slow.accepted_tip());
+                prop_assert_eq!(fast.accepted_height(), slow.accepted_height());
+            }
+        }
+    }
+
+    /// The pending window never grows beyond AD entries (the bound that
+    /// makes the incremental path O(AD) per block).
+    #[test]
+    fn pending_window_bound(classes in proptest::collection::vec(0u8..4, 0..80)) {
+        use bvc_chain::incremental::BuScanState;
+        let rule = BuRizunRule::new(ByteSize::mb(1), 6);
+        let mut state = rule.initial_state();
+        for class in classes {
+            state = rule.step(&state, size_class(class));
+            if let BuScanState::Pending { window } = &state {
+                prop_assert!(window.len() < 6, "window {} >= AD", window.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `bvc bitcoin` — the Bitcoin baselines: optimal selfish mining, the
+//! Eyal–Sirer SM1 strategy, honest mining, the profitability threshold,
+//! and the combined double-spending attack.
+
+use bvc_bitcoin::{
+    closed_form_revenue, profitability_threshold, sm1_relative_revenue, BitcoinConfig,
+    BitcoinModel, SolveOptions, ThresholdOptions,
+};
+
+use crate::args::{ArgError, Args};
+
+/// Parsed configuration of the `bitcoin` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitcoinCmd {
+    /// Attacker power share.
+    pub alpha: f64,
+    /// Tie-winning parameter γ.
+    pub gamma: f64,
+    /// Truncation bound.
+    pub cap: u8,
+    /// Also solve the combined selfish-mining + double-spending attack.
+    pub double_spend: bool,
+    /// Also compute the profitability threshold for this γ.
+    pub threshold: bool,
+}
+
+/// Parses the subcommand's flags.
+pub fn parse(args: &Args) -> Result<BitcoinCmd, ArgError> {
+    let alpha: f64 = args.get("alpha")?;
+    if !(0.0..0.5).contains(&alpha) {
+        return Err(ArgError(format!("--alpha must be in (0, 0.5), got {alpha}")));
+    }
+    let gamma: f64 = args.get_or("gamma", 0.5)?;
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(ArgError(format!("--gamma must be in [0, 1], got {gamma}")));
+    }
+    Ok(BitcoinCmd {
+        alpha,
+        gamma,
+        cap: args.get_or("cap", 40u8)?,
+        double_spend: args.has("double-spend"),
+        threshold: args.has("threshold"),
+    })
+}
+
+/// Runs the subcommand.
+pub fn run(cmd: &BitcoinCmd) -> Result<(), String> {
+    println!(
+        "Bitcoin baselines: alpha={}, gamma={} (cap {})",
+        cmd.alpha, cmd.gamma, cmd.cap
+    );
+    let cfg = BitcoinConfig { cap: cmd.cap, ..BitcoinConfig::selfish_mining(cmd.alpha, cmd.gamma) };
+    let model = BitcoinModel::build(cfg).map_err(|e| e.to_string())?;
+    let opts = SolveOptions::default();
+
+    println!("honest mining        : {:.4}", cmd.alpha);
+    let sm1 = sm1_relative_revenue(&model).map_err(|e| e.to_string())?;
+    println!(
+        "Eyal-Sirer SM1       : {:.4} (closed form {:.4})",
+        sm1,
+        closed_form_revenue(cmd.alpha, cmd.gamma)
+    );
+    let opt = model.optimal_relative_revenue(&opts).map_err(|e| e.to_string())?;
+    println!("optimal selfish mining: {:.4}", opt.value);
+
+    if cmd.double_spend {
+        let cfg = BitcoinConfig { cap: cmd.cap, ..BitcoinConfig::smds(cmd.alpha, cmd.gamma) };
+        let model = BitcoinModel::build(cfg).map_err(|e| e.to_string())?;
+        let ds = model.optimal_absolute_revenue(&opts).map_err(|e| e.to_string())?;
+        println!("SM + double spending : {:.4} per block (honest = {:.4})", ds.value, cmd.alpha);
+    }
+    if cmd.threshold {
+        let t = profitability_threshold(
+            cmd.gamma,
+            &ThresholdOptions { cap: cmd.cap.min(32), ..Default::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        println!("profitability threshold at gamma={}: alpha >= {:.3}", cmd.gamma, t);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn parses_and_validates() {
+        let cmd =
+            parse(&args(&["--alpha", "0.3", "--gamma", "0", "--double-spend"])).unwrap();
+        assert_eq!(cmd.alpha, 0.3);
+        assert_eq!(cmd.gamma, 0.0);
+        assert!(cmd.double_spend);
+        assert!(!cmd.threshold);
+        assert!(parse(&args(&["--alpha", "0.6"])).is_err());
+        assert!(parse(&args(&["--alpha", "0.3", "--gamma", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn runs_small_case() {
+        let cmd = BitcoinCmd {
+            alpha: 0.3,
+            gamma: 0.5,
+            cap: 16,
+            double_spend: false,
+            threshold: false,
+        };
+        run(&cmd).unwrap();
+    }
+}

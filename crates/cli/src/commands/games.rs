@@ -1,0 +1,166 @@
+//! `bvc games` — the emergent-consensus games: `eb` (EB choosing game)
+//! and `bsig` (block size increasing game).
+
+use bvc_games::{BlockSizeIncreasingGame, EbChoosingGame, MinerGroup};
+
+use crate::args::{parse_f64_list, ArgError, Args};
+
+/// Which game to run, with its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GamesCmd {
+    /// The EB choosing game over the given power distribution.
+    Eb {
+        /// Miners' power shares (must sum to 1).
+        powers: Vec<f64>,
+    },
+    /// The block size increasing game over `mpb:power` groups.
+    Bsig {
+        /// `(mpb, power)` pairs (powers must sum to 1).
+        groups: Vec<(f64, f64)>,
+        /// Pass threshold (0.5 = BU's majority vote; 0.9 ≈ the §6.3
+        /// countermeasure).
+        threshold: f64,
+    },
+}
+
+/// Parses the subcommand (`eb` or `bsig` as the next positional).
+pub fn parse(args: &Args) -> Result<GamesCmd, ArgError> {
+    let which = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("expected a game: `eb` or `bsig`".into()))?;
+    match which.as_str() {
+        "eb" => {
+            let powers = parse_f64_list(&args.get::<String>("powers")?)?;
+            Ok(GamesCmd::Eb { powers })
+        }
+        "bsig" => {
+            let raw = args.get::<String>("groups")?;
+            let mut groups = Vec::new();
+            for part in raw.split(',') {
+                let (mpb, power) = part.split_once(':').ok_or_else(|| {
+                    ArgError(format!("expected mpb:power pairs, got {part:?}"))
+                })?;
+                let mpb: f64 = mpb
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid MPB {mpb:?}")))?;
+                let power: f64 = power
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid power {power:?}")))?;
+                groups.push((mpb, power));
+            }
+            Ok(GamesCmd::Bsig { groups, threshold: args.get_or("threshold", 0.5)? })
+        }
+        other => Err(ArgError(format!("unknown game {other:?}; expected `eb` or `bsig`"))),
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(cmd: &GamesCmd) -> Result<(), String> {
+    match cmd {
+        GamesCmd::Eb { powers } => {
+            let game = EbChoosingGame::new(powers.clone());
+            println!("EB choosing game over {powers:?}");
+            if powers.len() <= 16 {
+                let eq = game.enumerate_equilibria();
+                println!("pure Nash equilibria: {}", eq.len());
+                for p in &eq {
+                    println!("  {p:?}");
+                }
+                match game.minimal_flipping_coalition() {
+                    Some(k) => println!(
+                        "minimal flipping coalition: {k} miner(s) can drag everyone to a new EB"
+                    ),
+                    None => println!("no coalition flip found (check the distribution)"),
+                }
+            } else {
+                println!("(n > 16: exhaustive analyses skipped)");
+            }
+        }
+        GamesCmd::Bsig { groups, threshold } => {
+            let game = BlockSizeIncreasingGame::with_threshold(
+                groups
+                    .iter()
+                    .map(|&(mpb, power)| MinerGroup { mpb, power })
+                    .collect(),
+                *threshold,
+            );
+            println!(
+                "block size increasing game, {} groups, pass threshold {threshold}",
+                game.len()
+            );
+            let trace = game.play();
+            for (i, round) in trace.rounds.iter().enumerate() {
+                let yes: Vec<usize> =
+                    round.votes.iter().filter(|(_, v)| *v).map(|(g, _)| g + 1).collect();
+                println!(
+                    "round {}: raise past group {}'s MPB — yes from {:?} — {}",
+                    i + 1,
+                    round.leaving + 1,
+                    yes,
+                    if round.passed { "PASSED" } else { "failed, game over" }
+                );
+            }
+            println!(
+                "surviving groups: {:?}",
+                (trace.terminal..game.len()).map(|i| i + 1).collect::<Vec<_>>()
+            );
+            println!("utilities: {:?}", game.utilities());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn parses_eb() {
+        let cmd = parse(&args(&["games", "eb", "--powers", "0.2,0.3,0.5"])).unwrap();
+        assert_eq!(cmd, GamesCmd::Eb { powers: vec![0.2, 0.3, 0.5] });
+    }
+
+    #[test]
+    fn parses_bsig_with_threshold() {
+        let cmd = parse(&args(&[
+            "games",
+            "bsig",
+            "--groups",
+            "1:0.1,2:0.4,8:0.5",
+            "--threshold",
+            "0.9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            GamesCmd::Bsig {
+                groups: vec![(1.0, 0.1), (2.0, 0.4), (8.0, 0.5)],
+                threshold: 0.9
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_game() {
+        assert!(parse(&args(&["games", "poker"])).is_err());
+        assert!(parse(&args(&["games"])).is_err());
+        assert!(parse(&args(&["games", "bsig", "--groups", "1-0.5"])).is_err());
+    }
+
+    #[test]
+    fn runs_both_games() {
+        run(&GamesCmd::Eb { powers: vec![0.2, 0.3, 0.5] }).unwrap();
+        run(&GamesCmd::Bsig {
+            groups: vec![(1.0, 0.1), (2.0, 0.2), (4.0, 0.3), (8.0, 0.4)],
+            threshold: 0.5,
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Subcommand implementations: parse (unit-testable) and run.
+
+pub mod bitcoin;
+pub mod games;
+pub mod simulate;
+pub mod solve;

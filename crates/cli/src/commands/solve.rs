@@ -1,0 +1,182 @@
+//! `bvc solve` — solve the BU attack MDP for one parameter cell.
+
+use bvc_bu::{
+    summarize, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
+};
+
+use crate::args::{parse_ratio, ArgError, Args};
+
+/// Parsed configuration of the `solve` subcommand (kept separate from the
+/// execution so parsing is unit-testable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveCmd {
+    /// Full attack configuration.
+    pub config: AttackConfig,
+    /// Whether to print the phase-1 action map.
+    pub show_policy: bool,
+}
+
+/// Parses the subcommand's flags.
+pub fn parse(args: &Args) -> Result<SolveCmd, ArgError> {
+    let alpha: f64 = args.get("alpha")?;
+    if !(0.0..0.5).contains(&alpha) {
+        return Err(ArgError(format!("--alpha must be in (0, 0.5), got {alpha}")));
+    }
+    let ratio = parse_ratio(&args.get_or("beta-gamma", "1:1".to_string())?)?;
+    let setting = match args.get_or("setting", 1u8)? {
+        1 => Setting::One,
+        2 => Setting::Two,
+        other => return Err(ArgError(format!("--setting must be 1 or 2, got {other}"))),
+    };
+    let incentive = match args.get_or("incentive", "compliant".to_string())?.as_str() {
+        "compliant" => IncentiveModel::CompliantProfitDriven,
+        "double-spend" => IncentiveModel::NonCompliantProfitDriven {
+            rds: args.get_or("rds", 10.0)?,
+            threshold: args.get_or("confirmations", 4u8)?.saturating_sub(1),
+        },
+        "vandal" => IncentiveModel::NonProfitDriven,
+        other => {
+            return Err(ArgError(format!(
+                "--incentive must be compliant, double-spend or vandal, got {other:?}"
+            )))
+        }
+    };
+    let mut config = AttackConfig::with_ratio(alpha, ratio, setting, incentive);
+    config.ad = args.get_or("ad", 6u8)?;
+    config.ad_carol = args.get_or("ad-carol", config.ad)?;
+    config.gate_blocks = args.get_or("gate", 144u16)?;
+    Ok(SolveCmd { config, show_policy: args.has("show-policy") })
+}
+
+/// Runs the subcommand.
+pub fn run(cmd: &SolveCmd) -> Result<(), String> {
+    let cfg = cmd.config.clone();
+    println!(
+        "solving BU attack MDP: alpha={:.4}, beta={:.4}, gamma={:.4}, AD={}/{}, {}, {:?}",
+        cfg.alpha, cfg.beta, cfg.gamma, cfg.ad, cfg.ad_carol, cfg.setting, cfg.incentive
+    );
+    if !cfg.satisfies_power_assumption() {
+        println!("note: alpha > min(beta, gamma) — outside the paper's standing assumption");
+    }
+    let model = AttackModel::build(cfg.clone()).map_err(|e| e.to_string())?;
+    println!("state space: {} states", model.num_states());
+    let opts = SolveOptions::default();
+    let (label, sol) = match cfg.incentive {
+        IncentiveModel::CompliantProfitDriven => (
+            "max relative revenue u1",
+            model.optimal_relative_revenue(&opts).map_err(|e| e.to_string())?,
+        ),
+        IncentiveModel::NonCompliantProfitDriven { .. } => (
+            "max absolute revenue u2 (per block)",
+            model.optimal_absolute_revenue(&opts).map_err(|e| e.to_string())?,
+        ),
+        IncentiveModel::NonProfitDriven => (
+            "max orphans per attacker block u3",
+            model.optimal_orphan_rate(&opts).map_err(|e| e.to_string())?,
+        ),
+    };
+    println!("{label}: {:.4}", sol.value);
+
+    let honest = model.evaluate(&model.honest_policy()).map_err(|e| e.to_string())?;
+    println!(
+        "honest baseline: u1={:.4} u2={:.4} u3={:.4}",
+        honest.u1, honest.u2, honest.u3
+    );
+    let report = model.evaluate(&sol.policy).map_err(|e| e.to_string())?;
+    println!(
+        "optimal policy:  u1={:.4} u2={:.4} u3={:.4}",
+        report.u1, report.u2, report.u3
+    );
+    let s = summarize(&model, &sol.policy);
+    println!(
+        "strategy: base={}, fork states on C1/C2/wait = {}/{}/{}",
+        s.base_action, s.on_chain1, s.on_chain2, s.waits
+    );
+    if cmd.show_policy {
+        println!();
+        println!("phase-1 action map (1=OnChain1, 2=OnChain2, w=Wait):");
+        print!("{}", bvc_bu::render_phase1_map(&model, &sol.policy));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let cmd = parse(&args(&[
+            "--alpha",
+            "0.1",
+            "--beta-gamma",
+            "2:3",
+            "--setting",
+            "2",
+            "--incentive",
+            "double-spend",
+            "--ad",
+            "4",
+            "--gate",
+            "24",
+            "--show-policy",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.config.alpha, 0.1);
+        assert!(cmd.config.beta < cmd.config.gamma);
+        assert_eq!(cmd.config.setting, Setting::Two);
+        assert_eq!(cmd.config.ad, 4);
+        assert_eq!(cmd.config.gate_blocks, 24);
+        assert!(cmd.show_policy);
+        assert!(matches!(
+            cmd.config.incentive,
+            IncentiveModel::NonCompliantProfitDriven { rds, threshold } if rds == 10.0 && threshold == 3
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse(&args(&["--alpha", "0.25"])).unwrap();
+        assert_eq!(cmd.config.ad, 6);
+        assert_eq!(cmd.config.ad_carol, 6);
+        assert_eq!(cmd.config.setting, Setting::One);
+        assert!(matches!(cmd.config.incentive, IncentiveModel::CompliantProfitDriven));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&args(&["--alpha", "0.7"])).is_err());
+        assert!(parse(&args(&["--alpha", "0.2", "--setting", "3"])).is_err());
+        assert!(parse(&args(&["--alpha", "0.2", "--incentive", "bogus"])).is_err());
+        assert!(parse(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn confirmations_map_to_threshold() {
+        let cmd = parse(&args(&[
+            "--alpha",
+            "0.1",
+            "--incentive",
+            "double-spend",
+            "--confirmations",
+            "6",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd.config.incentive,
+            IncentiveModel::NonCompliantProfitDriven { threshold: 5, .. }
+        ));
+    }
+
+    /// End-to-end smoke test of the runner on a tiny cell.
+    #[test]
+    fn runs_small_cell() {
+        let mut cmd = parse(&args(&["--alpha", "0.2", "--ad", "3"])).unwrap();
+        cmd.show_policy = true;
+        run(&cmd).unwrap();
+    }
+}

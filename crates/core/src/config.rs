@@ -1,0 +1,213 @@
+//! Scenario configuration: mining power split, acceptance depth, sticky-gate
+//! setting, and the incentive model under which Alice is analyzed.
+
+use std::fmt;
+
+/// Which phases of the attack are reachable (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setting {
+    /// Setting 1: the sticky gate is disabled (BUIP038), so only phase 1 is
+    /// permitted. Equivalently, the attacker only launches the attack in
+    /// phase 1.
+    One,
+    /// Setting 2: the sticky gate is enabled; both phase 1 and phase 2 are
+    /// permitted.
+    Two,
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Setting::One => write!(f, "setting 1"),
+            Setting::Two => write!(f, "setting 2"),
+        }
+    }
+}
+
+/// The three strategic-miner incentive models of §3, with the per-model
+/// utility the paper assigns to each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncentiveModel {
+    /// §3.1: Alice never observably deviates; utility is *relative revenue*
+    /// `u1 = ΣR_A / (ΣR_A + ΣR_others)` (Eq. 1).
+    CompliantProfitDriven,
+    /// §3.2: Alice combines forking with double spending; utility is the
+    /// *absolute reward* per block `u2 = (ΣR_A + ΣR_DS) / t` (Eq. 2).
+    NonCompliantProfitDriven {
+        /// Double-spend payout in units of the block reward (the paper uses
+        /// 10).
+        rds: f64,
+        /// Merchant settlement threshold: a payout of `(k - threshold) * rds`
+        /// is received when `k > threshold` blocks are orphaned in one
+        /// resolution (the paper uses 3, i.e. four confirmations).
+        threshold: u8,
+    },
+    /// §3.3: Alice maximizes damage per own block; utility is
+    /// `u3 = ΣO_others / (ΣR_A + ΣO_A)` (Eq. 3). Adds the `Wait` action.
+    NonProfitDriven,
+}
+
+impl IncentiveModel {
+    /// The paper's double-spending parameterization: `R_DS` worth ten block
+    /// rewards, merchants shipping after four confirmations.
+    pub fn non_compliant_default() -> Self {
+        IncentiveModel::NonCompliantProfitDriven { rds: 10.0, threshold: 3 }
+    }
+
+    /// Whether this model grants Alice the `Wait` action.
+    pub fn allows_wait(&self) -> bool {
+        matches!(self, IncentiveModel::NonProfitDriven)
+    }
+}
+
+/// Full configuration of the three-miner attack scenario of §4.1.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// Alice's (the strategic miner's) mining power share.
+    pub alpha: f64,
+    /// Bob's share — the miner (group) with the *smaller* EB.
+    pub beta: f64,
+    /// Carol's share — the miner (group) with the *larger* EB.
+    pub gamma: f64,
+    /// Bob's excessive acceptance depth (the paper uses `AD = 6` in line
+    /// with 2017 BU miners). Bob's AD governs phase-1 forks: Chain 2 must
+    /// reach this depth before Bob adopts it.
+    pub ad: u8,
+    /// Carol's excessive acceptance depth. Equal to [`AttackConfig::ad`] in
+    /// the paper's model; the heterogeneous case (§2.3 cites real miners
+    /// signalling `AD = 6` vs `AD = 20`) is an extension of this crate.
+    /// Carol's AD governs phase-2 forks, where she is the rejecting miner.
+    pub ad_carol: u8,
+    /// Sticky-gate countdown length (144 in BU; exposed for ablations and
+    /// fast tests).
+    pub gate_blocks: u16,
+    /// Which phases are reachable.
+    pub setting: Setting,
+    /// Alice's incentive model.
+    pub incentive: IncentiveModel,
+}
+
+impl AttackConfig {
+    /// A configuration with the paper's defaults (`AD = 6`, 144-block gate)
+    /// for a given power split. `beta_to_gamma` is the `β : γ` ratio used in
+    /// the paper's tables; the remaining power `1 − α` is divided
+    /// accordingly.
+    pub fn with_ratio(
+        alpha: f64,
+        beta_to_gamma: (u32, u32),
+        setting: Setting,
+        incentive: IncentiveModel,
+    ) -> Self {
+        let (b, c) = beta_to_gamma;
+        assert!(b > 0 && c > 0, "ratio parts must be positive");
+        let rest = 1.0 - alpha;
+        let beta = rest * b as f64 / (b + c) as f64;
+        let gamma = rest * c as f64 / (b + c) as f64;
+        AttackConfig {
+            alpha,
+            beta,
+            gamma,
+            ad: 6,
+            ad_carol: 6,
+            gate_blocks: 144,
+            setting,
+            incentive,
+        }
+    }
+
+    /// Sets both miners' acceptance depths (the heterogeneous-AD
+    /// extension); returns `self` for chaining.
+    pub fn with_ads(mut self, ad_bob: u8, ad_carol: u8) -> Self {
+        self.ad = ad_bob;
+        self.ad_carol = ad_carol;
+        self
+    }
+
+    /// Validates the power split and structural parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive shares, shares not summing to one, `ad < 2`,
+    /// or a zero-length gate in setting 2.
+    pub fn validate(&self) {
+        assert!(self.alpha > 0.0 && self.beta > 0.0 && self.gamma > 0.0,
+                "all shares must be positive");
+        let sum = self.alpha + self.beta + self.gamma;
+        assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {sum}");
+        assert!(self.ad >= 2, "AD must be at least 2 for a fork to exist");
+        assert!(self.ad_carol >= 2, "Carol's AD must be at least 2");
+        if self.setting == Setting::Two {
+            assert!(self.gate_blocks >= 1, "setting 2 requires a nonzero gate");
+        }
+    }
+
+    /// Whether this configuration satisfies the paper's standing assumption
+    /// `α ≤ min(β, γ)` (the tables only report such cells).
+    pub fn satisfies_power_assumption(&self) -> bool {
+        self.alpha <= self.beta.min(self.gamma) + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_ratio_splits_rest() {
+        let c = AttackConfig::with_ratio(
+            0.10,
+            (2, 1),
+            Setting::One,
+            IncentiveModel::CompliantProfitDriven,
+        );
+        assert!((c.beta - 0.6).abs() < 1e-12);
+        assert!((c.gamma - 0.3).abs() < 1e-12);
+        c.validate();
+    }
+
+    #[test]
+    fn power_assumption_detects_violations() {
+        let ok = AttackConfig::with_ratio(
+            0.25,
+            (1, 1),
+            Setting::One,
+            IncentiveModel::CompliantProfitDriven,
+        );
+        assert!(ok.satisfies_power_assumption());
+        let bad = AttackConfig::with_ratio(
+            0.25,
+            (4, 1),
+            Setting::One,
+            IncentiveModel::CompliantProfitDriven,
+        );
+        assert!(!bad.satisfies_power_assumption()); // gamma = 0.15 < alpha
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum to 1")]
+    fn validate_rejects_bad_sum() {
+        let c = AttackConfig {
+            alpha: 0.5,
+            beta: 0.1,
+            gamma: 0.1,
+            ad: 6,
+            ad_carol: 6,
+            gate_blocks: 144,
+            setting: Setting::One,
+            incentive: IncentiveModel::CompliantProfitDriven,
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn wait_only_for_non_profit() {
+        assert!(!IncentiveModel::CompliantProfitDriven.allows_wait());
+        assert!(!IncentiveModel::non_compliant_default().allows_wait());
+        assert!(IncentiveModel::NonProfitDriven.allows_wait());
+    }
+
+    #[test]
+    fn settings_display() {
+        assert_eq!(Setting::One.to_string(), "setting 1");
+        assert_eq!(Setting::Two.to_string(), "setting 2");
+    }
+}

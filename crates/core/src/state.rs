@@ -1,0 +1,140 @@
+//! The attacker's MDP state and action space (§4.1.2 of the paper).
+
+use std::fmt;
+
+/// A state of the attack MDP: the paper's 5-tuple `(l1, l2, a1, a2, r)`.
+///
+/// * `l1`, `l2` — lengths of Chain 1 and Chain 2 since the fork point;
+/// * `a1`, `a2` — how many of those blocks Alice mined;
+/// * `r` — blocks that still need to be mined on Bob's chain before his
+///   sticky gate closes. `r == 0` means phase 1 (both gates closed);
+///   `1 ..= 144` means phase 2 (Bob's gate open). Phase 3 (both gates open)
+///   is only a transient during state transition and never stored.
+///
+/// Role convention, following the paper: in phase 1 Chain 1 is Bob's chain
+/// and Chain 2 starts with Alice's block of size `EB_C` (Carol mines on it);
+/// in phase 2 the roles swap — Chain 1 is Carol's chain and Chain 2 starts
+/// with Alice's block of size just above `EB_C` (Bob, whose gate is open,
+/// mines on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttackState {
+    /// Length of Chain 1 since the fork (the chain of the miner whose view
+    /// rejects Alice's fork block).
+    pub l1: u8,
+    /// Length of Chain 2 since the fork (the chain containing Alice's fork
+    /// block). `0` iff there is no ongoing fork.
+    pub l2: u8,
+    /// Alice's blocks on Chain 1.
+    pub a1: u8,
+    /// Alice's blocks on Chain 2.
+    pub a2: u8,
+    /// Sticky-gate countdown: blocks remaining before Bob's gate closes.
+    pub r: u16,
+}
+
+impl AttackState {
+    /// The phase-1 base state `(0, 0, 0, 0, 0)`.
+    pub const BASE: AttackState = AttackState { l1: 0, l2: 0, a1: 0, a2: 0, r: 0 };
+
+    /// A base state (no ongoing fork) with the given gate countdown.
+    pub fn base(r: u16) -> Self {
+        AttackState { l1: 0, l2: 0, a1: 0, a2: 0, r }
+    }
+
+    /// Whether a fork is ongoing.
+    pub fn forked(&self) -> bool {
+        self.l2 > 0
+    }
+
+    /// Whether the system is in phase 2 (Bob's sticky gate open).
+    pub fn phase2(&self) -> bool {
+        self.r > 0
+    }
+}
+
+impl fmt::Display for AttackState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {}, {})", self.l1, self.l2, self.a1, self.a2, self.r)
+    }
+}
+
+/// Alice's actions. `Wait` exists only in the non-profit-driven model
+/// (§4.4): Alice stops mining and watches Bob and Carol orphan each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Mine on Chain 1. At the base state this means mining a compliant
+    /// block on the agreed chain.
+    OnChain1,
+    /// Mine on Chain 2. At the base state this means *trying to fork*: in
+    /// phase 1, mining a block of size exactly `EB_C` (valid for Carol,
+    /// excessive for Bob); in phase 2, a block just above `EB_C` (accepted
+    /// by gate-open Bob, rejected by Carol).
+    OnChain2,
+    /// Do not mine; the next block comes from Bob or Carol.
+    Wait,
+}
+
+impl Action {
+    /// Stable numeric label used inside [`bvc_mdp::Mdp`] action arms.
+    pub const fn label(self) -> usize {
+        match self {
+            Action::OnChain1 => 0,
+            Action::OnChain2 => 1,
+            Action::Wait => 2,
+        }
+    }
+
+    /// Inverse of [`Action::label`].
+    pub fn from_label(label: usize) -> Self {
+        match label {
+            0 => Action::OnChain1,
+            1 => Action::OnChain2,
+            2 => Action::Wait,
+            other => panic!("unknown action label {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::OnChain1 => "OnChain1",
+            Action::OnChain2 => "OnChain2",
+            Action::Wait => "Wait",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_state_is_unforked_phase1() {
+        assert!(!AttackState::BASE.forked());
+        assert!(!AttackState::BASE.phase2());
+        assert_eq!(AttackState::base(0), AttackState::BASE);
+    }
+
+    #[test]
+    fn phase2_base() {
+        let s = AttackState::base(144);
+        assert!(s.phase2());
+        assert!(!s.forked());
+    }
+
+    #[test]
+    fn action_label_roundtrip() {
+        for a in [Action::OnChain1, Action::OnChain2, Action::Wait] {
+            assert_eq!(Action::from_label(a.label()), a);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = AttackState { l1: 1, l2: 3, a1: 0, a2: 2, r: 17 };
+        assert_eq!(s.to_string(), "(1, 3, 0, 2, 17)");
+        assert_eq!(Action::OnChain2.to_string(), "OnChain2");
+    }
+}

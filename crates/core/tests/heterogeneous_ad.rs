@@ -1,0 +1,92 @@
+//! Tests for the heterogeneous-AD extension (§2.3 cites van Wirdum's
+//! discussion of miners choosing different ADs: the 2017 network had the
+//! BU majority at AD = 6 and BitClub Network at AD = 20).
+
+use bvc_bu::{AttackConfig, AttackModel, AttackState, IncentiveModel, Setting, SolveOptions};
+
+fn cfg(ad_bob: u8, ad_carol: u8, setting: Setting) -> AttackConfig {
+    let mut c = AttackConfig::with_ratio(0.10, (1, 1), setting, IncentiveModel::NonProfitDriven)
+        .with_ads(ad_bob, ad_carol);
+    // A short sticky gate keeps the setting-2 state space small; the
+    // qualitative comparisons are gate-length independent.
+    c.gate_blocks = 24;
+    c
+}
+
+/// Equal ADs reproduce the paper's model exactly (regression against the
+/// homogeneous path).
+#[test]
+fn equal_ads_match_homogeneous_model() {
+    let hetero = AttackModel::build(cfg(6, 6, Setting::One)).unwrap();
+    let homo = AttackModel::build(AttackConfig::with_ratio(
+        0.10,
+        (1, 1),
+        Setting::One,
+        IncentiveModel::NonProfitDriven,
+    ))
+    .unwrap();
+    assert_eq!(hetero.num_states(), homo.num_states());
+    let opts = SolveOptions::default();
+    let a = hetero.optimal_orphan_rate(&opts).unwrap().value;
+    let b = homo.optimal_orphan_rate(&opts).unwrap().value;
+    assert!((a - b).abs() < 1e-9);
+}
+
+/// In setting 1 only Bob's AD matters (phase-1 forks resolve at Bob's
+/// acceptance depth), so varying Carol's AD changes nothing.
+#[test]
+fn setting1_ignores_carols_ad() {
+    let opts = SolveOptions::default();
+    let base = AttackModel::build(cfg(6, 6, Setting::One))
+        .unwrap()
+        .optimal_orphan_rate(&opts)
+        .unwrap()
+        .value;
+    for ad_carol in [2, 12, 20] {
+        let v = AttackModel::build(cfg(6, ad_carol, Setting::One))
+            .unwrap()
+            .optimal_orphan_rate(&opts)
+            .unwrap()
+            .value;
+        assert!((v - base).abs() < 1e-6, "ad_carol={ad_carol}: {v} vs {base}");
+    }
+}
+
+/// In setting 2, a larger Carol AD lengthens phase-2 forks: the reachable
+/// state space grows and the attacker's orphan damage strictly increases.
+#[test]
+fn setting2_larger_carol_ad_amplifies_damage() {
+    let opts = SolveOptions::default();
+    let m6 = AttackModel::build(cfg(6, 6, Setting::Two)).unwrap();
+    let m12 = AttackModel::build(cfg(6, 12, Setting::Two)).unwrap();
+    assert!(m12.num_states() > m6.num_states());
+    // Phase-2 fork states now reach l2 = 11.
+    let deep = m12
+        .iter()
+        .any(|(s, _)| s.phase2() && s.forked() && s.l2 >= 8);
+    assert!(deep, "deep phase-2 forks must be reachable with ad_carol = 12");
+    let u3_6 = m6.optimal_orphan_rate(&opts).unwrap().value;
+    let u3_12 = m12.optimal_orphan_rate(&opts).unwrap().value;
+    assert!(
+        u3_12 > u3_6 + 1e-3,
+        "longer phase-2 forks must increase damage: {u3_12} vs {u3_6}"
+    );
+}
+
+/// State geometry still holds with heterogeneous ADs: phase-1 forks are
+/// bounded by Bob's AD, phase-2 forks by Carol's.
+#[test]
+fn heterogeneous_state_geometry() {
+    let m = AttackModel::build(cfg(4, 9, Setting::Two)).unwrap();
+    for (s, _) in m.iter() {
+        assert!(s.l1 <= s.l2, "{s}");
+        if s.forked() {
+            if s.phase2() {
+                assert!(s.l2 < 9, "phase-2 fork too long: {s}");
+            } else {
+                assert!(s.l2 < 4, "phase-1 fork too long: {s}");
+            }
+        }
+    }
+    assert!(m.id_of(&AttackState::BASE).is_some());
+}

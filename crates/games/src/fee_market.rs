@@ -1,0 +1,225 @@
+//! Rizun's fee-market model ("A Transaction Fee Market Exists Without a
+//! Block Size Limit"), which the paper cites in §2.3 as the economic basis
+//! for Assumption 2: *every miner has a maximum profitable block size
+//! (MPB)* determined by its mining cost and network capacity.
+//!
+//! A block of size `Q` takes `τ(Q) = z₀ + Q/C` to propagate (latency plus
+//! bandwidth); with exponential block arrivals of mean interval `T`, the
+//! probability that no competing block is found during propagation — the
+//! block's survival probability — is `exp(−τ(Q)/T)`. A miner collecting a
+//! base reward `R` and fees `f` per size unit therefore expects
+//!
+//! ```text
+//! profit(Q) = (R + f·Q) · exp(−(z₀ + Q/C)/T) − cost
+//! ```
+//!
+//! per found block. The revenue-optimal size has the closed form
+//! `Q* = C·T − R/f` (clamped at 0), and the **MPB** is the largest `Q`
+//! whose profit is still nonnegative — beyond it the orphan risk outweighs
+//! the extra fees. Faster miners (larger `C`) have larger `Q*` and MPB,
+//! which is exactly the heterogeneity the block size increasing game
+//! ([`crate::BlockSizeIncreasingGame`]) weaponizes.
+
+use crate::bsig::MinerGroup;
+
+/// Economic parameters of one miner for the fee-market model. Sizes are in
+/// MB and money in block-reward units; time is in expected block intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinerEconomics {
+    /// Base block reward `R` (1.0 = one block reward).
+    pub reward: f64,
+    /// Fees collected per MB of transactions, `f`.
+    pub fee_per_mb: f64,
+    /// Effective bandwidth `C·T`: MB the miner can propagate per block
+    /// interval.
+    pub bandwidth: f64,
+    /// Fixed propagation latency as a fraction of the block interval,
+    /// `z₀/T`.
+    pub latency: f64,
+    /// Operating cost per expected block found, in block rewards.
+    pub cost: f64,
+}
+
+impl MinerEconomics {
+    /// Probability that a block of size `q` MB is orphaned by a competing
+    /// block found during its propagation.
+    pub fn orphan_probability(&self, q: f64) -> f64 {
+        1.0 - (-(self.latency + q / self.bandwidth)).exp()
+    }
+
+    /// Expected profit of mining a block of size `q` MB (block rewards).
+    pub fn expected_profit(&self, q: f64) -> f64 {
+        (self.reward + self.fee_per_mb * q) * (1.0 - self.orphan_probability(q)) - self.cost
+    }
+
+    /// The revenue-optimal block size `Q* = C·T − R/f`, clamped at zero.
+    pub fn optimal_size(&self) -> f64 {
+        (self.bandwidth - self.reward / self.fee_per_mb).max(0.0)
+    }
+
+    /// The maximum profitable block size: the largest `q ≥ Q*` with
+    /// `expected_profit(q) ≥ 0`, found by bisection. Returns `None` when
+    /// the miner is unprofitable even at its optimum (it must leave the
+    /// business regardless of the block size), and `f64::INFINITY` cannot
+    /// occur because profit tends to `−cost < 0` for large `q` whenever
+    /// `cost > 0`.
+    ///
+    /// # Panics
+    /// Panics when `cost <= 0` (the MPB would be unbounded — every size is
+    /// forever profitable).
+    pub fn max_profitable_size(&self) -> Option<f64> {
+        assert!(self.cost > 0.0, "a zero-cost miner has no finite MPB");
+        let q_star = self.optimal_size();
+        if self.expected_profit(q_star) < 0.0 {
+            return None;
+        }
+        // Bracket: profit at q_star is >= 0; find hi with profit < 0.
+        let mut lo = q_star;
+        let mut hi = (q_star + 1.0) * 2.0;
+        while self.expected_profit(hi) >= 0.0 {
+            hi *= 2.0;
+            assert!(hi < 1e12, "profit failed to decay; check parameters");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.expected_profit(mid) >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+/// Derives the miner groups of a [`crate::BlockSizeIncreasingGame`] from
+/// per-miner economics: each miner's MPB becomes the group's `mpb`.
+/// Unprofitable miners (no MPB at any size) are dropped and the remaining
+/// powers renormalized; miners with numerically equal MPBs are merged.
+pub fn mpb_groups(miners: &[(MinerEconomics, f64)]) -> Vec<MinerGroup> {
+    let mut entries: Vec<(f64, f64)> = miners
+        .iter()
+        .filter_map(|(econ, power)| econ.max_profitable_size().map(|mpb| (mpb, *power)))
+        .collect();
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("MPBs are finite"));
+    // Merge groups with (nearly) identical MPBs.
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (mpb, power) in entries {
+        match merged.last_mut() {
+            Some((m, p)) if (*m - mpb).abs() < 1e-9 => *p += power,
+            _ => merged.push((mpb, power)),
+        }
+    }
+    let total: f64 = merged.iter().map(|(_, p)| p).sum();
+    assert!(total > 0.0, "no profitable miners remain");
+    merged
+        .into_iter()
+        .map(|(mpb, power)| MinerGroup { mpb, power: power / total })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsig::BlockSizeIncreasingGame;
+
+    fn econ(bandwidth: f64) -> MinerEconomics {
+        MinerEconomics {
+            reward: 1.0,
+            fee_per_mb: 0.05,
+            bandwidth,
+            latency: 0.01,
+            cost: 0.2,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_argmax() {
+        let e = econ(100.0);
+        let q_star = e.optimal_size();
+        assert!((q_star - (100.0 - 20.0)).abs() < 1e-9);
+        // Numeric sweep: no q beats q_star.
+        let best = (0..2000)
+            .map(|i| i as f64 * 0.1)
+            .map(|q| e.expected_profit(q))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(e.expected_profit(q_star) >= best - 1e-9);
+    }
+
+    #[test]
+    fn orphan_probability_increases_with_size() {
+        let e = econ(50.0);
+        assert!(e.orphan_probability(0.0) < e.orphan_probability(10.0));
+        assert!(e.orphan_probability(10.0) < e.orphan_probability(100.0));
+        assert!(e.orphan_probability(0.0) > 0.0, "latency alone orphans some blocks");
+    }
+
+    #[test]
+    fn mpb_exists_and_brackets_optimum() {
+        let e = econ(100.0);
+        let mpb = e.max_profitable_size().expect("profitable miner");
+        assert!(mpb > e.optimal_size());
+        assert!(e.expected_profit(mpb) >= -1e-6);
+        assert!(e.expected_profit(mpb + 1.0) < 0.0);
+    }
+
+    #[test]
+    fn faster_miners_have_larger_mpb() {
+        let slow = econ(30.0).max_profitable_size().unwrap();
+        let fast = econ(300.0).max_profitable_size().unwrap();
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn unprofitable_miner_has_no_mpb() {
+        let mut e = econ(50.0);
+        e.cost = 2.0; // more than the max possible revenue
+        assert_eq!(e.max_profitable_size(), None);
+    }
+
+    /// End-to-end: economics -> MPBs -> block size increasing game, both
+    /// outcomes. With a 50% fast miner, forcing the slow miner out cascades
+    /// (the medium miner cannot stop at the second round), so both weaker
+    /// miners are squeezed. With a 40/40 medium/fast split, the medium
+    /// miner rationally *protects* the slow one — voting yes would make it
+    /// the next victim — and nobody exits.
+    #[test]
+    fn economics_drive_forced_exit() {
+        // Cascade case: fast miner holds exactly half.
+        let groups = mpb_groups(&[
+            (econ(20.0), 0.2),
+            (econ(100.0), 0.3),
+            (econ(300.0), 0.5),
+        ]);
+        assert_eq!(groups.len(), 3);
+        let trace = BlockSizeIncreasingGame::new(groups).play();
+        assert_eq!(trace.terminal, 2, "slow and medium both squeezed out");
+
+        // Protection case: medium + slow jointly outweigh fast.
+        let groups = mpb_groups(&[
+            (econ(20.0), 0.2),
+            (econ(100.0), 0.4),
+            (econ(300.0), 0.4),
+        ]);
+        let trace = BlockSizeIncreasingGame::new(groups).play();
+        assert_eq!(trace.terminal, 0, "medium protects slow to avoid being next");
+    }
+
+    #[test]
+    fn mpb_groups_drop_unprofitable_and_renormalize() {
+        let mut broke = econ(50.0);
+        broke.cost = 2.0;
+        let groups = mpb_groups(&[(broke, 0.5), (econ(100.0), 0.25), (econ(300.0), 0.25)]);
+        assert_eq!(groups.len(), 2);
+        let total: f64 = groups.iter().map(|g| g.power).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite MPB")]
+    fn zero_cost_is_rejected() {
+        let mut e = econ(50.0);
+        e.cost = 0.0;
+        let _ = e.max_profitable_size();
+    }
+}

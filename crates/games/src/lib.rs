@@ -1,0 +1,39 @@
+//! # bvc-games — emergent-consensus games for Bitcoin Unlimited
+//!
+//! Game-theoretic models of §5 of Zhang & Preneel (CoNEXT 2017), answering
+//! *"when will emergent consensus emerge?"*:
+//!
+//! * [`EbChoosingGame`] (§5.1) — when any EB is equally profitable, the pure
+//!   Nash equilibria are exactly the unanimous profiles (Analytical Result
+//!   4): consensus *can* hold, but nothing prescribes which value.
+//! * [`BlockSizeIncreasingGame`] (§5.2) — when each miner group has a
+//!   maximum profitable block size, large miners rationally raise the block
+//!   size to force small miners out; the game terminates exactly at the
+//!   first **stable set** (Analytical Result 5, Figure 4).
+//!
+//! ## Example: Figure 4
+//!
+//! ```
+//! use bvc_games::{BlockSizeIncreasingGame, MinerGroup};
+//!
+//! let game = BlockSizeIncreasingGame::new(vec![
+//!     MinerGroup { mpb: 1.0, power: 0.1 },
+//!     MinerGroup { mpb: 2.0, power: 0.2 },
+//!     MinerGroup { mpb: 4.0, power: 0.3 },
+//!     MinerGroup { mpb: 8.0, power: 0.4 },
+//! ]);
+//! let trace = game.play();
+//! assert_eq!(trace.terminal, 1);          // group 1 is forced out...
+//! assert_eq!(trace.rounds.len(), 2);      // ...then groups 2 and 3 block.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsig;
+pub mod ebgame;
+pub mod fee_market;
+
+pub use bsig::{BlockSizeIncreasingGame, GameTrace, MinerGroup, Round};
+pub use ebgame::{EbChoosingGame, Profile};
+pub use fee_market::{mpb_groups, MinerEconomics};

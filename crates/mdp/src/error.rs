@@ -1,0 +1,152 @@
+//! Error types for model construction and solving.
+
+use std::fmt;
+
+/// Errors arising while building or validating an [`crate::Mdp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// A state has no available action.
+    NoActions {
+        /// Index of the offending state.
+        state: usize,
+    },
+    /// An action's outgoing transition probabilities do not sum to one.
+    BadProbabilitySum {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// The actual probability sum found.
+        sum: f64,
+    },
+    /// A transition carries a negative probability.
+    NegativeProbability {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// The offending probability value.
+        prob: f64,
+    },
+    /// A transition points at a state index outside the model.
+    DanglingTarget {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// The out-of-range target index.
+        target: usize,
+    },
+    /// A transition's reward vector has the wrong number of components.
+    RewardArity {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// Number of components found.
+        found: usize,
+        /// Number of components the model declares.
+        expected: usize,
+    },
+    /// The model has no states at all.
+    Empty,
+    /// A solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the solver that gave up.
+        solver: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual (solver-specific norm) at the last iteration.
+        residual: f64,
+    },
+    /// A policy vector does not match the model (wrong length or an
+    /// action index out of range for some state).
+    BadPolicy {
+        /// Index of the offending state (or the policy length mismatch
+        /// expressed as the model's state count).
+        state: usize,
+    },
+    /// A ratio objective is unbounded: some policy accrues numerator
+    /// reward at a positive rate while its denominator rate is zero.
+    UnboundedRatio {
+        /// The bracket value at which the solver gave up.
+        reached: f64,
+    },
+    /// An objective weight vector has the wrong number of components.
+    ObjectiveArity {
+        /// Number of components found.
+        found: usize,
+        /// Number of components the model declares.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::NoActions { state } => {
+                write!(f, "state {state} has no available actions")
+            }
+            MdpError::BadProbabilitySum { state, action, sum } => write!(
+                f,
+                "transition probabilities for state {state}, action {action} sum to {sum}, expected 1"
+            ),
+            MdpError::NegativeProbability { state, action, prob } => write!(
+                f,
+                "negative transition probability {prob} at state {state}, action {action}"
+            ),
+            MdpError::DanglingTarget { state, action, target } => write!(
+                f,
+                "state {state}, action {action} targets nonexistent state {target}"
+            ),
+            MdpError::RewardArity { state, action, found, expected } => write!(
+                f,
+                "reward vector at state {state}, action {action} has {found} components, expected {expected}"
+            ),
+            MdpError::Empty => write!(f, "model has no states"),
+            MdpError::NoConvergence { solver, iterations, residual } => write!(
+                f,
+                "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MdpError::BadPolicy { state } => {
+                write!(f, "policy is invalid at state {state}")
+            }
+            MdpError::UnboundedRatio { reached } => write!(
+                f,
+                "ratio objective appears unbounded (still positive at rho = {reached:.3e}); \
+                 some policy has positive numerator rate with zero denominator rate"
+            ),
+            MdpError::ObjectiveArity { found, expected } => write!(
+                f,
+                "objective weight vector has {found} components, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_state_and_action() {
+        let e = MdpError::BadProbabilitySum { state: 3, action: 1, sum: 0.5 };
+        let s = e.to_string();
+        assert!(s.contains("state 3"));
+        assert!(s.contains("action 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MdpError::Empty);
+    }
+
+    #[test]
+    fn no_convergence_displays_solver_name() {
+        let e = MdpError::NoConvergence { solver: "rvi", iterations: 10, residual: 1.0 };
+        assert!(e.to_string().contains("rvi"));
+    }
+}

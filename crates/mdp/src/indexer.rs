@@ -1,0 +1,202 @@
+//! State interning and frontier exploration.
+//!
+//! Domain models are most naturally written as a function from a typed state
+//! to its available actions and successor distributions. [`StateIndexer`]
+//! interns typed states into dense [`StateId`]s, and [`explore`] drives a
+//! breadth-first expansion from a set of start states, producing a fully
+//! built [`Mdp`].
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::error::MdpError;
+use crate::model::{Mdp, StateId, Transition};
+
+/// Bidirectional mapping between typed domain states and dense indices.
+#[derive(Debug, Clone)]
+pub struct StateIndexer<S> {
+    forward: HashMap<S, StateId>,
+    backward: Vec<S>,
+}
+
+impl<S: Clone + Eq + Hash> StateIndexer<S> {
+    /// Creates an empty indexer.
+    pub fn new() -> Self {
+        StateIndexer { forward: HashMap::new(), backward: Vec::new() }
+    }
+
+    /// Interns `state`, returning its index and whether it was new.
+    pub fn intern(&mut self, state: &S) -> (StateId, bool) {
+        if let Some(&id) = self.forward.get(state) {
+            return (id, false);
+        }
+        let id = self.backward.len();
+        self.forward.insert(state.clone(), id);
+        self.backward.push(state.clone());
+        (id, true)
+    }
+
+    /// Looks up the index of an already-interned state.
+    pub fn get(&self, state: &S) -> Option<StateId> {
+        self.forward.get(state).copied()
+    }
+
+    /// The typed state behind `id`.
+    pub fn state(&self, id: StateId) -> &S {
+        &self.backward[id]
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+
+    /// Iterates `(StateId, &S)` in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &S)> {
+        self.backward.iter().enumerate()
+    }
+}
+
+impl<S: Clone + Eq + Hash> Default for StateIndexer<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One action as produced by a domain expansion function: a domain action
+/// label and the successor distribution in terms of typed states.
+pub struct ActionSpec<S> {
+    /// Domain action label (carried into [`crate::ActionArm::label`]).
+    pub label: usize,
+    /// `(successor, probability, reward vector)` triples.
+    pub outcomes: Vec<(S, f64, Vec<f64>)>,
+}
+
+/// Result of [`explore`]: the built model plus the state interning used, so
+/// callers can map solver output back to typed states.
+#[derive(Debug)]
+pub struct Explored<S> {
+    /// The constructed (validated) model.
+    pub mdp: Mdp,
+    /// Mapping between typed states and the model's state indices.
+    pub indexer: StateIndexer<S>,
+}
+
+/// Builds an [`Mdp`] by breadth-first expansion from `start` states.
+///
+/// `expand` is called exactly once per reachable state and must return a
+/// non-empty action list whose outcome probabilities each sum to one. The
+/// result is validated before being returned.
+pub fn explore<S, F>(
+    reward_components: usize,
+    start: impl IntoIterator<Item = S>,
+    mut expand: F,
+) -> Result<Explored<S>, MdpError>
+where
+    S: Clone + Eq + Hash,
+    F: FnMut(&S) -> Vec<ActionSpec<S>>,
+{
+    let mut indexer = StateIndexer::new();
+    let mut queue = VecDeque::new();
+    let mut mdp = Mdp::new(reward_components);
+
+    for s in start {
+        let (id, fresh) = indexer.intern(&s);
+        if fresh {
+            let created = mdp.add_state();
+            debug_assert_eq!(created, id);
+            queue.push_back(id);
+        }
+    }
+
+    while let Some(id) = queue.pop_front() {
+        let state = indexer.state(id).clone();
+        for spec in expand(&state) {
+            let mut transitions = Vec::with_capacity(spec.outcomes.len());
+            for (succ, prob, reward) in spec.outcomes {
+                let (to, fresh) = indexer.intern(&succ);
+                if fresh {
+                    let created = mdp.add_state();
+                    debug_assert_eq!(created, to);
+                    queue.push_back(to);
+                }
+                transitions.push(Transition::new(to, prob, reward));
+            }
+            mdp.add_action(id, spec.label, transitions);
+        }
+    }
+
+    mdp.validate()?;
+    Ok(Explored { mdp, indexer })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ix = StateIndexer::new();
+        let (a, fresh_a) = ix.intern(&"x");
+        let (b, fresh_b) = ix.intern(&"x");
+        assert_eq!(a, b);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.get(&"x"), Some(a));
+        assert_eq!(ix.get(&"y"), None);
+    }
+
+    #[test]
+    fn iter_preserves_interning_order() {
+        let mut ix = StateIndexer::new();
+        ix.intern(&3u32);
+        ix.intern(&1u32);
+        ix.intern(&2u32);
+        let order: Vec<u32> = ix.iter().map(|(_, &s)| s).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    /// A random walk on {0, 1, 2} with an absorbing self-loop at 2.
+    fn walk_expand(s: &u32) -> Vec<ActionSpec<u32>> {
+        if *s >= 2 {
+            vec![ActionSpec { label: 0, outcomes: vec![(2, 1.0, vec![0.0])] }]
+        } else {
+            vec![ActionSpec {
+                label: 0,
+                outcomes: vec![(s + 1, 0.5, vec![1.0]), (0, 0.5, vec![0.0])],
+            }]
+        }
+    }
+
+    #[test]
+    fn explore_reaches_all_reachable_states() {
+        let explored = explore(1, [0u32], walk_expand).unwrap();
+        assert_eq!(explored.mdp.num_states(), 3);
+        assert_eq!(explored.indexer.get(&2), Some(2));
+        explored.mdp.validate().unwrap();
+    }
+
+    #[test]
+    fn explore_rejects_bad_distributions() {
+        let err = match explore(1, [0u32], |_s: &u32| {
+            vec![ActionSpec { label: 0, outcomes: vec![(0u32, 0.3, vec![0.0])] }]
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("expected validation failure"),
+        };
+        assert!(matches!(err, MdpError::BadProbabilitySum { .. }));
+    }
+
+    #[test]
+    fn explore_with_multiple_starts_dedups() {
+        let explored = explore(1, [0u32, 0u32, 1u32], walk_expand).unwrap();
+        assert_eq!(explored.mdp.num_states(), 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! Sparse finite Markov decision process representation.
+//!
+//! An [`Mdp`] stores, for every state, a list of available actions; each
+//! action owns a sparse list of [`Transition`]s. Every transition carries a
+//! *reward vector* rather than a scalar: the same model can then be solved
+//! under several objectives (e.g. the attacker's locked blocks, the other
+//! miners' locked blocks, orphan counts, and double-spend payouts are all
+//! separate components, combined into scalars only at solve time by an
+//! [`Objective`]).
+
+use crate::error::MdpError;
+
+/// Index of a state inside an [`Mdp`].
+pub type StateId = usize;
+
+/// Index of an action inside a state's action list.
+///
+/// Action indices are *local* to a state: action `0` of state `s` and action
+/// `0` of state `t` need not represent the same domain action. Domain crates
+/// attach meaning via [`ActionArm::label`].
+pub type ActionId = usize;
+
+/// A single probabilistic transition of one action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Destination state.
+    pub to: StateId,
+    /// Probability of this transition, in `[0, 1]`.
+    pub prob: f64,
+    /// Reward components accrued when this transition fires. Length must
+    /// equal [`Mdp::reward_components`].
+    pub reward: Vec<f64>,
+}
+
+impl Transition {
+    /// Convenience constructor.
+    pub fn new(to: StateId, prob: f64, reward: Vec<f64>) -> Self {
+        Transition { to, prob, reward }
+    }
+}
+
+/// One action available in one state: a label plus its outgoing transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionArm {
+    /// Domain-level action identifier (e.g. `OnChain1 = 0`). Labels are
+    /// carried through solving so a computed [`Policy`] can be
+    /// mapped back to domain actions.
+    pub label: usize,
+    /// Sparse outgoing transition distribution. Probabilities must sum to 1.
+    pub transitions: Vec<Transition>,
+}
+
+/// Sparse finite MDP with vector-valued rewards.
+#[derive(Debug, Clone)]
+pub struct Mdp {
+    reward_components: usize,
+    actions: Vec<Vec<ActionArm>>,
+}
+
+/// How tightly probability sums are checked during [`Mdp::validate`].
+pub const PROB_SUM_TOLERANCE: f64 = 1e-9;
+
+impl Mdp {
+    /// Creates an empty model whose transitions carry `reward_components`
+    /// reward components each.
+    pub fn new(reward_components: usize) -> Self {
+        Mdp { reward_components, actions: Vec::new() }
+    }
+
+    /// Number of reward components carried by every transition.
+    pub fn reward_components(&self) -> usize {
+        self.reward_components
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Total number of (state, action) pairs.
+    pub fn num_state_actions(&self) -> usize {
+        self.actions.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of stored transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.actions
+            .iter()
+            .flat_map(|arms| arms.iter().map(|a| a.transitions.len()))
+            .sum()
+    }
+
+    /// Appends a new state with no actions yet and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.actions.push(Vec::new());
+        self.actions.len() - 1
+    }
+
+    /// Ensures states `0..=id` exist.
+    pub fn ensure_state(&mut self, id: StateId) {
+        while self.actions.len() <= id {
+            self.actions.push(Vec::new());
+        }
+    }
+
+    /// Adds an action to `state` and returns its local [`ActionId`].
+    ///
+    /// # Panics
+    /// Panics if `state` does not exist. Use [`Mdp::ensure_state`] first when
+    /// building out of order.
+    pub fn add_action(
+        &mut self,
+        state: StateId,
+        label: usize,
+        transitions: Vec<Transition>,
+    ) -> ActionId {
+        self.actions[state].push(ActionArm { label, transitions });
+        self.actions[state].len() - 1
+    }
+
+    /// The actions available in `state`.
+    pub fn actions(&self, state: StateId) -> &[ActionArm] {
+        &self.actions[state]
+    }
+
+    /// Iterates over all states as `(StateId, &[ActionArm])`.
+    pub fn iter_states(&self) -> impl Iterator<Item = (StateId, &[ActionArm])> {
+        self.actions.iter().enumerate().map(|(i, a)| (i, a.as_slice()))
+    }
+
+    /// Checks structural well-formedness: at least one state, at least one
+    /// action per state, probabilities nonnegative and summing to one, all
+    /// targets in range, all reward vectors of the declared arity.
+    pub fn validate(&self) -> Result<(), MdpError> {
+        if self.actions.is_empty() {
+            return Err(MdpError::Empty);
+        }
+        for (s, arms) in self.actions.iter().enumerate() {
+            if arms.is_empty() {
+                return Err(MdpError::NoActions { state: s });
+            }
+            for (a, arm) in arms.iter().enumerate() {
+                let mut sum = 0.0;
+                for t in &arm.transitions {
+                    if t.prob < 0.0 {
+                        return Err(MdpError::NegativeProbability {
+                            state: s,
+                            action: a,
+                            prob: t.prob,
+                        });
+                    }
+                    if t.to >= self.actions.len() {
+                        return Err(MdpError::DanglingTarget {
+                            state: s,
+                            action: a,
+                            target: t.to,
+                        });
+                    }
+                    if t.reward.len() != self.reward_components {
+                        return Err(MdpError::RewardArity {
+                            state: s,
+                            action: a,
+                            found: t.reward.len(),
+                            expected: self.reward_components,
+                        });
+                    }
+                    sum += t.prob;
+                }
+                if (sum - 1.0).abs() > PROB_SUM_TOLERANCE {
+                    return Err(MdpError::BadProbabilitySum { state: s, action: a, sum });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that `policy` selects a valid action index for every state.
+    pub fn validate_policy(&self, policy: &Policy) -> Result<(), MdpError> {
+        if policy.choices.len() != self.num_states() {
+            return Err(MdpError::BadPolicy { state: self.num_states() });
+        }
+        for (s, &a) in policy.choices.iter().enumerate() {
+            if a >= self.actions[s].len() {
+                return Err(MdpError::BadPolicy { state: s });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic stationary policy: one chosen action index per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// `choices[s]` is the selected [`ActionId`] in state `s`.
+    pub choices: Vec<ActionId>,
+}
+
+impl Policy {
+    /// A policy choosing action `0` everywhere (every validated MDP has at
+    /// least one action per state, so this is always valid).
+    pub fn zeros(num_states: usize) -> Self {
+        Policy { choices: vec![0; num_states] }
+    }
+
+    /// The domain label of the action this policy picks in `state`.
+    pub fn label(&self, mdp: &Mdp, state: StateId) -> usize {
+        mdp.actions(state)[self.choices[state]].label
+    }
+}
+
+/// A linear objective over reward components: the scalar reward of a
+/// transition is the dot product of its reward vector with these weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// One weight per reward component.
+    pub weights: Vec<f64>,
+}
+
+impl Objective {
+    /// Creates an objective from component weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        Objective { weights }
+    }
+
+    /// An objective selecting a single component.
+    pub fn component(index: usize, arity: usize) -> Self {
+        let mut weights = vec![0.0; arity];
+        weights[index] = 1.0;
+        Objective { weights }
+    }
+
+    /// Checks the weight vector's arity against a model.
+    pub fn validate(&self, mdp: &Mdp) -> Result<(), MdpError> {
+        if self.weights.len() != mdp.reward_components() {
+            return Err(MdpError::ObjectiveArity {
+                found: self.weights.len(),
+                expected: mdp.reward_components(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Scalarizes one reward vector.
+    #[inline]
+    pub fn scalarize(&self, reward: &[f64]) -> f64 {
+        reward.iter().zip(&self.weights).map(|(r, w)| r * w).sum()
+    }
+
+    /// The linear combination `self - rho * other`, used by the ratio solver.
+    pub fn minus_scaled(&self, other: &Objective, rho: f64) -> Objective {
+        Objective {
+            weights: self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .map(|(n, d)| n - rho * d)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_chain() -> Mdp {
+        // 0 --a--> 1 (reward [1,0]); 1 --a--> 0 (reward [0,1]).
+        let mut m = Mdp::new(2);
+        let s0 = m.add_state();
+        let s1 = m.add_state();
+        m.add_action(s0, 7, vec![Transition::new(s1, 1.0, vec![1.0, 0.0])]);
+        m.add_action(s1, 8, vec![Transition::new(s0, 1.0, vec![0.0, 1.0])]);
+        m
+    }
+
+    #[test]
+    fn validates_well_formed_model() {
+        let m = two_state_chain();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_state_actions(), 2);
+        assert_eq!(m.num_transitions(), 2);
+        m.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn rejects_empty_model() {
+        let m = Mdp::new(1);
+        assert_eq!(m.validate(), Err(MdpError::Empty));
+    }
+
+    #[test]
+    fn rejects_state_without_actions() {
+        let mut m = Mdp::new(1);
+        m.add_state();
+        assert_eq!(m.validate(), Err(MdpError::NoActions { state: 0 }));
+    }
+
+    #[test]
+    fn rejects_bad_probability_sum() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 0.5, vec![0.0])]);
+        match m.validate() {
+            Err(MdpError::BadProbabilitySum { state: 0, action: 0, sum }) => {
+                assert!((sum - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected BadProbabilitySum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(
+            s,
+            0,
+            vec![
+                Transition::new(s, -0.5, vec![0.0]),
+                Transition::new(s, 1.5, vec![0.0]),
+            ],
+        );
+        assert!(matches!(m.validate(), Err(MdpError::NegativeProbability { .. })));
+    }
+
+    #[test]
+    fn rejects_dangling_target() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(99, 1.0, vec![0.0])]);
+        assert!(matches!(m.validate(), Err(MdpError::DanglingTarget { target: 99, .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_reward_arity() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0])]);
+        assert!(matches!(
+            m.validate(),
+            Err(MdpError::RewardArity { found: 1, expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn ensure_state_grows_model() {
+        let mut m = Mdp::new(1);
+        m.ensure_state(4);
+        assert_eq!(m.num_states(), 5);
+        m.ensure_state(2); // no shrink
+        assert_eq!(m.num_states(), 5);
+    }
+
+    #[test]
+    fn policy_validation() {
+        let m = two_state_chain();
+        let good = Policy::zeros(2);
+        m.validate_policy(&good).unwrap();
+        let short = Policy { choices: vec![0] };
+        assert!(m.validate_policy(&short).is_err());
+        let out_of_range = Policy { choices: vec![0, 3] };
+        assert_eq!(m.validate_policy(&out_of_range), Err(MdpError::BadPolicy { state: 1 }));
+    }
+
+    #[test]
+    fn policy_label_maps_to_domain_action() {
+        let m = two_state_chain();
+        let p = Policy::zeros(2);
+        assert_eq!(p.label(&m, 0), 7);
+        assert_eq!(p.label(&m, 1), 8);
+    }
+
+    #[test]
+    fn objective_scalarizes_dot_product() {
+        let o = Objective::new(vec![2.0, -1.0]);
+        assert_eq!(o.scalarize(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn objective_component_selects_one() {
+        let o = Objective::component(1, 3);
+        assert_eq!(o.weights, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn objective_arity_checked() {
+        let m = two_state_chain();
+        assert!(Objective::new(vec![1.0]).validate(&m).is_err());
+        assert!(Objective::new(vec![1.0, 0.0]).validate(&m).is_ok());
+    }
+
+    #[test]
+    fn minus_scaled_combines_linearly() {
+        let n = Objective::new(vec![1.0, 0.0]);
+        let d = Objective::new(vec![1.0, 1.0]);
+        let c = n.minus_scaled(&d, 0.25);
+        assert_eq!(c.weights, vec![0.75, -0.25]);
+    }
+}

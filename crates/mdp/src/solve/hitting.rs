@@ -1,0 +1,241 @@
+//! Hitting analysis of the Markov chain induced by a fixed policy:
+//! absorption probabilities and expected hitting times.
+//!
+//! Used by the attack analyses for questions the long-run averages do not
+//! answer — e.g. *"with what probability does a fork reach length k before
+//! resolving?"* or *"how many blocks pass, on average, before the attacker
+//! opens a victim's sticky gate?"*.
+
+use std::collections::HashSet;
+
+use crate::error::MdpError;
+use crate::model::{Mdp, Policy, StateId};
+
+/// Options for the hitting solvers.
+#[derive(Debug, Clone)]
+pub struct HittingOptions {
+    /// Gauss–Seidel sweeps stop when the max-norm update falls below this.
+    pub tolerance: f64,
+    /// Sweep budget.
+    pub max_sweeps: usize,
+}
+
+impl Default for HittingOptions {
+    fn default() -> Self {
+        HittingOptions { tolerance: 1e-12, max_sweeps: 1_000_000 }
+    }
+}
+
+/// For every state, the probability that the chain induced by `policy`
+/// reaches a state in `targets` before reaching one in `avoid`.
+///
+/// States in `targets` get probability 1, states in `avoid` get 0; from
+/// anywhere else the standard first-step equations are solved by
+/// Gauss–Seidel sweeps. States that can reach neither set keep value 0
+/// (they never hit the target).
+pub fn hitting_probability(
+    mdp: &Mdp,
+    policy: &Policy,
+    targets: &HashSet<StateId>,
+    avoid: &HashSet<StateId>,
+    opts: &HittingOptions,
+) -> Result<Vec<f64>, MdpError> {
+    mdp.validate()?;
+    mdp.validate_policy(policy)?;
+    let n = mdp.num_states();
+    let mut p = vec![0.0f64; n];
+    for &t in targets {
+        p[t] = 1.0;
+    }
+    for sweep in 0..opts.max_sweeps {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            if targets.contains(&s) || avoid.contains(&s) {
+                continue;
+            }
+            let arm = &mdp.actions(s)[policy.choices[s]];
+            let x: f64 = arm.transitions.iter().map(|t| t.prob * p[t.to]).sum();
+            delta = delta.max((x - p[s]).abs());
+            p[s] = x;
+        }
+        if delta < opts.tolerance {
+            return Ok(p);
+        }
+        if sweep + 1 == opts.max_sweeps {
+            break;
+        }
+    }
+    Err(MdpError::NoConvergence {
+        solver: "hitting_probability",
+        iterations: opts.max_sweeps,
+        residual: f64::NAN,
+    })
+}
+
+/// For every state, the expected number of steps until the chain induced
+/// by `policy` first reaches a state in `targets`.
+///
+/// # Panics
+/// Panics if some state cannot reach `targets` at all (its expected time
+/// is infinite); callers should restrict to models where the target set is
+/// reachable from everywhere, which holds for the recurrent base states of
+/// the mining models.
+pub fn expected_hitting_time(
+    mdp: &Mdp,
+    policy: &Policy,
+    targets: &HashSet<StateId>,
+    opts: &HittingOptions,
+) -> Result<Vec<f64>, MdpError> {
+    mdp.validate()?;
+    mdp.validate_policy(policy)?;
+    let n = mdp.num_states();
+
+    // Reachability pre-check: every state must reach the target set.
+    let mut reaches = vec![false; n];
+    for &t in targets {
+        reaches[t] = true;
+    }
+    loop {
+        let mut changed = false;
+        for s in 0..n {
+            if reaches[s] {
+                continue;
+            }
+            let arm = &mdp.actions(s)[policy.choices[s]];
+            if arm.transitions.iter().any(|t| reaches[t.to] && t.prob > 0.0) {
+                reaches[s] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assert!(
+        reaches.iter().all(|&r| r),
+        "expected_hitting_time requires the target set to be reachable from every state"
+    );
+
+    let mut h = vec![0.0f64; n];
+    for sweep in 0..opts.max_sweeps {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            if targets.contains(&s) {
+                continue;
+            }
+            let arm = &mdp.actions(s)[policy.choices[s]];
+            let x: f64 =
+                1.0 + arm.transitions.iter().map(|t| t.prob * h[t.to]).sum::<f64>();
+            delta = delta.max((x - h[s]).abs());
+            h[s] = x;
+        }
+        if delta < opts.tolerance {
+            return Ok(h);
+        }
+        if sweep + 1 == opts.max_sweeps {
+            break;
+        }
+    }
+    Err(MdpError::NoConvergence {
+        solver: "expected_hitting_time",
+        iterations: opts.max_sweeps,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Transition;
+
+    /// Gambler's ruin on {0..=N} with fair coin: P(hit N before 0 | start
+    /// i) = i/N; expected absorption time = i (N − i).
+    fn gamblers_ruin(n: usize, p_up: f64) -> Mdp {
+        let mut m = Mdp::new(1);
+        for _ in 0..=n {
+            m.add_state();
+        }
+        for s in 0..=n {
+            if s == 0 || s == n {
+                m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0])]);
+            } else {
+                m.add_action(
+                    s,
+                    0,
+                    vec![
+                        Transition::new(s + 1, p_up, vec![0.0]),
+                        Transition::new(s - 1, 1.0 - p_up, vec![0.0]),
+                    ],
+                );
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fair_gamblers_ruin_probabilities() {
+        let n = 10;
+        let m = gamblers_ruin(n, 0.5);
+        let policy = Policy::zeros(n + 1);
+        let targets: HashSet<_> = [n].into_iter().collect();
+        let avoid: HashSet<_> = [0].into_iter().collect();
+        let p =
+            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default())
+                .unwrap();
+        for i in 0..=n {
+            let expected = i as f64 / n as f64;
+            assert!((p[i] - expected).abs() < 1e-9, "i={i}: {} vs {expected}", p[i]);
+        }
+    }
+
+    #[test]
+    fn biased_gamblers_ruin_matches_closed_form() {
+        let n = 8;
+        let p_up = 0.6;
+        let m = gamblers_ruin(n, p_up);
+        let policy = Policy::zeros(n + 1);
+        let targets: HashSet<_> = [n].into_iter().collect();
+        let avoid: HashSet<_> = [0].into_iter().collect();
+        let p =
+            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default())
+                .unwrap();
+        let r = (1.0 - p_up) / p_up;
+        for i in 1..n {
+            let expected = (1.0 - r.powi(i as i32)) / (1.0 - r.powi(n as i32));
+            assert!((p[i] - expected).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn fair_absorption_times() {
+        let n = 10;
+        let m = gamblers_ruin(n, 0.5);
+        let policy = Policy::zeros(n + 1);
+        // Expected time to hit {0, N} from i is i (N - i).
+        let targets: HashSet<_> = [0, n].into_iter().collect();
+        let h = expected_hitting_time(&m, &policy, &targets, &HittingOptions::default())
+            .unwrap();
+        for i in 0..=n {
+            let expected = (i * (n - i)) as f64;
+            assert!((h[i] - expected).abs() < 1e-6, "i={i}: {} vs {expected}", h[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable from every state")]
+    fn unreachable_target_panics() {
+        // Two disconnected self-loops.
+        let mut m = Mdp::new(1);
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(a, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
+        m.add_action(b, 0, vec![Transition::new(b, 1.0, vec![0.0])]);
+        let targets: HashSet<_> = [b].into_iter().collect();
+        let _ = expected_hitting_time(
+            &m,
+            &Policy::zeros(2),
+            &targets,
+            &HittingOptions::default(),
+        );
+    }
+}

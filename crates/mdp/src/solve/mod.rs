@@ -1,0 +1,21 @@
+//! Solvers: discounted (value/policy iteration), average-reward (relative
+//! value iteration), ratio objectives (bisection over transformed rewards),
+//! and fixed-policy evaluation.
+
+pub mod avg_pi;
+pub mod eval;
+pub mod hitting;
+pub mod policy_iteration;
+pub mod ratio;
+pub mod rvi;
+pub mod simulate;
+pub mod value_iteration;
+
+pub use avg_pi::{average_reward_policy_iteration, AvgPiOptions, AvgPiSolution};
+pub use eval::{evaluate_policy, EvalOptions, PolicyEvaluation};
+pub use hitting::{expected_hitting_time, hitting_probability, HittingOptions};
+pub use policy_iteration::{policy_iteration, PiOptions, PiSolution};
+pub use ratio::{maximize_ratio, RatioOptions, RatioSolution};
+pub use rvi::{relative_value_iteration, RviOptions, RviSolution};
+pub use simulate::{sample_path, PathSample, XorShift64};
+pub use value_iteration::{value_iteration, ViOptions, ViSolution};

@@ -1,0 +1,209 @@
+//! Ratio-objective solving: maximize `E[N] / E[D]` over stationary policies.
+//!
+//! The paper's relative-revenue objective (Eq. 1) and orphan-rate objective
+//! (Eq. 3) are ratios of long-run accumulation rates, which plain dynamic
+//! programming cannot maximize directly. Following Sapirshtein et al.
+//! ("Optimal Selfish Mining Strategies in Bitcoin"), we solve a family of
+//! standard average-reward MDPs with the transformed scalar reward
+//! `w_rho = N - rho * D` and search for the critical `rho*`.
+//!
+//! Let `g(rho)` be the optimal gain under `w_rho`. Each policy contributes a
+//! line `avg(N) - rho * avg(D)`, so `g` is convex, piecewise linear and
+//! nonincreasing (given `avg(D) >= 0` for every policy). If every policy with
+//! `avg(N) > 0` also has `avg(D) > 0` (true for all models in this crate's
+//! dependents: an attacker block must end up either locked or orphaned), then
+//!
+//! * for `rho < rho*`, `g(rho) > 0`;
+//! * for `rho >= rho*`, `g(rho) <= 0` — exactly `0` when null policies
+//!   (with `avg(N) = avg(D) = 0`) exist, e.g. a strategy that never mines.
+//!
+//! `rho*` — the optimal ratio — is therefore the left edge of the set
+//! `{rho : g(rho) <= eps}`, found by bisection.
+
+use crate::error::MdpError;
+use crate::model::{Mdp, Objective, Policy};
+use crate::solve::rvi::{relative_value_iteration, RviOptions};
+
+/// Options for [`maximize_ratio`].
+#[derive(Debug, Clone)]
+pub struct RatioOptions {
+    /// Bisection stops when the bracketing interval is narrower than this.
+    /// The paper's stated precision is `1e-4`; we default one decade tighter.
+    pub tolerance: f64,
+    /// Inner average-reward solver options. Warm starts are managed
+    /// internally across bisection steps; any user-provided warm start seeds
+    /// only the first step.
+    pub rvi: RviOptions,
+    /// Initial upper bound for the ratio. Doubled until `g(hi) <= 0` holds,
+    /// so this is a hint, not a hard cap.
+    pub initial_hi: f64,
+}
+
+impl Default for RatioOptions {
+    fn default() -> Self {
+        RatioOptions { tolerance: 1e-5, rvi: RviOptions::default(), initial_hi: 1.0 }
+    }
+}
+
+/// Result of [`maximize_ratio`].
+#[derive(Debug, Clone)]
+pub struct RatioSolution {
+    /// The maximal ratio `E[N]/E[D]` (within tolerance).
+    pub value: f64,
+    /// A policy attaining the ratio: the optimal policy of the transformed
+    /// MDP at the lower bracket (where the gain is still positive), i.e. a
+    /// policy whose own ratio is within tolerance of optimal.
+    pub policy: Policy,
+    /// Number of inner average-reward solves performed.
+    pub inner_solves: usize,
+}
+
+/// Maximizes `E[N]/E[D]` where `N` and `D` are linear functionals of the
+/// reward components (`numerator` and `denominator` weights).
+///
+/// Requirements (asserted only in documentation; violations surface as
+/// nonsensical results): both functionals must be nonnegative along every
+/// transition actually taken, and every policy with positive `N`-rate must
+/// have positive `D`-rate.
+pub fn maximize_ratio(
+    mdp: &Mdp,
+    numerator: &Objective,
+    denominator: &Objective,
+    opts: &RatioOptions,
+) -> Result<RatioSolution, MdpError> {
+    mdp.validate()?;
+    numerator.validate(mdp)?;
+    denominator.validate(mdp)?;
+
+    // The inner gain must be resolved finer than the bisection step times the
+    // denominator scale; one decade finer than the outer tolerance works for
+    // the unit-rate denominators used throughout this project.
+    let eps = opts.tolerance * 0.1;
+    let mut inner_opts = opts.rvi.clone();
+    let mut inner_solves = 0usize;
+    let mut warm: Option<Vec<f64>> = inner_opts.warm_start.take();
+
+    let solve_at = |rho: f64, warm: &mut Option<Vec<f64>>, solves: &mut usize| {
+        let w = numerator.minus_scaled(denominator, rho);
+        let mut o = inner_opts.clone();
+        o.warm_start = warm.clone();
+        let sol = relative_value_iteration(mdp, &w, &o)?;
+        *warm = Some(sol.bias.clone());
+        *solves += 1;
+        Ok::<_, MdpError>(sol)
+    };
+
+    // Establish the bracket [lo, hi] with g(lo) > eps (if any) and
+    // g(hi) <= eps.
+    let mut lo = 0.0f64;
+    let sol0 = solve_at(0.0, &mut warm, &mut inner_solves)?;
+    if sol0.gain <= eps {
+        // Even at rho = 0 the best achievable N-rate is ~0: the ratio is 0.
+        return Ok(RatioSolution { value: 0.0, policy: sol0.policy, inner_solves });
+    }
+    let mut lo_policy = sol0.policy;
+
+    let mut hi = opts.initial_hi.max(opts.tolerance);
+    loop {
+        let sol = solve_at(hi, &mut warm, &mut inner_solves)?;
+        if sol.gain <= eps {
+            break;
+        }
+        lo = hi;
+        lo_policy = sol.policy;
+        hi *= 2.0;
+        if hi >= 1e12 {
+            return Err(MdpError::UnboundedRatio { reached: hi });
+        }
+    }
+
+    while hi - lo > opts.tolerance {
+        let mid = 0.5 * (lo + hi);
+        let sol = solve_at(mid, &mut warm, &mut inner_solves)?;
+        if sol.gain > eps {
+            lo = mid;
+            lo_policy = sol.policy;
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(RatioSolution { value: 0.5 * (lo + hi), policy: lo_policy, inner_solves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Transition;
+
+    /// Two self-loop actions with (N, D) rates (1, 2) and (3, 10): ratios
+    /// 0.5 and 0.3 — the solver must prefer the smaller-N, larger-ratio arm.
+    #[test]
+    fn picks_larger_ratio_not_larger_numerator() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 2.0])]);
+        m.add_action(s, 1, vec![Transition::new(s, 1.0, vec![3.0, 10.0])]);
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
+        assert!((sol.value - 0.5).abs() < 1e-4, "value {}", sol.value);
+        assert_eq!(sol.policy.choices[s], 0);
+    }
+
+    /// With a null action (N = D = 0) present, g(rho) plateaus at zero; the
+    /// bisection must still locate the active arm's ratio.
+    #[test]
+    fn null_policy_plateau_is_handled() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0, 0.0])]);
+        m.add_action(s, 1, vec![Transition::new(s, 1.0, vec![0.7, 1.0])]);
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
+        assert!((sol.value - 0.7).abs() < 1e-4, "value {}", sol.value);
+        assert_eq!(sol.policy.choices[s], 1);
+    }
+
+    /// All-zero numerator: ratio is zero, and the solver exits early.
+    #[test]
+    fn zero_numerator_returns_zero() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0, 1.0])]);
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
+        assert_eq!(sol.value, 0.0);
+        assert_eq!(sol.inner_solves, 1);
+    }
+
+    /// Ratio larger than the default initial bracket: the doubling phase
+    /// must extend the bracket.
+    #[test]
+    fn bracket_expands_beyond_initial_hi() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![5.0, 1.0])]);
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
+        assert!((sol.value - 5.0).abs() < 1e-4, "value {}", sol.value);
+    }
+
+    /// A stochastic example: action loops through a two-step cycle earning
+    /// N on one leg and D on both; ratio = 1/2.
+    #[test]
+    fn cycle_ratio() {
+        let mut m = Mdp::new(2);
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![1.0, 1.0])]);
+        m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![0.0, 1.0])]);
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
+        assert!((sol.value - 0.5).abs() < 1e-4, "value {}", sol.value);
+    }
+}

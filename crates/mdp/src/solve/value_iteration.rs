@@ -1,0 +1,158 @@
+//! Discounted value iteration.
+//!
+//! Included for completeness, testing, and ablation benchmarks; the paper's
+//! objectives are undiscounted (see [`crate::solve::rvi`] and
+//! [`crate::solve::ratio`]).
+
+use crate::error::MdpError;
+use crate::model::{Mdp, Objective, Policy};
+
+/// Options for [`value_iteration`].
+#[derive(Debug, Clone)]
+pub struct ViOptions {
+    /// Discount factor in `(0, 1)`.
+    pub discount: f64,
+    /// Stop when the max-norm change of the value vector falls below this.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for ViOptions {
+    fn default() -> Self {
+        ViOptions { discount: 0.99, tolerance: 1e-9, max_iterations: 100_000 }
+    }
+}
+
+/// Result of [`value_iteration`].
+#[derive(Debug, Clone)]
+pub struct ViSolution {
+    /// Optimal discounted value per state.
+    pub values: Vec<f64>,
+    /// A greedy optimal policy.
+    pub policy: Policy,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Solves `max E[Σ γ^t r_t]` for every start state.
+pub fn value_iteration(
+    mdp: &Mdp,
+    objective: &Objective,
+    opts: &ViOptions,
+) -> Result<ViSolution, MdpError> {
+    mdp.validate()?;
+    objective.validate(mdp)?;
+    assert!(
+        opts.discount > 0.0 && opts.discount < 1.0,
+        "discount must be in (0,1), got {}",
+        opts.discount
+    );
+
+    let n = mdp.num_states();
+    let mut v = vec![0.0f64; n];
+    let mut v_next = vec![0.0f64; n];
+    let mut policy = Policy::zeros(n);
+
+    for iter in 0..opts.max_iterations {
+        let mut delta = 0.0f64;
+        for s in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_a = 0;
+            for (a, arm) in mdp.actions(s).iter().enumerate() {
+                let mut q = 0.0;
+                for t in &arm.transitions {
+                    q += t.prob * (objective.scalarize(&t.reward) + opts.discount * v[t.to]);
+                }
+                if q > best {
+                    best = q;
+                    best_a = a;
+                }
+            }
+            v_next[s] = best;
+            policy.choices[s] = best_a;
+            delta = delta.max((best - v[s]).abs());
+        }
+        std::mem::swap(&mut v, &mut v_next);
+        if delta < opts.tolerance {
+            return Ok(ViSolution { values: v, policy, iterations: iter + 1 });
+        }
+    }
+    Err(MdpError::NoConvergence {
+        solver: "value_iteration",
+        iterations: opts.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Transition;
+
+    /// Single state, two actions: reward 1 or reward 2. Optimal value is
+    /// 2 / (1 - gamma).
+    #[test]
+    fn picks_better_self_loop() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 10, vec![Transition::new(s, 1.0, vec![1.0])]);
+        m.add_action(s, 20, vec![Transition::new(s, 1.0, vec![2.0])]);
+        let opts = ViOptions { discount: 0.9, tolerance: 1e-12, ..Default::default() };
+        let sol = value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap();
+        assert_eq!(sol.policy.label(&m, s), 20);
+        assert!((sol.values[s] - 20.0).abs() < 1e-6, "value {}", sol.values[s]);
+    }
+
+    /// Deterministic two-step corridor: value of the start discounts the
+    /// terminal reward once.
+    #[test]
+    fn discounts_future_rewards() {
+        let mut m = Mdp::new(1);
+        let s0 = m.add_state();
+        let s1 = m.add_state();
+        let sink = m.add_state();
+        m.add_action(s0, 0, vec![Transition::new(s1, 1.0, vec![0.0])]);
+        m.add_action(s1, 0, vec![Transition::new(sink, 1.0, vec![1.0])]);
+        m.add_action(sink, 0, vec![Transition::new(sink, 1.0, vec![0.0])]);
+        let opts = ViOptions { discount: 0.5, tolerance: 1e-12, ..Default::default() };
+        let sol = value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap();
+        assert!((sol.values[s1] - 1.0).abs() < 1e-9);
+        assert!((sol.values[s0] - 0.5).abs() < 1e-9);
+        assert_eq!(sol.values[sink], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount must be in (0,1)")]
+    fn rejects_bad_discount() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0])]);
+        let opts = ViOptions { discount: 1.0, ..Default::default() };
+        let _ = value_iteration(&m, &Objective::new(vec![1.0]), &opts);
+    }
+
+    #[test]
+    fn stochastic_transition_averages() {
+        // One action: 50/50 to two absorbing sinks with rewards 0 and 4 on
+        // entry; start value = 0.5 * 4 = 2 (undiscounted entry reward).
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(
+            s,
+            0,
+            vec![Transition::new(a, 0.5, vec![0.0]), Transition::new(b, 0.5, vec![4.0])],
+        );
+        m.add_action(a, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
+        m.add_action(b, 0, vec![Transition::new(b, 1.0, vec![0.0])]);
+        let sol = value_iteration(
+            &m,
+            &Objective::new(vec![1.0]),
+            &ViOptions { discount: 0.9, tolerance: 1e-12, ..Default::default() },
+        )
+        .unwrap();
+        assert!((sol.values[s] - 2.0).abs() < 1e-9);
+    }
+}

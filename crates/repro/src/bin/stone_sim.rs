@@ -1,0 +1,81 @@
+//! Regenerates the §2.3 comparison with Andrew Stone's "Emergent Consensus
+//! Simulations": forks are rare when every miner's block size is *static*,
+//! but frequent when an attacker sizes blocks adaptively — the paper's
+//! rebuttal of Stone's conclusion.
+//!
+//! Three Monte Carlo scenarios on the full network simulator (real BU
+//! views, sticky gates enabled):
+//!
+//! 1. all miners honest with `MG = EB` — no forks at zero delay;
+//! 2. all miners honest with heterogeneous EBs but static 1 MB blocks
+//!    (Stone's setting) — still no forks;
+//! 3. a 10% attacker adaptively injecting `EB_C`-sized blocks
+//!    (the Cryptoconomy splitter) — persistent forking.
+//!
+//! Run: `cargo run --release -p bvc-repro --bin stone_sim`
+
+use bvc_chain::{BuRizunRule, ByteSize, MinerId};
+use bvc_sim::{DelayModel, HonestStrategy, MinerSpec, Simulation, SplitterStrategy};
+
+const BLOCKS: usize = 20_000;
+
+fn honest(power: f64, eb: ByteSize, mg: ByteSize) -> MinerSpec<BuRizunRule> {
+    MinerSpec { power, rule: BuRizunRule::new(eb, 6), strategy: Box::new(HonestStrategy { mg }) }
+}
+
+fn run(label: &str, miners: Vec<MinerSpec<BuRizunRule>>, seed: u64) {
+    let n = miners.len();
+    let mut sim = Simulation::new(miners, DelayModel::Zero, seed);
+    let report = sim.run(BLOCKS);
+    let reorgs: usize = (0..n).map(|i| report.reorg_count(i)).sum();
+    let max_depth: u64 = (0..n).map(|i| report.max_reorg_depth(i)).max().unwrap_or(0);
+    let on_chain: usize = report.chain_blocks[n - 1].values().sum();
+    let attacker_share = report.chain_share(n - 1, MinerId(0));
+    println!("{label}");
+    println!(
+        "  blocks mined {}, on final chain {}, orphan rate {:.2}%",
+        report.blocks_mined,
+        on_chain,
+        100.0 * (report.blocks_mined - on_chain) as f64 / report.blocks_mined as f64
+    );
+    println!(
+        "  reorg events {reorgs} ({:.2} per 1000 blocks), deepest reorg {max_depth}",
+        1000.0 * reorgs as f64 / report.blocks_mined as f64
+    );
+    println!("  miner 0's share of the final chain: {:.3}", attacker_share);
+    println!();
+}
+
+fn main() {
+    let mb1 = ByteSize::mb(1);
+    let eb_c = ByteSize::mb(16);
+    println!("Stone-style fork-frequency simulations ({BLOCKS} blocks each, zero delay)");
+    println!();
+
+    run(
+        "scenario 1: homogeneous EB = 1 MB, static 1 MB blocks",
+        vec![honest(0.1, mb1, mb1), honest(0.45, mb1, mb1), honest(0.45, mb1, mb1)],
+        101,
+    );
+
+    run(
+        "scenario 2 (Stone): heterogeneous EBs (1 MB / 16 MB), static 1 MB blocks",
+        vec![honest(0.1, mb1, mb1), honest(0.45, mb1, mb1), honest(0.45, eb_c, mb1)],
+        202,
+    );
+
+    let attacker = MinerSpec {
+        power: 0.1,
+        rule: BuRizunRule::new(eb_c, 6),
+        strategy: Box::new(SplitterStrategy::against(eb_c, mb1, 6, mb1)),
+    };
+    run(
+        "scenario 3 (paper): 10% attacker with adaptive block sizes",
+        vec![attacker, honest(0.45, mb1, mb1), honest(0.45, eb_c, mb1)],
+        303,
+    );
+
+    println!("conclusion: static block sizes (Stone's model) produce no forks even with");
+    println!("heterogeneous EBs; an adaptive attacker forks the network persistently —");
+    println!("matching the paper's critique (§2.3) of the emergent-consensus simulations.");
+}

@@ -1,0 +1,114 @@
+//! Regenerates **Table 2**: Alice's maximum expected relative revenue under
+//! the compliant and profit-driven incentive model (Eq. 1), settings 1 and
+//! 2, compared with the published values.
+//!
+//! Run: `cargo run --release -p bvc-repro --bin table2`
+
+use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+use bvc_repro::{parallel_map, render_grid, Cell};
+
+/// The published Table 2 (setting 1): rows are β:γ ratios, columns are α in
+/// {10, 15, 20, 25}%. `None` marks cells the paper omits (they violate
+/// α ≤ min(β, γ)); cells the paper states satisfy `max u1 = α` are filled
+/// with α.
+const PAPER_SETTING1: &[((u32, u32), [Option<f64>; 4])] = &[
+    ((3, 2), [Some(0.10), Some(0.15), Some(0.20), Some(0.25)]),
+    ((1, 1), [Some(0.10), Some(0.15), Some(0.20), Some(0.2624)]),
+    ((2, 3), [Some(0.10), Some(0.1505), Some(0.2115), Some(0.2739)]),
+    ((1, 2), [Some(0.10), Some(0.1562), Some(0.2156), Some(0.2756)]),
+    ((1, 3), [Some(0.1026), Some(0.1587), Some(0.2158), None]),
+    ((1, 4), [Some(0.1034), Some(0.1584), None, None]),
+];
+
+/// The published Table 2 (setting 2) only prints the α = 25% column.
+const PAPER_SETTING2: &[((u32, u32), f64)] =
+    &[((3, 2), 0.2529), ((1, 1), 0.2624), ((2, 3), 0.2529), ((1, 2), 0.25)];
+
+const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
+
+fn solve(alpha: f64, ratio: (u32, u32), setting: Setting) -> f64 {
+    let cfg = AttackConfig::with_ratio(
+        alpha,
+        ratio,
+        setting,
+        IncentiveModel::CompliantProfitDriven,
+    );
+    let model = AttackModel::build(cfg).expect("model builds");
+    model
+        .optimal_relative_revenue(&SolveOptions::default())
+        .expect("solver converges")
+        .value
+}
+
+fn main() {
+    // Setting 1: sweep all printed cells in parallel.
+    let mut jobs = Vec::new();
+    for (ratio, row) in PAPER_SETTING1 {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.is_some() {
+                jobs.push((*ratio, ALPHAS[i]));
+            }
+        }
+    }
+    let values = parallel_map(jobs.clone(), |&(ratio, alpha)| solve(alpha, ratio, Setting::One));
+    let lookup = |ratio: (u32, u32), alpha: f64| {
+        jobs.iter()
+            .position(|&(r, a)| r == ratio && (a - alpha).abs() < 1e-12)
+            .map(|i| values[i])
+    };
+
+    let row_labels: Vec<String> =
+        PAPER_SETTING1.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
+    let col_labels: Vec<String> =
+        ALPHAS.iter().map(|a| format!("a={:.0}%", a * 100.0)).collect();
+    let cells: Vec<Vec<Option<Cell>>> = PAPER_SETTING1
+        .iter()
+        .map(|(ratio, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(i, paper)| {
+                    paper.map(|p| Cell {
+                        paper: Some(p),
+                        ours: lookup(*ratio, ALPHAS[i]).expect("computed"),
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    print!(
+        "{}",
+        render_grid(
+            "Table 2 — max relative revenue u1, setting 1 (ours vs paper)",
+            &row_labels,
+            &col_labels,
+            &cells,
+            4,
+        )
+    );
+
+    // Setting 2, α = 25% column.
+    println!();
+    let jobs2: Vec<(u32, u32)> = PAPER_SETTING2.iter().map(|(r, _)| *r).collect();
+    let vals2 = parallel_map(jobs2, |&ratio| solve(0.25, ratio, Setting::Two));
+    let cells2: Vec<Vec<Option<Cell>>> = PAPER_SETTING2
+        .iter()
+        .zip(&vals2)
+        .map(|((_, paper), &ours)| vec![Some(Cell { paper: Some(*paper), ours })])
+        .collect();
+    let rows2: Vec<String> =
+        PAPER_SETTING2.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
+    print!(
+        "{}",
+        render_grid(
+            "Table 2 — setting 2, a = 25%",
+            &rows2,
+            &["a=25%".to_string()],
+            &cells2,
+            4,
+        )
+    );
+    println!();
+    println!(
+        "Analytical Result 1: u1 > alpha (unfair revenue) exactly where alpha + gamma > beta."
+    );
+}

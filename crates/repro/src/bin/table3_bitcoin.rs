@@ -1,0 +1,59 @@
+//! Regenerates **Table 3 (bottom panel)**: the optimal combined
+//! selfish-mining + double-spending attack on Bitcoin (after Sompolinsky &
+//! Zohar, as modified by the paper: four confirmations, `R_DS` worth ten
+//! block rewards).
+//!
+//! Run: `cargo run --release -p bvc-repro --bin table3_bitcoin`
+
+use bvc_bitcoin::{BitcoinConfig, BitcoinModel, SolveOptions};
+use bvc_repro::{parallel_map, render_grid, Cell};
+
+const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
+const GAMMAS: [(f64, &str); 2] = [(0.5, "P(win tie)=50%"), (1.0, "P(win tie)=100%")];
+
+/// Published values: rows γ ∈ {0.5, 1.0}, columns α.
+const PAPER: [[f64; 4]; 2] = [[0.1, 0.15, 0.2, 0.38], [0.11, 0.18, 0.30, 0.52]];
+
+fn main() {
+    let mut jobs = Vec::new();
+    for (g, _) in GAMMAS {
+        for a in ALPHAS {
+            jobs.push((a, g));
+        }
+    }
+    let values = parallel_map(jobs, |&(alpha, gamma)| {
+        BitcoinModel::build(BitcoinConfig::smds(alpha, gamma))
+            .expect("model builds")
+            .optimal_absolute_revenue(&SolveOptions::default())
+            .expect("solver converges")
+            .value
+    });
+    let cells: Vec<Vec<Option<Cell>>> = (0..2)
+        .map(|r| {
+            (0..4)
+                .map(|c| {
+                    Some(Cell { paper: Some(PAPER[r][c]), ours: values[r * 4 + c] })
+                })
+                .collect()
+        })
+        .collect();
+    let rows: Vec<String> = GAMMAS.iter().map(|(_, l)| l.to_string()).collect();
+    let cols: Vec<String> = ALPHAS.iter().map(|a| format!("a={}%", a * 100.0)).collect();
+    print!(
+        "{}",
+        render_grid(
+            "Table 3 (bottom) — selfish mining + double-spending on Bitcoin",
+            &rows,
+            &cols,
+            &cells,
+            3,
+        )
+    );
+    println!();
+    println!("Below 10% mining power the optimal strategy degenerates to honest mining (u2 = alpha):");
+    for gamma in [0.5, 1.0] {
+        let m = BitcoinModel::build(BitcoinConfig::smds(0.05, gamma)).unwrap();
+        let v = m.optimal_absolute_revenue(&SolveOptions::default()).unwrap().value;
+        println!("  alpha=5%, gamma={gamma}: u2 = {v:.4}");
+    }
+}

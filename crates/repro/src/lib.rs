@@ -1,0 +1,166 @@
+//! # bvc-repro — regenerating every table and figure of the paper
+//!
+//! One binary per experiment (see `src/bin/`), each printing the paper's
+//! published numbers next to the values this workspace computes:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — the state transition & reward specification |
+//! | `table2` | Table 2 — max relative revenue (compliant Alice) |
+//! | `table3` | Table 3 top/middle — max absolute revenue in BU |
+//! | `table3_bitcoin` | Table 3 bottom — selfish mining + double spending |
+//! | `table4` | Table 4 — orphans per attacker block |
+//! | `figure1` | Figure 1 — BU parent-block choice and the sticky gate |
+//! | `figure2` | Figure 2 — the phase-1 / phase-2 fork construction |
+//! | `figure3` | Figure 3 — two blocks orphaned by one attacker block |
+//! | `figure4` | Figure 4 — the block size increasing game |
+//! | `eb_game` | §5.1 — EB-choosing-game equilibria (Analytical Result 4) |
+//! | `stone_sim` | §2.3 — Stone-style fork-frequency simulations |
+//! | `crossval` | MDP ↔ chain-simulator cross-validation |
+//!
+//! This library holds the shared plumbing: aligned table rendering and a
+//! scoped-thread parallel sweep over parameter cells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A rendered comparison cell: the paper's value (if printed) and ours.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// The value published in the paper, if the cell exists there.
+    pub paper: Option<f64>,
+    /// The value this workspace computes.
+    pub ours: f64,
+}
+
+impl Cell {
+    /// Relative deviation |ours − paper| / |paper| (None when no paper
+    /// value or the paper value is zero).
+    pub fn rel_dev(&self) -> Option<f64> {
+        match self.paper {
+            Some(p) if p != 0.0 => Some(((self.ours - p) / p).abs()),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a labelled grid of [`Cell`]s as `ours (paper)` pairs with a
+/// deviation summary line.
+pub fn render_grid(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    cells: &[Vec<Option<Cell>>],
+    precision: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let width = precision + 6;
+    let _ = write!(out, "{:<12}", "");
+    for c in col_labels {
+        let _ = write!(out, "{c:>width$} {:>width$}", "(paper)");
+    }
+    let _ = writeln!(out);
+    let mut max_dev: f64 = 0.0;
+    let mut n_compared = 0usize;
+    for (r, label) in row_labels.iter().enumerate() {
+        let _ = write!(out, "{label:<12}");
+        for cell in &cells[r] {
+            match cell {
+                Some(c) => {
+                    let _ = write!(out, "{:>width$.precision$}", c.ours);
+                    match c.paper {
+                        Some(p) => {
+                            let _ = write!(out, " {:>width$.precision$}", p);
+                        }
+                        None => {
+                            let _ = write!(out, " {:>width$}", "-");
+                        }
+                    }
+                    if let Some(d) = c.rel_dev() {
+                        max_dev = max_dev.max(d);
+                        n_compared += 1;
+                    }
+                }
+                None => {
+                    let _ = write!(out, "{:>width$} {:>width$}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "cells compared: {n_compared}, max relative deviation: {:.2}%",
+        max_dev * 100.0
+    );
+    out
+}
+
+/// Evaluates `f` over `inputs` in parallel with scoped threads, preserving
+/// input order in the output. Used by the table binaries to sweep parameter
+/// cells across cores.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let chunk = n.div_ceil(threads.max(1));
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slice_in, slice_out) in
+            inputs.chunks(chunk.max(1)).zip(out.chunks_mut(chunk.max(1)))
+        {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, o) in slice_in.iter().zip(slice_out.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|o| o.expect("all cells computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs.clone(), |&x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn render_grid_reports_deviation() {
+        let cells = vec![vec![
+            Some(Cell { paper: Some(0.10), ours: 0.11 }),
+            Some(Cell { paper: None, ours: 0.5 }),
+            None,
+        ]];
+        let text = render_grid(
+            "t",
+            &["r".into()],
+            &["a".into(), "b".into(), "c".into()],
+            &cells,
+            3,
+        );
+        assert!(text.contains("max relative deviation: 10.00%"), "{text}");
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn cell_rel_dev() {
+        assert!(Cell { paper: Some(2.0), ours: 2.2 }.rel_dev().unwrap() - 0.1 < 1e-12);
+        assert!(Cell { paper: None, ours: 1.0 }.rel_dev().is_none());
+        assert!(Cell { paper: Some(0.0), ours: 1.0 }.rel_dev().is_none());
+    }
+}

@@ -1,0 +1,386 @@
+//! The network simulation engine: miners, propagation, and statistics.
+//!
+//! Block discovery is a rate-1 Poisson process (time unit = one expected
+//! block interval); the finder is sampled by mining power. Found blocks
+//! propagate to every other node with a per-pair delay. Each node holds an
+//! incrementally maintained [`IncrementalView`] — a delivery costs O(AD),
+//! not O(chain length) — and buffers out-of-order arrivals until their
+//! ancestors are known, so views always receive parents first.
+
+use std::collections::{HashMap, HashSet};
+
+use bvc_chain::incremental::{IncrementalRule, IncrementalView};
+use bvc_chain::{BlockId, BlockTree, MinerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::{Event, EventQueue};
+use crate::strategy::{MinerStrategy, StrategyContext};
+
+/// One miner in the network: its power share, validity rule, and strategy.
+pub struct MinerSpec<R: IncrementalRule> {
+    /// Mining power share (all specs must sum to 1).
+    pub power: f64,
+    /// The node's validity rule (its `EB` / `AD` configuration).
+    pub rule: R,
+    /// The miner's block-production strategy.
+    pub strategy: Box<dyn MinerStrategy<R>>,
+}
+
+/// Propagation delay model between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// Instantaneous propagation — the paper's threat model.
+    Zero,
+    /// The same constant delay (in block intervals) between every pair.
+    Constant(f64),
+    /// An explicit per-pair delay matrix: `matrix[from][to]` in block
+    /// intervals. Models topologies with well-connected cores and distant
+    /// edges (e.g. a mining cartel with high internal bandwidth, the
+    /// scenario Rizun's analysis flags).
+    Matrix(Vec<Vec<f64>>),
+}
+
+impl DelayModel {
+    fn delay(&self, from: usize, to: usize) -> f64 {
+        match self {
+            DelayModel::Zero => 0.0,
+            DelayModel::Constant(d) => *d,
+            DelayModel::Matrix(m) => m[from][to],
+        }
+    }
+
+    /// Validates shape and non-negativity against a node count.
+    fn validate(&self, nodes: usize) {
+        if let DelayModel::Matrix(m) = self {
+            assert_eq!(m.len(), nodes, "delay matrix must be nodes x nodes");
+            for row in m {
+                assert_eq!(row.len(), nodes, "delay matrix must be square");
+                assert!(row.iter().all(|d| *d >= 0.0 && d.is_finite()));
+            }
+        }
+    }
+}
+
+/// One chain reorganization observed at a node: the node's accepted tip
+/// jumped to a block that does not descend from the previous tip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reorg {
+    /// The node that reorganized.
+    pub node: usize,
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Number of previously accepted blocks abandoned.
+    pub depth: u64,
+}
+
+/// Statistics gathered over one run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Total blocks mined.
+    pub blocks_mined: usize,
+    /// Simulated time span.
+    pub duration: f64,
+    /// Every reorg, in time order.
+    pub reorgs: Vec<Reorg>,
+    /// Final accepted tip per node.
+    pub final_tips: Vec<BlockId>,
+    /// Blocks per miner on each node's final accepted chain.
+    pub chain_blocks: Vec<HashMap<MinerId, usize>>,
+}
+
+impl SimReport {
+    /// Number of reorgs at `node`.
+    pub fn reorg_count(&self, node: usize) -> usize {
+        self.reorgs.iter().filter(|r| r.node == node).count()
+    }
+
+    /// The deepest reorg at `node` (0 if none).
+    pub fn max_reorg_depth(&self, node: usize) -> u64 {
+        self.reorgs.iter().filter(|r| r.node == node).map(|r| r.depth).max().unwrap_or(0)
+    }
+
+    /// The fraction of node `node`'s final chain mined by `miner`.
+    pub fn chain_share(&self, node: usize, miner: MinerId) -> f64 {
+        let counts = &self.chain_blocks[node];
+        let total: usize = counts.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            *counts.get(&miner).unwrap_or(&0) as f64 / total as f64
+        }
+    }
+}
+
+struct SimNode<R: IncrementalRule> {
+    view: IncrementalView<R>,
+    received: HashSet<BlockId>,
+    /// Arrived blocks whose parent has not arrived yet, keyed by parent.
+    pending: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl<R: IncrementalRule> SimNode<R> {
+    fn new(rule: R) -> Self {
+        let mut received = HashSet::new();
+        received.insert(BlockId::GENESIS);
+        SimNode { view: IncrementalView::new(rule), received, pending: HashMap::new() }
+    }
+
+    /// Delivers `block` (and any buffered descendants) to the view; returns
+    /// the reorg depth if the accepted tip moved off its previous chain.
+    fn deliver(&mut self, tree: &BlockTree, block: BlockId) -> Vec<BlockId> {
+        let parent = tree.block(block).parent.expect("never delivers genesis");
+        if !self.received.contains(&parent) {
+            self.pending.entry(parent).or_default().push(block);
+            return Vec::new();
+        }
+        let mut delivered = Vec::new();
+        let mut stack = vec![block];
+        while let Some(b) = stack.pop() {
+            if !self.received.insert(b) {
+                continue;
+            }
+            self.view.receive(tree, b);
+            delivered.push(b);
+            if let Some(children) = self.pending.remove(&b) {
+                stack.extend(children);
+            }
+        }
+        delivered
+    }
+}
+
+/// The simulation: shared tree, nodes, event queue, and RNG.
+pub struct Simulation<R: IncrementalRule> {
+    tree: BlockTree,
+    nodes: Vec<SimNode<R>>,
+    strategies: Vec<Box<dyn MinerStrategy<R>>>,
+    powers: Vec<f64>,
+    delay: DelayModel,
+    queue: EventQueue,
+    rng: StdRng,
+    time: f64,
+    reorgs: Vec<Reorg>,
+    blocks_mined: usize,
+}
+
+impl<R: IncrementalRule> Simulation<R> {
+    /// Builds a simulation from miner specifications.
+    ///
+    /// # Panics
+    /// Panics if powers are not positive or do not sum to one.
+    pub fn new(miners: Vec<MinerSpec<R>>, delay: DelayModel, seed: u64) -> Self {
+        assert!(!miners.is_empty(), "need at least one miner");
+        let total: f64 = miners.iter().map(|m| m.power).sum();
+        assert!((total - 1.0).abs() < 1e-9, "powers must sum to 1, got {total}");
+        assert!(miners.iter().all(|m| m.power > 0.0), "powers must be positive");
+        delay.validate(miners.len());
+        let mut nodes = Vec::with_capacity(miners.len());
+        let mut strategies = Vec::with_capacity(miners.len());
+        let mut powers = Vec::with_capacity(miners.len());
+        for m in miners {
+            nodes.push(SimNode::new(m.rule));
+            strategies.push(m.strategy);
+            powers.push(m.power);
+        }
+        Simulation {
+            tree: BlockTree::new(),
+            nodes,
+            strategies,
+            powers,
+            delay,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            time: 0.0,
+            reorgs: Vec::new(),
+            blocks_mined: 0,
+        }
+    }
+
+    /// The shared block tree (for inspection after a run).
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// Node `i`'s view.
+    pub fn view(&self, i: usize) -> &IncrementalView<R> {
+        &self.nodes[i].view
+    }
+
+    fn exp_sample(&mut self) -> f64 {
+        // Inverse-CDF sampling; gen::<f64>() is in [0, 1).
+        let u: f64 = self.rng.gen();
+        -(1.0 - u).ln()
+    }
+
+    fn sample_finder(&mut self) -> usize {
+        let x: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.powers.iter().enumerate() {
+            acc += p;
+            if x < acc {
+                return i;
+            }
+        }
+        self.powers.len() - 1
+    }
+
+    fn deliver_to(&mut self, node: usize, block: BlockId) {
+        let before_tip = self.nodes[node].view.accepted_tip();
+        let before_height = self.nodes[node].view.accepted_height();
+        let delivered = self.nodes[node].deliver(&self.tree, block);
+        if delivered.is_empty() {
+            return;
+        }
+        let after_tip = self.nodes[node].view.accepted_tip();
+        if after_tip != before_tip && !self.tree.is_ancestor(before_tip, after_tip) {
+            let fork = self.tree.common_ancestor(before_tip, after_tip);
+            self.reorgs.push(Reorg {
+                node,
+                time: self.time,
+                depth: before_height - self.tree.height(fork),
+            });
+        }
+        for b in delivered {
+            let ctx = StrategyContext {
+                tree: &self.tree,
+                view: &self.nodes[node].view,
+                now: self.time,
+            };
+            self.strategies[node].observe(&ctx, b);
+        }
+    }
+
+    /// Runs until `n_blocks` blocks have been mined, then drains in-flight
+    /// propagation so final views are settled. Returns the report.
+    pub fn run(&mut self, n_blocks: usize) -> SimReport {
+        let t0 = self.time;
+        let dt = self.exp_sample();
+        self.queue.schedule(self.time + dt, Event::BlockFound);
+        while let Some((t, event)) = self.queue.pop() {
+            self.time = t;
+            match event {
+                Event::BlockFound => {
+                    if self.blocks_mined >= n_blocks {
+                        continue; // stop mining; keep draining arrivals
+                    }
+                    let finder = self.sample_finder();
+                    let plan = {
+                        let ctx = StrategyContext {
+                            tree: &self.tree,
+                            view: &self.nodes[finder].view,
+                            now: self.time,
+                        };
+                        self.strategies[finder].plan(&ctx)
+                    };
+                    let block = self.tree.extend(plan.parent, plan.size, MinerId(finder));
+                    self.blocks_mined += 1;
+                    self.deliver_to(finder, block);
+                    for node in 0..self.nodes.len() {
+                        if node == finder {
+                            continue;
+                        }
+                        let d = self.delay.delay(finder, node);
+                        self.queue.schedule(self.time + d, Event::Arrival { node, block });
+                    }
+                    if self.blocks_mined < n_blocks {
+                        let dt = self.exp_sample();
+                        self.queue.schedule(self.time + dt, Event::BlockFound);
+                    }
+                }
+                Event::Arrival { node, block } => self.deliver_to(node, block),
+            }
+        }
+        let final_tips: Vec<BlockId> =
+            self.nodes.iter().map(|n| n.view.accepted_tip()).collect();
+        let chain_blocks = final_tips
+            .iter()
+            .map(|&tip| {
+                let mut counts: HashMap<MinerId, usize> = HashMap::new();
+                for b in self.tree.chain(tip) {
+                    *counts.entry(self.tree.block(b).miner).or_default() += 1;
+                }
+                counts
+            })
+            .collect();
+        SimReport {
+            blocks_mined: self.blocks_mined,
+            duration: self.time - t0,
+            reorgs: std::mem::take(&mut self.reorgs),
+            final_tips,
+            chain_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::HonestStrategy;
+    use bvc_chain::{BitcoinRule, ByteSize};
+
+    fn honest_miner(power: f64) -> MinerSpec<BitcoinRule> {
+        MinerSpec {
+            power,
+            rule: BitcoinRule::classic(),
+            strategy: Box::new(HonestStrategy { mg: ByteSize::mb(1) }),
+        }
+    }
+
+    #[test]
+    fn honest_network_zero_delay_never_forks() {
+        let miners = vec![honest_miner(0.3), honest_miner(0.3), honest_miner(0.4)];
+        let mut sim = Simulation::new(miners, DelayModel::Zero, 42);
+        let report = sim.run(500);
+        assert_eq!(report.blocks_mined, 500);
+        assert!(report.reorgs.is_empty(), "zero-delay honest mining cannot fork");
+        // All views agree and the chain contains all blocks.
+        assert!(report.final_tips.windows(2).all(|w| w[0] == w[1]));
+        let total: usize = report.chain_blocks[0].values().sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn shares_approximate_power() {
+        let miners = vec![honest_miner(0.2), honest_miner(0.8)];
+        let mut sim = Simulation::new(miners, DelayModel::Zero, 7);
+        let report = sim.run(5_000);
+        let share = report.chain_share(0, MinerId(0));
+        assert!((share - 0.2).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn propagation_delay_causes_forks() {
+        // Two equal miners, half-a-block-interval delay: simultaneous work
+        // on different tips must occasionally orphan blocks.
+        let miners = vec![honest_miner(0.5), honest_miner(0.5)];
+        let mut sim = Simulation::new(miners, DelayModel::Constant(0.5), 11);
+        let report = sim.run(2_000);
+        assert!(
+            !report.reorgs.is_empty(),
+            "large delays must produce at least one reorg"
+        );
+        // Blocks on the final chain are fewer than blocks mined (orphans).
+        let total: usize = report.chain_blocks[0].values().sum();
+        assert!(total < report.blocks_mined);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let miners = vec![honest_miner(0.5), honest_miner(0.5)];
+            let mut sim = Simulation::new(miners, DelayModel::Constant(0.1), seed);
+            let r = sim.run(300);
+            (r.duration, r.reorgs.len(), r.final_tips)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers must sum to 1")]
+    fn rejects_bad_powers() {
+        let miners = vec![honest_miner(0.5), honest_miner(0.2)];
+        Simulation::new(miners, DelayModel::Zero, 0);
+    }
+}

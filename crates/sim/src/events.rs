@@ -1,0 +1,154 @@
+//! The discrete-event core: a time-ordered event queue.
+//!
+//! Simulation time is measured in expected block intervals (1.0 ≈ ten
+//! minutes of Bitcoin time); block discoveries are a Poisson process of
+//! rate 1 split across miners by power, and block propagation contributes
+//! per-link delays in the same unit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bvc_chain::{BlockId, MinerId};
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The Poisson process fires: one block is found (the finder is sampled
+    /// by power when the event is processed).
+    BlockFound,
+    /// A previously announced block reaches a node.
+    Arrival {
+        /// The receiving node's index.
+        node: usize,
+        /// The arriving block.
+        block: BlockId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Tie-break on
+        // sequence number for determinism (FIFO among simultaneous events).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A convenience alias kept for symmetry with `bvc_chain` ids.
+pub type NodeIndex = usize;
+
+/// Unused placeholder to keep MinerId re-exported near its uses.
+pub type Finder = MinerId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, Event::BlockFound);
+        q.schedule(1.0, Event::Arrival { node: 0, block: BlockId(1) });
+        q.schedule(3.0, Event::BlockFound);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!(t1, 1.0);
+        assert!(matches!(e1, Event::Arrival { node: 0, .. }));
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, Event::Arrival { node: 0, block: BlockId(1) });
+        q.schedule(1.0, Event::Arrival { node: 1, block: BlockId(2) });
+        q.schedule(1.0, Event::Arrival { node: 2, block: BlockId(3) });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { node, .. } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, Event::BlockFound);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, Event::BlockFound);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(1.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Miner strategies: what a miner does when it finds a block.
+//!
+//! A strategy sees the shared block tree and its own node's view and
+//! returns a [`BlockPlan`] — which parent to extend and how large a block
+//! to produce. Per the paper's threat model, a miner "can always generate"
+//! transactions, so any size up to the 32 MB message cap is producible.
+
+use bvc_chain::incremental::{IncrementalRule, IncrementalView};
+use bvc_chain::{BlockId, BlockTree, ByteSize};
+
+/// What a miner decides to mine when its turn comes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// The parent block to extend.
+    pub parent: BlockId,
+    /// The size of the produced block.
+    pub size: ByteSize,
+}
+
+/// Read-only context handed to a strategy at decision time.
+pub struct StrategyContext<'a, R: IncrementalRule> {
+    /// The shared block tree (the strategy may inspect any fork).
+    pub tree: &'a BlockTree,
+    /// The miner's own node view (incrementally maintained).
+    pub view: &'a IncrementalView<R>,
+    /// Current simulation time (expected block intervals).
+    pub now: f64,
+}
+
+/// A miner's block-production policy.
+pub trait MinerStrategy<R: IncrementalRule>: Send {
+    /// Decides the parent and size of the next block this miner produces.
+    fn plan(&mut self, ctx: &StrategyContext<'_, R>) -> BlockPlan;
+
+    /// Notifies the strategy that a block arrived at its node (after the
+    /// view has been updated). Default: ignore.
+    fn observe(&mut self, _ctx: &StrategyContext<'_, R>, _block: BlockId) {}
+
+    /// Short name for traces.
+    fn name(&self) -> &'static str {
+        "strategy"
+    }
+}
+
+/// The compliant strategy: extend the accepted tip with blocks of a fixed
+/// generation size `MG`.
+#[derive(Debug, Clone, Copy)]
+pub struct HonestStrategy {
+    /// The miner's maximum generation size.
+    pub mg: ByteSize,
+}
+
+impl<R: IncrementalRule> MinerStrategy<R> for HonestStrategy {
+    fn plan(&mut self, ctx: &StrategyContext<'_, R>) -> BlockPlan {
+        BlockPlan { parent: ctx.view.accepted_tip(), size: self.mg }
+    }
+
+    fn name(&self) -> &'static str {
+        "honest"
+    }
+}
+
+/// The Cryptoconomy splitter: whenever the network agrees on one chain
+/// *and the small-EB victims' sticky gates are closed*, mine a block of
+/// size exactly `EB_C` (the larger excessive-block limit) so that large-EB
+/// miners accept it while small-EB miners reject it; while the network is
+/// split, keep extending the splitting branch with small blocks; while the
+/// victims' gates are open (phase 3), pause and mine honestly until the
+/// gates close — exactly the "pause the strategy in phase 3" behaviour the
+/// paper describes.
+///
+/// The strategy is victim-aware through the *public* information BU nodes
+/// signal: the victims' `EB`/`AD` parameters (the threat model assumes
+/// honest signalling), from which the victims' acceptance of any chain is
+/// recomputable.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitterStrategy {
+    /// The larger EB in the network (the split block's size).
+    pub ebc: ByteSize,
+    /// Size of the attacker's blocks when extending the split branch or
+    /// pausing.
+    pub follow_up: ByteSize,
+    /// The victims' (small-EB miners') signalled validity rule.
+    pub victim: crate::strategy::VictimRule,
+}
+
+/// The victims' signalled parameters, used by [`SplitterStrategy`] to
+/// reconstruct their view.
+#[derive(Debug, Clone, Copy)]
+pub struct VictimRule(pub bvc_chain::BuRizunRule);
+
+impl SplitterStrategy {
+    /// A splitter against victims with the given small `EB` and `AD`
+    /// (sticky gate enabled, as deployed).
+    pub fn against(ebc: ByteSize, victim_eb: ByteSize, ad: u64, follow_up: ByteSize) -> Self {
+        SplitterStrategy {
+            ebc,
+            follow_up,
+            victim: VictimRule(bvc_chain::BuRizunRule::new(victim_eb, ad)),
+        }
+    }
+}
+
+impl<R: IncrementalRule> MinerStrategy<R> for SplitterStrategy {
+    fn plan(&mut self, ctx: &StrategyContext<'_, R>) -> BlockPlan {
+        let tip = ctx.view.accepted_tip();
+        let sizes: Vec<ByteSize> =
+            ctx.tree.chain(tip).into_iter().map(|b| ctx.tree.block(b).size).collect();
+        let (victim_accepts, gate) = self.victim.0.scan(&sizes);
+        if !victim_accepts {
+            // The victims reject our chain: the split is live — extend it.
+            return BlockPlan { parent: tip, size: self.follow_up };
+        }
+        match gate {
+            bvc_chain::GateStatus::Closed => {
+                // Agreement and closed gates: inject a fresh split block.
+                BlockPlan { parent: tip, size: self.ebc }
+            }
+            bvc_chain::GateStatus::Open { .. } => {
+                // Phase 3: an EB_C block would be accepted by everyone (and
+                // keep the gate open); pause with ordinary blocks instead.
+                BlockPlan { parent: tip, size: self.follow_up }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "splitter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_chain::{BitcoinRule, BuRizunRule, MinerId};
+
+    #[test]
+    fn honest_extends_accepted_tip() {
+        let mut tree = BlockTree::new();
+        let mut view = IncrementalView::new(BitcoinRule::classic());
+        let a = tree.extend(BlockId::GENESIS, ByteSize(1000), MinerId(0));
+        view.receive(&tree, a);
+        let mut s = HonestStrategy { mg: ByteSize::mb(1) };
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.0 };
+        let plan = MinerStrategy::<BitcoinRule>::plan(&mut s, &ctx);
+        assert_eq!(plan.parent, a);
+        assert_eq!(plan.size, ByteSize::mb(1));
+    }
+
+    #[test]
+    fn splitter_injects_then_extends() {
+        let ebc = ByteSize::mb(16);
+        let mut tree = BlockTree::new();
+        // The splitter's own node has a large EB, so it accepts its block.
+        let mut view = IncrementalView::new(BuRizunRule::new(ebc, 6));
+        let mut s = SplitterStrategy::against(ebc, ByteSize::mb(1), 3, ByteSize::mb(1));
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.0 };
+        let plan = s.plan(&ctx);
+        assert_eq!(plan.size, ebc, "first move injects the split block");
+        // Mine it and receive it.
+        let b = tree.extend(plan.parent, plan.size, MinerId(0));
+        view.receive(&tree, b);
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.1 };
+        let plan2 = s.plan(&ctx);
+        assert_eq!(plan2.parent, b);
+        assert_eq!(plan2.size, ByteSize::mb(1), "then extends the branch");
+    }
+}

@@ -1,0 +1,66 @@
+//! Merchant risk analysis: how many confirmations should a merchant
+//! require, in Bitcoin vs in a BU network without block validity
+//! consensus?
+//!
+//! The paper's Table 3 fixes four confirmations; this example sweeps the
+//! merchant's settlement threshold and reports the attacker's optimal
+//! double-spending revenue at each policy — the quantity a merchant would
+//! use to price their exposure. It exercises the public `threshold`
+//! parameter of both attack models.
+//!
+//! Run: `cargo run --release --example merchant_risk`
+
+use bvc::bitcoin::{BitcoinConfig, BitcoinModel};
+use bvc::bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+
+fn main() {
+    let alpha = 0.10;
+    let rds = 10.0;
+    let opts = SolveOptions::default();
+    println!("=== Merchant risk vs confirmation depth (attacker power {}%) ===", alpha * 100.0);
+    println!("R_DS = {rds} block rewards per reversed transaction");
+    println!();
+    println!(
+        "{:<15} {:>22} {:>26}",
+        "confirmations", "BU u2 (excess over a)", "Bitcoin u2 (excess over a)"
+    );
+
+    // `threshold = t` means a payout only when more than t blocks are
+    // orphaned, i.e. the merchant ships after t + 1 confirmations.
+    for threshold in 1..=5u8 {
+        let confirmations = threshold + 1;
+        let bu = AttackModel::build(AttackConfig::with_ratio(
+            alpha,
+            (1, 1),
+            Setting::One,
+            IncentiveModel::NonCompliantProfitDriven { rds, threshold },
+        ))
+        .expect("model builds")
+        .optimal_absolute_revenue(&opts)
+        .expect("solver")
+        .value;
+        let btc = BitcoinModel::build(BitcoinConfig {
+            threshold,
+            ..BitcoinConfig::smds(alpha, 0.5)
+        })
+        .expect("model builds")
+        .optimal_absolute_revenue(&bvc::bitcoin::SolveOptions::default())
+        .expect("solver")
+        .value;
+        println!(
+            "{:<15} {:>12.4} ({:+.4}) {:>16.4} ({:+.4})",
+            confirmations,
+            bu,
+            bu - alpha,
+            btc,
+            btc - alpha
+        );
+    }
+
+    println!();
+    println!("Reading: in Bitcoin, a few confirmations already push a 10% attacker's");
+    println!("optimal revenue back to the honest rate; in BU the excess persists far");
+    println!("longer because the attacker can split the compliant mining power and");
+    println!("only needs to win a race against part of it. Merchants on a BU network");
+    println!("would need substantially deeper confirmation policies for the same risk.");
+}

@@ -1,0 +1,88 @@
+//! Network split end-to-end: run the Cryptoconomy splitter attack on a
+//! simulated BU network with the paper's April-2017 parameter snapshot
+//! (miners at EB = 1 MB / AD = 6, plus a large-EB segment), and watch the
+//! chain fork through real node views.
+//!
+//! Exercises the full `bvc-sim` + `bvc-chain` stack: sticky gates,
+//! AD-acceptance, first-seen fork choice, propagation, reorg accounting.
+//!
+//! Run: `cargo run --release --example network_split`
+
+use bvc::chain::{BuRizunRule, ByteSize, MinerId};
+use bvc::sim::{DelayModel, HonestStrategy, MinerSpec, Simulation, SplitterStrategy};
+
+fn main() {
+    let mb1 = ByteSize::mb(1);
+    let eb_c = ByteSize::mb(16);
+    let blocks = 10_000;
+
+    println!("=== Splitter attack on a five-node BU network ({blocks} blocks) ===");
+    println!();
+    println!("  node 0: attacker, 8%  power, EB = 16 MB (adaptive splitter)");
+    println!("  node 1: miner,   30%  power, EB = 1 MB,  AD = 6");
+    println!("  node 2: miner,   25%  power, EB = 1 MB,  AD = 6");
+    println!("  node 3: miner,   22%  power, EB = 16 MB, AD = 6");
+    println!("  node 4: miner,   15%  power, EB = 16 MB, AD = 12 (public-node profile)");
+    println!();
+
+    let miners: Vec<MinerSpec<BuRizunRule>> = vec![
+        MinerSpec {
+            power: 0.08,
+            rule: BuRizunRule::new(eb_c, 6),
+            strategy: Box::new(SplitterStrategy::against(eb_c, mb1, 6, mb1)),
+        },
+        MinerSpec {
+            power: 0.30,
+            rule: BuRizunRule::new(mb1, 6),
+            strategy: Box::new(HonestStrategy { mg: mb1 }),
+        },
+        MinerSpec {
+            power: 0.25,
+            rule: BuRizunRule::new(mb1, 6),
+            strategy: Box::new(HonestStrategy { mg: mb1 }),
+        },
+        MinerSpec {
+            power: 0.22,
+            rule: BuRizunRule::new(eb_c, 6),
+            strategy: Box::new(HonestStrategy { mg: mb1 }),
+        },
+        MinerSpec {
+            power: 0.15,
+            rule: BuRizunRule::new(eb_c, 12),
+            strategy: Box::new(HonestStrategy { mg: mb1 }),
+        },
+    ];
+
+    let mut sim = Simulation::new(miners, DelayModel::Zero, 2017);
+    let report = sim.run(blocks);
+
+    println!("results:");
+    for node in 0..5 {
+        println!(
+            "  node {node}: {:>4} reorgs, deepest {} blocks",
+            report.reorg_count(node),
+            report.max_reorg_depth(node)
+        );
+    }
+    let on_chain: usize = report.chain_blocks[1].values().sum();
+    println!();
+    println!(
+        "  blocks mined {}, on node 1's final chain {}, orphan rate {:.2}%",
+        report.blocks_mined,
+        on_chain,
+        100.0 * (report.blocks_mined - on_chain) as f64 / report.blocks_mined as f64
+    );
+    for node in [1usize, 4] {
+        println!(
+            "  attacker's share of node {node}'s chain: {:.4} (power 0.08)",
+            report.chain_share(node, MinerId(0))
+        );
+    }
+    let agree = report.final_tips.windows(2).all(|w| w[0] == w[1]);
+    println!("  final views agree: {agree}");
+    println!();
+    println!("An 8% attacker keeps a 92%-honest BU network persistently forked —");
+    println!("every reorg is a double-spend window and a waste of compliant work.");
+    println!("The same attacker on a Bitcoin-rule network produces zero reorgs");
+    println!("(rerun with all EBs equal to see it).");
+}

@@ -1,0 +1,85 @@
+//! Propagation-delay study: what the paper's zero-delay assumption hides,
+//! and why miners' block-size preferences differ (§2.3 / Assumption 2).
+//!
+//! Two experiments on the network simulator:
+//!
+//! 1. natural orphan rate vs. uniform propagation delay — honest miners
+//!    only; the classic near-linear relation `orphan rate ≈ delay / T`
+//!    that makes large (slow) blocks costly;
+//! 2. a "cartel topology" (Rizun's warning): two well-connected miners vs
+//!    one distant miner — the distant miner's blocks lose races
+//!    disproportionately, so its effective revenue share falls below its
+//!    power share.
+//!
+//! Run: `cargo run --release --example propagation_delay`
+
+use bvc::chain::{BitcoinRule, ByteSize, MinerId};
+use bvc::games::MinerEconomics;
+use bvc::sim::{DelayModel, HonestStrategy, MinerSpec, Simulation};
+
+fn honest(power: f64) -> MinerSpec<BitcoinRule> {
+    MinerSpec {
+        power,
+        rule: BitcoinRule::classic(),
+        strategy: Box::new(HonestStrategy { mg: ByteSize::mb(1) }),
+    }
+}
+
+fn main() {
+    println!("=== Propagation delay vs orphan rate (honest miners, 20k blocks) ===");
+    println!();
+    println!("{:>10} {:>14} {:>16}", "delay/T", "orphan rate", "model 1-e^-d");
+    for delay in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let miners = vec![honest(0.34), honest(0.33), honest(0.33)];
+        let mut sim = Simulation::new(miners, DelayModel::Constant(delay), 99);
+        let report = sim.run(20_000);
+        let on_chain: usize = report.chain_blocks[0].values().sum();
+        let orphan_rate =
+            (report.blocks_mined - on_chain) as f64 / report.blocks_mined as f64;
+        // The fee-market module's survival model predicts the per-block
+        // orphan probability 1 - exp(-delay/T) for instant-size blocks.
+        let econ = MinerEconomics {
+            reward: 1.0,
+            fee_per_mb: 0.05,
+            bandwidth: 1e9,
+            latency: delay,
+            cost: 0.1,
+        };
+        let predicted = econ.orphan_probability(0.0);
+        println!("{delay:>10.2} {:>13.2}% {:>15.2}%", orphan_rate * 100.0, predicted * 100.0);
+    }
+    println!();
+    println!("the measured orphan rate follows the fee-market model's collision bound");
+    println!("1 - exp(-d/T) at roughly two-thirds scale — only the losing side of each");
+    println!("race is orphaned — which is the mechanism that gives every miner a finite");
+    println!("maximum profitable block size (Assumption 2 of the paper).");
+    println!();
+
+    println!("=== Cartel topology: close pair vs distant miner (20k blocks) ===");
+    println!();
+    // Nodes 0 and 1 are adjacent (negligible delay); node 2 is far away.
+    let far = 0.15;
+    let matrix = vec![
+        vec![0.0, 0.005, far],
+        vec![0.005, 0.0, far],
+        vec![far, far, 0.0],
+    ];
+    let miners = vec![honest(0.35), honest(0.35), honest(0.30)];
+    let mut sim = Simulation::new(miners, DelayModel::Matrix(matrix), 7);
+    let report = sim.run(20_000);
+    for i in 0..3 {
+        let share = report.chain_share(0, MinerId(i));
+        let power = [0.35, 0.35, 0.30][i];
+        println!(
+            "  miner {i}: power {:.2}, chain share {:.4} ({:+.1}% vs fair)",
+            power,
+            share,
+            100.0 * (share / power - 1.0)
+        );
+    }
+    println!();
+    println!("the distant miner earns less than its power share: its blocks reach the");
+    println!("cartel late and lose races. Rizun's cartel concern, and the reason the");
+    println!("block size increasing game's forced exits translate into real centralization");
+    println!("pressure once propagation is taken into account.");
+}
