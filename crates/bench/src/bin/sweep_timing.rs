@@ -1,0 +1,143 @@
+//! Times the Table 2 sweep on the compiled CSR solver path against the
+//! nested-layout reference baseline and prints cells/sec plus the speedup.
+//!
+//! The workload is the `table2` binary's: the printed cells of Table 2
+//! (22 setting-1 cells across α ∈ {10,15,20,25}% and six β:γ ratios; with
+//! `--full`, also the four setting-2 cells at α = 25%), each solved for the
+//! maximal relative revenue u1 by bisection over ρ with warm-started inner
+//! RVI solves. Both paths sweep through `bvc_repro::parallel_map`, so the
+//! comparison isolates the solver memory layout, not the thread pool.
+//!
+//! ```console
+//! $ cargo run --release -p bvc-bench --bin sweep_timing             # setting 1, 1 rep
+//! $ cargo run --release -p bvc-bench --bin sweep_timing -- --quick  # smoke: α = 10% column
+//! $ cargo run --release -p bvc-bench --bin sweep_timing -- --full --reps 3
+//! ```
+
+use bvc_bench::timing::time_runs_cold;
+use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+use bvc_mdp::solve::reference::maximize_ratio_nested;
+use bvc_mdp::solve::{RatioOptions, RviOptions};
+use bvc_repro::parallel_map;
+
+/// One Table 2 cell: power split and sticky-gate setting.
+#[derive(Debug, Clone, Copy)]
+struct SweepCell {
+    alpha: f64,
+    ratio: (u32, u32),
+    setting: Setting,
+}
+
+/// The cells the paper prints in Table 2 (see `bvc-repro --bin table2`).
+/// `quick` keeps only the α = 10% column (the cheapest models) as a smoke
+/// workload; `full` adds the four setting-2 cells, whose state spaces are
+/// orders of magnitude larger.
+fn table2_cells(quick: bool, full: bool) -> Vec<SweepCell> {
+    const RATIOS: [((u32, u32), [bool; 4]); 6] = [
+        ((3, 2), [true, true, true, true]),
+        ((1, 1), [true, true, true, true]),
+        ((2, 3), [true, true, true, true]),
+        ((1, 2), [true, true, true, true]),
+        ((1, 3), [true, true, true, false]),
+        ((1, 4), [true, true, false, false]),
+    ];
+    const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
+    let mut cells = Vec::new();
+    for (ratio, printed) in RATIOS {
+        for (i, &p) in printed.iter().enumerate() {
+            if p && (!quick || i == 0) {
+                cells.push(SweepCell { alpha: ALPHAS[i], ratio, setting: Setting::One });
+            }
+        }
+    }
+    if full {
+        for ratio in [(3, 2), (1, 1), (2, 3), (1, 2)] {
+            cells.push(SweepCell { alpha: 0.25, ratio, setting: Setting::Two });
+        }
+    }
+    cells
+}
+
+fn build(cell: &SweepCell) -> AttackModel {
+    let cfg = AttackConfig::with_ratio(
+        cell.alpha,
+        cell.ratio,
+        cell.setting,
+        IncentiveModel::CompliantProfitDriven,
+    );
+    AttackModel::build(cfg).expect("model builds")
+}
+
+/// The ratio-solver options `SolveOptions::default()` maps to, duplicated
+/// here so the nested baseline bisects with identical numerics.
+fn ratio_opts() -> RatioOptions {
+    let defaults = SolveOptions::default();
+    RatioOptions {
+        tolerance: defaults.ratio_tolerance,
+        rvi: RviOptions { tolerance: defaults.gain_tolerance, ..Default::default() },
+        initial_hi: 1.0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse() {
+            Ok(r) if r > 0 => r,
+            _ => panic!("--reps takes a positive integer, got {v:?}"),
+        })
+        .unwrap_or(1);
+
+    let cells = table2_cells(quick, full);
+    // Models are built once, outside the clock: both paths consume the same
+    // nested `Mdp`, and construction cost is identical for both.
+    let models = parallel_map(cells.clone(), build);
+    let n = models.len();
+    let states: usize = models.iter().map(|m| m.num_states()).sum();
+    println!(
+        "Table 2 sweep: {n} cells ({} setting-1, {} setting-2), {states} states total, \
+         {} thread(s)",
+        cells.iter().filter(|c| matches!(c.setting, Setting::One)).count(),
+        cells.iter().filter(|c| matches!(c.setting, Setting::Two)).count(),
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    );
+
+    let opts = ratio_opts();
+    let (num, den) = (rewards::u1_numerator(), rewards::u1_denominator());
+
+    // The timed closures keep their last run's values so the two paths can
+    // be cross-checked below without paying for extra sweeps.
+    let mut nested_vals = Vec::new();
+    let nested = time_runs_cold(reps, || {
+        nested_vals = parallel_map(models.iter().collect(), |m| {
+            maximize_ratio_nested(m.mdp(), &num, &den, &opts).expect("solver converges").value
+        });
+    });
+    println!("nested   (baseline): {}  {:>7.2} cells/s", nested.summary(), nested.throughput(n));
+
+    let mut compiled_vals = Vec::new();
+    let compiled = time_runs_cold(reps, || {
+        compiled_vals = parallel_map(models.iter().collect(), |m| {
+            m.optimal_relative_revenue(&SolveOptions::default()).expect("solver converges").value
+        });
+    });
+    println!("compiled (CSR):      {}  {:>7.2} cells/s", compiled.summary(), compiled.throughput(n));
+    println!(
+        "speedup: {:.2}x (min-over-min wall clock)",
+        nested.min().as_secs_f64() / compiled.min().as_secs_f64()
+    );
+
+    // Guard against the two paths silently diverging while we time them.
+    let max_dev = nested_vals
+        .iter()
+        .zip(&compiled_vals)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_dev < 1e-9, "paths diverged: max |Δu1| = {max_dev:e}");
+    println!("paths agree: max |Δu1| = {max_dev:.1e} over {n} cells");
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting};
 
 /// Builds a small standard attack model used across benches (setting 1,

@@ -1,0 +1,43 @@
+//! Regression pins for Table 2 cells solved through the compiled CSR path.
+//!
+//! `AttackModel::optimal_relative_revenue` routes through
+//! `bvc_mdp::solve::maximize_ratio`, which compiles the model once and runs
+//! the warm-started, in-place-re-scalarized bisection. These pins hold the
+//! published values fixed across layout/solver changes: if a future
+//! "optimization" of the compiled kernels perturbs any of them, tier-1
+//! fails here rather than in a table diff nobody reads.
+//!
+//! Tolerance is 5e-4: the paper prints four decimals and states a solver
+//! precision of 1e-4.
+
+use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+
+fn u1(alpha: f64, ratio: (u32, u32)) -> f64 {
+    let cfg =
+        AttackConfig::with_ratio(alpha, ratio, Setting::One, IncentiveModel::CompliantProfitDriven);
+    let model = AttackModel::build(cfg).expect("model builds");
+    model.optimal_relative_revenue(&SolveOptions::default()).expect("solver converges").value
+}
+
+/// Table 2, setting 1, α = 25%, β:γ = 2:3 — published 0.2739.
+#[test]
+fn table2_alpha25_2to3_compiled() {
+    let v = u1(0.25, (2, 3));
+    assert!((v - 0.2739).abs() < 5e-4, "expected ≈ 0.2739, got {v:.4}");
+}
+
+/// Table 2, setting 1, α = 15%, β:γ = 1:2 — published 0.1562.
+#[test]
+fn table2_alpha15_1to2_compiled() {
+    let v = u1(0.15, (1, 2));
+    assert!((v - 0.1562).abs() < 5e-4, "expected ≈ 0.1562, got {v:.4}");
+}
+
+/// Table 2, setting 1, α = 10%, β:γ = 1:3 — published 0.1026: a *strict*
+/// incentive-compatibility violation (u1 > α) even for a 10% miner.
+#[test]
+fn table2_alpha10_1to3_compiled() {
+    let v = u1(0.10, (1, 3));
+    assert!((v - 0.1026).abs() < 5e-4, "expected ≈ 0.1026, got {v:.4}");
+    assert!(v > 0.10, "u1 must strictly exceed α");
+}

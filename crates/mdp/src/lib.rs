@@ -41,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod error;
 pub mod indexer;
 pub mod model;
 pub mod solve;
 
+pub use compiled::CompiledMdp;
 pub use error::MdpError;
 pub use indexer::{explore, ActionSpec, Explored, StateIndexer};
 pub use model::{ActionArm, ActionId, Mdp, Objective, Policy, StateId, Transition};

@@ -8,9 +8,10 @@
 //! and serves as a cross-check on RVI in the test suite (two very
 //! different iteration schemes agreeing on the same gain).
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
-use crate::solve::eval::{evaluate_policy, EvalOptions};
+use crate::solve::eval::{evaluate_policy_compiled, EvalOptions};
 
 /// Options for [`average_reward_policy_iteration`].
 #[derive(Debug, Clone)]
@@ -56,22 +57,23 @@ pub struct AvgPiSolution {
 /// Evaluates the bias of a fixed policy given its gain: solves
 /// `h = r̄ − g + P h` (damped) with `h[0] = 0`.
 fn bias_of(
-    mdp: &Mdp,
-    objective: &Objective,
+    compiled: &CompiledMdp,
+    exp_reward: &[f64],
     policy: &Policy,
     gain: f64,
     opts: &AvgPiOptions,
 ) -> Result<Vec<f64>, MdpError> {
-    let n = mdp.num_states();
+    let n = compiled.num_states();
     let d = opts.damping;
     let mut h = vec![0.0f64; n];
     for _ in 0..opts.max_bias_sweeps {
         let mut delta = 0.0f64;
         for s in 0..n {
-            let arm = &mdp.actions(s)[policy.choices[s]];
-            let mut x = 0.0;
-            for t in &arm.transitions {
-                x += t.prob * (objective.scalarize(&t.reward) + h[t.to]);
+            let arm = compiled.policy_arm(policy, s);
+            let (probs, nexts) = compiled.arm_transitions(arm);
+            let mut x = exp_reward[arm];
+            for (p, &to) in probs.iter().zip(nexts) {
+                x += p * h[to as usize];
             }
             // Damped update handles periodic chains.
             let x = (1.0 - d) * (x - gain) + d * h[s];
@@ -99,29 +101,33 @@ pub fn average_reward_policy_iteration(
     objective: &Objective,
     opts: &AvgPiOptions,
 ) -> Result<AvgPiSolution, MdpError> {
-    mdp.validate()?;
-    objective.validate(mdp)?;
-    let n = mdp.num_states();
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_objective(objective)?;
+    let exp_reward = compiled.scalarize(objective);
+    let n = compiled.num_states();
     let mut policy = Policy::zeros(n);
 
     for step in 0..opts.max_improvements {
-        let ev = evaluate_policy(mdp, &policy, &opts.eval)?;
+        let ev = evaluate_policy_compiled(&compiled, &policy, &opts.eval)?;
         let gain = ev.rate(&objective.weights);
-        let h = bias_of(mdp, objective, &policy, gain, opts)?;
+        let h = bias_of(&compiled, &exp_reward, &policy, gain, opts)?;
 
         let mut changed = false;
         for s in 0..n {
             let mut best = f64::NEG_INFINITY;
             let mut best_a = policy.choices[s];
-            for (a, arm) in mdp.actions(s).iter().enumerate() {
-                let mut q = 0.0;
-                for t in &arm.transitions {
-                    q += t.prob * (objective.scalarize(&t.reward) + h[t.to]);
+            let arms = compiled.arm_range(s);
+            let first_arm = arms.start;
+            for arm in arms {
+                let (probs, nexts) = compiled.arm_transitions(arm);
+                let mut q = exp_reward[arm];
+                for (p, &to) in probs.iter().zip(nexts) {
+                    q += p * h[to as usize];
                 }
                 // Tolerance guard against cycling between ties.
                 if q > best + 1e-10 {
                     best = q;
-                    best_a = a;
+                    best_a = arm - first_arm;
                 }
             }
             if best_a != policy.choices[s] {

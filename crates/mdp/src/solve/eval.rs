@@ -6,6 +6,7 @@
 //! gain reported by [`crate::solve::rvi`] must equal the scalarized
 //! component rates of the policy it returns.
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Policy};
 
@@ -76,14 +77,30 @@ pub fn evaluate_policy(
     policy: &Policy,
     opts: &EvalOptions,
 ) -> Result<PolicyEvaluation, MdpError> {
-    mdp.validate()?;
-    mdp.validate_policy(policy)?;
+    let compiled = CompiledMdp::compile(mdp)?;
+    evaluate_policy_compiled(&compiled, policy, opts)
+}
+
+/// [`evaluate_policy`] on an already-compiled model. The power-method sweep
+/// scatters mass along the chosen arm's flat transition slices; component
+/// rates come from the per-arm expected component rewards
+/// ([`CompiledMdp::expected_component_rewards`]) instead of re-walking
+/// per-transition reward vectors.
+pub fn evaluate_policy_compiled(
+    compiled: &CompiledMdp,
+    policy: &Policy,
+    opts: &EvalOptions,
+) -> Result<PolicyEvaluation, MdpError> {
+    compiled.validate_policy(policy)?;
     assert!((0.0..1.0).contains(&opts.damping), "damping must be in [0,1)");
 
-    let n = mdp.num_states();
+    let n = compiled.num_states();
     let mut pi = vec![1.0 / n as f64; n];
     let mut pi_next = vec![0.0f64; n];
     let d = opts.damping;
+
+    // Resolve the policy to one global arm per state, once.
+    let chosen: Vec<usize> = (0..n).map(|s| compiled.policy_arm(policy, s)).collect();
 
     let mut iterations = 0;
     for iter in 0..opts.max_iterations {
@@ -96,9 +113,10 @@ pub fn evaluate_policy(
             if mass == 0.0 {
                 continue;
             }
-            let arm = &mdp.actions(s)[policy.choices[s]];
-            for t in &arm.transitions {
-                pi_next[t.to] += (1.0 - d) * mass * t.prob;
+            let (probs, nexts) = compiled.arm_transitions(chosen[s]);
+            let spread = (1.0 - d) * mass;
+            for (p, &to) in probs.iter().zip(nexts) {
+                pi_next[to as usize] += spread * p;
             }
             pi_next[s] += d * mass;
         }
@@ -122,14 +140,14 @@ pub fn evaluate_policy(
         *x /= total;
     }
 
-    let k = mdp.reward_components();
+    let k = compiled.reward_components();
+    let exp_comp = compiled.expected_component_rewards();
     let mut rates = vec![0.0f64; k];
     for s in 0..n {
-        let arm = &mdp.actions(s)[policy.choices[s]];
-        for t in &arm.transitions {
-            for (c, r) in t.reward.iter().enumerate() {
-                rates[c] += pi[s] * t.prob * r;
-            }
+        let arm = chosen[s];
+        let mass = pi[s];
+        for (rate, e) in rates.iter_mut().zip(&exp_comp[arm * k..(arm + 1) * k]) {
+            *rate += mass * e;
         }
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Policy, StateId};
 
@@ -40,21 +41,32 @@ pub fn hitting_probability(
     avoid: &HashSet<StateId>,
     opts: &HittingOptions,
 ) -> Result<Vec<f64>, MdpError> {
-    mdp.validate()?;
-    mdp.validate_policy(policy)?;
-    let n = mdp.num_states();
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_policy(policy)?;
+    let n = compiled.num_states();
+    // Absorbing-state membership as flat masks: sweeps test a bool per state
+    // instead of hashing into the sets.
+    let mut frozen = vec![false; n];
     let mut p = vec![0.0f64; n];
     for &t in targets {
         p[t] = 1.0;
+        frozen[t] = true;
     }
+    for &a in avoid {
+        frozen[a] = true;
+    }
+    let chosen: Vec<usize> = (0..n).map(|s| compiled.policy_arm(policy, s)).collect();
     for sweep in 0..opts.max_sweeps {
         let mut delta = 0.0f64;
         for s in 0..n {
-            if targets.contains(&s) || avoid.contains(&s) {
+            if frozen[s] {
                 continue;
             }
-            let arm = &mdp.actions(s)[policy.choices[s]];
-            let x: f64 = arm.transitions.iter().map(|t| t.prob * p[t.to]).sum();
+            let (probs, nexts) = compiled.arm_transitions(chosen[s]);
+            let mut x = 0.0;
+            for (pr, &to) in probs.iter().zip(nexts) {
+                x += pr * p[to as usize];
+            }
             delta = delta.max((x - p[s]).abs());
             p[s] = x;
         }
@@ -86,9 +98,10 @@ pub fn expected_hitting_time(
     targets: &HashSet<StateId>,
     opts: &HittingOptions,
 ) -> Result<Vec<f64>, MdpError> {
-    mdp.validate()?;
-    mdp.validate_policy(policy)?;
-    let n = mdp.num_states();
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_policy(policy)?;
+    let n = compiled.num_states();
+    let chosen: Vec<usize> = (0..n).map(|s| compiled.policy_arm(policy, s)).collect();
 
     // Reachability pre-check: every state must reach the target set.
     let mut reaches = vec![false; n];
@@ -101,8 +114,8 @@ pub fn expected_hitting_time(
             if reaches[s] {
                 continue;
             }
-            let arm = &mdp.actions(s)[policy.choices[s]];
-            if arm.transitions.iter().any(|t| reaches[t.to] && t.prob > 0.0) {
+            let (probs, nexts) = compiled.arm_transitions(chosen[s]);
+            if probs.iter().zip(nexts).any(|(&p, &to)| reaches[to as usize] && p > 0.0) {
                 reaches[s] = true;
                 changed = true;
             }
@@ -116,16 +129,22 @@ pub fn expected_hitting_time(
         "expected_hitting_time requires the target set to be reachable from every state"
     );
 
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t] = true;
+    }
     let mut h = vec![0.0f64; n];
     for sweep in 0..opts.max_sweeps {
         let mut delta = 0.0f64;
         for s in 0..n {
-            if targets.contains(&s) {
+            if is_target[s] {
                 continue;
             }
-            let arm = &mdp.actions(s)[policy.choices[s]];
-            let x: f64 =
-                1.0 + arm.transitions.iter().map(|t| t.prob * h[t.to]).sum::<f64>();
+            let (probs, nexts) = compiled.arm_transitions(chosen[s]);
+            let mut x = 1.0;
+            for (p, &to) in probs.iter().zip(nexts) {
+                x += p * h[to as usize];
+            }
             delta = delta.max((x - h[s]).abs());
             h[s] = x;
         }

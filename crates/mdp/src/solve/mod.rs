@@ -1,12 +1,18 @@
 //! Solvers: discounted (value/policy iteration), average-reward (relative
 //! value iteration), ratio objectives (bisection over transformed rewards),
 //! and fixed-policy evaluation.
+//!
+//! The production solvers run on the CSR-flattened
+//! [`CompiledMdp`](crate::compiled::CompiledMdp); [`reference`] keeps the
+//! original nested-layout implementations for differential testing and
+//! baseline timing.
 
 pub mod avg_pi;
 pub mod eval;
 pub mod hitting;
 pub mod policy_iteration;
 pub mod ratio;
+pub mod reference;
 pub mod rvi;
 pub mod simulate;
 pub mod value_iteration;

@@ -4,7 +4,11 @@
 //! Complements [`value_iteration()`](crate::solve::value_iteration()): policy iteration typically
 //! converges in a handful of improvement steps, making it the reference
 //! implementation that value-iteration results are tested against.
+//!
+//! Evaluation and improvement sweeps both run on the CSR-flattened
+//! [`CompiledMdp`] with per-arm pre-scalarized rewards.
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
 
@@ -50,15 +54,17 @@ pub fn policy_iteration(
     objective: &Objective,
     opts: &PiOptions,
 ) -> Result<PiSolution, MdpError> {
-    mdp.validate()?;
-    objective.validate(mdp)?;
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_objective(objective)?;
     assert!(
         opts.discount > 0.0 && opts.discount < 1.0,
         "discount must be in (0,1), got {}",
         opts.discount
     );
+    let exp_reward = compiled.scalarize(objective);
+    let gamma = opts.discount;
 
-    let n = mdp.num_states();
+    let n = compiled.num_states();
     let mut policy = Policy::zeros(n);
     let mut v = vec![0.0f64; n];
 
@@ -68,11 +74,13 @@ pub fn policy_iteration(
         for _ in 0..opts.max_eval_sweeps {
             let mut delta = 0.0f64;
             for s in 0..n {
-                let arm = &mdp.actions(s)[policy.choices[s]];
-                let mut x = 0.0;
-                for t in &arm.transitions {
-                    x += t.prob * (objective.scalarize(&t.reward) + opts.discount * v[t.to]);
+                let arm = compiled.policy_arm(&policy, s);
+                let (probs, nexts) = compiled.arm_transitions(arm);
+                let mut future = 0.0;
+                for (p, &to) in probs.iter().zip(nexts) {
+                    future += p * v[to as usize];
                 }
+                let x = exp_reward[arm] + gamma * future;
                 delta = delta.max((x - v[s]).abs());
                 v[s] = x;
             }
@@ -94,16 +102,20 @@ pub fn policy_iteration(
         for s in 0..n {
             let mut best = f64::NEG_INFINITY;
             let mut best_a = policy.choices[s];
-            for (a, arm) in mdp.actions(s).iter().enumerate() {
-                let mut q = 0.0;
-                for t in &arm.transitions {
-                    q += t.prob * (objective.scalarize(&t.reward) + opts.discount * v[t.to]);
+            let arms = compiled.arm_range(s);
+            let first_arm = arms.start;
+            for arm in arms {
+                let (probs, nexts) = compiled.arm_transitions(arm);
+                let mut future = 0.0;
+                for (p, &to) in probs.iter().zip(nexts) {
+                    future += p * v[to as usize];
                 }
+                let q = exp_reward[arm] + gamma * future;
                 // Strict improvement with a tolerance guard prevents cycling
                 // between equally good actions.
                 if q > best + 1e-12 {
                     best = q;
-                    best_a = a;
+                    best_a = arm - first_arm;
                 }
             }
             if best_a != policy.choices[s] {

@@ -19,10 +19,23 @@
 //!
 //! `rho*` — the optimal ratio — is therefore the left edge of the set
 //! `{rho : g(rho) <= eps}`, found by bisection.
+//!
+//! ## The compiled fast path
+//!
+//! The model is compiled to CSR form **once**. Scalarization is linear in the
+//! objective, so the per-arm expected rewards of `w_rho` are
+//! `exp_num[a] − rho · exp_den[a]`: each bisection step re-scalarizes *in
+//! place* with one O(arms) vector combine
+//! ([`CompiledMdp::combine_scalarized_into`]) and never re-reads the
+//! per-transition reward buffer. Every inner solve runs [`rvi_kernel`] inside
+//! one persistent set of buffers, warm-starting from the previous step's bias
+//! vector — after setup, the whole bisection performs no heap allocation
+//! except recording a new incumbent policy.
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
-use crate::solve::rvi::{relative_value_iteration, RviOptions};
+use crate::solve::rvi::{rvi_kernel, RviOptions};
 
 /// Options for [`maximize_ratio`].
 #[derive(Debug, Clone)]
@@ -71,46 +84,77 @@ pub fn maximize_ratio(
     denominator: &Objective,
     opts: &RatioOptions,
 ) -> Result<RatioSolution, MdpError> {
-    mdp.validate()?;
-    numerator.validate(mdp)?;
-    denominator.validate(mdp)?;
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_objective(numerator)?;
+    compiled.validate_objective(denominator)?;
+    maximize_ratio_compiled(&compiled, numerator, denominator, opts)
+}
 
+/// [`maximize_ratio`] on an already-compiled model. Use this form when
+/// solving several ratio objectives over the same model.
+pub fn maximize_ratio_compiled(
+    compiled: &CompiledMdp,
+    numerator: &Objective,
+    denominator: &Objective,
+    opts: &RatioOptions,
+) -> Result<RatioSolution, MdpError> {
     // The inner gain must be resolved finer than the bisection step times the
     // denominator scale; one decade finer than the outer tolerance works for
     // the unit-rate denominators used throughout this project.
     let eps = opts.tolerance * 0.1;
-    let mut inner_opts = opts.rvi.clone();
-    let mut inner_solves = 0usize;
-    let mut warm: Option<Vec<f64>> = inner_opts.warm_start.take();
+    let n = compiled.num_states();
 
-    let solve_at = |rho: f64, warm: &mut Option<Vec<f64>>, solves: &mut usize| {
-        let w = numerator.minus_scaled(denominator, rho);
-        let mut o = inner_opts.clone();
-        o.warm_start = warm.clone();
-        let sol = relative_value_iteration(mdp, &w, &o)?;
-        *warm = Some(sol.bias.clone());
-        *solves += 1;
-        Ok::<_, MdpError>(sol)
+    // Scalarize both functionals once; every rho after this is a vector
+    // combine over these two arrays.
+    let exp_num = compiled.scalarize(numerator);
+    let exp_den = compiled.scalarize(denominator);
+    let mut exp_w = vec![0.0f64; compiled.num_arms()];
+
+    // Persistent solver state. `h` carries the bias across bisection steps
+    // (warm start); nearby rho values have nearby bias vectors, so each
+    // inner solve converges in a fraction of a cold start's iterations.
+    let mut h: Vec<f64> = match &opts.rvi.warm_start {
+        Some(w) => {
+            assert_eq!(w.len(), n, "warm start has wrong length");
+            w.clone()
+        }
+        None => vec![0.0; n],
+    };
+    let mut h_next = vec![0.0f64; n];
+    let mut policy = Policy::zeros(n);
+    let inner_opts = RviOptions { warm_start: None, ..opts.rvi.clone() };
+    let mut inner_solves = 0usize;
+
+    let mut solve_at = |rho: f64,
+                        exp_w: &mut Vec<f64>,
+                        h: &mut Vec<f64>,
+                        h_next: &mut Vec<f64>,
+                        policy: &mut Policy|
+     -> Result<f64, MdpError> {
+        CompiledMdp::combine_scalarized_into(&exp_num, &exp_den, rho, exp_w);
+        let (gain, _iters) = rvi_kernel(compiled, exp_w, h, h_next, policy, &inner_opts)?;
+        inner_solves += 1;
+        Ok(gain)
     };
 
     // Establish the bracket [lo, hi] with g(lo) > eps (if any) and
     // g(hi) <= eps.
     let mut lo = 0.0f64;
-    let sol0 = solve_at(0.0, &mut warm, &mut inner_solves)?;
-    if sol0.gain <= eps {
+    let gain0 = solve_at(0.0, &mut exp_w, &mut h, &mut h_next, &mut policy)?;
+    if gain0 <= eps {
         // Even at rho = 0 the best achievable N-rate is ~0: the ratio is 0.
-        return Ok(RatioSolution { value: 0.0, policy: sol0.policy, inner_solves });
+        return Ok(RatioSolution { value: 0.0, policy, inner_solves });
     }
-    let mut lo_policy = sol0.policy;
+    let mut lo_policy = policy.clone();
 
     let mut hi = opts.initial_hi.max(opts.tolerance);
     loop {
-        let sol = solve_at(hi, &mut warm, &mut inner_solves)?;
-        if sol.gain <= eps {
+        let gain = solve_at(hi, &mut exp_w, &mut h, &mut h_next, &mut policy)?;
+        if gain <= eps {
             break;
         }
         lo = hi;
-        lo_policy = sol.policy;
+        lo_policy.clone_from(&policy);
         hi *= 2.0;
         if hi >= 1e12 {
             return Err(MdpError::UnboundedRatio { reached: hi });
@@ -119,10 +163,10 @@ pub fn maximize_ratio(
 
     while hi - lo > opts.tolerance {
         let mid = 0.5 * (lo + hi);
-        let sol = solve_at(mid, &mut warm, &mut inner_solves)?;
-        if sol.gain > eps {
+        let gain = solve_at(mid, &mut exp_w, &mut h, &mut h_next, &mut policy)?;
+        if gain > eps {
             lo = mid;
-            lo_policy = sol.policy;
+            lo_policy.clone_from(&policy);
         } else {
             hi = mid;
         }
@@ -205,5 +249,27 @@ mod tests {
         let d = Objective::component(1, 2);
         let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
         assert!((sol.value - 0.5).abs() < 1e-4, "value {}", sol.value);
+    }
+
+    /// The compiled entry point reuses one compilation across two different
+    /// ratio objectives and matches the front door.
+    #[test]
+    fn compiled_entry_point_matches_front_door() {
+        let mut m = Mdp::new(3);
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![1.0, 1.0, 0.5])]);
+        m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![0.0, 1.0, 1.0])]);
+        m.add_action(b, 1, vec![Transition::new(b, 1.0, vec![0.2, 0.5, 0.1])]);
+        let compiled = CompiledMdp::compile(&m).unwrap();
+        let opts = RatioOptions::default();
+        for (ni, di) in [(0usize, 1usize), (0, 2)] {
+            let n = Objective::component(ni, 3);
+            let d = Objective::component(di, 3);
+            let fast = maximize_ratio_compiled(&compiled, &n, &d, &opts).unwrap();
+            let front = maximize_ratio(&m, &n, &d, &opts).unwrap();
+            assert!((fast.value - front.value).abs() < 1e-12);
+            assert_eq!(fast.policy, front.policy);
+        }
     }
 }

@@ -11,7 +11,15 @@
 //! aperiodicity transform: each action is mixed with a probability-`tau`
 //! self-loop of zero reward. The transform scales the gain by `(1 - tau)`
 //! and leaves optimal policies unchanged; the reported gain is rescaled back.
+//!
+//! The Bellman sweeps run on a [`CompiledMdp`]: rewards are collapsed to one
+//! expected scalar per arm up front ([`CompiledMdp::scalarize`]) and the
+//! inner loop walks flat probability/destination arrays. The low-level
+//! [`rvi_kernel`] works entirely in caller-owned buffers — zero heap
+//! allocation per iteration *and* per solve — which is what lets the ratio
+//! solver warm-start dozens of bisection steps in place.
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
 
@@ -61,12 +69,22 @@ pub fn relative_value_iteration(
     objective: &Objective,
     opts: &RviOptions,
 ) -> Result<RviSolution, MdpError> {
-    mdp.validate()?;
-    objective.validate(mdp)?;
-    let tau = opts.aperiodicity_tau;
-    assert!((0.0..1.0).contains(&tau), "aperiodicity_tau must be in [0,1), got {tau}");
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_objective(objective)?;
+    let exp_reward = compiled.scalarize(objective);
+    relative_value_iteration_compiled(&compiled, &exp_reward, opts)
+}
 
-    let n = mdp.num_states();
+/// [`relative_value_iteration`] on an already-compiled model and
+/// pre-scalarized per-arm expected rewards (one entry per global arm, from
+/// [`CompiledMdp::scalarize`]). Use this form when solving the same model
+/// under many objectives.
+pub fn relative_value_iteration_compiled(
+    compiled: &CompiledMdp,
+    exp_reward: &[f64],
+    opts: &RviOptions,
+) -> Result<RviSolution, MdpError> {
+    let n = compiled.num_states();
     let mut h: Vec<f64> = match &opts.warm_start {
         Some(w) => {
             assert_eq!(w.len(), n, "warm start has wrong length");
@@ -76,45 +94,61 @@ pub fn relative_value_iteration(
     };
     let mut h_next = vec![0.0f64; n];
     let mut policy = Policy::zeros(n);
+    let (gain, iterations) =
+        rvi_kernel(compiled, exp_reward, &mut h, &mut h_next, &mut policy, opts)?;
+    Ok(RviSolution { gain, bias: h, policy, iterations })
+}
 
-    // Pre-scalarize rewards: expected immediate reward per (state, action).
-    // The transition structure is reused every iteration, so scalarizing once
-    // up front removes the dot product from the hot loop.
-    let expected_reward: Vec<Vec<f64>> = (0..n)
-        .map(|s| {
-            mdp.actions(s)
-                .iter()
-                .map(|arm| {
-                    arm.transitions
-                        .iter()
-                        .map(|t| t.prob * objective.scalarize(&t.reward))
-                        .sum()
-                })
-                .collect()
-        })
-        .collect();
+/// The allocation-free RVI core: runs Bellman sweeps entirely inside the
+/// caller-owned buffers `h` (bias in/out — pre-fill for a warm start),
+/// `h_next` (scratch) and `policy` (out). All three must have one entry per
+/// state; `exp_reward` one entry per global arm. On success `h` holds the
+/// final bias normalized to `h[0] == 0`.
+///
+/// `opts.warm_start` is ignored here — the warm start *is* the incoming
+/// content of `h`.
+pub(crate) fn rvi_kernel(
+    compiled: &CompiledMdp,
+    exp_reward: &[f64],
+    h: &mut Vec<f64>,
+    h_next: &mut Vec<f64>,
+    policy: &mut Policy,
+    opts: &RviOptions,
+) -> Result<(f64, usize), MdpError> {
+    let tau = opts.aperiodicity_tau;
+    assert!((0.0..1.0).contains(&tau), "aperiodicity_tau must be in [0,1), got {tau}");
+    let n = compiled.num_states();
+    assert_eq!(h.len(), n, "bias buffer has wrong length");
+    assert_eq!(h_next.len(), n, "scratch buffer has wrong length");
+    assert_eq!(policy.choices.len(), n, "policy buffer has wrong length");
+    assert_eq!(exp_reward.len(), compiled.num_arms(), "exp_reward has wrong length");
+    let one_minus_tau = 1.0 - tau;
 
     for iter in 0..opts.max_iterations {
         let mut span_lo = f64::INFINITY;
         let mut span_hi = f64::NEG_INFINITY;
         for s in 0..n {
+            let hs = h[s];
             let mut best = f64::NEG_INFINITY;
             let mut best_a = 0;
-            for (a, arm) in mdp.actions(s).iter().enumerate() {
-                let mut q = expected_reward[s][a];
-                for t in &arm.transitions {
-                    q += t.prob * h[t.to];
+            let arms = compiled.arm_range(s);
+            let first_arm = arms.start;
+            for arm in arms {
+                let (probs, nexts) = compiled.arm_transitions(arm);
+                let mut q = exp_reward[arm];
+                for (p, &to) in probs.iter().zip(nexts) {
+                    q += p * h[to as usize];
                 }
                 // Aperiodicity transform: blend with a zero-reward self-loop.
-                let q = (1.0 - tau) * q + tau * h[s];
+                let q = one_minus_tau * q + tau * hs;
                 if q > best {
                     best = q;
-                    best_a = a;
+                    best_a = arm - first_arm;
                 }
             }
             h_next[s] = best;
             policy.choices[s] = best_a;
-            let d = best - h[s];
+            let d = best - hs;
             span_lo = span_lo.min(d);
             span_hi = span_hi.max(d);
         }
@@ -123,13 +157,13 @@ pub fn relative_value_iteration(
         for x in h_next.iter_mut() {
             *x -= offset;
         }
-        std::mem::swap(&mut h, &mut h_next);
+        std::mem::swap(h, h_next);
 
-        if span_hi - span_lo < opts.tolerance * (1.0 - tau) {
+        if span_hi - span_lo < opts.tolerance * one_minus_tau {
             // The per-step gain of the *transformed* chain lies in
             // [span_lo, span_hi]; undo the (1 - tau) reward scaling.
-            let gain = 0.5 * (span_lo + span_hi) / (1.0 - tau);
-            return Ok(RviSolution { gain, bias: h, policy, iterations: iter + 1 });
+            let gain = 0.5 * (span_lo + span_hi) / one_minus_tau;
+            return Ok((gain, iter + 1));
         }
     }
     Err(MdpError::NoConvergence {
@@ -241,5 +275,27 @@ mod tests {
         m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![2.0])]);
         let sol = solve(&m, vec![1.0]);
         assert_eq!(sol.bias[0], 0.0);
+    }
+
+    /// The compiled entry point solves the same model under two objectives
+    /// without recompiling, and agrees with the front-door call.
+    #[test]
+    fn compiled_entry_point_reuses_model() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        let c = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 0.0])]);
+        m.add_action(s, 1, vec![Transition::new(c, 1.0, vec![2.0, 1.0])]);
+        m.add_action(c, 0, vec![Transition::new(s, 1.0, vec![3.0, 0.5])]);
+        let compiled = CompiledMdp::compile(&m).unwrap();
+        let opts = RviOptions::default();
+        for weights in [vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, -2.0]] {
+            let obj = Objective::new(weights);
+            let exp = compiled.scalarize(&obj);
+            let fast = relative_value_iteration_compiled(&compiled, &exp, &opts).unwrap();
+            let front = relative_value_iteration(&m, &obj, &opts).unwrap();
+            assert!((fast.gain - front.gain).abs() < 1e-12);
+            assert_eq!(fast.policy, front.policy);
+        }
     }
 }

@@ -3,7 +3,11 @@
 //! Included for completeness, testing, and ablation benchmarks; the paper's
 //! objectives are undiscounted (see [`crate::solve::rvi`] and
 //! [`crate::solve::ratio`]).
+//!
+//! Runs on the CSR-flattened [`CompiledMdp`] with per-arm pre-scalarized
+//! rewards, like every optimizing solver in this crate.
 
+use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
 
@@ -41,15 +45,28 @@ pub fn value_iteration(
     objective: &Objective,
     opts: &ViOptions,
 ) -> Result<ViSolution, MdpError> {
-    mdp.validate()?;
-    objective.validate(mdp)?;
+    let compiled = CompiledMdp::compile(mdp)?;
+    compiled.validate_objective(objective)?;
+    let exp_reward = compiled.scalarize(objective);
+    value_iteration_compiled(&compiled, &exp_reward, opts)
+}
+
+/// [`value_iteration`] on an already-compiled model and pre-scalarized
+/// per-arm expected rewards (from [`CompiledMdp::scalarize`]).
+pub fn value_iteration_compiled(
+    compiled: &CompiledMdp,
+    exp_reward: &[f64],
+    opts: &ViOptions,
+) -> Result<ViSolution, MdpError> {
     assert!(
         opts.discount > 0.0 && opts.discount < 1.0,
         "discount must be in (0,1), got {}",
         opts.discount
     );
+    assert_eq!(exp_reward.len(), compiled.num_arms(), "exp_reward has wrong length");
 
-    let n = mdp.num_states();
+    let n = compiled.num_states();
+    let gamma = opts.discount;
     let mut v = vec![0.0f64; n];
     let mut v_next = vec![0.0f64; n];
     let mut policy = Policy::zeros(n);
@@ -59,14 +76,18 @@ pub fn value_iteration(
         for s in 0..n {
             let mut best = f64::NEG_INFINITY;
             let mut best_a = 0;
-            for (a, arm) in mdp.actions(s).iter().enumerate() {
-                let mut q = 0.0;
-                for t in &arm.transitions {
-                    q += t.prob * (objective.scalarize(&t.reward) + opts.discount * v[t.to]);
+            let arms = compiled.arm_range(s);
+            let first_arm = arms.start;
+            for arm in arms {
+                let (probs, nexts) = compiled.arm_transitions(arm);
+                let mut future = 0.0;
+                for (p, &to) in probs.iter().zip(nexts) {
+                    future += p * v[to as usize];
                 }
+                let q = exp_reward[arm] + gamma * future;
                 if q > best {
                     best = q;
-                    best_a = a;
+                    best_a = arm - first_arm;
                 }
             }
             v_next[s] = best;

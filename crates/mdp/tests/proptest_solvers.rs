@@ -173,3 +173,90 @@ proptest! {
         prop_assert!(ev.stationary.iter().all(|&p| p >= -1e-12));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential tests: the CSR-compiled solvers against the nested-layout
+// reference implementations (`bvc_mdp::solve::reference`). The two paths run
+// the same algorithms with the same warm-start and tie-breaking rules — only
+// the memory layout differs — so agreement is expected to near machine
+// precision, far tighter than the solver tolerances themselves.
+// ---------------------------------------------------------------------------
+
+use bvc_mdp::solve::reference::{
+    evaluate_policy_nested, maximize_ratio_nested, relative_value_iteration_nested,
+    value_iteration_nested,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled RVI and nested RVI return the same gain, bias and policy.
+    #[test]
+    fn compiled_rvi_matches_nested(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, 0.5]);
+        let opts = RviOptions::default();
+        let fast = relative_value_iteration(&m, &obj, &opts).unwrap();
+        let slow = relative_value_iteration_nested(&m, &obj, &opts).unwrap();
+        prop_assert!((fast.gain - slow.gain).abs() < 1e-9,
+            "gain: compiled {} vs nested {}", fast.gain, slow.gain);
+        prop_assert_eq!(&fast.policy.choices, &slow.policy.choices);
+        for (a, b) in fast.bias.iter().zip(&slow.bias) {
+            prop_assert!((a - b).abs() < 1e-9, "bias: compiled {} vs nested {}", a, b);
+        }
+    }
+
+    /// Compiled VI and nested VI return the same values and policy.
+    #[test]
+    fn compiled_vi_matches_nested(model in random_model()) {
+        let m = model.build();
+        let obj = Objective::new(vec![1.0, -0.25]);
+        let opts = ViOptions { discount: 0.9, tolerance: 1e-12, ..Default::default() };
+        let fast = value_iteration(&m, &obj, &opts).unwrap();
+        let slow = value_iteration_nested(&m, &obj, &opts).unwrap();
+        prop_assert_eq!(&fast.policy.choices, &slow.policy.choices);
+        for (a, b) in fast.values.iter().zip(&slow.values) {
+            prop_assert!((a - b).abs() < 1e-9, "value: compiled {} vs nested {}", a, b);
+        }
+    }
+
+    /// Compiled and nested fixed-policy evaluation agree on the stationary
+    /// distribution and every component rate.
+    #[test]
+    fn compiled_eval_matches_nested(model in random_model()) {
+        let m = model.build();
+        let policy = bvc_mdp::Policy::zeros(m.num_states());
+        let opts = EvalOptions::default();
+        let fast = evaluate_policy(&m, &policy, &opts).unwrap();
+        let slow = evaluate_policy_nested(&m, &policy, &opts).unwrap();
+        for (a, b) in fast.stationary.iter().zip(&slow.stationary) {
+            prop_assert!((a - b).abs() < 1e-9, "stationary: {} vs {}", a, b);
+        }
+        for (a, b) in fast.component_rates.iter().zip(&slow.component_rates) {
+            prop_assert!((a - b).abs() < 1e-9, "rate: {} vs {}", a, b);
+        }
+    }
+
+    /// The compiled ratio solver (in-place re-scalarization + warm-started
+    /// kernel) and the nested one (objective rebuilt per bisection step)
+    /// agree on the optimal ratio and the attaining policy.
+    #[test]
+    fn compiled_ratio_matches_nested(model in random_model()) {
+        let m = model.build();
+        let num = Objective::component(0, 2);
+        let den = Objective::new(vec![0.0, 1.0]);
+        let opts = RatioOptions::default();
+        let fast = maximize_ratio(&m, &num, &den, &opts);
+        let slow = maximize_ratio_nested(&m, &num, &den, &opts);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                prop_assert!((f.value - s.value).abs() < 1e-9,
+                    "ratio: compiled {} vs nested {}", f.value, s.value);
+                prop_assert_eq!(f.inner_solves, s.inner_solves);
+                prop_assert_eq!(&f.policy.choices, &s.policy.choices);
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one path failed: {:?} vs {:?}", f.is_ok(), s.is_ok()),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! # microbench — a zero-dependency criterion shim
+//!
+//! The workspace's benches were written against [criterion], which the
+//! offline build environment cannot download. This crate re-implements the
+//! subset of criterion's API those benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`sample_size`/`finish`, the `Bencher`
+//! closure protocol and the `criterion_group!`/`criterion_main!` macros — on
+//! `std::time::Instant`, reporting median / mean / min per benchmark.
+//!
+//! The workspace imports it under the name `criterion` (Cargo dependency
+//! renaming), so bench files keep their original imports and would keep
+//! compiling against the real crate.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { sample_size: 30 }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup { sample_size: 30 };
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut ns: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        let min = ns[0];
+        println!(
+            "{name:<44} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            ns.len()
+        );
+        self
+    }
+
+    /// Ends the group (criterion API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Times one sample of the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once under the clock and records the elapsed time as
+    /// one sample. (Criterion's batching heuristics are unnecessary at the
+    /// millisecond scale of this workspace's solver benches.)
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Formats nanoseconds human-readably.
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group-running function from benchmark functions (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-test");
+        g.sample_size(5);
+        let mut runs = 0usize;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warm-up + 5 timed samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -102,30 +102,62 @@ pub fn render_grid(
 /// Evaluates `f` over `inputs` in parallel with scoped threads, preserving
 /// input order in the output. Used by the table binaries to sweep parameter
 /// cells across cores.
+///
+/// Scheduling is dynamic: workers claim the next unprocessed cell through a
+/// shared atomic cursor, so heterogeneous cells (MDP solves whose cost
+/// varies by orders of magnitude across the parameter grid) balance across
+/// cores instead of being pinned to fixed chunks. Results are slotted back
+/// by index, so output order always matches input order.
+///
+/// # Panics
+/// If `f` panics on any input, the *original* panic payload is re-raised in
+/// the caller once all workers have stopped (scoped-thread handles are
+/// joined explicitly so the payload survives instead of being replaced by
+/// the generic "a scoped thread panicked" abort).
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let n = inputs.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chunk = n.div_ceil(threads.max(1));
-    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slice_in, slice_out) in
-            inputs.chunks(chunk.max(1)).zip(out.chunks_mut(chunk.max(1)))
-        {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (i, o) in slice_in.iter().zip(slice_out.iter_mut()) {
-                    *o = Some(f(i));
-                }
-            });
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let o = f(&inputs[i]);
+                    out.lock().expect("result vector poisoned")[i] = Some(o);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic_payload.get_or_insert(payload);
+            }
         }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|o| o.expect("all cells computed")).collect()
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    out.into_inner()
+        .expect("result vector poisoned")
+        .into_iter()
+        .map(|o| o.expect("all cells computed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,6 +169,38 @@ mod tests {
         let inputs: Vec<u64> = (0..100).collect();
         let out = parallel_map(inputs.clone(), |&x| x * 2);
         assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out = parallel_map(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_balances_uneven_work() {
+        // One expensive cell among many cheap ones: dynamic claiming must
+        // still return every result in input order.
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = parallel_map(inputs, |&x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 13 exploded")]
+    fn parallel_map_propagates_worker_panic_payload() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let _ = parallel_map(inputs, |&x| {
+            if x == 13 {
+                panic!("cell {x} exploded");
+            }
+            x
+        });
     }
 
     #[test]

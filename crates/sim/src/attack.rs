@@ -18,9 +18,8 @@
 
 use bvc_bu::{Action, AttackModel, AttackState, IncentiveModel, Setting};
 use bvc_chain::{BlockId, BlockTree, BuRizunRule, ByteSize, MinerId, NodeView};
+use bvc_mdp::solve::XorShift64;
 use bvc_mdp::Policy;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Miner indices in the replay.
 pub const ALICE: MinerId = MinerId(0);
@@ -75,7 +74,7 @@ impl ReplayReport {
 pub struct AttackReplay<'a> {
     model: &'a AttackModel,
     policy: &'a Policy,
-    rng: StdRng,
+    rng: XorShift64,
     tree: BlockTree,
     bob: NodeView<BuRizunRule>,
     carol: NodeView<BuRizunRule>,
@@ -105,7 +104,7 @@ impl<'a> AttackReplay<'a> {
         AttackReplay {
             model,
             policy,
-            rng: StdRng::seed_from_u64(seed),
+            rng: XorShift64::new(seed),
             tree: BlockTree::new(),
             bob: NodeView::new(BuRizunRule::without_sticky_gate(eb_b, ad)),
             carol: NodeView::new(BuRizunRule::without_sticky_gate(eb_c, ad)),
@@ -212,7 +211,7 @@ impl<'a> AttackReplay<'a> {
                 Action::Wait => (0.0, cfg.beta / (cfg.beta + cfg.gamma)),
                 _ => (cfg.alpha, cfg.beta),
             };
-            let x: f64 = self.rng.gen();
+            let x: f64 = self.rng.next_f64();
             let (miner, parent, size) = if x < pa {
                 // Alice mines according to her action.
                 let (parent, size) = match (state.forked(), action) {

@@ -11,8 +11,7 @@ use std::collections::{HashMap, HashSet};
 
 use bvc_chain::incremental::{IncrementalRule, IncrementalView};
 use bvc_chain::{BlockId, BlockTree, MinerId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bvc_mdp::solve::XorShift64;
 
 use crate::events::{Event, EventQueue};
 use crate::strategy::{MinerStrategy, StrategyContext};
@@ -158,7 +157,7 @@ pub struct Simulation<R: IncrementalRule> {
     powers: Vec<f64>,
     delay: DelayModel,
     queue: EventQueue,
-    rng: StdRng,
+    rng: XorShift64,
     time: f64,
     reorgs: Vec<Reorg>,
     blocks_mined: usize,
@@ -190,7 +189,7 @@ impl<R: IncrementalRule> Simulation<R> {
             powers,
             delay,
             queue: EventQueue::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: XorShift64::new(seed),
             time: 0.0,
             reorgs: Vec::new(),
             blocks_mined: 0,
@@ -208,13 +207,13 @@ impl<R: IncrementalRule> Simulation<R> {
     }
 
     fn exp_sample(&mut self) -> f64 {
-        // Inverse-CDF sampling; gen::<f64>() is in [0, 1).
-        let u: f64 = self.rng.gen();
+        // Inverse-CDF sampling; next_f64() is in [0, 1).
+        let u: f64 = self.rng.next_f64();
         -(1.0 - u).ln()
     }
 
     fn sample_finder(&mut self) -> usize {
-        let x: f64 = self.rng.gen();
+        let x: f64 = self.rng.next_f64();
         let mut acc = 0.0;
         for (i, &p) in self.powers.iter().enumerate() {
             acc += p;

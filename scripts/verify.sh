@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, offline-friendly.
+#
+# Everything this workspace depends on lives in-tree (the proptest/criterion
+# API shims are the path crates `crates/propcheck` / `crates/microbench`),
+# so the whole gate must pass with no registry or network access.
+#
+#   scripts/verify.sh           # build + full workspace tests + timing smoke
+#   scripts/verify.sh --no-smoke  # skip the sweep_timing smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --offline makes "accidentally grew a registry dependency" a hard error
+# rather than a hidden network fetch.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline, all workspace crates)"
+cargo test -q --offline --workspace
+
+if [[ "${1:-}" != "--no-smoke" ]]; then
+    echo "==> sweep_timing smoke (Table 2, quick column)"
+    cargo run --release --offline -p bvc-bench --bin sweep_timing -- --quick
+fi
+
+echo "==> OK"
