@@ -5,20 +5,30 @@
 //! (22 setting-1 cells across α ∈ {10,15,20,25}% and six β:γ ratios; with
 //! `--full`, also the four setting-2 cells at α = 25%), each solved for the
 //! maximal relative revenue u1 by bisection over ρ with warm-started inner
-//! RVI solves. Both paths sweep through `bvc_repro::parallel_map`, so the
-//! comparison isolates the solver memory layout, not the thread pool.
+//! RVI solves. The nested baseline sweeps through
+//! `bvc_repro::parallel_map`; the compiled path runs through the resilient
+//! sweep runner (`bvc_repro::sweep::run_sweep`) exactly as the table
+//! binaries do, so the timing includes the runner's per-cell isolation and
+//! retry accounting — its overhead (one `catch_unwind` frame and an atomic
+//! claim per cell) is far below the per-cell solve cost, so the comparison
+//! still isolates the solver memory layout.
 //!
 //! ```console
 //! $ cargo run --release -p bvc-bench --bin sweep_timing             # setting 1, 1 rep
 //! $ cargo run --release -p bvc-bench --bin sweep_timing -- --quick  # smoke: α = 10% column
 //! $ cargo run --release -p bvc-bench --bin sweep_timing -- --full --reps 3
 //! ```
+//!
+//! Also accepts the standard sweep-runner flags (see `bvc_repro::sweep`);
+//! note `--journal` replays cells on every rep after the first, which makes
+//! the timed numbers meaningless — use it only to inspect runner behaviour.
 
 use bvc_bench::timing::time_runs_cold;
 use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
 use bvc_mdp::solve::reference::maximize_ratio_nested;
 use bvc_mdp::solve::{RatioOptions, RviOptions};
 use bvc_repro::parallel_map;
+use bvc_repro::sweep::{run_sweep, SweepOptions};
 
 /// One Table 2 cell: power split and sticky-gate setting.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +90,8 @@ fn ratio_opts() -> RatioOptions {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut sweep_opts, args) = SweepOptions::from_cli(std::env::args().skip(1));
+    sweep_opts.config_token = SolveOptions::default().fingerprint_token();
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
     let reps = args
@@ -120,19 +131,44 @@ fn main() {
     });
     println!("nested   (baseline): {}  {:>7.2} cells/s", nested.summary(), nested.throughput(n));
 
-    let mut compiled_vals = Vec::new();
+    let indices: Vec<usize> = (0..n).collect();
+    let mut last_report = None;
     let compiled = time_runs_cold(reps, || {
-        compiled_vals = parallel_map(models.iter().collect(), |m| {
-            m.optimal_relative_revenue(&SolveOptions::default()).expect("solver converges").value
-        });
+        last_report = Some(run_sweep(
+            "sweep-timing",
+            &indices,
+            &sweep_opts,
+            |&i| {
+                let c = &cells[i];
+                let tag = match c.setting {
+                    Setting::One => 1,
+                    Setting::Two => 2,
+                };
+                format!("s{tag} b:g={}:{} a={}%", c.ratio.0, c.ratio.1, c.alpha * 100.0)
+            },
+            |&i, ctx| {
+                Ok(models[i]
+                    .optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?
+                    .value)
+            },
+        ));
     });
+    let report = last_report.expect("at least one rep ran");
     println!("compiled (CSR):      {}  {:>7.2} cells/s", compiled.summary(), compiled.throughput(n));
     println!(
         "speedup: {:.2}x (min-over-min wall clock)",
         nested.min().as_secs_f64() / compiled.min().as_secs_f64()
     );
+    println!("{}", report.summary());
+    print!("{}", report.failure_legend());
+    if report.has_failures() {
+        println!("compiled sweep INCOMPLETE: skipping the path cross-check.");
+        std::process::exit(report.exit_code());
+    }
 
     // Guard against the two paths silently diverging while we time them.
+    let compiled_vals: Vec<f64> =
+        (0..n).map(|i| *report.value(i).expect("no failures above")).collect();
     let max_dev = nested_vals
         .iter()
         .zip(&compiled_vals)

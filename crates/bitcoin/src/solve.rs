@@ -4,7 +4,7 @@ use bvc_mdp::solve::{
     evaluate_policy, maximize_ratio, relative_value_iteration, EvalOptions, RatioOptions,
     RviOptions,
 };
-use bvc_mdp::{MdpError, Objective, Policy};
+use bvc_mdp::{MdpError, Objective, Policy, SolveBudget};
 
 use crate::model::{BitcoinModel, COMPONENTS, DS, RA, ROTHERS};
 use crate::state::SmAction;
@@ -16,11 +16,49 @@ pub struct SolveOptions {
     pub ratio_tolerance: f64,
     /// Average-reward tolerance (also used for absolute revenue).
     pub gain_tolerance: f64,
+    /// Iteration budget of the inner RVI solver (escalated on retry by
+    /// sweep runners).
+    pub max_iterations: usize,
+    /// Aperiodicity mixing weight of the inner RVI solver, in `[0, 1)`.
+    pub aperiodicity_tau: f64,
+    /// Wall-clock deadline / cooperative cancellation for inner solvers.
+    pub budget: SolveBudget,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { ratio_tolerance: 1e-5, gain_tolerance: 1e-7 }
+        let rvi = RviOptions::default();
+        SolveOptions {
+            ratio_tolerance: 1e-5,
+            gain_tolerance: 1e-7,
+            max_iterations: rvi.max_iterations,
+            aperiodicity_tau: rvi.aperiodicity_tau,
+            budget: SolveBudget::unlimited(),
+        }
+    }
+}
+
+impl SolveOptions {
+    fn rvi_opts(&self) -> RviOptions {
+        RviOptions {
+            tolerance: self.gain_tolerance,
+            max_iterations: self.max_iterations,
+            aperiodicity_tau: self.aperiodicity_tau,
+            budget: self.budget.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Stable token over the result-affecting numeric knobs; see
+    /// `bvc_bu::SolveOptions::fingerprint_token`.
+    pub fn fingerprint_token(&self) -> String {
+        format!(
+            "rt={:016x};gt={:016x};mi={};tau={:016x}",
+            self.ratio_tolerance.to_bits(),
+            self.gain_tolerance.to_bits(),
+            self.max_iterations,
+            self.aperiodicity_tau.to_bits(),
+        )
     }
 }
 
@@ -64,7 +102,7 @@ impl BitcoinModel {
             &u1_denominator(),
             &RatioOptions {
                 tolerance: opts.ratio_tolerance,
-                rvi: RviOptions { tolerance: opts.gain_tolerance, ..Default::default() },
+                rvi: opts.rvi_opts(),
                 initial_hi: 1.0,
             },
         )?;
@@ -78,11 +116,7 @@ impl BitcoinModel {
         &self,
         opts: &SolveOptions,
     ) -> Result<OptimalStrategy, MdpError> {
-        let sol = relative_value_iteration(
-            self.mdp(),
-            &u2_objective(),
-            &RviOptions { tolerance: opts.gain_tolerance, ..Default::default() },
-        )?;
+        let sol = relative_value_iteration(self.mdp(), &u2_objective(), &opts.rvi_opts())?;
         Ok(OptimalStrategy { value: sol.gain, policy: sol.policy })
     }
 

@@ -6,7 +6,7 @@ use bvc_mdp::solve::{
     evaluate_policy, maximize_ratio, relative_value_iteration, EvalOptions, RatioOptions,
     RviOptions,
 };
-use bvc_mdp::{MdpError, Policy};
+use bvc_mdp::{MdpError, Policy, SolveBudget};
 
 use crate::model::AttackModel;
 use crate::rewards;
@@ -20,11 +20,27 @@ pub struct SolveOptions {
     pub ratio_tolerance: f64,
     /// Inner average-reward tolerance (also used directly for `u2`).
     pub gain_tolerance: f64,
+    /// Iteration budget of the inner RVI solver. Sweep runners escalate
+    /// this on [`MdpError::NoConvergence`] retries.
+    pub max_iterations: usize,
+    /// Aperiodicity mixing weight of the inner RVI solver, in `[0, 1)`.
+    /// Sweep runners nudge this upward on retries to break periodic stalls.
+    pub aperiodicity_tau: f64,
+    /// Wall-clock deadline / cooperative cancellation, threaded through to
+    /// every inner solver iteration. Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { ratio_tolerance: 1e-5, gain_tolerance: 1e-7 }
+        let rvi = RviOptions::default();
+        SolveOptions {
+            ratio_tolerance: 1e-5,
+            gain_tolerance: 1e-7,
+            max_iterations: rvi.max_iterations,
+            aperiodicity_tau: rvi.aperiodicity_tau,
+            budget: SolveBudget::unlimited(),
+        }
     }
 }
 
@@ -32,13 +48,33 @@ impl SolveOptions {
     fn ratio_opts(&self) -> RatioOptions {
         RatioOptions {
             tolerance: self.ratio_tolerance,
-            rvi: RviOptions { tolerance: self.gain_tolerance, ..Default::default() },
+            rvi: self.rvi_opts(),
             initial_hi: 1.0,
         }
     }
 
     fn rvi_opts(&self) -> RviOptions {
-        RviOptions { tolerance: self.gain_tolerance, ..Default::default() }
+        RviOptions {
+            tolerance: self.gain_tolerance,
+            max_iterations: self.max_iterations,
+            aperiodicity_tau: self.aperiodicity_tau,
+            budget: self.budget.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// A stable token identifying every numeric knob that can change a
+    /// solver's *result* (budgets and deadlines are excluded: they change
+    /// whether a cell solves, never its value). Checkpoint journals key
+    /// cell fingerprints off this so stale results are re-solved.
+    pub fn fingerprint_token(&self) -> String {
+        format!(
+            "rt={:016x};gt={:016x};mi={};tau={:016x}",
+            self.ratio_tolerance.to_bits(),
+            self.gain_tolerance.to_bits(),
+            self.max_iterations,
+            self.aperiodicity_tau.to_bits(),
+        )
     }
 }
 

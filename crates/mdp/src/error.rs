@@ -79,6 +79,63 @@ pub enum MdpError {
         /// Number of components the model declares.
         expected: usize,
     },
+    /// A caller-supplied buffer or vector (warm start, scratch space,
+    /// pre-scalarized rewards) has the wrong length for the model.
+    Shape {
+        /// Which buffer is malformed.
+        what: &'static str,
+        /// Length found.
+        found: usize,
+        /// Length the model requires.
+        expected: usize,
+    },
+    /// A numeric solver option is outside its valid range (e.g. an
+    /// aperiodicity mixing weight or discount factor not in `[0, 1)`).
+    BadOption {
+        /// Which option is out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A solve ran past its wall-clock deadline
+    /// (see [`crate::budget::SolveBudget`]).
+    DeadlineExceeded {
+        /// Name of the solver whose loop hit the deadline.
+        solver: &'static str,
+        /// Iterations completed when the deadline fired.
+        iterations: usize,
+        /// How far past the deadline the check observed the clock, in
+        /// milliseconds (granularity depends on the check interval).
+        over_by_ms: u64,
+    },
+    /// A solve was cancelled through its budget's shared cancel flag.
+    Cancelled {
+        /// Name of the solver whose loop observed the flag.
+        solver: &'static str,
+        /// Iterations completed at cancellation.
+        iterations: usize,
+    },
+    /// A hitting-time query's target set is not reachable from some state,
+    /// making its expected hitting time infinite.
+    UnreachableTarget {
+        /// A state that cannot reach the target set.
+        state: usize,
+    },
+}
+
+impl MdpError {
+    /// True for failures a retry with a larger budget could plausibly cure
+    /// (currently only [`MdpError::NoConvergence`]): the escalation policy
+    /// of sweep runners keys off this.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MdpError::NoConvergence { .. })
+    }
+
+    /// True when the solve was stopped from outside (cancel flag), as
+    /// opposed to failing on its own.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, MdpError::Cancelled { .. })
+    }
 }
 
 impl fmt::Display for MdpError {
@@ -120,6 +177,24 @@ impl fmt::Display for MdpError {
                 f,
                 "objective weight vector has {found} components, expected {expected}"
             ),
+            MdpError::Shape { what, found, expected } => {
+                write!(f, "{what} has length {found}, expected {expected}")
+            }
+            MdpError::BadOption { what, value } => {
+                write!(f, "solver option {what} is out of range: {value}")
+            }
+            MdpError::DeadlineExceeded { solver, iterations, over_by_ms } => write!(
+                f,
+                "{solver} exceeded its wall-clock deadline after {iterations} iterations \
+                 (observed {over_by_ms} ms past the deadline)"
+            ),
+            MdpError::Cancelled { solver, iterations } => {
+                write!(f, "{solver} was cancelled after {iterations} iterations")
+            }
+            MdpError::UnreachableTarget { state } => write!(
+                f,
+                "target set is unreachable from state {state}; its expected hitting time is infinite"
+            ),
         }
     }
 }
@@ -148,5 +223,25 @@ mod tests {
     fn no_convergence_displays_solver_name() {
         let e = MdpError::NoConvergence { solver: "rvi", iterations: 10, residual: 1.0 };
         assert!(e.to_string().contains("rvi"));
+    }
+
+    #[test]
+    fn shape_and_option_errors_display_context() {
+        let e = MdpError::Shape { what: "warm start", found: 3, expected: 7 };
+        assert!(e.to_string().contains("warm start"));
+        assert!(e.to_string().contains('7'));
+        let e = MdpError::BadOption { what: "aperiodicity_tau", value: 1.5 };
+        assert!(e.to_string().contains("aperiodicity_tau"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(MdpError::NoConvergence { solver: "x", iterations: 1, residual: 0.1 }
+            .is_retryable());
+        assert!(!MdpError::Empty.is_retryable());
+        assert!(!MdpError::DeadlineExceeded { solver: "x", iterations: 1, over_by_ms: 0 }
+            .is_retryable());
+        assert!(MdpError::Cancelled { solver: "x", iterations: 1 }.is_cancellation());
+        assert!(!MdpError::Empty.is_cancellation());
     }
 }

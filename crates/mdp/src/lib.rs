@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod compiled;
 pub mod error;
 pub mod indexer;
 pub mod model;
 pub mod solve;
 
+pub use budget::SolveBudget;
 pub use compiled::CompiledMdp;
 pub use error::MdpError;
 pub use indexer::{explore, ActionSpec, Explored, StateIndexer};

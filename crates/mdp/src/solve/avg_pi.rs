@@ -8,6 +8,7 @@
 //! and serves as a cross-check on RVI in the test suite (two very
 //! different iteration schemes agreeing on the same gain).
 
+use crate::budget::SolveBudget;
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
@@ -27,6 +28,9 @@ pub struct AvgPiOptions {
     pub damping: f64,
     /// Options for the stationary-distribution computation.
     pub eval: EvalOptions,
+    /// Wall-clock deadline / cancellation checked each bias sweep and
+    /// improvement step. Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for AvgPiOptions {
@@ -37,6 +41,7 @@ impl Default for AvgPiOptions {
             max_improvements: 500,
             damping: 0.05,
             eval: EvalOptions::default(),
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -63,10 +68,15 @@ fn bias_of(
     gain: f64,
     opts: &AvgPiOptions,
 ) -> Result<Vec<f64>, MdpError> {
+    if !(0.0..1.0).contains(&opts.damping) {
+        return Err(MdpError::BadOption { what: "damping", value: opts.damping });
+    }
     let n = compiled.num_states();
     let d = opts.damping;
     let mut h = vec![0.0f64; n];
-    for _ in 0..opts.max_bias_sweeps {
+    let mut last_delta = f64::INFINITY;
+    for sweep in 0..opts.max_bias_sweeps {
+        opts.budget.check("average_reward_policy_iteration (bias)", sweep)?;
         let mut delta = 0.0f64;
         for s in 0..n {
             let arm = compiled.policy_arm(policy, s);
@@ -84,6 +94,7 @@ fn bias_of(
         for x in h.iter_mut() {
             *x -= offset;
         }
+        last_delta = delta;
         if delta < opts.bias_tolerance {
             return Ok(h);
         }
@@ -91,7 +102,7 @@ fn bias_of(
     Err(MdpError::NoConvergence {
         solver: "average_reward_policy_iteration (bias)",
         iterations: opts.max_bias_sweeps,
-        residual: f64::NAN,
+        residual: last_delta,
     })
 }
 
@@ -107,7 +118,9 @@ pub fn average_reward_policy_iteration(
     let n = compiled.num_states();
     let mut policy = Policy::zeros(n);
 
+    let mut last_gain = f64::NAN;
     for step in 0..opts.max_improvements {
+        opts.budget.check("average_reward_policy_iteration", step)?;
         let ev = evaluate_policy_compiled(&compiled, &policy, &opts.eval)?;
         let gain = ev.rate(&objective.weights);
         let h = bias_of(&compiled, &exp_reward, &policy, gain, opts)?;
@@ -141,11 +154,14 @@ pub fn average_reward_policy_iteration(
         if !changed {
             return Ok(AvgPiSolution { gain, bias: h, policy, improvements: step + 1 });
         }
+        last_gain = gain;
     }
     Err(MdpError::NoConvergence {
         solver: "average_reward_policy_iteration",
         iterations: opts.max_improvements,
-        residual: f64::NAN,
+        // Policy iteration has no natural residual; report the last gain so
+        // the error at least names where the search stalled.
+        residual: last_gain,
     })
 }
 

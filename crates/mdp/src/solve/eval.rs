@@ -92,7 +92,9 @@ pub fn evaluate_policy_compiled(
     opts: &EvalOptions,
 ) -> Result<PolicyEvaluation, MdpError> {
     compiled.validate_policy(policy)?;
-    assert!((0.0..1.0).contains(&opts.damping), "damping must be in [0,1)");
+    if !(0.0..1.0).contains(&opts.damping) {
+        return Err(MdpError::BadOption { what: "damping", value: opts.damping });
+    }
 
     let n = compiled.num_states();
     let mut pi = vec![1.0 / n as f64; n];

@@ -56,6 +56,7 @@ pub fn hitting_probability(
         frozen[a] = true;
     }
     let chosen: Vec<usize> = (0..n).map(|s| compiled.policy_arm(policy, s)).collect();
+    let mut last_delta = f64::INFINITY;
     for sweep in 0..opts.max_sweeps {
         let mut delta = 0.0f64;
         for s in 0..n {
@@ -70,6 +71,7 @@ pub fn hitting_probability(
             delta = delta.max((x - p[s]).abs());
             p[s] = x;
         }
+        last_delta = delta;
         if delta < opts.tolerance {
             return Ok(p);
         }
@@ -80,18 +82,17 @@ pub fn hitting_probability(
     Err(MdpError::NoConvergence {
         solver: "hitting_probability",
         iterations: opts.max_sweeps,
-        residual: f64::NAN,
+        residual: last_delta,
     })
 }
 
 /// For every state, the expected number of steps until the chain induced
 /// by `policy` first reaches a state in `targets`.
 ///
-/// # Panics
-/// Panics if some state cannot reach `targets` at all (its expected time
-/// is infinite); callers should restrict to models where the target set is
-/// reachable from everywhere, which holds for the recurrent base states of
-/// the mining models.
+/// Returns [`MdpError::UnreachableTarget`] if some state cannot reach
+/// `targets` at all (its expected time is infinite); callers should restrict
+/// to models where the target set is reachable from everywhere, which holds
+/// for the recurrent base states of the mining models.
 pub fn expected_hitting_time(
     mdp: &Mdp,
     policy: &Policy,
@@ -124,16 +125,16 @@ pub fn expected_hitting_time(
             break;
         }
     }
-    assert!(
-        reaches.iter().all(|&r| r),
-        "expected_hitting_time requires the target set to be reachable from every state"
-    );
+    if let Some(state) = reaches.iter().position(|&r| !r) {
+        return Err(MdpError::UnreachableTarget { state });
+    }
 
     let mut is_target = vec![false; n];
     for &t in targets {
         is_target[t] = true;
     }
     let mut h = vec![0.0f64; n];
+    let mut last_delta = f64::INFINITY;
     for sweep in 0..opts.max_sweeps {
         let mut delta = 0.0f64;
         for s in 0..n {
@@ -148,6 +149,7 @@ pub fn expected_hitting_time(
             delta = delta.max((x - h[s]).abs());
             h[s] = x;
         }
+        last_delta = delta;
         if delta < opts.tolerance {
             return Ok(h);
         }
@@ -158,7 +160,7 @@ pub fn expected_hitting_time(
     Err(MdpError::NoConvergence {
         solver: "expected_hitting_time",
         iterations: opts.max_sweeps,
-        residual: f64::NAN,
+        residual: last_delta,
     })
 }
 
@@ -241,8 +243,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reachable from every state")]
-    fn unreachable_target_panics() {
+    fn unreachable_target_is_a_structured_error() {
         // Two disconnected self-loops.
         let mut m = Mdp::new(1);
         let a = m.add_state();
@@ -250,11 +251,13 @@ mod tests {
         m.add_action(a, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
         m.add_action(b, 0, vec![Transition::new(b, 1.0, vec![0.0])]);
         let targets: HashSet<_> = [b].into_iter().collect();
-        let _ = expected_hitting_time(
+        let err = expected_hitting_time(
             &m,
             &Policy::zeros(2),
             &targets,
             &HittingOptions::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, MdpError::UnreachableTarget { state: a });
     }
 }

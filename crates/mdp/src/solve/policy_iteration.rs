@@ -8,6 +8,7 @@
 //! Evaluation and improvement sweeps both run on the CSR-flattened
 //! [`CompiledMdp`] with per-arm pre-scalarized rewards.
 
+use crate::budget::SolveBudget;
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
@@ -23,6 +24,9 @@ pub struct PiOptions {
     pub max_eval_sweeps: usize,
     /// Budget for policy improvement steps.
     pub max_improvements: usize,
+    /// Wall-clock deadline / cancellation checked each evaluation sweep.
+    /// Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for PiOptions {
@@ -32,6 +36,7 @@ impl Default for PiOptions {
             eval_tolerance: 1e-10,
             max_eval_sweeps: 100_000,
             max_improvements: 1_000,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -56,11 +61,9 @@ pub fn policy_iteration(
 ) -> Result<PiSolution, MdpError> {
     let compiled = CompiledMdp::compile(mdp)?;
     compiled.validate_objective(objective)?;
-    assert!(
-        opts.discount > 0.0 && opts.discount < 1.0,
-        "discount must be in (0,1), got {}",
-        opts.discount
-    );
+    if !(opts.discount > 0.0 && opts.discount < 1.0) {
+        return Err(MdpError::BadOption { what: "discount", value: opts.discount });
+    }
     let exp_reward = compiled.scalarize(objective);
     let gamma = opts.discount;
 
@@ -69,9 +72,12 @@ pub fn policy_iteration(
     let mut v = vec![0.0f64; n];
 
     for step in 0..opts.max_improvements {
+        opts.budget.check("policy_iteration", step)?;
         // Policy evaluation: Gauss–Seidel fixed-point sweeps, in place.
         let mut converged = false;
-        for _ in 0..opts.max_eval_sweeps {
+        let mut last_delta = f64::INFINITY;
+        for sweep in 0..opts.max_eval_sweeps {
+            opts.budget.check("policy_iteration (evaluation)", sweep)?;
             let mut delta = 0.0f64;
             for s in 0..n {
                 let arm = compiled.policy_arm(&policy, s);
@@ -84,6 +90,7 @@ pub fn policy_iteration(
                 delta = delta.max((x - v[s]).abs());
                 v[s] = x;
             }
+            last_delta = delta;
             if delta < opts.eval_tolerance {
                 converged = true;
                 break;
@@ -93,7 +100,7 @@ pub fn policy_iteration(
             return Err(MdpError::NoConvergence {
                 solver: "policy_iteration (evaluation)",
                 iterations: opts.max_eval_sweeps,
-                residual: f64::NAN,
+                residual: last_delta,
             });
         }
 
@@ -127,10 +134,11 @@ pub fn policy_iteration(
             return Ok(PiSolution { values: v, policy, improvements: step + 1 });
         }
     }
+    // The improvement loop has no residual: it either stabilizes or cycles.
     Err(MdpError::NoConvergence {
         solver: "policy_iteration",
         iterations: opts.max_improvements,
-        residual: f64::NAN,
+        residual: 0.0,
     })
 }
 

@@ -115,7 +115,9 @@ pub fn maximize_ratio_compiled(
     // inner solve converges in a fraction of a cold start's iterations.
     let mut h: Vec<f64> = match &opts.rvi.warm_start {
         Some(w) => {
-            assert_eq!(w.len(), n, "warm start has wrong length");
+            if w.len() != n {
+                return Err(MdpError::Shape { what: "warm start", found: w.len(), expected: n });
+            }
             w.clone()
         }
         None => vec![0.0; n],
@@ -249,6 +251,45 @@ mod tests {
         let d = Objective::component(1, 2);
         let sol = maximize_ratio(&m, &n, &d, &RatioOptions::default()).unwrap();
         assert!((sol.value - 0.5).abs() < 1e-4, "value {}", sol.value);
+    }
+
+    #[test]
+    fn wrong_length_warm_start_is_a_shape_error() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 2.0])]);
+        let mut opts = RatioOptions::default();
+        opts.rvi.warm_start = Some(vec![0.0; 3]);
+        let err = maximize_ratio(
+            &m,
+            &Objective::component(0, 2),
+            &Objective::component(1, 2),
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(err, MdpError::Shape { what: "warm start", found: 3, expected: 1 });
+    }
+
+    /// The budget threads through `RatioOptions::rvi` into every inner
+    /// solve, so a raised cancel flag aborts the whole bisection.
+    #[test]
+    fn cancel_flag_aborts_bisection() {
+        use crate::budget::SolveBudget;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 2.0])]);
+        let mut opts = RatioOptions::default();
+        opts.rvi.budget = SolveBudget::unlimited().with_cancel(Arc::new(AtomicBool::new(true)));
+        let err = maximize_ratio(
+            &m,
+            &Objective::component(0, 2),
+            &Objective::component(1, 2),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(err.is_cancellation(), "{err:?}");
     }
 
     /// The compiled entry point reuses one compilation across two different

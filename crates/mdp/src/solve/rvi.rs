@@ -19,6 +19,7 @@
 //! allocation per iteration *and* per solve — which is what lets the ratio
 //! solver warm-start dozens of bisection steps in place.
 
+use crate::budget::SolveBudget;
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
@@ -36,6 +37,9 @@ pub struct RviOptions {
     /// Optional initial bias vector (warm start), e.g. from a previous solve
     /// of a nearby model. Must have one entry per state if present.
     pub warm_start: Option<Vec<f64>>,
+    /// Wall-clock deadline and cooperative cancellation, checked at each
+    /// iteration boundary. Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for RviOptions {
@@ -45,6 +49,7 @@ impl Default for RviOptions {
             max_iterations: 2_000_000,
             aperiodicity_tau: 0.05,
             warm_start: None,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -87,7 +92,9 @@ pub fn relative_value_iteration_compiled(
     let n = compiled.num_states();
     let mut h: Vec<f64> = match &opts.warm_start {
         Some(w) => {
-            assert_eq!(w.len(), n, "warm start has wrong length");
+            if w.len() != n {
+                return Err(MdpError::Shape { what: "warm start", found: w.len(), expected: n });
+            }
             w.clone()
         }
         None => vec![0.0; n],
@@ -115,16 +122,30 @@ pub(crate) fn rvi_kernel(
     policy: &mut Policy,
     opts: &RviOptions,
 ) -> Result<(f64, usize), MdpError> {
+    const SOLVER: &str = "relative_value_iteration";
     let tau = opts.aperiodicity_tau;
-    assert!((0.0..1.0).contains(&tau), "aperiodicity_tau must be in [0,1), got {tau}");
+    if !(0.0..1.0).contains(&tau) {
+        return Err(MdpError::BadOption { what: "aperiodicity_tau", value: tau });
+    }
     let n = compiled.num_states();
-    assert_eq!(h.len(), n, "bias buffer has wrong length");
-    assert_eq!(h_next.len(), n, "scratch buffer has wrong length");
-    assert_eq!(policy.choices.len(), n, "policy buffer has wrong length");
-    assert_eq!(exp_reward.len(), compiled.num_arms(), "exp_reward has wrong length");
+    let arms = compiled.num_arms();
+    for (what, found, expected) in [
+        ("bias buffer", h.len(), n),
+        ("scratch buffer", h_next.len(), n),
+        ("policy buffer", policy.choices.len(), n),
+        ("exp_reward", exp_reward.len(), arms),
+    ] {
+        if found != expected {
+            return Err(MdpError::Shape { what, found, expected });
+        }
+    }
     let one_minus_tau = 1.0 - tau;
 
+    // Span seminorm of the last completed sweep, rescaled to the caller's
+    // (untransformed) reward units so it compares directly to `tolerance`.
+    let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iterations {
+        opts.budget.check(SOLVER, iter)?;
         let mut span_lo = f64::INFINITY;
         let mut span_hi = f64::NEG_INFINITY;
         for s in 0..n {
@@ -159,6 +180,7 @@ pub(crate) fn rvi_kernel(
         }
         std::mem::swap(h, h_next);
 
+        last_residual = (span_hi - span_lo) / one_minus_tau;
         if span_hi - span_lo < opts.tolerance * one_minus_tau {
             // The per-step gain of the *transformed* chain lies in
             // [span_lo, span_hi]; undo the (1 - tau) reward scaling.
@@ -167,9 +189,9 @@ pub(crate) fn rvi_kernel(
         }
     }
     Err(MdpError::NoConvergence {
-        solver: "relative_value_iteration",
+        solver: SOLVER,
         iterations: opts.max_iterations,
-        residual: f64::NAN,
+        residual: last_residual,
     })
 }
 
@@ -275,6 +297,84 @@ mod tests {
         m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![2.0])]);
         let sol = solve(&m, vec![1.0]);
         assert_eq!(sol.bias[0], 0.0);
+    }
+
+    #[test]
+    fn wrong_length_warm_start_is_a_shape_error() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
+        let opts = RviOptions { warm_start: Some(vec![0.0; 5]), ..Default::default() };
+        let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+        assert_eq!(err, MdpError::Shape { what: "warm start", found: 5, expected: 1 });
+    }
+
+    #[test]
+    fn bad_tau_is_a_structured_error() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
+        for tau in [-0.1, 1.0, 1.5, f64::NAN] {
+            let opts = RviOptions { aperiodicity_tau: tau, ..Default::default() };
+            let err =
+                relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+            assert!(
+                matches!(err, MdpError::BadOption { what: "aperiodicity_tau", .. }),
+                "tau={tau}: {err:?}"
+            );
+        }
+    }
+
+    /// Exhausting the iteration budget reports the actual span-seminorm
+    /// residual, not NaN (the retry policy keys its escalation off it).
+    #[test]
+    fn no_convergence_carries_finite_residual() {
+        let mut m = Mdp::new(1);
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![1.0])]);
+        m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![3.0])]);
+        let opts = RviOptions { max_iterations: 3, ..Default::default() };
+        let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+        match err {
+            MdpError::NoConvergence { iterations, residual, .. } => {
+                assert_eq!(iterations, 3);
+                assert!(residual.is_finite() && residual > 0.0, "residual {residual}");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_stops_the_solve() {
+        use crate::budget::SolveBudget;
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
+        let opts = RviOptions {
+            budget: SolveBudget::with_timeout(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+        assert!(matches!(err, MdpError::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_the_solve() {
+        use crate::budget::SolveBudget;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = RviOptions {
+            budget: SolveBudget::unlimited().with_cancel(flag),
+            ..Default::default()
+        };
+        let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+        assert!(err.is_cancellation(), "{err:?}");
     }
 
     /// The compiled entry point solves the same model under two objectives

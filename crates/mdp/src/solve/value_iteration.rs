@@ -7,6 +7,7 @@
 //! Runs on the CSR-flattened [`CompiledMdp`] with per-arm pre-scalarized
 //! rewards, like every optimizing solver in this crate.
 
+use crate::budget::SolveBudget;
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy};
@@ -20,11 +21,19 @@ pub struct ViOptions {
     pub tolerance: f64,
     /// Iteration budget.
     pub max_iterations: usize,
+    /// Wall-clock deadline / cancellation checked each iteration.
+    /// Unlimited by default.
+    pub budget: SolveBudget,
 }
 
 impl Default for ViOptions {
     fn default() -> Self {
-        ViOptions { discount: 0.99, tolerance: 1e-9, max_iterations: 100_000 }
+        ViOptions {
+            discount: 0.99,
+            tolerance: 1e-9,
+            max_iterations: 100_000,
+            budget: SolveBudget::unlimited(),
+        }
     }
 }
 
@@ -58,12 +67,16 @@ pub fn value_iteration_compiled(
     exp_reward: &[f64],
     opts: &ViOptions,
 ) -> Result<ViSolution, MdpError> {
-    assert!(
-        opts.discount > 0.0 && opts.discount < 1.0,
-        "discount must be in (0,1), got {}",
-        opts.discount
-    );
-    assert_eq!(exp_reward.len(), compiled.num_arms(), "exp_reward has wrong length");
+    if !(opts.discount > 0.0 && opts.discount < 1.0) {
+        return Err(MdpError::BadOption { what: "discount", value: opts.discount });
+    }
+    if exp_reward.len() != compiled.num_arms() {
+        return Err(MdpError::Shape {
+            what: "exp_reward",
+            found: exp_reward.len(),
+            expected: compiled.num_arms(),
+        });
+    }
 
     let n = compiled.num_states();
     let gamma = opts.discount;
@@ -71,7 +84,9 @@ pub fn value_iteration_compiled(
     let mut v_next = vec![0.0f64; n];
     let mut policy = Policy::zeros(n);
 
+    let mut last_delta = f64::INFINITY;
     for iter in 0..opts.max_iterations {
+        opts.budget.check("value_iteration", iter)?;
         let mut delta = 0.0f64;
         for s in 0..n {
             let mut best = f64::NEG_INFINITY;
@@ -95,6 +110,7 @@ pub fn value_iteration_compiled(
             delta = delta.max((best - v[s]).abs());
         }
         std::mem::swap(&mut v, &mut v_next);
+        last_delta = delta;
         if delta < opts.tolerance {
             return Ok(ViSolution { values: v, policy, iterations: iter + 1 });
         }
@@ -102,7 +118,7 @@ pub fn value_iteration_compiled(
     Err(MdpError::NoConvergence {
         solver: "value_iteration",
         iterations: opts.max_iterations,
-        residual: f64::NAN,
+        residual: last_delta,
     })
 }
 
@@ -144,13 +160,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "discount must be in (0,1)")]
-    fn rejects_bad_discount() {
+    fn rejects_bad_discount_with_structured_error() {
         let mut m = Mdp::new(1);
         let s = m.add_state();
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0])]);
         let opts = ViOptions { discount: 1.0, ..Default::default() };
-        let _ = value_iteration(&m, &Objective::new(vec![1.0]), &opts);
+        let err = value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+        assert_eq!(err, MdpError::BadOption { what: "discount", value: 1.0 });
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //!   the attacker split the network more often.
 //!
 //! Run: `cargo run --release -p bvc-repro --bin ablation`
+//!
+//! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
+//! nonzero when any cell failed.
 
 use bvc_bu::{
     rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
 };
-use bvc_repro::parallel_map;
+use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
 
 fn config(
     ad: u8,
@@ -30,8 +33,67 @@ fn config(
     cfg
 }
 
+/// One AD-sweep row packed for the journal:
+/// `[u2, u3, u1, orphan_rate, deep_fork, gate_time]`, where a model whose
+/// optimal policy never opens the gate stores `NaN` for `gate_time`.
+fn ad_row(ad: u8, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
+    let opts = ctx.solve_options::<SolveOptions>();
+    let m2 = AttackModel::build(config(
+        ad,
+        144,
+        (1, 1),
+        Setting::One,
+        IncentiveModel::non_compliant_default(),
+    ))?;
+    let s2 = m2.optimal_absolute_revenue(&opts)?;
+    // Fork frequency under the optimal u2 policy: rate of leaving the
+    // base state via Alice's fork block.
+    let report = m2.evaluate(&s2.policy)?;
+    let orphan_rate = report.rates[rewards::OA] + report.rates[rewards::OOTHERS];
+    let m3 = AttackModel::build(config(
+        ad,
+        144,
+        (1, 1),
+        Setting::One,
+        IncentiveModel::NonProfitDriven,
+    ))?;
+    let s3 = m3.optimal_orphan_rate(&opts)?;
+    let m1 = AttackModel::build(config(
+        ad,
+        144,
+        (1, 1),
+        Setting::One,
+        IncentiveModel::CompliantProfitDriven,
+    ))?;
+    let s1 = m1.optimal_relative_revenue(&opts)?;
+    // Episode metrics under the u2-optimal policy: how likely a fork
+    // reaches double-spend depth, and how quickly the attacker opens a
+    // sticky gate in setting 2 (a short gate keeps the sweep fast).
+    let deep_fork = m2.fork_depth_probability(&s2.policy, 4)?;
+    let gate_cfg = config(
+        ad,
+        24,
+        (1, 1),
+        Setting::Two,
+        IncentiveModel::non_compliant_default(),
+    );
+    let mg = AttackModel::build(gate_cfg)?;
+    let sg = mg.optimal_absolute_revenue(&opts)?;
+    let gate_time = mg.expected_blocks_to_gate_trigger(&sg.policy)?;
+    Ok(vec![
+        s2.value,
+        s3.value,
+        s1.value,
+        orphan_rate,
+        deep_fork,
+        gate_time.unwrap_or(f64::NAN),
+    ])
+}
+
 fn main() {
-    let opts = SolveOptions::default();
+    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    opts.config_token = SolveOptions::default().fingerprint_token();
+
     println!("Parameter ablation (alpha = 10%)");
     println!();
 
@@ -41,60 +103,40 @@ fn main() {
         "AD", "u2 (S1)", "u3 (S1)", "u1 (S1)", "orphans/1000", "P(fork>=4)", "blocks to gate"
     );
     let ads: Vec<u8> = vec![2, 3, 4, 6, 8, 12, 20];
-    let rows = parallel_map(ads, |&ad| {
-        let m2 = AttackModel::build(config(
-            ad,
-            144,
-            (1, 1),
-            Setting::One,
-            IncentiveModel::non_compliant_default(),
-        ))
-        .unwrap();
-        let s2 = m2.optimal_absolute_revenue(&opts).unwrap();
-        // Fork frequency under the optimal u2 policy: rate of leaving the
-        // base state via Alice's fork block.
-        let report = m2.evaluate(&s2.policy).unwrap();
-        let orphan_rate = report.rates[rewards::OA] + report.rates[rewards::OOTHERS];
-        let m3 = AttackModel::build(config(ad, 144, (1, 1), Setting::One, IncentiveModel::NonProfitDriven))
-            .unwrap();
-        let s3 = m3.optimal_orphan_rate(&opts).unwrap();
-        let m1 = AttackModel::build(config(
-            ad,
-            144,
-            (1, 1),
-            Setting::One,
-            IncentiveModel::CompliantProfitDriven,
-        ))
-        .unwrap();
-        let s1 = m1.optimal_relative_revenue(&opts).unwrap();
-        // Episode metrics under the u2-optimal policy: how likely a fork
-        // reaches double-spend depth, and how quickly the attacker opens a
-        // sticky gate in setting 2 (a short gate keeps the sweep fast).
-        let deep_fork = m2.fork_depth_probability(&s2.policy, 4).unwrap();
-        let mut gate_cfg = config(
-            ad,
-            24,
-            (1, 1),
-            Setting::Two,
-            IncentiveModel::non_compliant_default(),
-        );
-        gate_cfg.gate_blocks = 24;
-        let mg = AttackModel::build(gate_cfg).unwrap();
-        let sg = mg.optimal_absolute_revenue(&opts).unwrap();
-        let gate_time = mg.expected_blocks_to_gate_trigger(&sg.policy).unwrap();
-        (ad, s2.value, s3.value, s1.value, orphan_rate, deep_fork, gate_time)
+    let ad_report = run_sweep("ablation-ad", &ads, &opts, |ad| format!("AD={ad}"), |&ad, ctx| {
+        ad_row(ad, ctx)
     });
-    for (ad, u2, u3, u1, orphan_rate, deep_fork, gate_time) in rows {
-        println!(
-            "{:<6} {:>10.4} {:>10.3} {:>12.4} {:>14.2} {:>14.4} {:>16}",
-            ad,
-            u2,
-            u3,
-            u1,
-            orphan_rate * 1000.0,
-            deep_fork,
-            gate_time.map_or("never".to_string(), |t| format!("{t:.0}"))
-        );
+    for (i, ad) in ads.iter().enumerate() {
+        match ad_report.value(i) {
+            Some(row) => {
+                let [u2, u3, u1, orphan_rate, deep_fork, gate_time] = row[..] else {
+                    unreachable!("ad_row always packs six values")
+                };
+                println!(
+                    "{:<6} {:>10.4} {:>10.3} {:>12.4} {:>14.2} {:>14.4} {:>16}",
+                    ad,
+                    u2,
+                    u3,
+                    u1,
+                    orphan_rate * 1000.0,
+                    deep_fork,
+                    if gate_time.is_nan() {
+                        "never".to_string()
+                    } else {
+                        format!("{gate_time:.0}")
+                    }
+                );
+            }
+            None => {
+                let reason = ad_report.cells[i]
+                    .outcome
+                    .as_ref()
+                    .err()
+                    .map(|f| f.reason_code())
+                    .unwrap_or("?");
+                println!("{:<6} FAIL({reason})", ad);
+            }
+        }
     }
     println!();
     println!("reading: every attack utility and the deep-fork probability grow with AD,");
@@ -112,29 +154,37 @@ fn main() {
     // irrelevant by symmetry.
     println!("{:<12} {:>10} {:>10}   (beta:gamma = 1:2)", "gate blocks", "u2 (S2)", "u3 (S2)");
     let gates: Vec<u16> = vec![18, 36, 72, 144, 288];
-    let rows = parallel_map(gates, |&gate| {
-        let m2 = AttackModel::build(config(
-            6,
-            gate,
-            (1, 2),
-            Setting::Two,
-            IncentiveModel::non_compliant_default(),
-        ))
-        .unwrap();
-        let u2 = m2.optimal_absolute_revenue(&opts).unwrap().value;
-        let m3 = AttackModel::build(config(
-            6,
-            gate,
-            (1, 2),
-            Setting::Two,
-            IncentiveModel::NonProfitDriven,
-        ))
-        .unwrap();
-        let u3 = m3.optimal_orphan_rate(&opts).unwrap().value;
-        (gate, u2, u3)
-    });
-    for (gate, u2, u3) in rows {
-        println!("{:<12} {:>10.4} {:>10.3}", gate, u2, u3);
+    let gate_report = run_sweep(
+        "ablation-gate",
+        &gates,
+        &opts,
+        |gate| format!("gate={gate}"),
+        |&gate, ctx| {
+            let sopts = ctx.solve_options::<SolveOptions>();
+            let m2 = AttackModel::build(config(
+                6,
+                gate,
+                (1, 2),
+                Setting::Two,
+                IncentiveModel::non_compliant_default(),
+            ))?;
+            let u2 = m2.optimal_absolute_revenue(&sopts)?.value;
+            let m3 = AttackModel::build(config(
+                6,
+                gate,
+                (1, 2),
+                Setting::Two,
+                IncentiveModel::NonProfitDriven,
+            ))?;
+            let u3 = m3.optimal_orphan_rate(&sopts)?.value;
+            Ok(vec![u2, u3])
+        },
+    );
+    for (i, gate) in gates.iter().enumerate() {
+        match gate_report.value(i) {
+            Some(row) => println!("{:<12} {:>10.4} {:>10.3}", gate, row[0], row[1]),
+            None => println!("{:<12} FAIL", gate),
+        }
     }
     println!();
     println!("reading: at 1:2 a chain-2 win is frequent and phase 2 (roles swapped: an");
@@ -143,4 +193,8 @@ fn main() {
     println!("to phase 1 quickly. Either way some attack mode stays open, and longer");
     println!("gates additionally expose the network to phase-3 giant-block attacks");
     println!("outside this model — the parameter only trades one risk for another.");
+    println!("{}", ad_report.summary());
+    println!("{}", gate_report.summary());
+    print!("{}{}", ad_report.failure_legend(), gate_report.failure_legend());
+    std::process::exit(ad_report.exit_code().max(gate_report.exit_code()));
 }

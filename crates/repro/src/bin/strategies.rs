@@ -7,28 +7,41 @@
 //! map over `(l1, l2, a1, a2)` states, and side-preference statistics.
 //!
 //! Run: `cargo run --release -p bvc-repro --bin strategies`
+//!
+//! The three solves run through the sweep runner (isolation + optional
+//! checkpointing; a journaled cell stores the optimal value *and* policy,
+//! so resumed runs re-render without re-solving). Accepts the standard
+//! sweep-runner flags (see `bvc_repro::sweep`).
 
 use bvc_bu::{
     render_phase1_map, summarize, AttackConfig, AttackModel, IncentiveModel, Setting,
     SolveOptions,
 };
+use bvc_mdp::Policy;
+use bvc_repro::sweep::{run_sweep, SweepOptions};
 
-fn show(title: &str, alpha: f64, ratio: (u32, u32), incentive: IncentiveModel) {
+type Spec = (&'static str, f64, (u32, u32), IncentiveModel);
+
+fn build(alpha: f64, ratio: (u32, u32), incentive: &IncentiveModel) -> AttackModel {
     let cfg = AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive.clone());
-    let model = AttackModel::build(cfg).expect("model builds");
-    let opts = SolveOptions::default();
-    let sol = match incentive {
-        IncentiveModel::CompliantProfitDriven => model.optimal_relative_revenue(&opts),
-        IncentiveModel::NonCompliantProfitDriven { .. } => {
-            model.optimal_absolute_revenue(&opts)
-        }
-        IncentiveModel::NonProfitDriven => model.optimal_orphan_rate(&opts),
+    AttackModel::build(cfg).expect("model builds")
+}
+
+fn render(spec: &Spec, packed: &[f64]) {
+    let (title, alpha, ratio, incentive) = spec;
+    // Journal packing: [optimal value, policy choice per state...]. The
+    // model rebuild here is cheap (no solving) and deterministic, so the
+    // choices line up with state ids.
+    let model = build(*alpha, *ratio, incentive);
+    let value = packed[0];
+    let mut policy = Policy::zeros(model.num_states());
+    for (slot, &c) in policy.choices.iter_mut().zip(&packed[1..]) {
+        *slot = c as usize;
     }
-    .expect("solver converges");
-    let summary = summarize(&model, &sol.policy);
+    let summary = summarize(&model, &policy);
 
     println!("== {title} (alpha={alpha}, beta:gamma={}:{}) ==", ratio.0, ratio.1);
-    println!("optimal value: {:.4}", sol.value);
+    println!("optimal value: {value:.4}");
     println!("base-state action: {}", summary.base_action);
     println!(
         "fork states: {} on Chain 1, {} on Chain 2, {} waiting",
@@ -41,31 +54,69 @@ fn show(title: &str, alpha: f64, ratio: (u32, u32), incentive: IncentiveModel) {
         );
     }
     println!("phase-1 action map (per (l1,l2); entries enumerate (a1,a2); 1=OnChain1, 2=OnChain2, w=Wait):");
-    print!("{}", render_phase1_map(&model, &sol.policy));
+    print!("{}", render_phase1_map(&model, &policy));
     println!();
 }
 
 fn main() {
-    show(
-        "compliant & profit-driven (Table 2 cell)",
-        0.25,
-        (1, 1),
-        IncentiveModel::CompliantProfitDriven,
+    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    opts.config_token = SolveOptions::default().fingerprint_token();
+
+    let specs: Vec<Spec> = vec![
+        (
+            "compliant & profit-driven (Table 2 cell)",
+            0.25,
+            (1, 1),
+            IncentiveModel::CompliantProfitDriven,
+        ),
+        (
+            "non-compliant & profit-driven (Table 3 cell)",
+            0.10,
+            (1, 2),
+            IncentiveModel::non_compliant_default(),
+        ),
+        ("non-profit-driven (Table 4 cell)", 0.01, (2, 3), IncentiveModel::NonProfitDriven),
+    ];
+    let report = run_sweep(
+        "strategies",
+        &specs,
+        &opts,
+        |(_, alpha, (b, g), incentive)| format!("{incentive:?} a={}% b:g={b}:{g}", alpha * 100.0),
+        |(_, alpha, ratio, incentive), ctx| {
+            let model = build(*alpha, *ratio, incentive);
+            let sopts = ctx.solve_options::<SolveOptions>();
+            let sol = match incentive {
+                IncentiveModel::CompliantProfitDriven => model.optimal_relative_revenue(&sopts),
+                IncentiveModel::NonCompliantProfitDriven { .. } => {
+                    model.optimal_absolute_revenue(&sopts)
+                }
+                IncentiveModel::NonProfitDriven => model.optimal_orphan_rate(&sopts),
+            }?;
+            let mut packed = Vec::with_capacity(1 + sol.policy.choices.len());
+            packed.push(sol.value);
+            packed.extend(sol.policy.choices.iter().map(|&c| c as f64));
+            Ok(packed)
+        },
     );
-    show(
-        "non-compliant & profit-driven (Table 3 cell)",
-        0.10,
-        (1, 2),
-        IncentiveModel::non_compliant_default(),
-    );
-    show(
-        "non-profit-driven (Table 4 cell)",
-        0.01,
-        (2, 3),
-        IncentiveModel::NonProfitDriven,
-    );
+
+    for (i, spec) in specs.iter().enumerate() {
+        match report.value(i) {
+            Some(packed) => render(spec, packed),
+            None => {
+                println!("== {} ==", spec.0);
+                println!(
+                    "FAILED: {}",
+                    report.cells[i].outcome.as_ref().err().map(|f| f.message()).unwrap_or_default()
+                );
+                println!();
+            }
+        }
+    }
     println!("reading: all three optima initiate forks at the base state; during a fork");
     println!("the compliant-Alice optimum follows §5.1.2 (mine with the stronger group");
     println!("unless the other side has a decisive lead); the non-profit optimum waits");
     println!("in balanced races, letting Bob and Carol orphan each other.");
+    println!("{}", report.summary());
+    print!("{}", report.failure_legend());
+    std::process::exit(report.exit_code());
 }

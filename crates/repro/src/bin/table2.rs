@@ -3,9 +3,16 @@
 //! 2, compared with the published values.
 //!
 //! Run: `cargo run --release -p bvc-repro --bin table2`
+//!
+//! Accepts the standard sweep-runner flags (`--journal`, `--fail-fast`,
+//! `--cell-deadline`, `--retries`, `--threads`, `--inject-*`; see
+//! `bvc_repro::sweep`) plus `--setting1-only` to skip the much slower
+//! setting-2 column. Exits nonzero when any cell failed.
 
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::{parallel_map, render_grid, Cell};
+use bvc_mdp::MdpError;
+use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
+use bvc_repro::{render_grid, GridEntry};
 
 /// The published Table 2 (setting 1): rows are β:γ ratios, columns are α in
 /// {10, 15, 20, 25}%. `None` marks cells the paper omits (they violate
@@ -26,22 +33,32 @@ const PAPER_SETTING2: &[((u32, u32), f64)] =
 
 const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
 
-fn solve(alpha: f64, ratio: (u32, u32), setting: Setting) -> f64 {
+fn solve(
+    alpha: f64,
+    ratio: (u32, u32),
+    setting: Setting,
+    ctx: &CellContext,
+) -> Result<f64, MdpError> {
     let cfg = AttackConfig::with_ratio(
         alpha,
         ratio,
         setting,
         IncentiveModel::CompliantProfitDriven,
     );
-    let model = AttackModel::build(cfg).expect("model builds");
-    model
-        .optimal_relative_revenue(&SolveOptions::default())
-        .expect("solver converges")
-        .value
+    let model = AttackModel::build(cfg)?;
+    Ok(model.optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?.value)
+}
+
+fn key(setting: u8, ratio: (u32, u32), alpha: f64) -> String {
+    format!("s{setting} b:g={}:{} a={:.0}%", ratio.0, ratio.1, alpha * 100.0)
 }
 
 fn main() {
-    // Setting 1: sweep all printed cells in parallel.
+    let (mut sweep_opts, rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    sweep_opts.config_token = SolveOptions::default().fingerprint_token();
+    let setting1_only = rest.iter().any(|a| a == "--setting1-only");
+
+    // Setting 1: sweep all printed cells.
     let mut jobs = Vec::new();
     for (ratio, row) in PAPER_SETTING1 {
         for (i, cell) in row.iter().enumerate() {
@@ -50,27 +67,31 @@ fn main() {
             }
         }
     }
-    let values = parallel_map(jobs.clone(), |&(ratio, alpha)| solve(alpha, ratio, Setting::One));
-    let lookup = |ratio: (u32, u32), alpha: f64| {
-        jobs.iter()
-            .position(|&(r, a)| r == ratio && (a - alpha).abs() < 1e-12)
-            .map(|i| values[i])
-    };
+    let report = run_sweep(
+        "table2-setting1",
+        &jobs,
+        &sweep_opts,
+        |&(ratio, alpha)| key(1, ratio, alpha),
+        |&(ratio, alpha), ctx| solve(alpha, ratio, Setting::One, ctx),
+    );
 
     let row_labels: Vec<String> =
         PAPER_SETTING1.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
     let col_labels: Vec<String> =
         ALPHAS.iter().map(|a| format!("a={:.0}%", a * 100.0)).collect();
-    let cells: Vec<Vec<Option<Cell>>> = PAPER_SETTING1
+    let cells: Vec<Vec<GridEntry>> = PAPER_SETTING1
         .iter()
         .map(|(ratio, row)| {
             row.iter()
                 .enumerate()
                 .map(|(i, paper)| {
-                    paper.map(|p| Cell {
-                        paper: Some(p),
-                        ours: lookup(*ratio, ALPHAS[i]).expect("computed"),
-                    })
+                    match jobs
+                        .iter()
+                        .position(|&(r, a)| r == *ratio && (a - ALPHAS[i]).abs() < 1e-12)
+                    {
+                        Some(j) => report.grid_entry(j, *paper),
+                        None => GridEntry::Absent,
+                    }
                 })
                 .collect()
         })
@@ -85,30 +106,46 @@ fn main() {
             4,
         )
     );
+    println!("{}", report.summary());
+    print!("{}", report.failure_legend());
+    let mut exit = report.exit_code();
 
-    // Setting 2, α = 25% column.
-    println!();
-    let jobs2: Vec<(u32, u32)> = PAPER_SETTING2.iter().map(|(r, _)| *r).collect();
-    let vals2 = parallel_map(jobs2, |&ratio| solve(0.25, ratio, Setting::Two));
-    let cells2: Vec<Vec<Option<Cell>>> = PAPER_SETTING2
-        .iter()
-        .zip(&vals2)
-        .map(|((_, paper), &ours)| vec![Some(Cell { paper: Some(*paper), ours })])
-        .collect();
-    let rows2: Vec<String> =
-        PAPER_SETTING2.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
-    print!(
-        "{}",
-        render_grid(
-            "Table 2 — setting 2, a = 25%",
-            &rows2,
-            &["a=25%".to_string()],
-            &cells2,
-            4,
-        )
-    );
+    if !setting1_only {
+        // Setting 2, α = 25% column.
+        println!();
+        let jobs2: Vec<(u32, u32)> = PAPER_SETTING2.iter().map(|(r, _)| *r).collect();
+        let report2 = run_sweep(
+            "table2-setting2",
+            &jobs2,
+            &sweep_opts,
+            |&ratio| key(2, ratio, 0.25),
+            |&ratio, ctx| solve(0.25, ratio, Setting::Two, ctx),
+        );
+        let cells2: Vec<Vec<GridEntry>> = PAPER_SETTING2
+            .iter()
+            .enumerate()
+            .map(|(i, (_, paper))| vec![report2.grid_entry(i, Some(*paper))])
+            .collect();
+        let rows2: Vec<String> =
+            PAPER_SETTING2.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
+        print!(
+            "{}",
+            render_grid(
+                "Table 2 — setting 2, a = 25%",
+                &rows2,
+                &["a=25%".to_string()],
+                &cells2,
+                4,
+            )
+        );
+        println!("{}", report2.summary());
+        print!("{}", report2.failure_legend());
+        exit = exit.max(report2.exit_code());
+    }
+
     println!();
     println!(
         "Analytical Result 1: u1 > alpha (unfair revenue) exactly where alpha + gamma > beta."
     );
+    std::process::exit(exit);
 }

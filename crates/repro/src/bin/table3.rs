@@ -11,9 +11,13 @@
 //! prints 0.013 vs 0.010). The deviation column makes this visible.
 //!
 //! Run: `cargo run --release -p bvc-repro --bin table3`
+//!
+//! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
+//! nonzero when any cell failed.
 
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::{parallel_map, render_grid, Cell};
+use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_repro::{render_grid, GridEntry};
 
 const RATIOS: [(u32, u32); 5] = [(4, 1), (2, 1), (1, 1), (1, 2), (1, 4)];
 const ALPHAS: [f64; 7] = [0.01, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25];
@@ -40,7 +44,7 @@ const PAPER_S2: [[Option<f64>; 5]; 7] = [
     [None, Some(0.69), Some(0.73), Some(0.69), None],
 ];
 
-fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7]) -> String {
+fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -> (String, i32) {
     let mut jobs = Vec::new();
     for (r, row) in paper.iter().enumerate() {
         for (c, cell) in row.iter().enumerate() {
@@ -49,55 +53,74 @@ fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7]) -> String {
             }
         }
     }
-    let values = parallel_map(jobs.clone(), |&(alpha, ratio)| {
-        let cfg = AttackConfig::with_ratio(
-            alpha,
-            ratio,
-            setting,
-            IncentiveModel::non_compliant_default(),
-        );
-        AttackModel::build(cfg)
-            .expect("model builds")
-            .optimal_absolute_revenue(&SolveOptions::default())
-            .expect("solver converges")
-            .value
-    });
-    let lookup = |alpha: f64, ratio: (u32, u32)| {
-        jobs.iter()
-            .position(|&(a, r)| r == ratio && (a - alpha).abs() < 1e-12)
-            .map(|i| values[i])
+    let tag = match setting {
+        Setting::One => 1,
+        Setting::Two => 2,
     };
-    let cells: Vec<Vec<Option<Cell>>> = paper
+    let report = run_sweep(
+        &format!("table3-setting{tag}"),
+        &jobs,
+        opts,
+        |&(alpha, (b, g))| format!("s{tag} b:g={b}:{g} a={}%", alpha * 100.0),
+        |&(alpha, ratio), ctx| {
+            let cfg = AttackConfig::with_ratio(
+                alpha,
+                ratio,
+                setting,
+                IncentiveModel::non_compliant_default(),
+            );
+            Ok(AttackModel::build(cfg)?
+                .optimal_absolute_revenue(&ctx.solve_options::<SolveOptions>())?
+                .value)
+        },
+    );
+    let cells: Vec<Vec<GridEntry>> = paper
         .iter()
         .enumerate()
         .map(|(r, row)| {
             row.iter()
                 .enumerate()
                 .map(|(c, p)| {
-                    p.map(|paper| Cell {
-                        paper: Some(paper),
-                        ours: lookup(ALPHAS[r], RATIOS[c]).expect("computed"),
-                    })
+                    match jobs.iter().position(|&(a, rat)| {
+                        rat == RATIOS[c] && (a - ALPHAS[r]).abs() < 1e-12
+                    }) {
+                        Some(j) => report.grid_entry(j, *p),
+                        None => GridEntry::Absent,
+                    }
                 })
                 .collect()
         })
         .collect();
     let rows: Vec<String> = ALPHAS.iter().map(|a| format!("a={}%", a * 100.0)).collect();
     let cols: Vec<String> = RATIOS.iter().map(|(b, c)| format!("{b}:{c}")).collect();
-    render_grid(
+    let mut text = render_grid(
         &format!("Table 3 — max absolute revenue u2, {setting} (ours vs paper)"),
         &rows,
         &cols,
         &cells,
         3,
-    )
+    );
+    text.push_str(&report.summary());
+    text.push('\n');
+    text.push_str(&report.failure_legend());
+    (text, report.exit_code())
 }
 
 fn main() {
-    print!("{}", panel(Setting::One, &PAPER_S1));
-    println!();
-    print!("{}", panel(Setting::Two, &PAPER_S2));
+    let (mut opts, rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    opts.config_token = SolveOptions::default().fingerprint_token();
+    let setting1_only = rest.iter().any(|a| a == "--setting1-only");
+
+    let (text, mut exit) = panel(Setting::One, &PAPER_S1, &opts);
+    print!("{text}");
+    if !setting1_only {
+        println!();
+        let (text, code) = panel(Setting::Two, &PAPER_S2, &opts);
+        print!("{text}");
+        exit = exit.max(code);
+    }
     println!();
     println!("Analytical Result 2: even a 1% miner profits from double-spend forking in BU;");
     println!("compare the Bitcoin baseline via `cargo run --release -p bvc-repro --bin table3_bitcoin`.");
+    std::process::exit(exit);
 }

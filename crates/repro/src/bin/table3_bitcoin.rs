@@ -4,9 +4,13 @@
 //! block rewards).
 //!
 //! Run: `cargo run --release -p bvc-repro --bin table3_bitcoin`
+//!
+//! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
+//! nonzero when any cell failed.
 
 use bvc_bitcoin::{BitcoinConfig, BitcoinModel, SolveOptions};
-use bvc_repro::{parallel_map, render_grid, Cell};
+use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_repro::{render_grid, GridEntry};
 
 const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
 const GAMMAS: [(f64, &str); 2] = [(0.5, "P(win tie)=50%"), (1.0, "P(win tie)=100%")];
@@ -15,27 +19,34 @@ const GAMMAS: [(f64, &str); 2] = [(0.5, "P(win tie)=50%"), (1.0, "P(win tie)=100
 const PAPER: [[f64; 4]; 2] = [[0.1, 0.15, 0.2, 0.38], [0.11, 0.18, 0.30, 0.52]];
 
 fn main() {
+    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    opts.config_token = SolveOptions::default().fingerprint_token();
+
     let mut jobs = Vec::new();
     for (g, _) in GAMMAS {
         for a in ALPHAS {
             jobs.push((a, g));
         }
     }
-    let values = parallel_map(jobs, |&(alpha, gamma)| {
-        BitcoinModel::build(BitcoinConfig::smds(alpha, gamma))
-            .expect("model builds")
-            .optimal_absolute_revenue(&SolveOptions::default())
-            .expect("solver converges")
-            .value
-    });
-    let cells: Vec<Vec<Option<Cell>>> = (0..2)
-        .map(|r| {
-            (0..4)
-                .map(|c| {
-                    Some(Cell { paper: Some(PAPER[r][c]), ours: values[r * 4 + c] })
-                })
-                .collect()
-        })
+    // The honest-degeneration demos below ride along as extra sweep cells so
+    // they inherit the same isolation and checkpointing.
+    for gamma in [0.5, 1.0] {
+        jobs.push((0.05, gamma));
+    }
+    let report = run_sweep(
+        "table3-bitcoin",
+        &jobs,
+        &opts,
+        |&(alpha, gamma)| format!("smds a={}% tie={}%", alpha * 100.0, gamma * 100.0),
+        |&(alpha, gamma), ctx| {
+            Ok(BitcoinModel::build(BitcoinConfig::smds(alpha, gamma))?
+                .optimal_absolute_revenue(&ctx.solve_options::<SolveOptions>())?
+                .value)
+        },
+    );
+
+    let cells: Vec<Vec<GridEntry>> = (0..2)
+        .map(|r| (0..4).map(|c| report.grid_entry(r * 4 + c, Some(PAPER[r][c]))).collect())
         .collect();
     let rows: Vec<String> = GAMMAS.iter().map(|(_, l)| l.to_string()).collect();
     let cols: Vec<String> = ALPHAS.iter().map(|a| format!("a={}%", a * 100.0)).collect();
@@ -51,9 +62,13 @@ fn main() {
     );
     println!();
     println!("Below 10% mining power the optimal strategy degenerates to honest mining (u2 = alpha):");
-    for gamma in [0.5, 1.0] {
-        let m = BitcoinModel::build(BitcoinConfig::smds(0.05, gamma)).unwrap();
-        let v = m.optimal_absolute_revenue(&SolveOptions::default()).unwrap().value;
-        println!("  alpha=5%, gamma={gamma}: u2 = {v:.4}");
+    for (i, gamma) in [0.5, 1.0].into_iter().enumerate() {
+        match report.value(8 + i) {
+            Some(v) => println!("  alpha=5%, gamma={gamma}: u2 = {v:.4}"),
+            None => println!("  alpha=5%, gamma={gamma}: u2 = FAIL"),
+        }
     }
+    println!("{}", report.summary());
+    print!("{}", report.failure_legend());
+    std::process::exit(report.exit_code());
 }

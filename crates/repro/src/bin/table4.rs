@@ -3,9 +3,13 @@
 //! settings.
 //!
 //! Run: `cargo run --release -p bvc-repro --bin table4`
+//!
+//! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
+//! nonzero when any cell failed.
 
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::{parallel_map, render_grid, Cell};
+use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_repro::{render_grid, GridEntry};
 
 const RATIOS: [(u32, u32); 9] =
     [(4, 1), (3, 1), (2, 1), (3, 2), (1, 1), (2, 3), (1, 2), (1, 3), (1, 4)];
@@ -24,27 +28,40 @@ const PAPER: [[f64; 2]; 9] = [
 ];
 
 fn main() {
+    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    opts.config_token = SolveOptions::default().fingerprint_token();
+
     let mut jobs = Vec::new();
     for ratio in RATIOS {
         for setting in [Setting::One, Setting::Two] {
             jobs.push((ratio, setting));
         }
     }
-    let values = parallel_map(jobs, |&(ratio, setting)| {
-        let cfg =
-            AttackConfig::with_ratio(0.01, ratio, setting, IncentiveModel::NonProfitDriven);
-        AttackModel::build(cfg)
-            .expect("model builds")
-            .optimal_orphan_rate(&SolveOptions::default())
-            .expect("solver converges")
-            .value
-    });
-    let cells: Vec<Vec<Option<Cell>>> = (0..9)
-        .map(|r| {
-            (0..2)
-                .map(|c| Some(Cell { paper: Some(PAPER[r][c]), ours: values[r * 2 + c] }))
-                .collect()
-        })
+    let report = run_sweep(
+        "table4",
+        &jobs,
+        &opts,
+        |&((b, g), setting)| {
+            let tag = match setting {
+                Setting::One => 1,
+                Setting::Two => 2,
+            };
+            format!("s{tag} b:g={b}:{g} a=1%")
+        },
+        |&(ratio, setting), ctx| {
+            let cfg = AttackConfig::with_ratio(
+                0.01,
+                ratio,
+                setting,
+                IncentiveModel::NonProfitDriven,
+            );
+            Ok(AttackModel::build(cfg)?
+                .optimal_orphan_rate(&ctx.solve_options::<SolveOptions>())?
+                .value)
+        },
+    );
+    let cells: Vec<Vec<GridEntry>> = (0..9)
+        .map(|r| (0..2).map(|c| report.grid_entry(r * 2 + c, Some(PAPER[r][c]))).collect())
         .collect();
     let rows: Vec<String> = RATIOS.iter().map(|(b, c)| format!("{b}:{c}")).collect();
     print!(
@@ -57,7 +74,10 @@ fn main() {
             2,
         )
     );
+    println!("{}", report.summary());
+    print!("{}", report.failure_legend());
     println!();
     println!("Analytical Result 3: BU lets a non-profit-driven attacker orphan up to ~1.77");
     println!("compliant blocks per attacker block; in Bitcoin the same ratio never exceeds 1.");
+    std::process::exit(report.exit_code());
 }

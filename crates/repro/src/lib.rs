@@ -18,16 +18,20 @@
 //! | `stone_sim` | §2.3 — Stone-style fork-frequency simulations |
 //! | `crossval` | MDP ↔ chain-simulator cross-validation |
 //!
-//! This library holds the shared plumbing: aligned table rendering and a
-//! scoped-thread parallel sweep over parameter cells.
+//! This library holds the shared plumbing: aligned table rendering, a
+//! scoped-thread parallel sweep over parameter cells, and the fault-tolerant
+//! sweep runner ([`sweep`]) with per-cell isolation, retries, and
+//! checkpoint/resume journals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::fmt::Write as _;
 
 /// A rendered comparison cell: the paper's value (if printed) and ours.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// The value published in the paper, if the cell exists there.
     pub paper: Option<f64>,
@@ -46,13 +50,38 @@ impl Cell {
     }
 }
 
-/// Renders a labelled grid of [`Cell`]s as `ours (paper)` pairs with a
-/// deviation summary line.
+/// One position of a rendered comparison grid, including the degraded case
+/// where the solve for the cell failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridEntry {
+    /// The paper leaves this position blank; so do we.
+    Absent,
+    /// A computed comparison cell.
+    Value(Cell),
+    /// The solve failed; the short reason code is rendered in place as
+    /// `FAIL(reason)` so the rest of the grid still lines up.
+    Failed(String),
+}
+
+impl GridEntry {
+    /// Lifts the pre-runner convention (`None` = blank position).
+    pub fn from_option(cell: Option<Cell>) -> Self {
+        match cell {
+            Some(c) => GridEntry::Value(c),
+            None => GridEntry::Absent,
+        }
+    }
+}
+
+/// Renders a labelled grid of [`GridEntry`]s as `ours (paper)` pairs with a
+/// deviation summary line. Failed cells render as `FAIL(reason)` and are
+/// counted separately so one bad solve degrades a single position instead of
+/// the whole table.
 pub fn render_grid(
     title: &str,
     row_labels: &[String],
     col_labels: &[String],
-    cells: &[Vec<Option<Cell>>],
+    cells: &[Vec<GridEntry>],
     precision: usize,
 ) -> String {
     let mut out = String::new();
@@ -65,11 +94,12 @@ pub fn render_grid(
     let _ = writeln!(out);
     let mut max_dev: f64 = 0.0;
     let mut n_compared = 0usize;
+    let mut n_failed = 0usize;
     for (r, label) in row_labels.iter().enumerate() {
         let _ = write!(out, "{label:<12}");
         for cell in &cells[r] {
             match cell {
-                Some(c) => {
+                GridEntry::Value(c) => {
                     let _ = write!(out, "{:>width$.precision$}", c.ours);
                     match c.paper {
                         Some(p) => {
@@ -84,18 +114,33 @@ pub fn render_grid(
                         n_compared += 1;
                     }
                 }
-                None => {
+                GridEntry::Failed(reason) => {
+                    n_failed += 1;
+                    let tag = format!("FAIL({reason})");
+                    if tag.len() >= width {
+                        // Wider than the column: keep one separating space
+                        // so the tag never fuses with its left neighbour.
+                        let _ = write!(out, " {tag} {:>width$}", "-");
+                    } else {
+                        let _ = write!(out, "{tag:>width$} {:>width$}", "-");
+                    }
+                }
+                GridEntry::Absent => {
                     let _ = write!(out, "{:>width$} {:>width$}", "-", "-");
                 }
             }
         }
         let _ = writeln!(out);
     }
-    let _ = writeln!(
+    let _ = write!(
         out,
         "cells compared: {n_compared}, max relative deviation: {:.2}%",
         max_dev * 100.0
     );
+    if n_failed > 0 {
+        let _ = write!(out, ", FAILED cells: {n_failed}");
+    }
+    let _ = writeln!(out);
     out
 }
 
@@ -111,16 +156,18 @@ pub fn render_grid(
 ///
 /// # Panics
 /// If `f` panics on any input, the *original* panic payload is re-raised in
-/// the caller once all workers have stopped (scoped-thread handles are
-/// joined explicitly so the payload survives instead of being replaced by
-/// the generic "a scoped thread panicked" abort).
+/// the caller once all workers have stopped. A shared abort flag is raised
+/// as soon as any worker panics and is checked at claim time, so the other
+/// workers stop promptly instead of grinding through the rest of the grid
+/// whose results would be discarded anyway.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let n = inputs.len();
@@ -129,28 +176,34 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
     let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    let mut panic_payload = None;
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(&inputs[i]))) {
+                    Ok(o) => out.lock().expect("result vector poisoned")[i] = Some(o),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        panic_payload
+                            .lock()
+                            .expect("payload slot poisoned")
+                            .get_or_insert(payload);
                         return;
                     }
-                    let o = f(&inputs[i]);
-                    out.lock().expect("result vector poisoned")[i] = Some(o);
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(payload) = h.join() {
-                panic_payload.get_or_insert(payload);
-            }
+                }
+            });
         }
     });
-    if let Some(payload) = panic_payload {
+    if let Some(payload) = panic_payload.into_inner().expect("payload slot poisoned") {
         std::panic::resume_unwind(payload);
     }
     out.into_inner()
@@ -204,11 +257,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_aborts_promptly_after_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The first claimed cell panics; with the abort flag checked at
+        // claim time, the other workers must stop long before the grid is
+        // exhausted (each surviving cell is slow enough that the flag is
+        // visible before the pool could drain all 256).
+        let executed = AtomicUsize::new(0);
+        let inputs: Vec<u64> = (0..256).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(inputs, |&x| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                if x == 0 {
+                    panic!("injected");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        let ran = executed.load(Ordering::SeqCst);
+        assert!(ran < 256, "workers kept claiming after the panic: {ran} cells ran");
+    }
+
+    #[test]
     fn render_grid_reports_deviation() {
         let cells = vec![vec![
-            Some(Cell { paper: Some(0.10), ours: 0.11 }),
-            Some(Cell { paper: None, ours: 0.5 }),
-            None,
+            GridEntry::Value(Cell { paper: Some(0.10), ours: 0.11 }),
+            GridEntry::Value(Cell { paper: None, ours: 0.5 }),
+            GridEntry::Absent,
         ]];
         let text = render_grid(
             "t",
@@ -219,6 +296,21 @@ mod tests {
         );
         assert!(text.contains("max relative deviation: 10.00%"), "{text}");
         assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn render_grid_marks_failed_cells() {
+        let cells = vec![vec![
+            GridEntry::Value(Cell { paper: Some(0.10), ours: 0.10 }),
+            GridEntry::Failed("panic".into()),
+        ]];
+        let text = render_grid("t", &["r".into()], &["a".into(), "b".into()], &cells, 3);
+        // The tag is wider than the column; it must keep a separating
+        // space instead of fusing with the neighbouring value.
+        assert!(text.contains(" FAIL(panic)"), "{text}");
+        assert!(text.contains("FAILED cells: 1"), "{text}");
+        // The healthy cell still renders and is still compared.
+        assert!(text.contains("cells compared: 1"), "{text}");
     }
 
     #[test]

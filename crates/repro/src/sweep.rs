@@ -1,0 +1,1321 @@
+//! Fault-tolerant sweep runner: per-cell isolation, watchdogs with retry
+//! escalation, and a checkpoint/resume journal.
+//!
+//! The table binaries sweep dozens of parameter cells, each an MDP solve
+//! whose cost varies by orders of magnitude across the grid. Before this
+//! module they ran through [`crate::parallel_map`], where one panicking or
+//! non-converging cell aborted the whole binary and threw away every other
+//! result. [`run_sweep`] instead treats each cell as an isolated unit of
+//! work:
+//!
+//! * **Isolation** — a panic or structured [`MdpError`] marks that one cell
+//!   failed; the rest of the grid still completes and renders (degraded)
+//!   through [`crate::GridEntry::Failed`].
+//! * **Watchdog + retry** — every attempt carries a [`SolveBudget`] with an
+//!   optional per-cell wall-clock deadline, and
+//!   [retryable](MdpError::is_retryable) failures are re-attempted with an
+//!   escalated iteration budget and aperiodicity mixing (see
+//!   [`RetryPolicy`] and [`CellContext`]).
+//! * **Checkpoint/resume** — finished cells are appended to a JSONL journal
+//!   keyed by a fingerprint of the cell key *and* the solver configuration;
+//!   a rerun pointed at the same journal replays finished cells bit-for-bit
+//!   and solves only missing or previously failed ones.
+//!
+//! Values cross the journal as `f64` bit patterns (hex), so a resumed grid
+//! is *bit-identical* to an uninterrupted run — including `NaN` payloads,
+//! signed zeros, and infinities that ordinary decimal round-tripping
+//! mangles.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, Write as _};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bvc_mdp::solve::{RatioOptions, RviOptions};
+use bvc_mdp::{MdpError, SolveBudget};
+
+use crate::{Cell, GridEntry};
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash; stable across platforms and releases, which is what a
+/// checkpoint journal needs (`DefaultHasher` makes no such promise).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic identity of one sweep cell: the human-readable cell key
+/// joined with a token describing every solver knob that can change the
+/// cell's *value*. Changing tolerances invalidates old journal entries
+/// (different fingerprint) without invalidating unrelated cells.
+pub fn cell_fingerprint(key: &str, config_token: &str) -> u64 {
+    let mut data = Vec::with_capacity(key.len() + config_token.len() + 1);
+    data.extend_from_slice(key.as_bytes());
+    data.push(0x1f);
+    data.extend_from_slice(config_token.as_bytes());
+    fnv1a64(&data)
+}
+
+// ---------------------------------------------------------------------------
+// Journal values
+// ---------------------------------------------------------------------------
+
+/// A value that can cross the checkpoint journal as a flat list of `f64`s.
+///
+/// Encoding must be lossless: the journal stores the raw bit patterns, so
+/// `decode(encode(v))` must reproduce `v` exactly for resume runs to be
+/// bit-identical to clean runs.
+pub trait SweepValue: Sized {
+    /// Flattens the value for journaling.
+    fn encode(&self) -> Vec<f64>;
+    /// Rebuilds the value from a journal entry; `None` when the stored
+    /// shape does not match (the entry is then treated as missing and the
+    /// cell re-solved).
+    fn decode(vals: &[f64]) -> Option<Self>;
+}
+
+impl SweepValue for f64 {
+    fn encode(&self) -> Vec<f64> {
+        vec![*self]
+    }
+    fn decode(vals: &[f64]) -> Option<Self> {
+        match vals {
+            [x] => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl SweepValue for Vec<f64> {
+    fn encode(&self) -> Vec<f64> {
+        self.clone()
+    }
+    fn decode(vals: &[f64]) -> Option<Self> {
+        Some(vals.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failures and per-cell results
+// ---------------------------------------------------------------------------
+
+/// Why a cell has no value.
+#[derive(Debug, Clone)]
+pub enum CellFailure {
+    /// The worker panicked; the payload is rendered to a string.
+    Panicked(String),
+    /// The solver returned a structured error after exhausting retries.
+    Solver(MdpError),
+    /// The cell was never (fully) attempted: a fail-fast sweep was cancelled
+    /// by an earlier failure before this cell could run to completion.
+    Skipped,
+}
+
+impl CellFailure {
+    /// Short code rendered inside grid cells (`FAIL(code)`).
+    pub fn reason_code(&self) -> &'static str {
+        match self {
+            CellFailure::Panicked(_) => "panic",
+            CellFailure::Solver(MdpError::NoConvergence { .. }) => "no-conv",
+            CellFailure::Solver(MdpError::DeadlineExceeded { .. }) => "deadline",
+            CellFailure::Solver(MdpError::Cancelled { .. }) => "cancelled",
+            CellFailure::Solver(_) => "error",
+            CellFailure::Skipped => "skipped",
+        }
+    }
+
+    /// Full human-readable reason, used in journals and failure legends.
+    pub fn message(&self) -> String {
+        match self {
+            CellFailure::Panicked(p) => format!("panic: {p}"),
+            CellFailure::Solver(e) => e.to_string(),
+            CellFailure::Skipped => "skipped (sweep cancelled before this cell ran)".into(),
+        }
+    }
+}
+
+/// Outcome of one sweep cell, in input order.
+#[derive(Debug, Clone)]
+pub struct CellResult<T> {
+    /// The human-readable cell key (also the journal key).
+    pub key: String,
+    /// The value, or why there is none.
+    pub outcome: Result<T, CellFailure>,
+    /// Solve attempts made for this cell in this run (0 when replayed or
+    /// skipped before the first attempt).
+    pub attempts: u32,
+    /// True when the value came from the checkpoint journal instead of a
+    /// fresh solve.
+    pub replayed: bool,
+    /// Wall-clock time spent solving this cell in this run (all attempts).
+    pub elapsed: Duration,
+}
+
+/// Everything [`run_sweep`] produced, cells in input order.
+#[derive(Debug, Clone)]
+pub struct SweepReport<T> {
+    /// Sweep label (for the summary line).
+    pub label: String,
+    /// Per-cell outcomes, parallel to the input slice.
+    pub cells: Vec<CellResult<T>>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl<T> SweepReport<T> {
+    /// Number of cells with a value (fresh or replayed).
+    pub fn solved(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_ok()).count()
+    }
+
+    /// Number of cells whose value was replayed from the journal.
+    pub fn replayed(&self) -> usize {
+        self.cells.iter().filter(|c| c.replayed).count()
+    }
+
+    /// Number of cells that failed (panic or solver error).
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| {
+                matches!(&c.outcome, Err(CellFailure::Panicked(_) | CellFailure::Solver(_)))
+            })
+            .count()
+    }
+
+    /// Number of cells skipped by fail-fast cancellation.
+    pub fn skipped(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(&c.outcome, Err(CellFailure::Skipped))).count()
+    }
+
+    /// Total retry attempts beyond each cell's first (escalations).
+    pub fn retries(&self) -> u32 {
+        self.cells.iter().map(|c| c.attempts.saturating_sub(1)).sum()
+    }
+
+    /// True when any cell is without a value (failed or skipped).
+    pub fn has_failures(&self) -> bool {
+        self.solved() < self.cells.len()
+    }
+
+    /// The value of cell `i`, if it has one.
+    pub fn value(&self, i: usize) -> Option<&T> {
+        self.cells[i].outcome.as_ref().ok()
+    }
+
+    /// One-line machine-greppable summary. The `# sweep` prefix lets smoke
+    /// scripts filter these lines out before diffing table output across
+    /// runs (replay counts legitimately differ between a clean run and a
+    /// resumed one).
+    pub fn summary(&self) -> String {
+        format!(
+            "# sweep {}: {} cells | solved {} ({} replayed) | failed {} | skipped {} | retries {} | wall {:.2}s",
+            self.label,
+            self.cells.len(),
+            self.solved(),
+            self.replayed(),
+            self.failed(),
+            self.skipped(),
+            self.retries(),
+            self.wall.as_secs_f64(),
+        )
+    }
+
+    /// Multi-line legend describing every failed/skipped cell, empty when
+    /// the sweep is clean.
+    pub fn failure_legend(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            if let Err(failure) = &c.outcome {
+                let _ = writeln!(
+                    out,
+                    "# sweep {}: cell '{}' {} after {} attempt(s): {}",
+                    self.label,
+                    c.key,
+                    failure.reason_code(),
+                    c.attempts,
+                    failure.message(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Process exit code convention: `1` when any cell is missing a value.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.has_failures())
+    }
+}
+
+impl SweepReport<f64> {
+    /// Builds the grid entry for cell `i`: a comparison [`Cell`] against the
+    /// paper value on success, a `FAIL(reason)` marker otherwise.
+    pub fn grid_entry(&self, i: usize, paper: Option<f64>) -> GridEntry {
+        match &self.cells[i].outcome {
+            Ok(v) => GridEntry::Value(Cell { paper, ours: *v }),
+            Err(failure) => GridEntry::Failed(failure.reason_code().to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// Escalation schedule for retryable solver failures
+/// ([`MdpError::is_retryable`], i.e. `NoConvergence`). Panics and
+/// non-retryable errors are never retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per cell (first try included).
+    pub max_attempts: u32,
+    /// Multiplier applied to the solver's iteration budget per retry
+    /// (`scale = growth^attempt`).
+    pub iteration_growth: f64,
+    /// Additive bump to the aperiodicity mixing weight per retry, to break
+    /// periodic oscillation stalls.
+    pub tau_step: f64,
+    /// Base backoff slept before each retry; doubles per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            iteration_growth: 4.0,
+            tau_step: 0.05,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Configuration of one [`run_sweep`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Checkpoint journal path. `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Cancel the whole sweep at the first cell failure (remaining cells
+    /// are reported as skipped).
+    pub fail_fast: bool,
+    /// Per-attempt wall-clock deadline for each cell.
+    pub cell_deadline: Option<Duration>,
+    /// Retry escalation schedule.
+    pub retry: RetryPolicy,
+    /// Worker thread override (defaults to available parallelism).
+    pub threads: Option<usize>,
+    /// Fault injection: cells whose key contains any of these substrings
+    /// panic instead of solving. Testing/smoke only.
+    pub inject_panic: Vec<String>,
+    /// Fault injection: cells whose key contains any of these substrings
+    /// report `NoConvergence` instead of solving (on every attempt, so
+    /// retries are exercised and then exhausted). Testing/smoke only.
+    pub inject_noconv: Vec<String>,
+    /// Solver configuration token mixed into cell fingerprints; see
+    /// [`cell_fingerprint`]. Use `SolveOptions::fingerprint_token()`.
+    pub config_token: String,
+}
+
+impl SweepOptions {
+    /// Parses the sweep-related flags out of a CLI argument list, returning
+    /// the options and every argument it did not consume (the binary's own
+    /// flags, e.g. `--quick`).
+    ///
+    /// Recognized flags:
+    /// `--journal PATH`, `--fail-fast`, `--cell-deadline SECONDS`,
+    /// `--retries N` (extra attempts after the first), `--threads N`,
+    /// `--inject-panic SUBSTR`, `--inject-noconv SUBSTR` (both repeatable).
+    pub fn from_cli<I: IntoIterator<Item = String>>(args: I) -> (SweepOptions, Vec<String>) {
+        let mut opts = SweepOptions::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+            it.next().unwrap_or_else(|| panic!("{flag} requires a value"))
+        }
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--journal" => opts.journal = Some(PathBuf::from(value(&mut it, "--journal"))),
+                "--fail-fast" => opts.fail_fast = true,
+                "--cell-deadline" => {
+                    let secs: f64 = value(&mut it, "--cell-deadline")
+                        .parse()
+                        .expect("--cell-deadline takes seconds");
+                    opts.cell_deadline = Some(Duration::from_secs_f64(secs));
+                }
+                "--retries" => {
+                    let n: u32 =
+                        value(&mut it, "--retries").parse().expect("--retries takes a count");
+                    opts.retry.max_attempts = n + 1;
+                }
+                "--threads" => {
+                    let n: usize =
+                        value(&mut it, "--threads").parse().expect("--threads takes a count");
+                    opts.threads = Some(n.max(1));
+                }
+                "--inject-panic" => opts.inject_panic.push(value(&mut it, "--inject-panic")),
+                "--inject-noconv" => opts.inject_noconv.push(value(&mut it, "--inject-noconv")),
+                _ => rest.push(arg),
+            }
+        }
+        (opts, rest)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-attempt context
+// ---------------------------------------------------------------------------
+
+/// What the runner hands a cell's solve function on each attempt: the
+/// budget to thread into solver options plus the escalation state.
+#[derive(Debug, Clone)]
+pub struct CellContext {
+    /// Attempt index, 0-based (0 = first try).
+    pub attempt: u32,
+    /// Budget carrying the per-cell deadline and the sweep's shared cancel
+    /// flag. Solve functions must thread this into their solver options or
+    /// watchdogs cannot interrupt them.
+    pub budget: SolveBudget,
+    /// Iteration-budget multiplier for this attempt
+    /// (`iteration_growth^attempt`).
+    pub iteration_scale: f64,
+    /// Additive aperiodicity bump for this attempt (`attempt * tau_step`).
+    pub tau_offset: f64,
+}
+
+impl CellContext {
+    /// Convenience: default options of type `T` with this context's budget
+    /// and escalation applied.
+    pub fn solve_options<T: TunableSolve>(&self) -> T {
+        let mut t = T::default();
+        t.tune(self);
+        t
+    }
+}
+
+/// Solver option types the runner knows how to escalate: apply the budget,
+/// scale the iteration cap, bump the aperiodicity weight.
+pub trait TunableSolve: Default {
+    /// Applies `ctx`'s budget and escalation to these options.
+    fn tune(&mut self, ctx: &CellContext);
+}
+
+fn scale_iterations(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale).min(1e15) as usize
+}
+
+/// Bumped tau, clamped below 1 (0.9 cap leaves the transform meaningful).
+fn bump_tau(base: f64, offset: f64) -> f64 {
+    (base + offset).min(0.9)
+}
+
+impl TunableSolve for RviOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+    }
+}
+
+impl TunableSolve for RatioOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.rvi.tune(ctx);
+    }
+}
+
+impl TunableSolve for bvc_bu::SolveOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+    }
+}
+
+impl TunableSolve for bvc_bitcoin::SolveOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal codec (hand-rolled JSONL; no serde in this workspace)
+// ---------------------------------------------------------------------------
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+struct JournalEntry {
+    fp: u64,
+    key: String,
+    ok: bool,
+    attempts: u32,
+    /// Raw `f64` bit patterns of the encoded value (empty for failures).
+    bits: Vec<u64>,
+    reason: String,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn encode_line(entry: &JournalEntry, vals: &[f64]) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"fp\":\"{:016x}\",\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
+        entry.fp,
+        json_escape(&entry.key),
+        if entry.ok { "ok" } else { "fail" },
+        entry.attempts,
+    );
+    if entry.ok {
+        // Canonical value: hex bit patterns (bit-exact). The decimal `vals`
+        // mirror is informational for humans reading the journal and is
+        // ignored on replay.
+        let _ = write!(line, ",\"bits\":[");
+        for (i, b) in entry.bits.iter().enumerate() {
+            let _ = write!(line, "{}\"{:016x}\"", if i > 0 { "," } else { "" }, b);
+        }
+        let _ = write!(line, "],\"vals\":[");
+        for (i, v) in vals.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            if v.is_finite() {
+                let _ = write!(line, "{sep}{v}");
+            } else {
+                let _ = write!(line, "{sep}\"{v}\"");
+            }
+        }
+        let _ = write!(line, "]");
+    } else {
+        let _ = write!(line, ",\"reason\":\"{}\"", json_escape(&entry.reason));
+    }
+    line.push('}');
+    line
+}
+
+/// Minimal cursor over one JSON object line. Tolerant by construction: any
+/// structural surprise makes the whole line parse to `None`, and the caller
+/// skips it (a torn tail line from a killed run must not poison resume).
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.ws();
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
+    }
+
+    /// Skips a scalar or (possibly nested) array value we don't care about.
+    fn skip_value(&mut self) -> Option<()> {
+        self.ws();
+        match *self.b.get(self.i)? {
+            b'"' => self.string().map(|_| ()),
+            b'[' => {
+                self.i += 1;
+                loop {
+                    self.ws();
+                    if self.eat(b']') {
+                        return Some(());
+                    }
+                    self.skip_value()?;
+                    self.ws();
+                    self.eat(b',');
+                }
+            }
+            b't' | b'f' | b'n' => {
+                while self.i < self.b.len() && self.b[self.i].is_ascii_alphabetic() {
+                    self.i += 1;
+                }
+                Some(())
+            }
+            _ => self.number().map(|_| ()),
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Option<JournalEntry> {
+    let mut c = Cur { b: line.as_bytes(), i: 0 };
+    c.ws();
+    if !c.eat(b'{') {
+        return None;
+    }
+    let mut fp = None;
+    let mut key = None;
+    let mut status = None;
+    let mut attempts = 0u32;
+    let mut bits = Vec::new();
+    let mut reason = String::new();
+    loop {
+        c.ws();
+        if c.eat(b'}') {
+            break;
+        }
+        let name = c.string()?;
+        c.ws();
+        if !c.eat(b':') {
+            return None;
+        }
+        match name.as_str() {
+            "fp" => fp = u64::from_str_radix(&c.string()?, 16).ok(),
+            "key" => key = Some(c.string()?),
+            "status" => status = Some(c.string()?),
+            "attempts" => attempts = c.number()? as u32,
+            "bits" => {
+                c.ws();
+                if !c.eat(b'[') {
+                    return None;
+                }
+                loop {
+                    c.ws();
+                    if c.eat(b']') {
+                        break;
+                    }
+                    bits.push(u64::from_str_radix(&c.string()?, 16).ok()?);
+                    c.ws();
+                    c.eat(b',');
+                }
+            }
+            "reason" => reason = c.string()?,
+            _ => c.skip_value()?,
+        }
+        c.ws();
+        c.eat(b',');
+    }
+    let status = status?;
+    if status != "ok" && status != "fail" {
+        return None;
+    }
+    Some(JournalEntry { fp: fp?, key: key?, ok: status == "ok", attempts, bits, reason })
+}
+
+/// Loads a journal, last-entry-wins per fingerprint. Unparseable lines
+/// (torn tails from killed runs, stray edits) are skipped.
+fn load_journal(path: &std::path::Path) -> HashMap<u64, JournalEntry> {
+    let mut map = HashMap::new();
+    let Ok(file) = std::fs::File::open(path) else {
+        return map;
+    };
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if let Some(entry) = parse_line(&line) {
+            map.insert(entry.fp, entry);
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// Runs `solve` over every input with per-cell fault isolation, watchdog
+/// budgets, retry escalation, and (optionally) a checkpoint journal.
+///
+/// * `key_of` must produce a unique, stable, human-readable key per cell —
+///   it names the cell in failure legends and identifies it across runs in
+///   the journal.
+/// * `solve` receives the input and a [`CellContext`]; it must thread
+///   `ctx.budget` into its solver options (e.g. via
+///   [`CellContext::solve_options`]) for deadlines and fail-fast
+///   cancellation to be able to interrupt it.
+///
+/// The returned report has one entry per input, in input order, regardless
+/// of how many cells failed. `run_sweep` itself never panics on cell
+/// failures.
+pub fn run_sweep<Inp, T, K, F>(
+    label: &str,
+    inputs: &[Inp],
+    opts: &SweepOptions,
+    key_of: K,
+    solve: F,
+) -> SweepReport<T>
+where
+    Inp: Sync,
+    T: SweepValue + Send,
+    K: Fn(&Inp) -> String,
+    F: Fn(&Inp, &CellContext) -> Result<T, MdpError> + Sync,
+{
+    let started = Instant::now();
+    let n = inputs.len();
+    let keys: Vec<String> = inputs.iter().map(&key_of).collect();
+    let fps: Vec<u64> =
+        keys.iter().map(|k| cell_fingerprint(k, &opts.config_token)).collect();
+
+    let mut slots: Vec<Option<CellResult<T>>> = (0..n).map(|_| None).collect();
+
+    // Resume: replay finished cells out of the journal; failed or missing
+    // entries are re-solved.
+    if let Some(path) = &opts.journal {
+        let journal = load_journal(path);
+        for i in 0..n {
+            if let Some(entry) = journal.get(&fps[i]) {
+                if entry.ok {
+                    let vals: Vec<f64> =
+                        entry.bits.iter().map(|&b| f64::from_bits(b)).collect();
+                    if let Some(value) = T::decode(&vals) {
+                        slots[i] = Some(CellResult {
+                            key: keys[i].clone(),
+                            outcome: Ok(value),
+                            attempts: 0,
+                            replayed: true,
+                            elapsed: Duration::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+    let writer = opts.journal.as_ref().map(|path| {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        Mutex::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open journal {}: {e}", path.display())),
+        )
+    });
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let cursor = AtomicUsize::new(0);
+    let slots_mx = Mutex::new(slots);
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
+        .min(pending.len().max(1));
+
+    let solve_cell = |i: usize| -> CellResult<T> {
+        let key = &keys[i];
+        let cell_started = Instant::now();
+        let inject_panic = opts.inject_panic.iter().any(|s| key.contains(s));
+        let inject_noconv = opts.inject_noconv.iter().any(|s| key.contains(s));
+        let mut attempts = 0u32;
+        let outcome = loop {
+            let attempt = attempts;
+            attempts += 1;
+            let mut budget = SolveBudget::unlimited().with_cancel(cancel.clone());
+            if let Some(deadline) = opts.cell_deadline {
+                budget = budget.deadline_at(Instant::now() + deadline);
+            }
+            let ctx = CellContext {
+                attempt,
+                budget,
+                iteration_scale: opts.retry.iteration_growth.powi(attempt as i32),
+                tau_offset: f64::from(attempt) * opts.retry.tau_step,
+            };
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected panic for cell '{key}'");
+                }
+                if inject_noconv {
+                    return Err(MdpError::NoConvergence {
+                        solver: "injected",
+                        iterations: 0,
+                        residual: f64::INFINITY,
+                    });
+                }
+                solve(&inputs[i], &ctx)
+            }));
+            match result {
+                Ok(Ok(value)) => break Ok(value),
+                Ok(Err(e)) if e.is_cancellation() => break Err(CellFailure::Skipped),
+                Ok(Err(e)) if e.is_retryable() && attempts < opts.retry.max_attempts => {
+                    if !opts.retry.backoff.is_zero() {
+                        std::thread::sleep(opts.retry.backoff * 2u32.pow(attempt.min(16)));
+                    }
+                }
+                Ok(Err(e)) => break Err(CellFailure::Solver(e)),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    break Err(CellFailure::Panicked(msg));
+                }
+            }
+        };
+
+        // Journal terminal outcomes. Skips are deliberately not journaled:
+        // the cell was never really attempted and must re-solve on resume.
+        let journaled = match &outcome {
+            Ok(value) => Some((true, value.encode(), String::new())),
+            Err(f @ (CellFailure::Panicked(_) | CellFailure::Solver(_))) => {
+                Some((false, Vec::new(), f.message()))
+            }
+            Err(CellFailure::Skipped) => None,
+        };
+        if let (Some(writer), Some((ok, vals, reason))) = (&writer, journaled) {
+            let entry = JournalEntry {
+                fp: fps[i],
+                key: key.clone(),
+                ok,
+                attempts,
+                bits: vals.iter().map(|v| v.to_bits()).collect(),
+                reason,
+            };
+            let line = encode_line(&entry, &vals);
+            let mut file = writer.lock().expect("journal writer poisoned");
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+
+        if opts.fail_fast
+            && matches!(&outcome, Err(CellFailure::Panicked(_) | CellFailure::Solver(_)))
+        {
+            cancel.store(true, Ordering::Relaxed);
+        }
+        CellResult {
+            key: key.clone(),
+            outcome,
+            attempts,
+            replayed: false,
+            elapsed: cell_started.elapsed(),
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if cancel.load(Ordering::Relaxed) {
+                    return;
+                }
+                let p = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(p) else { return };
+                let result = solve_cell(i);
+                slots_mx.lock().expect("slot vector poisoned")[i] = Some(result);
+            });
+        }
+    });
+
+    let cells = slots_mx
+        .into_inner()
+        .expect("slot vector poisoned")
+        .into_iter()
+        .zip(keys)
+        .map(|(slot, key)| {
+            slot.unwrap_or(CellResult {
+                key,
+                outcome: Err(CellFailure::Skipped),
+                attempts: 0,
+                replayed: false,
+                elapsed: Duration::ZERO,
+            })
+        })
+        .collect();
+
+    SweepReport { label: label.to_string(), cells, wall: started.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("bvc_sweep_{tag}_{}_{n}.jsonl", std::process::id()))
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy { backoff: Duration::ZERO, ..Default::default() }
+    }
+
+    #[test]
+    fn journal_lines_roundtrip_bit_exactly() {
+        for v in [
+            0.25f64,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0e-308,
+            std::f64::consts::PI,
+        ] {
+            let entry = JournalEntry {
+                fp: cell_fingerprint("cell \"x\"\n", "cfg"),
+                key: "cell \"x\"\n".into(),
+                ok: true,
+                attempts: 2,
+                bits: vec![v.to_bits()],
+                reason: String::new(),
+            };
+            let line = encode_line(&entry, &[v]);
+            let parsed = parse_line(&line).expect("line parses");
+            assert_eq!(parsed, entry, "roundtrip for {v}: {line}");
+            assert_eq!(f64::from_bits(parsed.bits[0]).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn failure_lines_roundtrip() {
+        let entry = JournalEntry {
+            fp: 7,
+            key: "k".into(),
+            ok: false,
+            attempts: 3,
+            bits: vec![],
+            reason: "rvi did not converge\n(residual 1e-3)".into(),
+        };
+        let parsed = parse_line(&encode_line(&entry, &[])).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_not_fatal() {
+        for junk in [
+            "",
+            "not json",
+            "{\"fp\":\"xyz\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1}",
+            "{\"key\":\"missing fp\",\"status\":\"ok\",\"attempts\":1}",
+            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"weird\",\"attempts\":1}",
+            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1,\"bits\":[\"03",
+        ] {
+            assert!(parse_line(junk).is_none(), "accepted junk: {junk:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_depends_on_config_token() {
+        assert_ne!(cell_fingerprint("k", "a"), cell_fingerprint("k", "b"));
+        assert_ne!(cell_fingerprint("k1", "a"), cell_fingerprint("k2", "a"));
+        assert_eq!(cell_fingerprint("k", "a"), cell_fingerprint("k", "a"));
+    }
+
+    #[test]
+    fn clean_sweep_preserves_input_order() {
+        let inputs: Vec<f64> = (0..20).map(f64::from).collect();
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &SweepOptions::default(),
+            |x| format!("x={x}"),
+            |x, _ctx| Ok(x * 2.0),
+        );
+        assert!(!report.has_failures());
+        assert_eq!(report.solved(), 20);
+        for (i, x) in inputs.iter().enumerate() {
+            assert_eq!(*report.value(i).unwrap(), x * 2.0);
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let inputs: Vec<u32> = (0..8).collect();
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &SweepOptions::default(),
+            |x| format!("x={x}"),
+            |x, _ctx| {
+                if *x == 3 {
+                    panic!("boom {x}");
+                }
+                Ok(f64::from(*x))
+            },
+        );
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.solved(), 7);
+        let failed = &report.cells[3];
+        assert!(matches!(&failed.outcome, Err(CellFailure::Panicked(m)) if m.contains("boom 3")));
+        // Panics are never retried.
+        assert_eq!(failed.attempts, 1);
+        assert!(report.summary().contains("failed 1"));
+        assert!(report.failure_legend().contains("x=3"));
+    }
+
+    #[test]
+    fn injected_faults_match_by_key_substring() {
+        let inputs: Vec<u32> = (0..4).collect();
+        let opts = SweepOptions {
+            inject_panic: vec!["x=1".into()],
+            inject_noconv: vec!["x=2".into()],
+            retry: fast_retry(),
+            ..Default::default()
+        };
+        let report =
+            run_sweep("t", &inputs, &opts, |x| format!("x={x}"), |x, _| Ok(f64::from(*x)));
+        assert_eq!(report.solved(), 2);
+        assert_eq!(report.failed(), 2);
+        assert!(matches!(&report.cells[1].outcome, Err(CellFailure::Panicked(_))));
+        assert!(matches!(
+            &report.cells[2].outcome,
+            Err(CellFailure::Solver(MdpError::NoConvergence { .. }))
+        ));
+        // The injected NoConvergence exhausted the full retry schedule.
+        assert_eq!(report.cells[2].attempts, opts.retry.max_attempts);
+        assert_eq!(report.grid_entry(1, None), GridEntry::Failed("panic".into()));
+    }
+
+    #[test]
+    fn retry_escalation_reaches_success() {
+        let inputs = [0u32];
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &SweepOptions { retry: fast_retry(), ..Default::default() },
+            |_| "cell".into(),
+            |_, ctx| {
+                if ctx.attempt == 0 {
+                    assert_eq!(ctx.iteration_scale, 1.0);
+                    assert_eq!(ctx.tau_offset, 0.0);
+                    Err(MdpError::NoConvergence { solver: "x", iterations: 1, residual: 1.0 })
+                } else {
+                    assert!(ctx.iteration_scale > 1.0, "budget must escalate");
+                    assert!(ctx.tau_offset > 0.0, "tau must escalate");
+                    Ok(1.0)
+                }
+            },
+        );
+        assert_eq!(report.solved(), 1);
+        assert_eq!(report.cells[0].attempts, 2);
+        assert_eq!(report.retries(), 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_immediately() {
+        let inputs = [0u32];
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &SweepOptions { retry: fast_retry(), ..Default::default() },
+            |_| "cell".into(),
+            |_, _| -> Result<f64, MdpError> {
+                Err(MdpError::Shape { what: "warm start", found: 1, expected: 2 })
+            },
+        );
+        assert_eq!(report.cells[0].attempts, 1);
+        assert!(matches!(
+            &report.cells[0].outcome,
+            Err(CellFailure::Solver(MdpError::Shape { .. }))
+        ));
+    }
+
+    #[test]
+    fn fail_fast_skips_remaining_cells_serially() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let executed = AtomicU32::new(0);
+        let opts = SweepOptions {
+            fail_fast: true,
+            threads: Some(1),
+            retry: fast_retry(),
+            ..Default::default()
+        };
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &opts,
+            |x| format!("x={x}"),
+            |x, _| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                if *x == 2 {
+                    panic!("boom");
+                }
+                Ok(f64::from(*x))
+            },
+        );
+        assert_eq!(executed.load(Ordering::SeqCst), 3, "must stop claiming after the failure");
+        assert_eq!(report.solved(), 2);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.skipped(), 7);
+        assert!(report.has_failures());
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn cancelled_solver_error_counts_as_skipped() {
+        let inputs = [0u32];
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &SweepOptions::default(),
+            |_| "cell".into(),
+            |_, _| -> Result<f64, MdpError> {
+                Err(MdpError::Cancelled { solver: "x", iterations: 5 })
+            },
+        );
+        assert_eq!(report.skipped(), 1);
+        assert_eq!(report.failed(), 0);
+    }
+
+    #[test]
+    fn deadline_is_threaded_into_the_cell_budget() {
+        let inputs = [0u32];
+        let opts = SweepOptions {
+            cell_deadline: Some(Duration::ZERO),
+            retry: RetryPolicy { max_attempts: 1, ..fast_retry() },
+            ..Default::default()
+        };
+        let report = run_sweep(
+            "t",
+            &inputs,
+            &opts,
+            |_| "cell".into(),
+            |_, ctx| -> Result<f64, MdpError> {
+                // A compliant solve function checks its budget; with a zero
+                // deadline the check fires on the first interval boundary.
+                ctx.budget.check("test_solver", 0)?;
+                Ok(1.0)
+            },
+        );
+        assert!(matches!(
+            &report.cells[0].outcome,
+            Err(CellFailure::Solver(MdpError::DeadlineExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn journal_resume_replays_without_resolving() {
+        let path = tmp_journal("resume");
+        let inputs: Vec<u32> = (0..6).collect();
+        let solves = AtomicU32::new(0);
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            config_token: "cfg-a".into(),
+            ..Default::default()
+        };
+        let solve = |x: &u32, _ctx: &CellContext| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            Ok(f64::from(*x) * 3.0)
+        };
+        let first = run_sweep("t", &inputs, &opts, |x| format!("x={x}"), solve);
+        assert_eq!(first.solved(), 6);
+        assert_eq!(solves.load(Ordering::SeqCst), 6);
+
+        let second = run_sweep("t", &inputs, &opts, |x| format!("x={x}"), solve);
+        assert_eq!(second.solved(), 6);
+        assert_eq!(second.replayed(), 6);
+        assert_eq!(solves.load(Ordering::SeqCst), 6, "no cell may re-solve");
+        for i in 0..6 {
+            assert_eq!(
+                second.value(i).unwrap().to_bits(),
+                first.value(i).unwrap().to_bits(),
+                "replayed values must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_cells_resolve_on_resume() {
+        let path = tmp_journal("refail");
+        let inputs: Vec<u32> = (0..3).collect();
+        let base = SweepOptions {
+            journal: Some(path.clone()),
+            retry: fast_retry(),
+            ..Default::default()
+        };
+        let broken = SweepOptions { inject_panic: vec!["x=1".into()], ..base.clone() };
+        let first = run_sweep("t", &inputs, &broken, |x| format!("x={x}"), |x, _| {
+            Ok(f64::from(*x))
+        });
+        assert_eq!(first.failed(), 1);
+
+        // Injection removed: only the failed cell re-solves.
+        let solves = AtomicU32::new(0);
+        let second = run_sweep("t", &inputs, &base, |x| format!("x={x}"), |x, _| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            Ok(f64::from(*x))
+        });
+        assert_eq!(second.solved(), 3);
+        assert_eq!(second.replayed(), 2);
+        assert_eq!(solves.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn changed_config_token_invalidates_the_journal() {
+        let path = tmp_journal("stale");
+        let inputs: Vec<u32> = (0..4).collect();
+        let mk = |token: &str| SweepOptions {
+            journal: Some(path.clone()),
+            config_token: token.into(),
+            ..Default::default()
+        };
+        let solves = AtomicU32::new(0);
+        let solve = |x: &u32, _: &CellContext| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            Ok(f64::from(*x))
+        };
+        run_sweep("t", &inputs, &mk("tol=1e-5"), |x| format!("x={x}"), solve);
+        assert_eq!(solves.load(Ordering::SeqCst), 4);
+        // Tighter tolerances: every fingerprint changes, nothing replays.
+        let report = run_sweep("t", &inputs, &mk("tol=1e-9"), |x| format!("x={x}"), solve);
+        assert_eq!(report.replayed(), 0);
+        assert_eq!(solves.load(Ordering::SeqCst), 8);
+        // Back to the original config: those entries are still valid.
+        let report = run_sweep("t", &inputs, &mk("tol=1e-5"), |x| format!("x={x}"), solve);
+        assert_eq!(report.replayed(), 4);
+        assert_eq!(solves.load(Ordering::SeqCst), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vec_values_roundtrip_through_the_journal() {
+        let path = tmp_journal("vec");
+        let inputs = [2u32];
+        let opts = SweepOptions { journal: Some(path.clone()), ..Default::default() };
+        let value = vec![1.5, f64::NAN, -0.0];
+        let first = run_sweep("t", &inputs, &opts, |_| "cell".into(), |_, _| Ok(value.clone()));
+        let second = run_sweep("t", &inputs, &opts, |_| "cell".into(), |_, _| {
+            Err::<Vec<f64>, _>(MdpError::Empty)
+        });
+        assert_eq!(second.replayed(), 1);
+        let (a, b) = (first.value(0).unwrap(), second.value(0).unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_cli_parses_sweep_flags_and_passes_the_rest() {
+        let args = [
+            "--quick",
+            "--journal",
+            "/tmp/j.jsonl",
+            "--fail-fast",
+            "--cell-deadline",
+            "2.5",
+            "--retries",
+            "4",
+            "--threads",
+            "2",
+            "--inject-panic",
+            "a=15%",
+            "--inject-noconv",
+            "a=20%",
+            "--setting1-only",
+        ]
+        .map(String::from);
+        let (opts, rest) = SweepOptions::from_cli(args);
+        assert_eq!(opts.journal.as_deref(), Some(std::path::Path::new("/tmp/j.jsonl")));
+        assert!(opts.fail_fast);
+        assert_eq!(opts.cell_deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(opts.retry.max_attempts, 5);
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.inject_panic, vec!["a=15%".to_string()]);
+        assert_eq!(opts.inject_noconv, vec!["a=20%".to_string()]);
+        assert_eq!(rest, vec!["--quick".to_string(), "--setting1-only".to_string()]);
+    }
+
+    #[test]
+    fn tunable_solve_applies_escalation() {
+        let ctx = CellContext {
+            attempt: 1,
+            budget: SolveBudget::with_timeout(Duration::from_secs(5)),
+            iteration_scale: 4.0,
+            tau_offset: 0.05,
+        };
+        let rvi: RviOptions = ctx.solve_options();
+        let base = RviOptions::default();
+        assert_eq!(rvi.max_iterations, base.max_iterations * 4);
+        assert!((rvi.aperiodicity_tau - (base.aperiodicity_tau + 0.05)).abs() < 1e-12);
+        assert!(!rvi.budget.is_unlimited());
+
+        let bu: bvc_bu::SolveOptions = ctx.solve_options();
+        assert_eq!(bu.max_iterations, base.max_iterations * 4);
+
+        let ratio: RatioOptions = ctx.solve_options();
+        assert_eq!(ratio.rvi.max_iterations, base.max_iterations * 4);
+
+        // Tau stays clamped away from 1 however hard escalation pushes.
+        let extreme = CellContext { tau_offset: 5.0, ..ctx };
+        let rvi: RviOptions = extreme.solve_options();
+        assert!(rvi.aperiodicity_tau <= 0.9);
+    }
+}

@@ -23,6 +23,9 @@ cargo test -q --offline --workspace
 if [[ "${1:-}" != "--no-smoke" ]]; then
     echo "==> sweep_timing smoke (Table 2, quick column)"
     cargo run --release --offline -p bvc-bench --bin sweep_timing -- --quick
+
+    echo "==> sweep-runner fault-injection smoke (panic/no-conv/resume)"
+    TABLE2_BIN=target/release/table2 scripts/fault_smoke.sh
 fi
 
 echo "==> OK"
