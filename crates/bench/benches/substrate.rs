@@ -118,9 +118,8 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_games(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure4_games");
     g.bench_function("stable_sets_64_groups", |b| {
-        let groups: Vec<MinerGroup> = (0..64)
-            .map(|i| MinerGroup { mpb: i as f64 + 1.0, power: 1.0 / 64.0 })
-            .collect();
+        let groups: Vec<MinerGroup> =
+            (0..64).map(|i| MinerGroup { mpb: i as f64 + 1.0, power: 1.0 / 64.0 }).collect();
         let game = BlockSizeIncreasingGame::new(groups);
         b.iter(|| black_box(game.play().terminal))
     });

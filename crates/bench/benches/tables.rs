@@ -36,9 +36,7 @@ fn bench_model_build(c: &mut Criterion) {
     });
     g.bench_function("bitcoin_cap40", |b| {
         b.iter(|| {
-            black_box(
-                BitcoinModel::build(BitcoinConfig::smds(0.25, 0.5)).unwrap().num_states(),
-            )
+            black_box(BitcoinModel::build(BitcoinConfig::smds(0.25, 0.5)).unwrap().num_states())
         })
     });
     g.finish();

@@ -90,7 +90,7 @@ fn ratio_opts() -> RatioOptions {
 }
 
 fn main() {
-    let (mut sweep_opts, args) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut sweep_opts, args) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     sweep_opts.config_token = SolveOptions::default().fingerprint_token();
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
@@ -147,14 +147,16 @@ fn main() {
                 format!("s{tag} b:g={}:{} a={}%", c.ratio.0, c.ratio.1, c.alpha * 100.0)
             },
             |&i, ctx| {
-                Ok(models[i]
-                    .optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?
-                    .value)
+                Ok(models[i].optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?.value)
             },
         ));
     });
     let report = last_report.expect("at least one rep ran");
-    println!("compiled (CSR):      {}  {:>7.2} cells/s", compiled.summary(), compiled.throughput(n));
+    println!(
+        "compiled (CSR):      {}  {:>7.2} cells/s",
+        compiled.summary(),
+        compiled.throughput(n)
+    );
     println!(
         "speedup: {:.2}x (min-over-min wall clock)",
         nested.min().as_secs_f64() / compiled.min().as_secs_f64()
@@ -169,11 +171,8 @@ fn main() {
     // Guard against the two paths silently diverging while we time them.
     let compiled_vals: Vec<f64> =
         (0..n).map(|i| *report.value(i).expect("no failures above")).collect();
-    let max_dev = nested_vals
-        .iter()
-        .zip(&compiled_vals)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
+    let max_dev =
+        nested_vals.iter().zip(&compiled_vals).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
     assert!(max_dev < 1e-9, "paths diverged: max |Δu1| = {max_dev:e}");
     println!("paths agree: max |Δu1| = {max_dev:.1e} over {n} cells");
 }

@@ -76,9 +76,7 @@ pub fn sm1_policy(model: &BitcoinModel) -> Policy {
                 // Truncation fallback: prefer Override, then Adopt.
                 arms.iter()
                     .position(|arm| arm.label == SmAction::Override.label())
-                    .or_else(|| {
-                        arms.iter().position(|arm| arm.label == SmAction::Adopt.label())
-                    })
+                    .or_else(|| arms.iter().position(|arm| arm.label == SmAction::Adopt.label()))
             })
             .expect("a legal action exists");
         policy.choices[id] = pick;
@@ -140,13 +138,10 @@ mod tests {
     /// al.'s headline point: SM1 is not optimal).
     #[test]
     fn optimal_dominates_sm1() {
-        let model =
-            BitcoinModel::build(BitcoinConfig::selfish_mining(0.35, 0.0)).unwrap();
+        let model = BitcoinModel::build(BitcoinConfig::selfish_mining(0.35, 0.0)).unwrap();
         let sm1 = sm1_relative_revenue(&model).unwrap();
-        let opt = model
-            .optimal_relative_revenue(&crate::solve::SolveOptions::default())
-            .unwrap()
-            .value;
+        let opt =
+            model.optimal_relative_revenue(&crate::solve::SolveOptions::default()).unwrap().value;
         assert!(opt >= sm1 - 1e-5, "optimal {opt} < SM1 {sm1}");
         // And strictly dominates at this parameter point.
         assert!(opt > sm1 + 1e-4, "optimal {opt} should strictly beat SM1 {sm1}");

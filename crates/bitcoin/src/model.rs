@@ -80,13 +80,7 @@ type Event = (SmState, f64, Vec<f64>);
 
 /// The block-discovery events following a *structural* move that left the
 /// system in `(a, h, fork)` with pending per-event rewards `base`.
-fn discovery(
-    cfg: &BitcoinConfig,
-    a: u8,
-    h: u8,
-    fork: Fork,
-    base: &[f64],
-) -> Vec<Event> {
+fn discovery(cfg: &BitcoinConfig, a: u8, h: u8, fork: Fork, base: &[f64]) -> Vec<Event> {
     let al = cfg.alpha;
     match fork {
         Fork::Active => {
@@ -184,7 +178,19 @@ impl BitcoinModel {
         cfg.validate();
         let cfg2 = cfg.clone();
         let explored = explore(COMPONENTS, [SmState::START], move |s| expand(&cfg2, s))?;
-        Ok(BitcoinModel { cfg, explored })
+        let model = BitcoinModel { cfg, explored };
+        debug_assert!(
+            model.audit().passed(),
+            "freshly built Bitcoin model failed its static audit:\n{}",
+            model.audit().render_text()
+        );
+        Ok(model)
+    }
+
+    /// Runs the static precondition audit over this model (see
+    /// [`bvc_mdp::audit`]). The BFS-explored start state is MDP state 0.
+    pub fn audit(&self) -> bvc_mdp::AuditReport {
+        bvc_mdp::audit_mdp(self.mdp(), &bvc_mdp::AuditOptions::default())
     }
 
     /// The configuration this model was built from.
@@ -273,10 +279,8 @@ mod tests {
         let cfg = BitcoinConfig::smds(0.3, 0.5);
         let s = SmState { a: 5, h: 4, fork: Fork::Active };
         let specs = expand(&cfg, &s);
-        let wait = specs
-            .iter()
-            .find(|sp| sp.label == SmAction::Wait.label())
-            .expect("wait available");
+        let wait =
+            specs.iter().find(|sp| sp.label == SmAction::Wait.label()).expect("wait available");
         let win = wait
             .outcomes
             .iter()

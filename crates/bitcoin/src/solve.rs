@@ -23,6 +23,10 @@ pub struct SolveOptions {
     pub aperiodicity_tau: f64,
     /// Wall-clock deadline / cooperative cancellation for inner solvers.
     pub budget: SolveBudget,
+    /// When set, run the static precondition audit ([`bvc_mdp::audit`])
+    /// before solving; a model failing any check makes the solve return
+    /// [`MdpError::AuditFailed`]. Off by default.
+    pub audit: bool,
 }
 
 impl Default for SolveOptions {
@@ -34,6 +38,7 @@ impl Default for SolveOptions {
             max_iterations: rvi.max_iterations,
             aperiodicity_tau: rvi.aperiodicity_tau,
             budget: SolveBudget::unlimited(),
+            audit: false,
         }
     }
 }
@@ -90,12 +95,21 @@ fn u2_objective() -> Objective {
 }
 
 impl BitcoinModel {
+    /// The opt-in pre-solve audit gate: a no-op unless `opts.audit` is set.
+    fn audit_gate(&self, opts: &SolveOptions) -> Result<(), MdpError> {
+        if opts.audit {
+            self.audit().gate()?;
+        }
+        Ok(())
+    }
+
     /// Optimal *relative revenue* (selfish mining): the largest achievable
     /// `ΣR_A / (ΣR_A + ΣR_others)`. Honest mining yields exactly α.
     pub fn optimal_relative_revenue(
         &self,
         opts: &SolveOptions,
     ) -> Result<OptimalStrategy, MdpError> {
+        self.audit_gate(opts)?;
         let sol = maximize_ratio(
             self.mdp(),
             &u1_numerator(),
@@ -110,12 +124,13 @@ impl BitcoinModel {
     }
 
     /// Optimal *absolute revenue per block* for the combined selfish-mining
-    /// + double-spending attack (Table 3, bottom panel): the long-run
+    /// plus double-spending attack (Table 3, bottom panel): the long-run
     /// average of `R_A + R_DS` per block mined in the network.
     pub fn optimal_absolute_revenue(
         &self,
         opts: &SolveOptions,
     ) -> Result<OptimalStrategy, MdpError> {
+        self.audit_gate(opts)?;
         let sol = relative_value_iteration(self.mdp(), &u2_objective(), &opts.rvi_opts())?;
         Ok(OptimalStrategy { value: sol.gain, policy: sol.policy })
     }

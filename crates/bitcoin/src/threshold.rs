@@ -39,11 +39,7 @@ impl Default for ThresholdOptions {
 
 /// Whether selfish mining with share `alpha` and tie parameter `gamma` is
 /// strictly profitable (optimal relative revenue exceeds `alpha`).
-pub fn is_profitable(
-    alpha: f64,
-    gamma: f64,
-    opts: &ThresholdOptions,
-) -> Result<bool, MdpError> {
+pub fn is_profitable(alpha: f64, gamma: f64, opts: &ThresholdOptions) -> Result<bool, MdpError> {
     let cfg = BitcoinConfig { cap: opts.cap, ..BitcoinConfig::selfish_mining(alpha, gamma) };
     let model = BitcoinModel::build(cfg)?;
     let sol = model.optimal_relative_revenue(&opts.solve)?;
@@ -53,10 +49,7 @@ pub fn is_profitable(
 /// The smallest α at which selfish mining beats honest mining for a given
 /// γ, found by bisection over `[lo, hi] = [0.01, 0.49]`. Returns `0.01`
 /// when even the smallest probed share profits (the γ → 1 regime).
-pub fn profitability_threshold(
-    gamma: f64,
-    opts: &ThresholdOptions,
-) -> Result<f64, MdpError> {
+pub fn profitability_threshold(gamma: f64, opts: &ThresholdOptions) -> Result<f64, MdpError> {
     let mut lo = 0.01f64;
     let mut hi = 0.49f64;
     if is_profitable(lo, gamma, opts)? {

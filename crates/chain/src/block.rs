@@ -37,11 +37,11 @@ impl ByteSize {
 
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= MB && self.0 % MB == 0 {
+        if self.0 >= MB && self.0.is_multiple_of(MB) {
             write!(f, "{} MB", self.0 / MB)
         } else if self.0 >= MB {
             write!(f, "{:.3} MB", self.0 as f64 / MB as f64)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{} kB", self.0 / 1_000)
         } else {
             write!(f, "{} B", self.0)

@@ -111,8 +111,7 @@ impl DynamicLimitRule {
                 break; // period incomplete or decided after h
             }
             if effective_from <= h {
-                let window =
-                    &blocks[(period_start - 1) as usize..period_end as usize];
+                let window = &blocks[(period_start - 1) as usize..period_end as usize];
                 let n = window.len() as f64;
                 let for_votes =
                     window.iter().filter(|b| b.vote == Vote::Increase).count() as f64 / n;
@@ -134,10 +133,7 @@ impl DynamicLimitRule {
     /// Whether the whole chain is valid: every block within the limit in
     /// effect at its height. Identical for every node by construction.
     pub fn chain_valid(&self, blocks: &[VotingBlock]) -> bool {
-        blocks
-            .iter()
-            .enumerate()
-            .all(|(i, b)| b.size <= self.limit_at(blocks, i as u64 + 1))
+        blocks.iter().enumerate().all(|(i, b)| b.size <= self.limit_at(blocks, i as u64 + 1))
     }
 }
 

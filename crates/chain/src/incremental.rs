@@ -208,8 +208,7 @@ impl IncrementalRule for crate::validity::BuSourceCodeRule {
         let h = state.len;
         // Clause 1: the latest AD blocks are all non-excessive.
         let tail_lo = h.saturating_sub(self.ad) + 1;
-        let latest_ok =
-            !state.recent_excessive.iter().any(|&e| e >= tail_lo && e <= h);
+        let latest_ok = !state.recent_excessive.iter().any(|&e| e >= tail_lo && e <= h);
         if latest_ok {
             return true;
         }
@@ -219,10 +218,7 @@ impl IncrementalRule for crate::validity::BuSourceCodeRule {
         if hi < 1 || lo > hi {
             return false;
         }
-        state
-            .recent_excessive
-            .iter()
-            .any(|&e| (e as i64) >= lo && (e as i64) <= hi)
+        state.recent_excessive.iter().any(|&e| (e as i64) >= lo && (e as i64) <= hi)
     }
 }
 
@@ -272,10 +268,8 @@ impl<R: IncrementalRule> IncrementalView<R> {
     pub fn receive(&mut self, tree: &BlockTree, block: BlockId) -> bool {
         let b = tree.block(block);
         let parent = b.parent.expect("genesis is never delivered");
-        let parent_state = self
-            .states
-            .get(&parent)
-            .expect("parent must be delivered before its child");
+        let parent_state =
+            self.states.get(&parent).expect("parent must be delivered before its child");
         let state = self.rule.step(parent_state, b.size);
         let valid = self.rule.state_valid(&state);
         self.states.insert(block, state);

@@ -49,11 +49,11 @@ pub mod tree;
 pub mod validity;
 pub mod view;
 
-pub use countermeasure::{DynamicLimitRule, Vote, VotingBlock};
-pub use incremental::{IncrementalRule, IncrementalView};
 pub use block::{
     Block, BlockId, ByteSize, Height, MinerId, MAX_MESSAGE_SIZE, MB, STICKY_GATE_BLOCKS,
 };
+pub use countermeasure::{DynamicLimitRule, Vote, VotingBlock};
+pub use incremental::{IncrementalRule, IncrementalView};
 pub use params::{BuParams, Signal, APRIL_2017_SNAPSHOT};
 pub use render::{ascii_tree, dot, no_notes};
 pub use tree::BlockTree;

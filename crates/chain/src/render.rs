@@ -120,7 +120,11 @@ mod tests {
     fn ascii_annotations_appear() {
         let t = fork_tree();
         let text = ascii_tree(&t, &|b: &Block| {
-            if b.size > ByteSize::mb(1) { "EXCESSIVE".into() } else { String::new() }
+            if b.size > ByteSize::mb(1) {
+                "EXCESSIVE".into()
+            } else {
+                String::new()
+            }
         });
         assert_eq!(text.matches("EXCESSIVE").count(), 1);
     }
@@ -141,8 +145,7 @@ mod tests {
         let t = fork_tree();
         let text = ascii_tree(&t, &no_notes());
         // Two children of genesis => two lines at the minimum indent.
-        let top_level =
-            text.lines().filter(|l| l.starts_with("└ ")).count();
+        let top_level = text.lines().filter(|l| l.starts_with("└ ")).count();
         assert_eq!(top_level, 2, "{text}");
     }
 }

@@ -70,11 +70,7 @@ impl BlockTree {
     /// All blocks with no children (the current tips). Genesis counts as a
     /// tip only when it has no children.
     pub fn tips(&self) -> Vec<BlockId> {
-        self.blocks
-            .iter()
-            .filter(|b| self.children[b.id.0].is_empty())
-            .map(|b| b.id)
-            .collect()
+        self.blocks.iter().filter(|b| self.children[b.id.0].is_empty()).map(|b| b.id).collect()
     }
 
     /// The chain from genesis to `id`, genesis **excluded**, tip included,

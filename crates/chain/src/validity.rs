@@ -189,8 +189,7 @@ impl ValidityRule for BuSourceCodeRule {
         }
         // Block sizes[i] has height i + 1; the tip height is n.
         let tail = self.ad.min(n) as usize;
-        let latest_ok =
-            sizes[sizes.len() - tail..].iter().all(|&s| s <= self.eb);
+        let latest_ok = sizes[sizes.len() - tail..].iter().all(|&s| s <= self.eb);
         if latest_ok {
             return true;
         }
@@ -284,7 +283,7 @@ mod tests {
         let r = BuRizunRule::new(EB, 3);
         let mut chain = vec![excessive(), small(), small()];
         assert_eq!(r.gate_after(&chain), GateStatus::Open { remaining: 142 });
-        chain.extend(std::iter::repeat(small()).take(142));
+        chain.extend(std::iter::repeat_n(small(), 142));
         assert_eq!(r.gate_after(&chain), GateStatus::Closed);
         // After closing, a new oversize block again needs AD depth.
         chain.push(ByteSize::mb(20));
@@ -297,13 +296,10 @@ mod tests {
     fn excessive_block_resets_gate_countdown() {
         let r = BuRizunRule::new(EB, 3);
         let mut chain = vec![excessive(), small(), small()]; // gate open, 142 left
-        chain.extend(std::iter::repeat(small()).take(100));
+        chain.extend(std::iter::repeat_n(small(), 100));
         assert_eq!(r.gate_after(&chain), GateStatus::Open { remaining: 42 });
         chain.push(ByteSize::mb(20)); // excessive while open: accepted, resets
-        assert_eq!(
-            r.gate_after(&chain),
-            GateStatus::Open { remaining: STICKY_GATE_BLOCKS }
-        );
+        assert_eq!(r.gate_after(&chain), GateStatus::Open { remaining: STICKY_GATE_BLOCKS });
     }
 
     #[test]
@@ -344,7 +340,7 @@ mod tests {
         let gap = (ad + 143) as usize; // height difference between the two
         let h = 1 + gap; // put the first excessive block at height 1
         let mut chain = vec![excessive()];
-        chain.extend(std::iter::repeat(small()).take(gap - 1));
+        chain.extend(std::iter::repeat_n(small(), gap - 1));
         chain.push(excessive());
         assert_eq!(chain.len(), h);
         // Latest AD blocks include the tip (excessive) -> clause 1 fails;

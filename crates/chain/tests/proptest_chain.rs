@@ -15,16 +15,15 @@ struct TreeScript {
 }
 
 fn tree_script() -> impl Strategy<Value = TreeScript> {
-    proptest::collection::vec((0usize..64, 0u8..4), 1..60)
-        .prop_map(|steps| TreeScript { steps })
+    proptest::collection::vec((0usize..64, 0u8..4), 1..60).prop_map(|steps| TreeScript { steps })
 }
 
 fn size_class(class: u8) -> ByteSize {
     match class {
-        0 => ByteSize(500_000),          // small
-        1 => ByteSize(1_000_000),        // exactly 1 MB
-        2 => ByteSize(16_000_000),       // large (excessive for 1 MB EB)
-        _ => ByteSize(20_000_000),       // larger still, within 32 MB
+        0 => ByteSize(500_000),    // small
+        1 => ByteSize(1_000_000),  // exactly 1 MB
+        2 => ByteSize(16_000_000), // large (excessive for 1 MB EB)
+        _ => ByteSize(20_000_000), // larger still, within 32 MB
     }
 }
 
@@ -142,7 +141,7 @@ proptest! {
         prop_assert_eq!(valid, rule.chain_valid(&sizes));
         if let GateStatus::Open { remaining } = gate {
             prop_assert!(valid);
-            prop_assert!(remaining >= 1 && remaining <= 144);
+            prop_assert!((1..=144).contains(&remaining));
         }
         // Nothing over the message cap is ever valid.
         if sizes.iter().any(|&s| s > MAX_MESSAGE_SIZE) {

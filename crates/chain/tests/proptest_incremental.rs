@@ -4,8 +4,8 @@
 
 use bvc_chain::incremental::{IncrementalRule, IncrementalView};
 use bvc_chain::{
-    BitcoinRule, BlockId, BlockTree, BuRizunRule, BuSourceCodeRule, ByteSize, MinerId,
-    NodeView, ValidityRule,
+    BitcoinRule, BlockId, BlockTree, BuRizunRule, BuSourceCodeRule, ByteSize, MinerId, NodeView,
+    ValidityRule,
 };
 use proptest::prelude::*;
 

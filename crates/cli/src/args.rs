@@ -85,8 +85,7 @@ impl Args {
             .flags
             .get(key)
             .ok_or_else(|| ArgError(format!("missing required flag --{key}")))?;
-        raw.parse()
-            .map_err(|e| ArgError(format!("invalid value {raw:?} for --{key}: {e}")))
+        raw.parse().map_err(|e| ArgError(format!("invalid value {raw:?} for --{key}: {e}")))
     }
 
     /// An optional typed flag with a default.
@@ -104,15 +103,10 @@ impl Args {
 
 /// Parses a `B:C` ratio such as `1:2` into `(1, 2)`.
 pub fn parse_ratio(raw: &str) -> Result<(u32, u32), ArgError> {
-    let (b, c) = raw
-        .split_once(':')
-        .ok_or_else(|| ArgError(format!("expected B:C ratio, got {raw:?}")))?;
-    let b: u32 = b
-        .parse()
-        .map_err(|_| ArgError(format!("invalid ratio part {b:?} in {raw:?}")))?;
-    let c: u32 = c
-        .parse()
-        .map_err(|_| ArgError(format!("invalid ratio part {c:?} in {raw:?}")))?;
+    let (b, c) =
+        raw.split_once(':').ok_or_else(|| ArgError(format!("expected B:C ratio, got {raw:?}")))?;
+    let b: u32 = b.parse().map_err(|_| ArgError(format!("invalid ratio part {b:?} in {raw:?}")))?;
+    let c: u32 = c.parse().map_err(|_| ArgError(format!("invalid ratio part {c:?} in {raw:?}")))?;
     if b == 0 || c == 0 {
         return Err(ArgError("ratio parts must be positive".into()));
     }
@@ -144,7 +138,7 @@ mod tests {
         assert_eq!(a.positional(), &["solve", "extra"]);
         assert_eq!(a.get::<f64>("alpha").unwrap(), 0.2);
         assert_eq!(a.get::<u8>("setting").unwrap(), 2);
-        assert_eq!(a.get::<bool>("verbose").unwrap(), true);
+        assert!(a.get::<bool>("verbose").unwrap());
         assert!(!a.has("quiet"));
     }
 
@@ -156,7 +150,7 @@ mod tests {
         assert_eq!(a.get::<String>("verbose").unwrap(), "extra");
         assert!(a.positional().is_empty());
         let a = parse(&["--verbose=true", "extra"]);
-        assert_eq!(a.get::<bool>("verbose").unwrap(), true);
+        assert!(a.get::<bool>("verbose").unwrap());
         assert_eq!(a.positional(), &["extra"]);
     }
 
@@ -178,7 +172,7 @@ mod tests {
     #[test]
     fn boolean_flag_before_another_flag() {
         let a = parse(&["--sticky", "--alpha", "0.1"]);
-        assert_eq!(a.get::<bool>("sticky").unwrap(), true);
+        assert!(a.get::<bool>("sticky").unwrap());
         assert_eq!(a.get::<f64>("alpha").unwrap(), 0.1);
     }
 

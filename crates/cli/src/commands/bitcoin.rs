@@ -45,10 +45,7 @@ pub fn parse(args: &Args) -> Result<BitcoinCmd, ArgError> {
 
 /// Runs the subcommand.
 pub fn run(cmd: &BitcoinCmd) -> Result<(), String> {
-    println!(
-        "Bitcoin baselines: alpha={}, gamma={} (cap {})",
-        cmd.alpha, cmd.gamma, cmd.cap
-    );
+    println!("Bitcoin baselines: alpha={}, gamma={} (cap {})", cmd.alpha, cmd.gamma, cmd.cap);
     let cfg = BitcoinConfig { cap: cmd.cap, ..BitcoinConfig::selfish_mining(cmd.alpha, cmd.gamma) };
     let model = BitcoinModel::build(cfg).map_err(|e| e.to_string())?;
     let opts = SolveOptions::default();
@@ -90,8 +87,7 @@ mod tests {
 
     #[test]
     fn parses_and_validates() {
-        let cmd =
-            parse(&args(&["--alpha", "0.3", "--gamma", "0", "--double-spend"])).unwrap();
+        let cmd = parse(&args(&["--alpha", "0.3", "--gamma", "0", "--double-spend"])).unwrap();
         assert_eq!(cmd.alpha, 0.3);
         assert_eq!(cmd.gamma, 0.0);
         assert!(cmd.double_spend);
@@ -102,13 +98,8 @@ mod tests {
 
     #[test]
     fn runs_small_case() {
-        let cmd = BitcoinCmd {
-            alpha: 0.3,
-            gamma: 0.5,
-            cap: 16,
-            double_spend: false,
-            threshold: false,
-        };
+        let cmd =
+            BitcoinCmd { alpha: 0.3, gamma: 0.5, cap: 16, double_spend: false, threshold: false };
         run(&cmd).unwrap();
     }
 }

@@ -38,13 +38,11 @@ pub fn parse(args: &Args) -> Result<GamesCmd, ArgError> {
             let raw = args.get::<String>("groups")?;
             let mut groups = Vec::new();
             for part in raw.split(',') {
-                let (mpb, power) = part.split_once(':').ok_or_else(|| {
-                    ArgError(format!("expected mpb:power pairs, got {part:?}"))
-                })?;
-                let mpb: f64 = mpb
-                    .trim()
-                    .parse()
-                    .map_err(|_| ArgError(format!("invalid MPB {mpb:?}")))?;
+                let (mpb, power) = part
+                    .split_once(':')
+                    .ok_or_else(|| ArgError(format!("expected mpb:power pairs, got {part:?}")))?;
+                let mpb: f64 =
+                    mpb.trim().parse().map_err(|_| ArgError(format!("invalid MPB {mpb:?}")))?;
                 let power: f64 = power
                     .trim()
                     .parse()
@@ -81,10 +79,7 @@ pub fn run(cmd: &GamesCmd) -> Result<(), String> {
         }
         GamesCmd::Bsig { groups, threshold } => {
             let game = BlockSizeIncreasingGame::with_threshold(
-                groups
-                    .iter()
-                    .map(|&(mpb, power)| MinerGroup { mpb, power })
-                    .collect(),
+                groups.iter().map(|&(mpb, power)| MinerGroup { mpb, power }).collect(),
                 *threshold,
             );
             println!(
@@ -129,21 +124,12 @@ mod tests {
 
     #[test]
     fn parses_bsig_with_threshold() {
-        let cmd = parse(&args(&[
-            "games",
-            "bsig",
-            "--groups",
-            "1:0.1,2:0.4,8:0.5",
-            "--threshold",
-            "0.9",
-        ]))
-        .unwrap();
+        let cmd =
+            parse(&args(&["games", "bsig", "--groups", "1:0.1,2:0.4,8:0.5", "--threshold", "0.9"]))
+                .unwrap();
         assert_eq!(
             cmd,
-            GamesCmd::Bsig {
-                groups: vec![(1.0, 0.1), (2.0, 0.4), (8.0, 0.5)],
-                threshold: 0.9
-            }
+            GamesCmd::Bsig { groups: vec![(1.0, 0.1), (2.0, 0.4), (8.0, 0.5)], threshold: 0.9 }
         );
     }
 

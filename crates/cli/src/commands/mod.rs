@@ -1,5 +1,6 @@
 //! Subcommand implementations: parse (unit-testable) and run.
 
+pub mod audit;
 pub mod bitcoin;
 pub mod games;
 pub mod simulate;

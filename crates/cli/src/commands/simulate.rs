@@ -34,9 +34,7 @@ pub struct SimulateCmd {
 /// Parses the subcommand's flags.
 pub fn parse(args: &Args) -> Result<SimulateCmd, ArgError> {
     let attacker_power: f64 = args.get_or("attacker-power", 0.1)?;
-    let honest_powers = parse_f64_list(
-        &args.get_or("honest-powers", "0.45,0.45".to_string())?,
-    )?;
+    let honest_powers = parse_f64_list(&args.get_or("honest-powers", "0.45,0.45".to_string())?)?;
     let total: f64 = attacker_power + honest_powers.iter().sum::<f64>();
     if (total - 1.0).abs() > 1e-9 {
         return Err(ArgError(format!(
@@ -97,8 +95,7 @@ pub fn run(cmd: &SimulateCmd) -> Result<(), String> {
         cmd.ad,
         cmd.delay
     );
-    let delay =
-        if cmd.delay == 0.0 { DelayModel::Zero } else { DelayModel::Constant(cmd.delay) };
+    let delay = if cmd.delay == 0.0 { DelayModel::Zero } else { DelayModel::Constant(cmd.delay) };
     let n = miners.len();
     let mut sim = Simulation::new(miners, delay, cmd.seed);
     let report = sim.run(cmd.blocks);

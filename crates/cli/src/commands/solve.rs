@@ -1,8 +1,6 @@
 //! `bvc solve` — solve the BU attack MDP for one parameter cell.
 
-use bvc_bu::{
-    summarize, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
-};
+use bvc_bu::{summarize, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
 
 use crate::args::{parse_ratio, ArgError, Args};
 
@@ -18,6 +16,13 @@ pub struct SolveCmd {
 
 /// Parses the subcommand's flags.
 pub fn parse(args: &Args) -> Result<SolveCmd, ArgError> {
+    Ok(SolveCmd { config: parse_attack_config(args)?, show_policy: args.has("show-policy") })
+}
+
+/// Parses the model-defining flags shared by `bvc solve` and `bvc audit`
+/// (`--alpha`, `--beta-gamma`, `--setting`, `--incentive`, `--ad`,
+/// `--ad-carol`, `--gate`).
+pub fn parse_attack_config(args: &Args) -> Result<AttackConfig, ArgError> {
     let alpha: f64 = args.get("alpha")?;
     if !(0.0..0.5).contains(&alpha) {
         return Err(ArgError(format!("--alpha must be in (0, 0.5), got {alpha}")));
@@ -45,7 +50,7 @@ pub fn parse(args: &Args) -> Result<SolveCmd, ArgError> {
     config.ad = args.get_or("ad", 6u8)?;
     config.ad_carol = args.get_or("ad-carol", config.ad)?;
     config.gate_blocks = args.get_or("gate", 144u16)?;
-    Ok(SolveCmd { config, show_policy: args.has("show-policy") })
+    Ok(config)
 }
 
 /// Runs the subcommand.
@@ -78,15 +83,9 @@ pub fn run(cmd: &SolveCmd) -> Result<(), String> {
     println!("{label}: {:.4}", sol.value);
 
     let honest = model.evaluate(&model.honest_policy()).map_err(|e| e.to_string())?;
-    println!(
-        "honest baseline: u1={:.4} u2={:.4} u3={:.4}",
-        honest.u1, honest.u2, honest.u3
-    );
+    println!("honest baseline: u1={:.4} u2={:.4} u3={:.4}", honest.u1, honest.u2, honest.u3);
     let report = model.evaluate(&sol.policy).map_err(|e| e.to_string())?;
-    println!(
-        "optimal policy:  u1={:.4} u2={:.4} u3={:.4}",
-        report.u1, report.u2, report.u3
-    );
+    println!("optimal policy:  u1={:.4} u2={:.4} u3={:.4}", report.u1, report.u2, report.u3);
     let s = summarize(&model, &sol.policy);
     println!(
         "strategy: base={}, fork states on C1/C2/wait = {}/{}/{}",

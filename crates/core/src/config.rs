@@ -129,8 +129,10 @@ impl AttackConfig {
     /// Panics on non-positive shares, shares not summing to one, `ad < 2`,
     /// or a zero-length gate in setting 2.
     pub fn validate(&self) {
-        assert!(self.alpha > 0.0 && self.beta > 0.0 && self.gamma > 0.0,
-                "all shares must be positive");
+        assert!(
+            self.alpha > 0.0 && self.beta > 0.0 && self.gamma > 0.0,
+            "all shares must be positive"
+        );
         let sum = self.alpha + self.beta + self.gamma;
         assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {sum}");
         assert!(self.ad >= 2, "AD must be at least 2 for a fork to exist");

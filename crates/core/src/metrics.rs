@@ -23,11 +23,7 @@ impl AttackModel {
     ///
     /// Returns 0 when the policy never forks (the fork-start state may
     /// still exist; the probability is conditional on reaching it).
-    pub fn fork_depth_probability(
-        &self,
-        policy: &Policy,
-        depth: u8,
-    ) -> Result<f64, MdpError> {
+    pub fn fork_depth_probability(&self, policy: &Policy, depth: u8) -> Result<f64, MdpError> {
         let start = AttackState { l1: 0, l2: 1, a1: 0, a2: 1, r: 0 };
         let Some(start_id) = self.id_of(&start) else {
             return Ok(0.0);
@@ -46,13 +42,8 @@ impl AttackModel {
         if targets.is_empty() {
             return Ok(0.0);
         }
-        let p = hitting_probability(
-            self.mdp(),
-            policy,
-            &targets,
-            &avoid,
-            &HittingOptions::default(),
-        )?;
+        let p =
+            hitting_probability(self.mdp(), policy, &targets, &avoid, &HittingOptions::default())?;
         Ok(p[start_id])
     }
 

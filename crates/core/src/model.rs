@@ -153,13 +153,12 @@ fn action_events(cfg: &AttackConfig, s: AttackState, action: Action) -> Vec<Even
                     (n, beta + gamma, r)
                 },
             ],
-            Action::OnChain2 => vec![
-                (AttackState { l2: 1, a2: 1, ..s }, alpha, rewards::zero()),
-                {
+            Action::OnChain2 => {
+                vec![(AttackState { l2: 1, a2: 1, ..s }, alpha, rewards::zero()), {
                     let (n, r) = common_grow(s, false);
                     (n, beta + gamma, r)
-                },
-            ],
+                }]
+            }
             Action::Wait => vec![{
                 let (n, r) = common_grow(s, false);
                 (n, 1.0, r)
@@ -229,10 +228,7 @@ fn available_actions(cfg: &AttackConfig, _s: AttackState) -> Vec<Action> {
 pub fn expand(cfg: &AttackConfig, s: &AttackState) -> Vec<ActionSpec<AttackState>> {
     available_actions(cfg, *s)
         .into_iter()
-        .map(|a| ActionSpec {
-            label: a.label(),
-            outcomes: merge(action_events(cfg, *s, a)),
-        })
+        .map(|a| ActionSpec { label: a.label(), outcomes: merge(action_events(cfg, *s, a)) })
         .collect()
 }
 
@@ -247,9 +243,21 @@ impl AttackModel {
     pub fn build(cfg: AttackConfig) -> Result<Self, MdpError> {
         cfg.validate();
         let cfg2 = cfg.clone();
-        let explored =
-            explore(COMPONENTS, [AttackState::BASE], move |s| expand(&cfg2, s))?;
-        Ok(AttackModel { cfg, explored })
+        let explored = explore(COMPONENTS, [AttackState::BASE], move |s| expand(&cfg2, s))?;
+        let model = AttackModel { cfg, explored };
+        debug_assert!(
+            model.audit().passed(),
+            "freshly built attack model failed its static audit:\n{}",
+            model.audit().render_text()
+        );
+        Ok(model)
+    }
+
+    /// Runs the static precondition audit over this model (numeric
+    /// invariants, reachability, unichain certification — see
+    /// [`bvc_mdp::audit`]). The BFS-explored base state is MDP state 0.
+    pub fn audit(&self) -> bvc_mdp::AuditReport {
+        bvc_mdp::audit_mdp(self.mdp(), &bvc_mdp::AuditOptions::default())
     }
 
     /// The configuration this model was built from.
@@ -278,13 +286,8 @@ impl AttackModel {
     }
 
     /// Iterates `(state, &[ActionArm])` over the whole model.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (AttackState, &[bvc_mdp::ActionArm])> + '_ {
-        self.explored
-            .mdp
-            .iter_states()
-            .map(|(id, arms)| (*self.explored.indexer.state(id), arms))
+    pub fn iter(&self) -> impl Iterator<Item = (AttackState, &[bvc_mdp::ActionArm])> + '_ {
+        self.explored.mdp.iter_states().map(|(id, arms)| (*self.explored.indexer.state(id), arms))
     }
 }
 
@@ -299,8 +302,8 @@ mod tests {
 
     #[test]
     fn setting1_reaches_only_phase1_states() {
-        let m = AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven))
-            .unwrap();
+        let m =
+            AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven)).unwrap();
         for (s, _) in m.iter() {
             assert_eq!(s.r, 0, "phase-2 state {s} reachable in setting 1");
             assert!(s.l1 <= s.l2, "impossible fork geometry {s}");
@@ -314,8 +317,8 @@ mod tests {
 
     #[test]
     fn setting2_reaches_phase2() {
-        let m = AttackModel::build(cfg(Setting::Two, IncentiveModel::CompliantProfitDriven))
-            .unwrap();
+        let m =
+            AttackModel::build(cfg(Setting::Two, IncentiveModel::CompliantProfitDriven)).unwrap();
         assert!(m.iter().any(|(s, _)| s.phase2()));
         assert!(m.id_of(&AttackState::base(144)).is_some());
         // Countdown values above the initial 144 are impossible.
@@ -329,8 +332,8 @@ mod tests {
         // For AD = 6: base + sum over l2 in 1..=5, l1 in 0..=l2, a1 in
         // 0..=l1, a2 in 1..=l2. But unreachable corners may exist; the
         // formula is an upper bound and the base must be reachable.
-        let m = AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven))
-            .unwrap();
+        let m =
+            AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven)).unwrap();
         let mut bound = 1usize;
         for l2 in 1..=5u32 {
             for l1 in 0..=l2 {
@@ -346,8 +349,8 @@ mod tests {
         let m = AttackModel::build(cfg(Setting::One, IncentiveModel::NonProfitDriven)).unwrap();
         let base = m.id_of(&AttackState::BASE).unwrap();
         assert_eq!(m.mdp().actions(base).len(), 3);
-        let m2 = AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven))
-            .unwrap();
+        let m2 =
+            AttackModel::build(cfg(Setting::One, IncentiveModel::CompliantProfitDriven)).unwrap();
         let base2 = m2.id_of(&AttackState::BASE).unwrap();
         assert_eq!(m2.mdp().actions(base2).len(), 2);
     }

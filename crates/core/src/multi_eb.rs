@@ -89,7 +89,7 @@ impl MultiEbScenario {
             ad_carol: self.ad,
             gate_blocks: 144,
             setting: self.setting,
-            incentive: self.incentive.clone(),
+            incentive: self.incentive,
         }
     }
 

@@ -29,6 +29,12 @@ pub struct SolveOptions {
     /// Wall-clock deadline / cooperative cancellation, threaded through to
     /// every inner solver iteration. Unlimited by default.
     pub budget: SolveBudget,
+    /// When set, run the static precondition audit ([`bvc_mdp::audit`])
+    /// before solving and refuse to solve a model that fails any check
+    /// (the solve returns [`MdpError::AuditFailed`] instead of converging
+    /// to an untrustworthy number). Off by default; sweep runners enable
+    /// it with `--audit`.
+    pub audit: bool,
 }
 
 impl Default for SolveOptions {
@@ -40,17 +46,14 @@ impl Default for SolveOptions {
             max_iterations: rvi.max_iterations,
             aperiodicity_tau: rvi.aperiodicity_tau,
             budget: SolveBudget::unlimited(),
+            audit: false,
         }
     }
 }
 
 impl SolveOptions {
     fn ratio_opts(&self) -> RatioOptions {
-        RatioOptions {
-            tolerance: self.ratio_tolerance,
-            rvi: self.rvi_opts(),
-            initial_hi: 1.0,
-        }
+        RatioOptions { tolerance: self.ratio_tolerance, rvi: self.rvi_opts(), initial_hi: 1.0 }
     }
 
     fn rvi_opts(&self) -> RviOptions {
@@ -103,12 +106,21 @@ pub struct UtilityReport {
 }
 
 impl AttackModel {
+    /// The opt-in pre-solve audit gate: a no-op unless `opts.audit` is set.
+    fn audit_gate(&self, opts: &SolveOptions) -> Result<(), MdpError> {
+        if opts.audit {
+            self.audit().gate()?;
+        }
+        Ok(())
+    }
+
     /// Maximum relative revenue `u1` (Table 2). For an honest miner this is
     /// exactly `α`; values above `α` mean BU is not incentive compatible.
     pub fn optimal_relative_revenue(
         &self,
         opts: &SolveOptions,
     ) -> Result<OptimalStrategy, MdpError> {
+        self.audit_gate(opts)?;
         let sol = maximize_ratio(
             self.mdp(),
             &rewards::u1_numerator(),
@@ -124,14 +136,15 @@ impl AttackModel {
         &self,
         opts: &SolveOptions,
     ) -> Result<OptimalStrategy, MdpError> {
-        let sol =
-            relative_value_iteration(self.mdp(), &rewards::u2_objective(), &opts.rvi_opts())?;
+        self.audit_gate(opts)?;
+        let sol = relative_value_iteration(self.mdp(), &rewards::u2_objective(), &opts.rvi_opts())?;
         Ok(OptimalStrategy { value: sol.gain, policy: sol.policy })
     }
 
     /// Maximum orphans per attacker block `u3` (Table 4). In Bitcoin this
     /// can never exceed 1; the paper's headline finding is 1.77 in BU.
     pub fn optimal_orphan_rate(&self, opts: &SolveOptions) -> Result<OptimalStrategy, MdpError> {
+        self.audit_gate(opts)?;
         let sol = maximize_ratio(
             self.mdp(),
             &rewards::u3_numerator(),
@@ -173,8 +186,7 @@ mod tests {
     use crate::model::AttackModel;
 
     fn model(alpha: f64, ratio: (u32, u32), incentive: IncentiveModel) -> AttackModel {
-        AttackModel::build(AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive))
-            .unwrap()
+        AttackModel::build(AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive)).unwrap()
     }
 
     #[test]
@@ -194,11 +206,7 @@ mod tests {
     fn table2_alpha25_1to1() {
         let m = model(0.25, (1, 1), IncentiveModel::CompliantProfitDriven);
         let sol = m.optimal_relative_revenue(&SolveOptions::default()).unwrap();
-        assert!(
-            (sol.value - 0.2624).abs() < 5e-4,
-            "expected ≈ 0.2624, got {:.4}",
-            sol.value
-        );
+        assert!((sol.value - 0.2624).abs() < 5e-4, "expected ≈ 0.2624, got {:.4}", sol.value);
     }
 
     /// Table 2: when α + γ ≤ β the optimal strategy is honest (u1 = α).
@@ -224,11 +232,7 @@ mod tests {
         ))
         .unwrap();
         let sol = m.optimal_absolute_revenue(&SolveOptions::default()).unwrap();
-        assert!(
-            (sol.value - 0.034).abs() < 1e-3,
-            "expected ≈ 0.034, got {:.4}",
-            sol.value
-        );
+        assert!((sol.value - 0.034).abs() < 1e-3, "expected ≈ 0.034, got {:.4}", sol.value);
     }
 
     /// Setting 1, γ-heavy cell (α = 1%, β:γ = 1:4): the published 0.013
@@ -237,11 +241,7 @@ mod tests {
     fn table3_setting1_alpha1_1to4() {
         let m = model(0.01, (1, 4), IncentiveModel::non_compliant_default());
         let sol = m.optimal_absolute_revenue(&SolveOptions::default()).unwrap();
-        assert!(
-            (sol.value - 0.013).abs() < 1e-3,
-            "expected ≈ 0.013, got {:.4}",
-            sol.value
-        );
+        assert!((sol.value - 0.013).abs() < 1e-3, "expected ≈ 0.013, got {:.4}", sol.value);
     }
 
     /// Analytical Result 2's qualitative core: in BU even a 1% miner earns
@@ -265,10 +265,6 @@ mod tests {
     fn table4_alpha1_2to3() {
         let m = model(0.01, (2, 3), IncentiveModel::NonProfitDriven);
         let sol = m.optimal_orphan_rate(&SolveOptions::default()).unwrap();
-        assert!(
-            (sol.value - 1.77).abs() < 2e-2,
-            "expected ≈ 1.77, got {:.4}",
-            sol.value
-        );
+        assert!((sol.value - 1.77).abs() < 2e-2, "expected ≈ 1.77, got {:.4}", sol.value);
     }
 }

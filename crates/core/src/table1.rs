@@ -72,11 +72,7 @@ pub fn phase1_states(ad: u8) -> Vec<AttackState> {
 
 /// The published Table 1 rows for one state, evaluated numerically for the
 /// configuration's `(α, β, γ, AD)`.
-pub fn published_rows_for(
-    cfg: &AttackConfig,
-    s: AttackState,
-    corrected: bool,
-) -> Vec<Row> {
+pub fn published_rows_for(cfg: &AttackConfig, s: AttackState, corrected: bool) -> Vec<Row> {
     let (al, be, ga) = (cfg.alpha, cfg.beta, cfg.gamma);
     let ad = cfg.ad;
     let base = AttackState::BASE;
@@ -85,18 +81,11 @@ pub fn published_rows_for(
 
     if !s.forked() {
         return vec![
-            Row {
-                state: s,
-                action: Action::OnChain1,
-                outcomes: vec![o(base, 1.0, al, be + ga)],
-            },
+            Row { state: s, action: Action::OnChain1, outcomes: vec![o(base, 1.0, al, be + ga)] },
             Row {
                 state: s,
                 action: Action::OnChain2,
-                outcomes: vec![
-                    o(base, be + ga, 0.0, 1.0),
-                    o(mk(0, 1, 0, 1), al, 0.0, 0.0),
-                ],
+                outcomes: vec![o(base, be + ga, 0.0, 1.0), o(mk(0, 1, 0, 1), al, 0.0, 0.0)],
             },
         ];
     }
@@ -120,12 +109,7 @@ pub fn published_rows_for(
         ];
     } else if l1 == l2 && l2 != ad - 1 {
         row1 = vec![
-            o(
-                base,
-                al + be,
-                ap * f(a1 + 1) + bp * f(a1),
-                ap * f(l1 - a1) + bp * f(l1 + 1 - a1),
-            ),
+            o(base, al + be, ap * f(a1 + 1) + bp * f(a1), ap * f(l1 - a1) + bp * f(l1 + 1 - a1)),
             o(mk(l1, l2 + 1, a1, a2), ga, 0.0, 0.0),
         ];
         row2 = vec![
@@ -175,10 +159,7 @@ pub fn published_rows_for(
 
 /// All published Table 1 rows for every phase-1 state.
 pub fn published_rows(cfg: &AttackConfig, corrected: bool) -> Vec<Row> {
-    phase1_states(cfg.ad)
-        .into_iter()
-        .flat_map(|s| published_rows_for(cfg, s, corrected))
-        .collect()
+    phase1_states(cfg.ad).into_iter().flat_map(|s| published_rows_for(cfg, s, corrected)).collect()
 }
 
 /// The generator's rows for the same states, extracted from a built model.
@@ -268,12 +249,7 @@ mod tests {
     use crate::config::{IncentiveModel, Setting};
 
     fn cfg(alpha: f64, ratio: (u32, u32)) -> AttackConfig {
-        AttackConfig::with_ratio(
-            alpha,
-            ratio,
-            Setting::One,
-            IncentiveModel::CompliantProfitDriven,
-        )
+        AttackConfig::with_ratio(alpha, ratio, Setting::One, IncentiveModel::CompliantProfitDriven)
     }
 
     /// The generator reproduces the corrected published Table 1 exactly,

@@ -61,16 +61,11 @@ fn setting2_larger_carol_ad_amplifies_damage() {
     let m12 = AttackModel::build(cfg(6, 12, Setting::Two)).unwrap();
     assert!(m12.num_states() > m6.num_states());
     // Phase-2 fork states now reach l2 = 11.
-    let deep = m12
-        .iter()
-        .any(|(s, _)| s.phase2() && s.forked() && s.l2 >= 8);
+    let deep = m12.iter().any(|(s, _)| s.phase2() && s.forked() && s.l2 >= 8);
     assert!(deep, "deep phase-2 forks must be reachable with ad_carol = 12");
     let u3_6 = m6.optimal_orphan_rate(&opts).unwrap().value;
     let u3_12 = m12.optimal_orphan_rate(&opts).unwrap().value;
-    assert!(
-        u3_12 > u3_6 + 1e-3,
-        "longer phase-2 forks must increase damage: {u3_12} vs {u3_6}"
-    );
+    assert!(u3_12 > u3_6 + 1e-3, "longer phase-2 forks must increase damage: {u3_12} vs {u3_6}");
 }
 
 /// State geometry still holds with heterogeneous ADs: phase-1 forks are

@@ -3,8 +3,7 @@
 //! dominance laws of the utilities.
 
 use bvc_bu::{
-    rewards, Action, AttackConfig, AttackModel, AttackState, IncentiveModel, Setting,
-    SolveOptions,
+    rewards, Action, AttackConfig, AttackModel, AttackState, IncentiveModel, Setting, SolveOptions,
 };
 use proptest::prelude::*;
 
@@ -168,12 +167,7 @@ proptest! {
 /// through `Action::from_label` (guards against enum/label drift).
 #[test]
 fn action_labels_roundtrip_in_model() {
-    let cfg = AttackConfig::with_ratio(
-        0.2,
-        (1, 1),
-        Setting::Two,
-        IncentiveModel::NonProfitDriven,
-    );
+    let cfg = AttackConfig::with_ratio(0.2, (1, 1), Setting::Two, IncentiveModel::NonProfitDriven);
     let model = AttackModel::build(cfg).unwrap();
     for (_, arms) in model.iter() {
         for arm in arms {

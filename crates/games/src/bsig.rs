@@ -76,10 +76,7 @@ impl BlockSizeIncreasingGame {
         assert!(groups.iter().all(|g| g.power > 0.0), "powers must be positive");
         let sum: f64 = groups.iter().map(|g| g.power).sum();
         assert!((sum - 1.0).abs() < 1e-9, "powers must sum to 1, got {sum}");
-        assert!(
-            (0.0..=1.0).contains(&pass_threshold),
-            "pass threshold must be a fraction"
-        );
+        assert!((0.0..=1.0).contains(&pass_threshold), "pass threshold must be a fraction");
         groups.sort_by(|a, b| a.mpb.partial_cmp(&b.mpb).expect("MPBs must not be NaN"));
         for w in groups.windows(2) {
             assert!(w[0].mpb < w[1].mpb, "MPBs must be distinct");
@@ -129,10 +126,7 @@ impl BlockSizeIncreasingGame {
     /// Index of the first group of the terminal suffix: the smallest `j`
     /// with `{j, …}` stable (the paper's termination-state theorem).
     pub fn terminal_set(&self) -> usize {
-        self.stable_suffixes()
-            .iter()
-            .position(|&s| s)
-            .expect("the last suffix is always stable")
+        self.stable_suffixes().iter().position(|&s| s).expect("the last suffix is always stable")
     }
 
     /// Plays the game round by round with fully rational voters (each group
@@ -142,22 +136,16 @@ impl BlockSizeIncreasingGame {
         let stable = self.stable_suffixes();
         let mut rounds = Vec::new();
         let mut j = 0; // current suffix start
-        // Every round up to and including the terminal *failing* vote is
-        // recorded — Figure 4 shows the final round explicitly.
+                       // Every round up to and including the terminal *failing* vote is
+                       // recorded — Figure 4 shows the final round explicitly.
         while j < n - 1 {
             // Cascade target if group j is removed: next stable suffix.
             let k = (j + 1..n).find(|&i| stable[i]).expect("last suffix stable");
             let votes: Vec<(usize, bool)> = (j..n).map(|i| (i, i >= k)).collect();
-            let yes: f64 = votes
-                .iter()
-                .filter(|&&(_, v)| v)
-                .map(|&(i, _)| self.groups[i].power)
-                .sum();
-            let no: f64 = votes
-                .iter()
-                .filter(|&&(_, v)| !v)
-                .map(|&(i, _)| self.groups[i].power)
-                .sum();
+            let yes: f64 =
+                votes.iter().filter(|&&(_, v)| v).map(|&(i, _)| self.groups[i].power).sum();
+            let no: f64 =
+                votes.iter().filter(|&&(_, v)| !v).map(|&(i, _)| self.groups[i].power).sum();
             let passed = yes >= self.pass_threshold * (yes + no);
             rounds.push(Round { leaving: j, votes, passed });
             if !passed {
@@ -294,8 +282,7 @@ mod tests {
             .collect();
         let mut last = usize::MAX;
         for tau in [0.5, 0.6, 0.75, 0.9, 1.0] {
-            let t = BlockSizeIncreasingGame::with_threshold(groups.clone(), tau)
-                .terminal_set();
+            let t = BlockSizeIncreasingGame::with_threshold(groups.clone(), tau).terminal_set();
             assert!(t <= last, "tau {tau}: terminal {t} > previous {last}");
             last = t;
         }

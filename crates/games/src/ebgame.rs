@@ -165,11 +165,7 @@ impl EbChoosingGame {
     /// Runs best-response dynamics from `start` until a fixed point or the
     /// sweep budget runs out; returns the final profile and whether it is a
     /// Nash equilibrium.
-    pub fn best_response_dynamics(
-        &self,
-        start: Profile,
-        max_sweeps: usize,
-    ) -> (Profile, bool) {
+    pub fn best_response_dynamics(&self, start: Profile, max_sweeps: usize) -> (Profile, bool) {
         let mut profile = start;
         for _ in 0..max_sweeps {
             let mut changed = false;

@@ -112,10 +112,7 @@ pub fn mpb_groups(miners: &[(MinerEconomics, f64)]) -> Vec<MinerGroup> {
     }
     let total: f64 = merged.iter().map(|(_, p)| p).sum();
     assert!(total > 0.0, "no profitable miners remain");
-    merged
-        .into_iter()
-        .map(|(mpb, power)| MinerGroup { mpb, power: power / total })
-        .collect()
+    merged.into_iter().map(|(mpb, power)| MinerGroup { mpb, power: power / total }).collect()
 }
 
 #[cfg(test)]
@@ -124,13 +121,7 @@ mod tests {
     use crate::bsig::BlockSizeIncreasingGame;
 
     fn econ(bandwidth: f64) -> MinerEconomics {
-        MinerEconomics {
-            reward: 1.0,
-            fee_per_mb: 0.05,
-            bandwidth,
-            latency: 0.01,
-            cost: 0.2,
-        }
+        MinerEconomics { reward: 1.0, fee_per_mb: 0.05, bandwidth, latency: 0.01, cost: 0.2 }
     }
 
     #[test]
@@ -186,21 +177,13 @@ mod tests {
     #[test]
     fn economics_drive_forced_exit() {
         // Cascade case: fast miner holds exactly half.
-        let groups = mpb_groups(&[
-            (econ(20.0), 0.2),
-            (econ(100.0), 0.3),
-            (econ(300.0), 0.5),
-        ]);
+        let groups = mpb_groups(&[(econ(20.0), 0.2), (econ(100.0), 0.3), (econ(300.0), 0.5)]);
         assert_eq!(groups.len(), 3);
         let trace = BlockSizeIncreasingGame::new(groups).play();
         assert_eq!(trace.terminal, 2, "slow and medium both squeezed out");
 
         // Protection case: medium + slow jointly outweigh fast.
-        let groups = mpb_groups(&[
-            (econ(20.0), 0.2),
-            (econ(100.0), 0.4),
-            (econ(300.0), 0.4),
-        ]);
+        let groups = mpb_groups(&[(econ(20.0), 0.2), (econ(100.0), 0.4), (econ(300.0), 0.4)]);
         let trace = BlockSizeIncreasingGame::new(groups).play();
         assert_eq!(trace.terminal, 0, "medium protects slow to avoid being next");
     }

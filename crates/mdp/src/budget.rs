@@ -91,12 +91,9 @@ impl SolveBudget {
             return Err(MdpError::Cancelled { solver, iterations });
         }
         if let Some(deadline) = self.deadline {
-            let every = if self.check_interval == 0 {
-                DEFAULT_CHECK_INTERVAL
-            } else {
-                self.check_interval
-            };
-            if iterations % every == 0 {
+            let every =
+                if self.check_interval == 0 { DEFAULT_CHECK_INTERVAL } else { self.check_interval };
+            if iterations.is_multiple_of(every) {
                 let now = Instant::now();
                 if now >= deadline {
                     let over = now.saturating_duration_since(deadline);

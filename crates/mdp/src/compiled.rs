@@ -173,6 +173,30 @@ impl CompiledMdp {
         &self.rewards[t * self.reward_components..(t + 1) * self.reward_components]
     }
 
+    /// Raw `(arm_offsets, tr_offsets)` arrays, for layout auditing.
+    #[inline]
+    pub(crate) fn raw_offsets(&self) -> (&[u32], &[u32]) {
+        (&self.arm_offsets, &self.tr_offsets)
+    }
+
+    /// Raw destination-index buffer, for layout auditing.
+    #[inline]
+    pub(crate) fn raw_next(&self) -> &[u32] {
+        &self.next
+    }
+
+    /// Raw probability buffer, for numeric auditing.
+    #[inline]
+    pub(crate) fn raw_prob(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// Raw strided reward buffer, for layout auditing.
+    #[inline]
+    pub(crate) fn raw_rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
     /// Checks that `policy` selects a valid action index for every state
     /// (compiled counterpart of [`Mdp::validate_policy`]).
     pub fn validate_policy(&self, policy: &Policy) -> Result<(), MdpError> {
@@ -234,7 +258,12 @@ impl CompiledMdp {
     /// Scalarizes the ratio-transformed reward `numerator − ρ · denominator`
     /// per arm. Equivalent to `scalarize(&numerator.minus_scaled(denominator,
     /// rho))` but without building the intermediate objective.
-    pub fn scalarize_ratio(&self, numerator: &Objective, denominator: &Objective, rho: f64) -> Vec<f64> {
+    pub fn scalarize_ratio(
+        &self,
+        numerator: &Objective,
+        denominator: &Objective,
+        rho: f64,
+    ) -> Vec<f64> {
         let exp_num = self.scalarize(numerator);
         let exp_den = self.scalarize(denominator);
         let mut out = vec![0.0; self.num_arms()];
@@ -328,10 +357,40 @@ mod tests {
         let mut m = Mdp::new(1);
         let s = m.add_state();
         m.add_action(s, 0, vec![Transition::new(s, 0.5, vec![0.0])]);
+        assert!(matches!(CompiledMdp::compile(&m), Err(MdpError::BadProbabilitySum { .. })));
+    }
+
+    /// Every malformed-model shape turns into a structured error — compile
+    /// never panics.
+    #[test]
+    fn rejects_broken_models_without_panicking() {
+        // Out-of-range target state id.
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(42, 1.0, vec![0.0])]);
         assert!(matches!(
             CompiledMdp::compile(&m),
-            Err(MdpError::BadProbabilitySum { .. })
+            Err(MdpError::DanglingTarget { target: 42, .. })
         ));
+
+        // A state with an empty action list.
+        let mut m = Mdp::new(1);
+        let a = m.add_state();
+        let b = m.add_state();
+        m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![0.0])]);
+        assert!(matches!(CompiledMdp::compile(&m), Err(MdpError::NoActions { state: 1 })));
+
+        // NaN reward.
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![f64::NAN])]);
+        assert!(matches!(CompiledMdp::compile(&m), Err(MdpError::NonFiniteReward { .. })));
+
+        // NaN probability.
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, f64::NAN, vec![0.0])]);
+        assert!(matches!(CompiledMdp::compile(&m), Err(MdpError::NonFiniteProbability { .. })));
     }
 
     #[test]

@@ -19,6 +19,34 @@ pub enum MdpError {
         /// The actual probability sum found.
         sum: f64,
     },
+    /// A transition carries a NaN or infinite probability.
+    NonFiniteProbability {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// The offending probability value.
+        prob: f64,
+    },
+    /// A transition's reward vector contains a NaN or infinite component.
+    NonFiniteReward {
+        /// Index of the offending state.
+        state: usize,
+        /// Index of the offending action within the state's action list.
+        action: usize,
+        /// Index of the offending reward component.
+        component: usize,
+        /// The offending reward value.
+        value: f64,
+    },
+    /// A pre-solve model audit found a violated solver precondition
+    /// (see [`crate::audit`]).
+    AuditFailed {
+        /// Name of the first failed audit check.
+        check: &'static str,
+        /// Human-readable detail from the failed check.
+        detail: String,
+    },
     /// A transition carries a negative probability.
     NegativeProbability {
         /// Index of the offending state.
@@ -152,6 +180,17 @@ impl fmt::Display for MdpError {
                 f,
                 "negative transition probability {prob} at state {state}, action {action}"
             ),
+            MdpError::NonFiniteProbability { state, action, prob } => write!(
+                f,
+                "non-finite transition probability {prob} at state {state}, action {action}"
+            ),
+            MdpError::NonFiniteReward { state, action, component, value } => write!(
+                f,
+                "non-finite reward component {component} ({value}) at state {state}, action {action}"
+            ),
+            MdpError::AuditFailed { check, detail } => {
+                write!(f, "model audit failed check '{check}': {detail}")
+            }
             MdpError::DanglingTarget { state, action, target } => write!(
                 f,
                 "state {state}, action {action} targets nonexistent state {target}"
@@ -236,8 +275,9 @@ mod tests {
 
     #[test]
     fn retryability_classification() {
-        assert!(MdpError::NoConvergence { solver: "x", iterations: 1, residual: 0.1 }
-            .is_retryable());
+        assert!(
+            MdpError::NoConvergence { solver: "x", iterations: 1, residual: 0.1 }.is_retryable()
+        );
         assert!(!MdpError::Empty.is_retryable());
         assert!(!MdpError::DeadlineExceeded { solver: "x", iterations: 1, over_by_ms: 0 }
             .is_retryable());

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod budget;
 pub mod compiled;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod indexer;
 pub mod model;
 pub mod solve;
 
+pub use audit::{audit_compiled, audit_mdp, audit_policy, AuditOptions, AuditReport, AuditStatus};
 pub use budget::SolveBudget;
 pub use compiled::CompiledMdp;
 pub use error::MdpError;

@@ -84,10 +84,7 @@ impl Mdp {
 
     /// Total number of stored transitions.
     pub fn num_transitions(&self) -> usize {
-        self.actions
-            .iter()
-            .flat_map(|arms| arms.iter().map(|a| a.transitions.len()))
-            .sum()
+        self.actions.iter().flat_map(|arms| arms.iter().map(|a| a.transitions.len())).sum()
     }
 
     /// Appends a new state with no actions yet and returns its id.
@@ -149,12 +146,15 @@ impl Mdp {
                             prob: t.prob,
                         });
                     }
-                    if t.to >= self.actions.len() {
-                        return Err(MdpError::DanglingTarget {
+                    if !t.prob.is_finite() {
+                        return Err(MdpError::NonFiniteProbability {
                             state: s,
                             action: a,
-                            target: t.to,
+                            prob: t.prob,
                         });
+                    }
+                    if t.to >= self.actions.len() {
+                        return Err(MdpError::DanglingTarget { state: s, action: a, target: t.to });
                     }
                     if t.reward.len() != self.reward_components {
                         return Err(MdpError::RewardArity {
@@ -162,6 +162,14 @@ impl Mdp {
                             action: a,
                             found: t.reward.len(),
                             expected: self.reward_components,
+                        });
+                    }
+                    if let Some(c) = t.reward.iter().position(|r| !r.is_finite()) {
+                        return Err(MdpError::NonFiniteReward {
+                            state: s,
+                            action: a,
+                            component: c,
+                            value: t.reward[c],
                         });
                     }
                     sum += t.prob;
@@ -249,12 +257,7 @@ impl Objective {
     /// The linear combination `self - rho * other`, used by the ratio solver.
     pub fn minus_scaled(&self, other: &Objective, rho: f64) -> Objective {
         Objective {
-            weights: self
-                .weights
-                .iter()
-                .zip(&other.weights)
-                .map(|(n, d)| n - rho * d)
-                .collect(),
+            weights: self.weights.iter().zip(&other.weights).map(|(n, d)| n - rho * d).collect(),
         }
     }
 }
@@ -315,10 +318,7 @@ mod tests {
         m.add_action(
             s,
             0,
-            vec![
-                Transition::new(s, -0.5, vec![0.0]),
-                Transition::new(s, 1.5, vec![0.0]),
-            ],
+            vec![Transition::new(s, -0.5, vec![0.0]), Transition::new(s, 1.5, vec![0.0])],
         );
         assert!(matches!(m.validate(), Err(MdpError::NegativeProbability { .. })));
     }
@@ -336,10 +336,43 @@ mod tests {
         let mut m = Mdp::new(2);
         let s = m.add_state();
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0])]);
+        assert!(matches!(m.validate(), Err(MdpError::RewardArity { found: 1, expected: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_nan_probability() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(
+            s,
+            0,
+            vec![Transition::new(s, f64::NAN, vec![0.0]), Transition::new(s, 1.0, vec![0.0])],
+        );
         assert!(matches!(
             m.validate(),
-            Err(MdpError::RewardArity { found: 1, expected: 2, .. })
+            Err(MdpError::NonFiniteProbability { state: 0, action: 0, .. })
         ));
+    }
+
+    #[test]
+    fn rejects_infinite_probability() {
+        let mut m = Mdp::new(1);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, f64::INFINITY, vec![0.0])]);
+        assert!(matches!(m.validate(), Err(MdpError::NonFiniteProbability { .. })));
+    }
+
+    #[test]
+    fn rejects_nan_reward() {
+        let mut m = Mdp::new(2);
+        let s = m.add_state();
+        m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![0.0, f64::NAN])]);
+        match m.validate() {
+            Err(MdpError::NonFiniteReward { state: 0, action: 0, component: 1, value }) => {
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteReward, got {other:?}"),
+        }
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn evaluate_policy_compiled(
         }
         for s in 0..n {
             let mass = pi[s];
-            if mass == 0.0 {
+            if mass <= 0.0 {
                 continue;
             }
             let (probs, nexts) = compiled.arm_transitions(chosen[s]);

@@ -201,11 +201,10 @@ mod tests {
         let targets: HashSet<_> = [n].into_iter().collect();
         let avoid: HashSet<_> = [0].into_iter().collect();
         let p =
-            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default())
-                .unwrap();
-        for i in 0..=n {
+            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default()).unwrap();
+        for (i, &pi) in p.iter().enumerate() {
             let expected = i as f64 / n as f64;
-            assert!((p[i] - expected).abs() < 1e-9, "i={i}: {} vs {expected}", p[i]);
+            assert!((pi - expected).abs() < 1e-9, "i={i}: {pi} vs {expected}");
         }
     }
 
@@ -218,12 +217,11 @@ mod tests {
         let targets: HashSet<_> = [n].into_iter().collect();
         let avoid: HashSet<_> = [0].into_iter().collect();
         let p =
-            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default())
-                .unwrap();
+            hitting_probability(&m, &policy, &targets, &avoid, &HittingOptions::default()).unwrap();
         let r = (1.0 - p_up) / p_up;
-        for i in 1..n {
+        for (i, &pi) in p.iter().enumerate().take(n).skip(1) {
             let expected = (1.0 - r.powi(i as i32)) / (1.0 - r.powi(n as i32));
-            assert!((p[i] - expected).abs() < 1e-9, "i={i}");
+            assert!((pi - expected).abs() < 1e-9, "i={i}");
         }
     }
 
@@ -234,11 +232,10 @@ mod tests {
         let policy = Policy::zeros(n + 1);
         // Expected time to hit {0, N} from i is i (N - i).
         let targets: HashSet<_> = [0, n].into_iter().collect();
-        let h = expected_hitting_time(&m, &policy, &targets, &HittingOptions::default())
-            .unwrap();
-        for i in 0..=n {
+        let h = expected_hitting_time(&m, &policy, &targets, &HittingOptions::default()).unwrap();
+        for (i, &hi) in h.iter().enumerate() {
             let expected = (i * (n - i)) as f64;
-            assert!((h[i] - expected).abs() < 1e-6, "i={i}: {} vs {expected}", h[i]);
+            assert!((hi - expected).abs() < 1e-6, "i={i}: {hi} vs {expected}");
         }
     }
 
@@ -251,13 +248,9 @@ mod tests {
         m.add_action(a, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
         m.add_action(b, 0, vec![Transition::new(b, 1.0, vec![0.0])]);
         let targets: HashSet<_> = [b].into_iter().collect();
-        let err = expected_hitting_time(
-            &m,
-            &Policy::zeros(2),
-            &targets,
-            &HittingOptions::default(),
-        )
-        .unwrap_err();
+        let err =
+            expected_hitting_time(&m, &Policy::zeros(2), &targets, &HittingOptions::default())
+                .unwrap_err();
         assert_eq!(err, MdpError::UnreachableTarget { state: a });
     }
 }

@@ -260,13 +260,9 @@ mod tests {
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 2.0])]);
         let mut opts = RatioOptions::default();
         opts.rvi.warm_start = Some(vec![0.0; 3]);
-        let err = maximize_ratio(
-            &m,
-            &Objective::component(0, 2),
-            &Objective::component(1, 2),
-            &opts,
-        )
-        .unwrap_err();
+        let err =
+            maximize_ratio(&m, &Objective::component(0, 2), &Objective::component(1, 2), &opts)
+                .unwrap_err();
         assert_eq!(err, MdpError::Shape { what: "warm start", found: 3, expected: 1 });
     }
 
@@ -282,13 +278,9 @@ mod tests {
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0, 2.0])]);
         let mut opts = RatioOptions::default();
         opts.rvi.budget = SolveBudget::unlimited().with_cancel(Arc::new(AtomicBool::new(true)));
-        let err = maximize_ratio(
-            &m,
-            &Objective::component(0, 2),
-            &Objective::component(1, 2),
-            &opts,
-        )
-        .unwrap_err();
+        let err =
+            maximize_ratio(&m, &Objective::component(0, 2), &Objective::component(1, 2), &opts)
+                .unwrap_err();
         assert!(err.is_cancellation(), "{err:?}");
     }
 

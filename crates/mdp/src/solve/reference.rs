@@ -55,10 +55,7 @@ pub fn relative_value_iteration_nested(
             mdp.actions(s)
                 .iter()
                 .map(|arm| {
-                    arm.transitions
-                        .iter()
-                        .map(|t| t.prob * objective.scalarize(&t.reward))
-                        .sum()
+                    arm.transitions.iter().map(|t| t.prob * objective.scalarize(&t.reward)).sum()
                 })
                 .collect()
         })
@@ -180,7 +177,7 @@ pub fn evaluate_policy_nested(
         }
         for s in 0..n {
             let mass = pi[s];
-            if mass == 0.0 {
+            if mass <= 0.0 {
                 continue;
             }
             let arm = &mdp.actions(s)[policy.choices[s]];
@@ -210,11 +207,11 @@ pub fn evaluate_policy_nested(
 
     let k = mdp.reward_components();
     let mut rates = vec![0.0f64; k];
-    for s in 0..n {
+    for (s, &weight) in pi.iter().enumerate() {
         let arm = &mdp.actions(s)[policy.choices[s]];
         for t in &arm.transitions {
             for (c, r) in t.reward.iter().enumerate() {
-                rates[c] += pi[s] * t.prob * r;
+                rates[c] += weight * t.prob * r;
             }
         }
     }

@@ -316,8 +316,7 @@ mod tests {
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
         for tau in [-0.1, 1.0, 1.5, f64::NAN] {
             let opts = RviOptions { aperiodicity_tau: tau, ..Default::default() };
-            let err =
-                relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
+            let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
             assert!(
                 matches!(err, MdpError::BadOption { what: "aperiodicity_tau", .. }),
                 "tau={tau}: {err:?}"
@@ -369,10 +368,8 @@ mod tests {
         let s = m.add_state();
         m.add_action(s, 0, vec![Transition::new(s, 1.0, vec![1.0])]);
         let flag = Arc::new(AtomicBool::new(true));
-        let opts = RviOptions {
-            budget: SolveBudget::unlimited().with_cancel(flag),
-            ..Default::default()
-        };
+        let opts =
+            RviOptions { budget: SolveBudget::unlimited().with_cancel(flag), ..Default::default() };
         let err = relative_value_iteration(&m, &Objective::new(vec![1.0]), &opts).unwrap_err();
         assert!(err.is_cancellation(), "{err:?}");
     }

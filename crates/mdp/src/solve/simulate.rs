@@ -66,7 +66,10 @@ pub fn sample_path(
     for _ in 0..steps {
         let arm = &mdp.actions(state)[policy.choices[state]];
         let mut x = rng.next_f64();
-        let mut chosen = arm.transitions.last().expect("validated nonempty");
+        // `validate_policy` guarantees nonempty arms; stay panic-free anyway.
+        let Some(mut chosen) = arm.transitions.last() else {
+            return Err(MdpError::NoActions { state });
+        };
         for t in &arm.transitions {
             if x < t.prob {
                 chosen = t;
@@ -105,18 +108,12 @@ mod tests {
         m.add_action(
             a,
             0,
-            vec![
-                Transition::new(a, 0.7, vec![1.0, 0.0]),
-                Transition::new(b, 0.3, vec![1.0, 0.0]),
-            ],
+            vec![Transition::new(a, 0.7, vec![1.0, 0.0]), Transition::new(b, 0.3, vec![1.0, 0.0])],
         );
         m.add_action(
             b,
             0,
-            vec![
-                Transition::new(b, 0.5, vec![0.0, 2.0]),
-                Transition::new(a, 0.5, vec![0.0, 2.0]),
-            ],
+            vec![Transition::new(b, 0.5, vec![0.0, 2.0]), Transition::new(a, 0.5, vec![0.0, 2.0])],
         );
         let policy = Policy::zeros(2);
         let exact = evaluate_policy(&m, &policy, &EvalOptions::default()).unwrap();

@@ -7,19 +7,22 @@
 
 use bvc_mdp::solve::{
     average_reward_policy_iteration, evaluate_policy, maximize_ratio, policy_iteration,
-    relative_value_iteration, value_iteration, AvgPiOptions, EvalOptions, PiOptions,
-    RatioOptions, RviOptions, ViOptions,
+    relative_value_iteration, value_iteration, AvgPiOptions, EvalOptions, PiOptions, RatioOptions,
+    RviOptions, ViOptions,
 };
 use bvc_mdp::{Mdp, Objective, Transition};
 use proptest::prelude::*;
+
+/// Raw (target, weight, reward) transition triples of one action; weights
+/// are normalized into probabilities at build time.
+type RawAction = Vec<(usize, u32, [i32; 2])>;
 
 /// A declarative description of a random model that proptest can shrink.
 #[derive(Debug, Clone)]
 struct RandomModel {
     n_states: usize,
-    /// Per state: a list of actions; per action: raw (target, weight, reward)
-    /// triples. Weights are normalized into probabilities at build time.
-    actions: Vec<Vec<Vec<(usize, u32, [i32; 2])>>>,
+    /// Per state: a list of actions.
+    actions: Vec<Vec<RawAction>>,
 }
 
 impl RandomModel {
@@ -97,11 +100,11 @@ proptest! {
                 ev.rate(&obj.weights), sol.gain);
             // Increment the mixed-radix counter; stop after wrap-around.
             let mut carry = true;
-            for s in 0..n {
+            for (choice, &radix) in policy.choices.iter_mut().zip(&radices) {
                 if !carry { break; }
-                policy.choices[s] += 1;
-                if policy.choices[s] == radices[s] {
-                    policy.choices[s] = 0;
+                *choice += 1;
+                if *choice == radix {
+                    *choice = 0;
                 } else {
                     carry = false;
                 }

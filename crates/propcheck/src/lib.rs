@@ -79,10 +79,8 @@ pub fn fnv1a(s: &str) -> u64 {
 
 /// Resolves the RNG for a test: `PROPCHECK_SEED` xor the test-name hash.
 pub fn rng_for_test(test_name: &str) -> TestRng {
-    let env_seed = std::env::var("PROPCHECK_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0);
+    let env_seed =
+        std::env::var("PROPCHECK_SEED").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
     TestRng::new(env_seed ^ fnv1a(test_name))
 }
 
@@ -161,10 +159,7 @@ pub trait Strategy {
 
     /// Feeds generated values into a strategy-producing `f` and samples the
     /// produced strategy.
-    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-        self,
-        f: F,
-    ) -> FlatMap<Self, F>
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
     where
         Self: Sized,
     {
@@ -507,7 +502,9 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($a), stringify!($b), left
+                stringify!($a),
+                stringify!($b),
+                left
             )));
         }
     }};
@@ -519,7 +516,8 @@ macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
             return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
-                "assumption failed: {}", stringify!($cond)
+                "assumption failed: {}",
+                stringify!($cond)
             )));
         }
     };
@@ -528,8 +526,8 @@ macro_rules! prop_assume {
 /// The glob-importable prelude (mirrors `proptest::prelude`).
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy,
-        Just, ProptestConfig, Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -584,9 +582,8 @@ mod tests {
     #[test]
     fn combinators_compose() {
         let mut rng = TestRng::new(13);
-        let strat = (2usize..6).prop_flat_map(|n| {
-            proptest::collection::vec(0usize..n, n).prop_map(move |v| (n, v))
-        });
+        let strat = (2usize..6)
+            .prop_flat_map(|n| proptest::collection::vec(0usize..n, n).prop_map(move |v| (n, v)));
         for _ in 0..100 {
             let (n, v) = Strategy::sample(&strat, &mut rng);
             assert_eq!(v.len(), n);
@@ -601,7 +598,7 @@ mod tests {
         #[test]
         fn macro_end_to_end(x in 0usize..100, pair in (0u8..4, 1u32..10)) {
             prop_assert!(x < 100);
-            prop_assert_eq!(pair.0 as u32 * 0, 0);
+            prop_assert_eq!((pair.0 as u32) / 4, 0);
             prop_assert_ne!(pair.1, 0);
         }
 
@@ -616,9 +613,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed")]
     fn failing_property_panics_with_inputs() {
+        // No `#[test]` on the inner property: test attributes on items
+        // nested inside a function are unnameable, we call it by hand.
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
-            #[test]
             fn always_fails(x in 0usize..10) {
                 prop_assert!(x > 100, "x was {}", x);
             }

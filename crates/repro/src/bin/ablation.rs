@@ -15,9 +15,7 @@
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
 //! nonzero when any cell failed.
 
-use bvc_bu::{
-    rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
-};
+use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
 use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
 
 fn config(
@@ -50,13 +48,8 @@ fn ad_row(ad: u8, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
     // base state via Alice's fork block.
     let report = m2.evaluate(&s2.policy)?;
     let orphan_rate = report.rates[rewards::OA] + report.rates[rewards::OOTHERS];
-    let m3 = AttackModel::build(config(
-        ad,
-        144,
-        (1, 1),
-        Setting::One,
-        IncentiveModel::NonProfitDriven,
-    ))?;
+    let m3 =
+        AttackModel::build(config(ad, 144, (1, 1), Setting::One, IncentiveModel::NonProfitDriven))?;
     let s3 = m3.optimal_orphan_rate(&opts)?;
     let m1 = AttackModel::build(config(
         ad,
@@ -70,28 +63,15 @@ fn ad_row(ad: u8, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
     // reaches double-spend depth, and how quickly the attacker opens a
     // sticky gate in setting 2 (a short gate keeps the sweep fast).
     let deep_fork = m2.fork_depth_probability(&s2.policy, 4)?;
-    let gate_cfg = config(
-        ad,
-        24,
-        (1, 1),
-        Setting::Two,
-        IncentiveModel::non_compliant_default(),
-    );
+    let gate_cfg = config(ad, 24, (1, 1), Setting::Two, IncentiveModel::non_compliant_default());
     let mg = AttackModel::build(gate_cfg)?;
     let sg = mg.optimal_absolute_revenue(&opts)?;
     let gate_time = mg.expected_blocks_to_gate_trigger(&sg.policy)?;
-    Ok(vec![
-        s2.value,
-        s3.value,
-        s1.value,
-        orphan_rate,
-        deep_fork,
-        gate_time.unwrap_or(f64::NAN),
-    ])
+    Ok(vec![s2.value, s3.value, s1.value, orphan_rate, deep_fork, gate_time.unwrap_or(f64::NAN)])
 }
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
     println!("Parameter ablation (alpha = 10%)");
@@ -103,9 +83,8 @@ fn main() {
         "AD", "u2 (S1)", "u3 (S1)", "u1 (S1)", "orphans/1000", "P(fork>=4)", "blocks to gate"
     );
     let ads: Vec<u8> = vec![2, 3, 4, 6, 8, 12, 20];
-    let ad_report = run_sweep("ablation-ad", &ads, &opts, |ad| format!("AD={ad}"), |&ad, ctx| {
-        ad_row(ad, ctx)
-    });
+    let ad_report =
+        run_sweep("ablation-ad", &ads, &opts, |ad| format!("AD={ad}"), |&ad, ctx| ad_row(ad, ctx));
     for (i, ad) in ads.iter().enumerate() {
         match ad_report.value(i) {
             Some(row) => {
@@ -133,7 +112,7 @@ fn main() {
                     .as_ref()
                     .err()
                     .map(|f| f.reason_code())
-                    .unwrap_or("?");
+                    .unwrap_or_else(|| "?".to_string());
                 println!("{:<6} FAIL({reason})", ad);
             }
         }

@@ -56,10 +56,7 @@ fn main() {
             chain.push(VotingBlock { size: ByteSize(500_000), vote });
         }
         let h = chain.len() as u64 + rule.activation + 1;
-        println!(
-            "after period of '{label}': limit from height {h} = {}",
-            rule.limit_at(&chain, h)
-        );
+        println!("after period of '{label}': limit from height {h} = {}", rule.limit_at(&chain, h));
     }
     println!();
 

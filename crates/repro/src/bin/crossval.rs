@@ -30,7 +30,7 @@ type CellSpec = (f64, (u32, u32), IncentiveModel, &'static str);
 /// the estimators disagree beyond sampling error.
 fn validate(i: usize, spec: &CellSpec, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
     let (alpha, ratio, incentive, which) = spec;
-    let cfg = AttackConfig::with_ratio(*alpha, *ratio, Setting::One, incentive.clone());
+    let cfg = AttackConfig::with_ratio(*alpha, *ratio, Setting::One, *incentive);
     let model = AttackModel::build(cfg)?;
     let opts = ctx.solve_options::<SolveOptions>();
     let sol = match *which {
@@ -81,7 +81,7 @@ fn validate(i: usize, spec: &CellSpec, ctx: &CellContext) -> Result<Vec<f64>, bv
 }
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = format!("{};steps={STEPS}", SolveOptions::default().fingerprint_token());
 
     println!("MDP <-> chain-substrate cross-validation ({STEPS} sampled blocks per run)");
@@ -113,17 +113,14 @@ fn main() {
     for (i, spec) in cells.iter().enumerate() {
         let label = label_of(spec);
         match report.value(i) {
-            Some(row) => println!(
-                "{label:<42} {:>9.4} {:>9.4} {:>9.4}",
-                row[0], row[1], row[2]
-            ),
+            Some(row) => println!("{label:<42} {:>9.4} {:>9.4} {:>9.4}", row[0], row[1], row[2]),
             None => {
                 let reason = report.cells[i]
                     .outcome
                     .as_ref()
                     .err()
                     .map(|f| f.reason_code())
-                    .unwrap_or("?");
+                    .unwrap_or_else(|| "?".to_string());
                 println!("{label:<42} FAIL({reason})");
             }
         }

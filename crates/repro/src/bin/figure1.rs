@@ -14,8 +14,7 @@
 //! Run: `cargo run --release -p bvc-repro --bin figure1`
 
 use bvc_chain::{
-    BlockId, BlockTree, BuRizunRule, ByteSize, GateStatus, MinerId, NodeView,
-    STICKY_GATE_BLOCKS,
+    BlockId, BlockTree, BuRizunRule, ByteSize, GateStatus, MinerId, NodeView, STICKY_GATE_BLOCKS,
 };
 
 fn small() -> ByteSize {

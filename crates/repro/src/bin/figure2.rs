@@ -22,7 +22,9 @@ fn small() -> ByteSize {
 
 fn main() {
     let ad = 3;
-    println!("Figure 2 — phase-1 and phase-2 splits, EB_B = {BOB_EB}, EB_C = {CAROL_EB}, AD = {ad}");
+    println!(
+        "Figure 2 — phase-1 and phase-2 splits, EB_B = {BOB_EB}, EB_C = {CAROL_EB}, AD = {ad}"
+    );
     println!();
 
     // Phase 1.
@@ -59,7 +61,10 @@ fn main() {
         assert_eq!(carol.accepted_tip(), c2, "Carol rejects > EB_C");
         println!();
         println!("phase 2: Alice mines a block of size EB_C + 1 byte = {over}");
-        println!("         Bob's tip:   {} (gate open: accepts, mines Chain 2)", bob.accepted_tip());
+        println!(
+            "         Bob's tip:   {} (gate open: accepts, mines Chain 2)",
+            bob.accepted_tip()
+        );
         println!("         Carol's tip: {} (rejects, mines Chain 1)", carol.accepted_tip());
     }
 

@@ -24,9 +24,9 @@ fn main() {
     let mut bob = NodeView::new(BuRizunRule::without_sticky_gate(eb_b, ad));
     let mut carol = NodeView::new(BuRizunRule::without_sticky_gate(eb_c, ad));
     let deliver = |tree: &BlockTree,
-                       bob: &mut NodeView<BuRizunRule>,
-                       carol: &mut NodeView<BuRizunRule>,
-                       b: BlockId| {
+                   bob: &mut NodeView<BuRizunRule>,
+                   carol: &mut NodeView<BuRizunRule>,
+                   b: BlockId| {
         bob.receive(tree, b);
         carol.receive(tree, b);
     };
@@ -64,10 +64,8 @@ fn main() {
     assert_eq!(carol.accepted_tip(), b4, "Carol switched to Chain 1");
     let orphans = tree.orphaned_by(c2, b4);
     assert_eq!(orphans.len(), 3);
-    let carol_orphans =
-        orphans.iter().filter(|&&b| tree.block(b).miner == CAROL).count();
-    let alice_orphans =
-        orphans.iter().filter(|&&b| tree.block(b).miner == ALICE).count();
+    let carol_orphans = orphans.iter().filter(|&&b| tree.block(b).miner == CAROL).count();
+    let alice_orphans = orphans.iter().filter(|&&b| tree.block(b).miner == ALICE).count();
     assert_eq!(carol_orphans, 2);
     assert_eq!(alice_orphans, 1);
 
@@ -77,7 +75,11 @@ fn main() {
     print!(
         "{}",
         ascii_tree(&tree, &|b: &Block| {
-            if tree.is_ancestor(b.id, winner) { String::new() } else { "o".into() }
+            if tree.is_ancestor(b.id, winner) {
+                String::new()
+            } else {
+                "o".into()
+            }
         })
     );
     println!();

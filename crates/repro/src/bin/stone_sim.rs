@@ -86,7 +86,7 @@ fn render(label: &str, row: &[f64]) {
 }
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = format!("stone;blocks={BLOCKS}");
 
     println!("Stone-style fork-frequency simulations ({BLOCKS} blocks each, zero delay)");
@@ -114,7 +114,7 @@ fn main() {
                     .as_ref()
                     .err()
                     .map(|f| f.reason_code())
-                    .unwrap_or("?");
+                    .unwrap_or_else(|| "?".to_string());
                 println!("{label}");
                 println!("  FAIL({reason})");
                 println!();

@@ -14,8 +14,7 @@
 //! sweep-runner flags (see `bvc_repro::sweep`).
 
 use bvc_bu::{
-    render_phase1_map, summarize, AttackConfig, AttackModel, IncentiveModel, Setting,
-    SolveOptions,
+    render_phase1_map, summarize, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
 };
 use bvc_mdp::Policy;
 use bvc_repro::sweep::{run_sweep, SweepOptions};
@@ -23,7 +22,7 @@ use bvc_repro::sweep::{run_sweep, SweepOptions};
 type Spec = (&'static str, f64, (u32, u32), IncentiveModel);
 
 fn build(alpha: f64, ratio: (u32, u32), incentive: &IncentiveModel) -> AttackModel {
-    let cfg = AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive.clone());
+    let cfg = AttackConfig::with_ratio(alpha, ratio, Setting::One, *incentive);
     AttackModel::build(cfg).expect("model builds")
 }
 
@@ -59,7 +58,7 @@ fn render(spec: &Spec, packed: &[f64]) {
 }
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
     let specs: Vec<Spec> = vec![

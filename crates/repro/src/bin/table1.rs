@@ -18,12 +18,8 @@ fn main() {
     } else {
         (0.25, (1, 1))
     };
-    let cfg = AttackConfig::with_ratio(
-        alpha,
-        ratio,
-        Setting::One,
-        IncentiveModel::CompliantProfitDriven,
-    );
+    let cfg =
+        AttackConfig::with_ratio(alpha, ratio, Setting::One, IncentiveModel::CompliantProfitDriven);
     println!(
         "Table 1 — transitions & rewards, alpha={alpha}, beta={:.4}, gamma={:.4}, AD={}",
         cfg.beta, cfg.gamma, cfg.ad

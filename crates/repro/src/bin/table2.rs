@@ -14,11 +14,15 @@ use bvc_mdp::MdpError;
 use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
 use bvc_repro::{render_grid, GridEntry};
 
+/// One published row: the β:γ ratio and the u1 values for the four α
+/// columns (`None` marks cells the paper omits).
+type PaperRow = ((u32, u32), [Option<f64>; 4]);
+
 /// The published Table 2 (setting 1): rows are β:γ ratios, columns are α in
 /// {10, 15, 20, 25}%. `None` marks cells the paper omits (they violate
 /// α ≤ min(β, γ)); cells the paper states satisfy `max u1 = α` are filled
 /// with α.
-const PAPER_SETTING1: &[((u32, u32), [Option<f64>; 4])] = &[
+const PAPER_SETTING1: &[PaperRow] = &[
     ((3, 2), [Some(0.10), Some(0.15), Some(0.20), Some(0.25)]),
     ((1, 1), [Some(0.10), Some(0.15), Some(0.20), Some(0.2624)]),
     ((2, 3), [Some(0.10), Some(0.1505), Some(0.2115), Some(0.2739)]),
@@ -39,12 +43,8 @@ fn solve(
     setting: Setting,
     ctx: &CellContext,
 ) -> Result<f64, MdpError> {
-    let cfg = AttackConfig::with_ratio(
-        alpha,
-        ratio,
-        setting,
-        IncentiveModel::CompliantProfitDriven,
-    );
+    let cfg =
+        AttackConfig::with_ratio(alpha, ratio, setting, IncentiveModel::CompliantProfitDriven);
     let model = AttackModel::build(cfg)?;
     Ok(model.optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?.value)
 }
@@ -54,7 +54,7 @@ fn key(setting: u8, ratio: (u32, u32), alpha: f64) -> String {
 }
 
 fn main() {
-    let (mut sweep_opts, rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut sweep_opts, rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     sweep_opts.config_token = SolveOptions::default().fingerprint_token();
     let setting1_only = rest.iter().any(|a| a == "--setting1-only");
 
@@ -77,8 +77,7 @@ fn main() {
 
     let row_labels: Vec<String> =
         PAPER_SETTING1.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
-    let col_labels: Vec<String> =
-        ALPHAS.iter().map(|a| format!("a={:.0}%", a * 100.0)).collect();
+    let col_labels: Vec<String> = ALPHAS.iter().map(|a| format!("a={:.0}%", a * 100.0)).collect();
     let cells: Vec<Vec<GridEntry>> = PAPER_SETTING1
         .iter()
         .map(|(ratio, row)| {
@@ -130,13 +129,7 @@ fn main() {
             PAPER_SETTING2.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
         print!(
             "{}",
-            render_grid(
-                "Table 2 — setting 2, a = 25%",
-                &rows2,
-                &["a=25%".to_string()],
-                &cells2,
-                4,
-            )
+            render_grid("Table 2 — setting 2, a = 25%", &rows2, &["a=25%".to_string()], &cells2, 4,)
         );
         println!("{}", report2.summary());
         print!("{}", report2.failure_legend());

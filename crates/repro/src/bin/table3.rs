@@ -81,9 +81,10 @@ fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -
             row.iter()
                 .enumerate()
                 .map(|(c, p)| {
-                    match jobs.iter().position(|&(a, rat)| {
-                        rat == RATIOS[c] && (a - ALPHAS[r]).abs() < 1e-12
-                    }) {
+                    match jobs
+                        .iter()
+                        .position(|&(a, rat)| rat == RATIOS[c] && (a - ALPHAS[r]).abs() < 1e-12)
+                    {
                         Some(j) => report.grid_entry(j, *p),
                         None => GridEntry::Absent,
                     }
@@ -107,7 +108,7 @@ fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -
 }
 
 fn main() {
-    let (mut opts, rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
     let setting1_only = rest.iter().any(|a| a == "--setting1-only");
 
@@ -121,6 +122,8 @@ fn main() {
     }
     println!();
     println!("Analytical Result 2: even a 1% miner profits from double-spend forking in BU;");
-    println!("compare the Bitcoin baseline via `cargo run --release -p bvc-repro --bin table3_bitcoin`.");
+    println!(
+        "compare the Bitcoin baseline via `cargo run --release -p bvc-repro --bin table3_bitcoin`."
+    );
     std::process::exit(exit);
 }

@@ -19,7 +19,7 @@ const GAMMAS: [(f64, &str); 2] = [(0.5, "P(win tie)=50%"), (1.0, "P(win tie)=100
 const PAPER: [[f64; 4]; 2] = [[0.1, 0.15, 0.2, 0.38], [0.11, 0.18, 0.30, 0.52]];
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
     let mut jobs = Vec::new();
@@ -61,7 +61,9 @@ fn main() {
         )
     );
     println!();
-    println!("Below 10% mining power the optimal strategy degenerates to honest mining (u2 = alpha):");
+    println!(
+        "Below 10% mining power the optimal strategy degenerates to honest mining (u2 = alpha):"
+    );
     for (i, gamma) in [0.5, 1.0].into_iter().enumerate() {
         match report.value(8 + i) {
             Some(v) => println!("  alpha=5%, gamma={gamma}: u2 = {v:.4}"),

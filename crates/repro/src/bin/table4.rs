@@ -28,7 +28,7 @@ const PAPER: [[f64; 2]; 9] = [
 ];
 
 fn main() {
-    let (mut opts, _rest) = SweepOptions::from_cli(std::env::args().skip(1));
+    let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
     let mut jobs = Vec::new();
@@ -49,12 +49,8 @@ fn main() {
             format!("s{tag} b:g={b}:{g} a=1%")
         },
         |&(ratio, setting), ctx| {
-            let cfg = AttackConfig::with_ratio(
-                0.01,
-                ratio,
-                setting,
-                IncentiveModel::NonProfitDriven,
-            );
+            let cfg =
+                AttackConfig::with_ratio(0.01, ratio, setting, IncentiveModel::NonProfitDriven);
             Ok(AttackModel::build(cfg)?
                 .optimal_orphan_rate(&ctx.solve_options::<SolveOptions>())?
                 .value)

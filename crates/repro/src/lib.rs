@@ -171,10 +171,7 @@ where
     use std::sync::Mutex;
 
     let n = inputs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -193,10 +190,7 @@ where
                     Ok(o) => out.lock().expect("result vector poisoned")[i] = Some(o),
                     Err(payload) => {
                         abort.store(true, Ordering::Relaxed);
-                        panic_payload
-                            .lock()
-                            .expect("payload slot poisoned")
-                            .get_or_insert(payload);
+                        panic_payload.lock().expect("payload slot poisoned").get_or_insert(payload);
                         return;
                     }
                 }
@@ -287,13 +281,8 @@ mod tests {
             GridEntry::Value(Cell { paper: None, ours: 0.5 }),
             GridEntry::Absent,
         ]];
-        let text = render_grid(
-            "t",
-            &["r".into()],
-            &["a".into(), "b".into(), "c".into()],
-            &cells,
-            3,
-        );
+        let text =
+            render_grid("t", &["r".into()], &["a".into(), "b".into(), "c".into()], &cells, 3);
         assert!(text.contains("max relative deviation: 10.00%"), "{text}");
         assert!(text.contains('-'));
     }

@@ -125,14 +125,15 @@ pub enum CellFailure {
 
 impl CellFailure {
     /// Short code rendered inside grid cells (`FAIL(code)`).
-    pub fn reason_code(&self) -> &'static str {
+    pub fn reason_code(&self) -> String {
         match self {
-            CellFailure::Panicked(_) => "panic",
-            CellFailure::Solver(MdpError::NoConvergence { .. }) => "no-conv",
-            CellFailure::Solver(MdpError::DeadlineExceeded { .. }) => "deadline",
-            CellFailure::Solver(MdpError::Cancelled { .. }) => "cancelled",
-            CellFailure::Solver(_) => "error",
-            CellFailure::Skipped => "skipped",
+            CellFailure::Panicked(_) => "panic".into(),
+            CellFailure::Solver(MdpError::NoConvergence { .. }) => "no-conv".into(),
+            CellFailure::Solver(MdpError::DeadlineExceeded { .. }) => "deadline".into(),
+            CellFailure::Solver(MdpError::Cancelled { .. }) => "cancelled".into(),
+            CellFailure::Solver(MdpError::AuditFailed { check, .. }) => format!("audit: {check}"),
+            CellFailure::Solver(_) => "error".into(),
+            CellFailure::Skipped => "skipped".into(),
         }
     }
 
@@ -265,7 +266,7 @@ impl SweepReport<f64> {
     pub fn grid_entry(&self, i: usize, paper: Option<f64>) -> GridEntry {
         match &self.cells[i].outcome {
             Ok(v) => GridEntry::Value(Cell { paper, ours: *v }),
-            Err(failure) => GridEntry::Failed(failure.reason_code().to_string()),
+            Err(failure) => GridEntry::Failed(failure.reason_code()),
         }
     }
 }
@@ -323,6 +324,10 @@ pub struct SweepOptions {
     /// report `NoConvergence` instead of solving (on every attempt, so
     /// retries are exercised and then exhausted). Testing/smoke only.
     pub inject_noconv: Vec<String>,
+    /// Run the static model audit before each cell's solve; cells whose
+    /// model fails a check render as `FAIL(audit: <check>)` instead of
+    /// producing an untrustworthy number.
+    pub audit: bool,
     /// Solver configuration token mixed into cell fingerprints; see
     /// [`cell_fingerprint`]. Use `SolveOptions::fingerprint_token()`.
     pub config_token: String,
@@ -336,40 +341,63 @@ impl SweepOptions {
     /// Recognized flags:
     /// `--journal PATH`, `--fail-fast`, `--cell-deadline SECONDS`,
     /// `--retries N` (extra attempts after the first), `--threads N`,
-    /// `--inject-panic SUBSTR`, `--inject-noconv SUBSTR` (both repeatable).
-    pub fn from_cli<I: IntoIterator<Item = String>>(args: I) -> (SweepOptions, Vec<String>) {
+    /// `--audit`, `--inject-panic SUBSTR`, `--inject-noconv SUBSTR`
+    /// (the last two repeatable).
+    ///
+    /// Returns `Err` with a usage message on a malformed flag (missing or
+    /// unparseable value) instead of panicking; binaries print it and exit
+    /// nonzero.
+    pub fn from_cli<I: IntoIterator<Item = String>>(
+        args: I,
+    ) -> Result<(SweepOptions, Vec<String>), String> {
         let mut opts = SweepOptions::default();
         let mut rest = Vec::new();
         let mut it = args.into_iter();
-        fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
-            it.next().unwrap_or_else(|| panic!("{flag} requires a value"))
+        fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        }
+        fn parse<T: std::str::FromStr>(raw: String, what: &str) -> Result<T, String> {
+            raw.parse().map_err(|_| format!("{what}, got {raw:?}"))
         }
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--journal" => opts.journal = Some(PathBuf::from(value(&mut it, "--journal"))),
+                "--journal" => opts.journal = Some(PathBuf::from(value(&mut it, "--journal")?)),
                 "--fail-fast" => opts.fail_fast = true,
+                "--audit" => opts.audit = true,
                 "--cell-deadline" => {
-                    let secs: f64 = value(&mut it, "--cell-deadline")
-                        .parse()
-                        .expect("--cell-deadline takes seconds");
+                    let secs: f64 =
+                        parse(value(&mut it, "--cell-deadline")?, "--cell-deadline takes seconds")?;
                     opts.cell_deadline = Some(Duration::from_secs_f64(secs));
                 }
                 "--retries" => {
-                    let n: u32 =
-                        value(&mut it, "--retries").parse().expect("--retries takes a count");
+                    let n: u32 = parse(value(&mut it, "--retries")?, "--retries takes a count")?;
                     opts.retry.max_attempts = n + 1;
                 }
                 "--threads" => {
-                    let n: usize =
-                        value(&mut it, "--threads").parse().expect("--threads takes a count");
+                    let n: usize = parse(value(&mut it, "--threads")?, "--threads takes a count")?;
                     opts.threads = Some(n.max(1));
                 }
-                "--inject-panic" => opts.inject_panic.push(value(&mut it, "--inject-panic")),
-                "--inject-noconv" => opts.inject_noconv.push(value(&mut it, "--inject-noconv")),
+                "--inject-panic" => opts.inject_panic.push(value(&mut it, "--inject-panic")?),
+                "--inject-noconv" => opts.inject_noconv.push(value(&mut it, "--inject-noconv")?),
                 _ => rest.push(arg),
             }
         }
-        (opts, rest)
+        Ok((opts, rest))
+    }
+
+    /// [`SweepOptions::from_cli`] for binary `main`s: prints the error and
+    /// exits with status 2 on a malformed flag instead of returning (no
+    /// panic backtrace on bad arguments).
+    pub fn from_cli_or_exit<I: IntoIterator<Item = String>>(
+        args: I,
+    ) -> (SweepOptions, Vec<String>) {
+        match Self::from_cli(args) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
@@ -392,6 +420,10 @@ pub struct CellContext {
     pub iteration_scale: f64,
     /// Additive aperiodicity bump for this attempt (`attempt * tau_step`).
     pub tau_offset: f64,
+    /// Whether the sweep requested a pre-solve model audit
+    /// ([`SweepOptions::audit`]); [`TunableSolve`] impls whose options
+    /// carry an audit gate forward it.
+    pub audit: bool,
 }
 
 impl CellContext {
@@ -439,6 +471,7 @@ impl TunableSolve for bvc_bu::SolveOptions {
         self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
         self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
         self.budget = ctx.budget.clone();
+        self.audit = ctx.audit;
     }
 }
 
@@ -447,6 +480,7 @@ impl TunableSolve for bvc_bitcoin::SolveOptions {
         self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
         self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
         self.budget = ctx.budget.clone();
+        self.audit = ctx.audit;
     }
 }
 
@@ -723,8 +757,7 @@ where
     let started = Instant::now();
     let n = inputs.len();
     let keys: Vec<String> = inputs.iter().map(&key_of).collect();
-    let fps: Vec<u64> =
-        keys.iter().map(|k| cell_fingerprint(k, &opts.config_token)).collect();
+    let fps: Vec<u64> = keys.iter().map(|k| cell_fingerprint(k, &opts.config_token)).collect();
 
     let mut slots: Vec<Option<CellResult<T>>> = (0..n).map(|_| None).collect();
 
@@ -735,8 +768,7 @@ where
         for i in 0..n {
             if let Some(entry) = journal.get(&fps[i]) {
                 if entry.ok {
-                    let vals: Vec<f64> =
-                        entry.bits.iter().map(|&b| f64::from_bits(b)).collect();
+                    let vals: Vec<f64> = entry.bits.iter().map(|&b| f64::from_bits(b)).collect();
                     if let Some(value) = T::decode(&vals) {
                         slots[i] = Some(CellResult {
                             key: keys[i].clone(),
@@ -793,6 +825,7 @@ where
                 budget,
                 iteration_scale: opts.retry.iteration_growth.powi(attempt as i32),
                 tau_offset: f64::from(attempt) * opts.retry.tau_step,
+                audit: opts.audit,
             };
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
@@ -846,7 +879,9 @@ where
                 reason,
             };
             let line = encode_line(&entry, &vals);
-            let mut file = writer.lock().expect("journal writer poisoned");
+            // A worker panicking while holding the lock poisons it; the
+            // journal file itself is still usable, so recover the guard.
+            let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
             let _ = writeln!(file, "{line}");
             let _ = file.flush();
         }
@@ -874,14 +909,14 @@ where
                 let p = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = pending.get(p) else { return };
                 let result = solve_cell(i);
-                slots_mx.lock().expect("slot vector poisoned")[i] = Some(result);
+                slots_mx.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(result);
             });
         }
     });
 
     let cells = slots_mx
         .into_inner()
-        .expect("slot vector poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .zip(keys)
         .map(|(slot, key)| {
@@ -906,8 +941,7 @@ mod tests {
     fn tmp_journal(tag: &str) -> PathBuf {
         static COUNTER: AtomicUsize = AtomicUsize::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir()
-            .join(format!("bvc_sweep_{tag}_{}_{n}.jsonl", std::process::id()))
+        std::env::temp_dir().join(format!("bvc_sweep_{tag}_{}_{n}.jsonl", std::process::id()))
     }
 
     fn fast_retry() -> RetryPolicy {
@@ -1026,8 +1060,7 @@ mod tests {
             retry: fast_retry(),
             ..Default::default()
         };
-        let report =
-            run_sweep("t", &inputs, &opts, |x| format!("x={x}"), |x, _| Ok(f64::from(*x)));
+        let report = run_sweep("t", &inputs, &opts, |x| format!("x={x}"), |x, _| Ok(f64::from(*x)));
         assert_eq!(report.solved(), 2);
         assert_eq!(report.failed(), 2);
         assert!(matches!(&report.cells[1].outcome, Err(CellFailure::Panicked(_))));
@@ -1193,23 +1226,25 @@ mod tests {
     fn failed_cells_resolve_on_resume() {
         let path = tmp_journal("refail");
         let inputs: Vec<u32> = (0..3).collect();
-        let base = SweepOptions {
-            journal: Some(path.clone()),
-            retry: fast_retry(),
-            ..Default::default()
-        };
+        let base =
+            SweepOptions { journal: Some(path.clone()), retry: fast_retry(), ..Default::default() };
         let broken = SweepOptions { inject_panic: vec!["x=1".into()], ..base.clone() };
-        let first = run_sweep("t", &inputs, &broken, |x| format!("x={x}"), |x, _| {
-            Ok(f64::from(*x))
-        });
+        let first =
+            run_sweep("t", &inputs, &broken, |x| format!("x={x}"), |x, _| Ok(f64::from(*x)));
         assert_eq!(first.failed(), 1);
 
         // Injection removed: only the failed cell re-solves.
         let solves = AtomicU32::new(0);
-        let second = run_sweep("t", &inputs, &base, |x| format!("x={x}"), |x, _| {
-            solves.fetch_add(1, Ordering::SeqCst);
-            Ok(f64::from(*x))
-        });
+        let second = run_sweep(
+            "t",
+            &inputs,
+            &base,
+            |x| format!("x={x}"),
+            |x, _| {
+                solves.fetch_add(1, Ordering::SeqCst);
+                Ok(f64::from(*x))
+            },
+        );
         assert_eq!(second.solved(), 3);
         assert_eq!(second.replayed(), 2);
         assert_eq!(solves.load(Ordering::SeqCst), 1);
@@ -1250,9 +1285,13 @@ mod tests {
         let opts = SweepOptions { journal: Some(path.clone()), ..Default::default() };
         let value = vec![1.5, f64::NAN, -0.0];
         let first = run_sweep("t", &inputs, &opts, |_| "cell".into(), |_, _| Ok(value.clone()));
-        let second = run_sweep("t", &inputs, &opts, |_| "cell".into(), |_, _| {
-            Err::<Vec<f64>, _>(MdpError::Empty)
-        });
+        let second = run_sweep(
+            "t",
+            &inputs,
+            &opts,
+            |_| "cell".into(),
+            |_, _| Err::<Vec<f64>, _>(MdpError::Empty),
+        );
         assert_eq!(second.replayed(), 1);
         let (a, b) = (first.value(0).unwrap(), second.value(0).unwrap());
         assert_eq!(a.len(), b.len());
@@ -1279,10 +1318,11 @@ mod tests {
             "a=15%",
             "--inject-noconv",
             "a=20%",
+            "--audit",
             "--setting1-only",
         ]
         .map(String::from);
-        let (opts, rest) = SweepOptions::from_cli(args);
+        let (opts, rest) = SweepOptions::from_cli(args).unwrap();
         assert_eq!(opts.journal.as_deref(), Some(std::path::Path::new("/tmp/j.jsonl")));
         assert!(opts.fail_fast);
         assert_eq!(opts.cell_deadline, Some(Duration::from_secs_f64(2.5)));
@@ -1290,7 +1330,18 @@ mod tests {
         assert_eq!(opts.threads, Some(2));
         assert_eq!(opts.inject_panic, vec!["a=15%".to_string()]);
         assert_eq!(opts.inject_noconv, vec!["a=20%".to_string()]);
+        assert!(opts.audit);
         assert_eq!(rest, vec!["--quick".to_string(), "--setting1-only".to_string()]);
+    }
+
+    #[test]
+    fn from_cli_rejects_malformed_flags() {
+        let missing = SweepOptions::from_cli(["--journal".to_string()]);
+        assert!(missing.is_err(), "{missing:?}");
+        let bad = SweepOptions::from_cli(["--retries".to_string(), "many".to_string()]);
+        let msg = bad.unwrap_err();
+        assert!(msg.contains("--retries"), "{msg}");
+        assert!(msg.contains("many"), "{msg}");
     }
 
     #[test]
@@ -1300,6 +1351,7 @@ mod tests {
             budget: SolveBudget::with_timeout(Duration::from_secs(5)),
             iteration_scale: 4.0,
             tau_offset: 0.05,
+            audit: true,
         };
         let rvi: RviOptions = ctx.solve_options();
         let base = RviOptions::default();
@@ -1309,6 +1361,7 @@ mod tests {
 
         let bu: bvc_bu::SolveOptions = ctx.solve_options();
         assert_eq!(bu.max_iterations, base.max_iterations * 4);
+        assert!(bu.audit, "audit flag must thread through to solve options");
 
         let ratio: RatioOptions = ctx.solve_options();
         assert_eq!(ratio.rvi.max_iterations, base.max_iterations * 4);

@@ -23,8 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 fn tmp_journal(tag: &str) -> PathBuf {
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir()
-        .join(format!("bvc-sweep-prop-{tag}-{}-{n}.jsonl", std::process::id()))
+    std::env::temp_dir().join(format!("bvc-sweep-prop-{tag}-{}-{n}.jsonl", std::process::id()))
 }
 
 /// The deterministic "solver": value depends only on the key, with bit
@@ -44,10 +43,16 @@ fn bits(v: &[f64]) -> Vec<u64> {
 /// Runs the deterministic sweep over `keys`, counting actually-executed
 /// (non-replayed) cells into `executed`.
 fn sweep(keys: &[String], opts: &SweepOptions, executed: &AtomicUsize) -> Vec<Vec<u64>> {
-    let report = run_sweep("prop", keys, opts, |k| k.clone(), |k, _ctx| {
-        executed.fetch_add(1, Ordering::Relaxed);
-        Ok(val_of(k))
-    });
+    let report = run_sweep(
+        "prop",
+        keys,
+        opts,
+        |k| k.clone(),
+        |k, _ctx| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            Ok(val_of(k))
+        },
+    );
     assert_eq!(report.solved(), keys.len(), "{}", report.failure_legend());
     (0..keys.len()).map(|i| bits(report.value(i).expect("solved above"))).collect()
 }

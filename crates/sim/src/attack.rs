@@ -157,11 +157,8 @@ impl<'a> AttackReplay<'a> {
         }
         // Locked: blocks on the agreed chain above the previous agreement.
         let agreed_h = self.tree.height(self.last_agreed);
-        let locked: Vec<BlockId> = self
-            .tree
-            .ancestors(bt)
-            .take_while(|&b| self.tree.height(b) > agreed_h)
-            .collect();
+        let locked: Vec<BlockId> =
+            self.tree.ancestors(bt).take_while(|&b| self.tree.height(b) > agreed_h).collect();
         let mut orphans = 0u8;
         for &b in &self.since_agreement {
             let miner = self.tree.block(b).miner;
@@ -245,8 +242,7 @@ mod tests {
     use bvc_bu::{AttackConfig, SolveOptions};
 
     fn build(alpha: f64, ratio: (u32, u32), incentive: IncentiveModel) -> AttackModel {
-        AttackModel::build(AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive))
-            .unwrap()
+        AttackModel::build(AttackConfig::with_ratio(alpha, ratio, Setting::One, incentive)).unwrap()
     }
 
     #[test]

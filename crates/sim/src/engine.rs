@@ -241,11 +241,8 @@ impl<R: IncrementalRule> Simulation<R> {
             });
         }
         for b in delivered {
-            let ctx = StrategyContext {
-                tree: &self.tree,
-                view: &self.nodes[node].view,
-                now: self.time,
-            };
+            let ctx =
+                StrategyContext { tree: &self.tree, view: &self.nodes[node].view, now: self.time };
             self.strategies[node].observe(&ctx, b);
         }
     }
@@ -290,8 +287,7 @@ impl<R: IncrementalRule> Simulation<R> {
                 Event::Arrival { node, block } => self.deliver_to(node, block),
             }
         }
-        let final_tips: Vec<BlockId> =
-            self.nodes.iter().map(|n| n.view.accepted_tip()).collect();
+        let final_tips: Vec<BlockId> = self.nodes.iter().map(|n| n.view.accepted_tip()).collect();
         let chain_blocks = final_tips
             .iter()
             .map(|&tip| {
@@ -355,10 +351,7 @@ mod tests {
         let miners = vec![honest_miner(0.5), honest_miner(0.5)];
         let mut sim = Simulation::new(miners, DelayModel::Constant(0.5), 11);
         let report = sim.run(2_000);
-        assert!(
-            !report.reorgs.is_empty(),
-            "large delays must produce at least one reorg"
-        );
+        assert!(!report.reorgs.is_empty(), "large delays must produce at least one reorg");
         // Blocks on the final chain are fewer than blocks mined (orphans).
         let total: usize = report.chain_blocks[0].values().sum();
         assert!(total < report.blocks_mined);

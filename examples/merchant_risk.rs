@@ -39,14 +39,12 @@ fn main() {
         .optimal_absolute_revenue(&opts)
         .expect("solver")
         .value;
-        let btc = BitcoinModel::build(BitcoinConfig {
-            threshold,
-            ..BitcoinConfig::smds(alpha, 0.5)
-        })
-        .expect("model builds")
-        .optimal_absolute_revenue(&bvc::bitcoin::SolveOptions::default())
-        .expect("solver")
-        .value;
+        let btc =
+            BitcoinModel::build(BitcoinConfig { threshold, ..BitcoinConfig::smds(alpha, 0.5) })
+                .expect("model builds")
+                .optimal_absolute_revenue(&bvc::bitcoin::SolveOptions::default())
+                .expect("solver")
+                .value;
         println!(
             "{:<15} {:>12.4} ({:+.4}) {:>16.4} ({:+.4})",
             confirmations,

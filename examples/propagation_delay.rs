@@ -34,8 +34,7 @@ fn main() {
         let mut sim = Simulation::new(miners, DelayModel::Constant(delay), 99);
         let report = sim.run(20_000);
         let on_chain: usize = report.chain_blocks[0].values().sum();
-        let orphan_rate =
-            (report.blocks_mined - on_chain) as f64 / report.blocks_mined as f64;
+        let orphan_rate = (report.blocks_mined - on_chain) as f64 / report.blocks_mined as f64;
         // The fee-market module's survival model predicts the per-block
         // orphan probability 1 - exp(-delay/T) for instant-size blocks.
         let econ = MinerEconomics {
@@ -59,11 +58,7 @@ fn main() {
     println!();
     // Nodes 0 and 1 are adjacent (negligible delay); node 2 is far away.
     let far = 0.15;
-    let matrix = vec![
-        vec![0.0, 0.005, far],
-        vec![0.005, 0.0, far],
-        vec![far, far, 0.0],
-    ];
+    let matrix = vec![vec![0.0, 0.005, far], vec![0.005, 0.0, far], vec![far, far, 0.0]];
     let miners = vec![honest(0.35), honest(0.35), honest(0.30)];
     let mut sim = Simulation::new(miners, DelayModel::Matrix(matrix), 7);
     let report = sim.run(20_000);

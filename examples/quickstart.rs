@@ -47,9 +47,8 @@ fn main() {
     .expect("model builds");
     let best_bu = model.optimal_absolute_revenue(&opts).expect("solver");
     let bitcoin = BitcoinModel::build(BitcoinConfig::smds(alpha, 0.5)).expect("model builds");
-    let best_btc = bitcoin
-        .optimal_absolute_revenue(&bvc::bitcoin::SolveOptions::default())
-        .expect("solver");
+    let best_btc =
+        bitcoin.optimal_absolute_revenue(&bvc::bitcoin::SolveOptions::default()).expect("solver");
     println!("[non-compliant]  BU absolute revenue/block     : {:.4}", best_bu.value);
     println!("[non-compliant]  Bitcoin SM+DS (P(win tie)=50%): {:.4}", best_btc.value);
     println!(

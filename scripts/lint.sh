@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Workspace lint gate, offline-friendly.
+#
+#   scripts/lint.sh             # fmt check + clippy -D warnings + custom lints
+#   scripts/lint.sh --no-clippy # only fmt + the custom grep lints (fast path)
+#
+# The custom lint enforces the solver-robustness contract introduced with
+# the sweep runner and the audit subsystem: inside the numeric hot paths
+# (crates/mdp/src/solve/ and the fault-tolerant sweep runner) non-test code
+# must not contain `.unwrap()` / `.expect(` (all failure paths return
+# structured MdpError values so one poisoned cell cannot kill a sweep) and
+# must not compare floats with `==` / `!=` (tolerance-based comparisons
+# only). Test modules (everything at and below a `#[cfg(test)]` marker) are
+# exempt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+fail=0
+
+echo "==> cargo fmt --check"
+if ! cargo fmt --check; then
+    fail=1
+fi
+
+if [[ "${1:-}" != "--no-clippy" ]]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    if ! cargo clippy --workspace --all-targets --offline -- -D warnings; then
+        fail=1
+    fi
+fi
+
+echo "==> custom lint: no unwrap/expect/float-eq in solver hot paths"
+targets=(crates/mdp/src/solve/*.rs crates/repro/src/sweep.rs)
+for f in "${targets[@]}"; do
+    # Strip everything from the first #[cfg(test)] marker on; the lint
+    # governs production code only.
+    pretest=$(awk '/#\[cfg\(test\)\]/{exit}{print}' "$f")
+
+    hits=$(printf '%s\n' "$pretest" | grep -nE '\.unwrap\(\)|\.expect\(' | grep -vE '^\s*[0-9]+:\s*//')
+    if [[ -n "$hits" ]]; then
+        echo "LINT: $f: unwrap()/expect() in non-test solver code:"
+        printf '%s\n' "$hits" | sed 's/^/    /'
+        fail=1
+    fi
+
+    # Float equality: a == or != with a float literal (digits '.' digits,
+    # or exponent form) on either side.
+    floateq=$(printf '%s\n' "$pretest" \
+        | grep -nE '(==|!=)[[:space:]]*-?[0-9]+\.[0-9]|-?[0-9]+\.[0-9]+([eE][-+]?[0-9]+)?[[:space:]]*(==|!=)|(==|!=)[[:space:]]*f64::|f64::(NAN|INFINITY|NEG_INFINITY)[[:space:]]*(==|!=)' \
+        | grep -vE '^\s*[0-9]+:\s*//')
+    if [[ -n "$floateq" ]]; then
+        echo "LINT: $f: float == / != comparison in non-test solver code:"
+        printf '%s\n' "$floateq" | sed 's/^/    /'
+        fail=1
+    fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "==> LINT FAILED"
+    exit 1
+fi
+echo "==> LINT OK"

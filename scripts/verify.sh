@@ -14,6 +14,9 @@ cd "$(dirname "$0")/.."
 # rather than a hidden network fetch.
 export CARGO_NET_OFFLINE=true
 
+echo "==> lint gate (fmt + clippy + solver-robustness lints)"
+scripts/lint.sh
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline --workspace
 

@@ -75,18 +75,8 @@ fn optimal_policy_end_to_end() {
     let exact = model.evaluate(&sol.policy).unwrap();
     let mut replay = AttackReplay::new(&model, &sol.policy, 5150);
     let report = replay.run(300_000);
-    assert!(
-        (report.u2() - exact.u2).abs() < 0.02,
-        "chain {} vs exact {}",
-        report.u2(),
-        exact.u2
-    );
-    assert!(
-        (report.u1() - exact.u1).abs() < 0.02,
-        "chain {} vs exact {}",
-        report.u1(),
-        exact.u1
-    );
+    assert!((report.u2() - exact.u2).abs() < 0.02, "chain {} vs exact {}", report.u2(), exact.u2);
+    assert!((report.u1() - exact.u1).abs() < 0.02, "chain {} vs exact {}", report.u1(), exact.u1);
 }
 
 /// Every state the chain replay visits must be reachable in the MDP — run
