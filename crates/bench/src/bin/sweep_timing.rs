@@ -163,6 +163,9 @@ fn main() {
     );
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if sweep_opts.json {
+        println!("{}", report.to_json());
+    }
     if report.has_failures() {
         println!("compiled sweep INCOMPLETE: skipping the path cross-check.");
         std::process::exit(report.exit_code());

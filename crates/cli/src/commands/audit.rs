@@ -9,8 +9,8 @@
 //! show what a failing report looks like.
 
 use bvc_bu::{AttackConfig, AttackModel};
-use bvc_mdp::audit::audit_policy;
-use bvc_mdp::{audit_mdp, AuditOptions, AuditReport, Mdp, Transition};
+use bvc_mdp::audit::{audit_policy, demo_multichain, demo_unreachable};
+use bvc_mdp::{audit_mdp, AuditOptions, AuditReport};
 
 use crate::args::{ArgError, Args};
 
@@ -85,35 +85,6 @@ fn build_report(cmd: &AuditCmd) -> Result<AuditReport, String> {
         AuditTarget::DemoMultichain => Ok(audit_mdp(&demo_multichain(), &opts)),
         AuditTarget::DemoUnreachable => Ok(audit_mdp(&demo_unreachable(), &opts)),
     }
-}
-
-/// Start state falling into either of two disjoint absorbing traps: the
-/// canonical multichain shape every solver precondition forbids.
-fn demo_multichain() -> Mdp {
-    let mut m = Mdp::new(1);
-    let start = m.add_state();
-    let left = m.add_state();
-    let right = m.add_state();
-    m.add_action(
-        start,
-        0,
-        vec![Transition::new(left, 0.5, vec![0.0]), Transition::new(right, 0.5, vec![0.0])],
-    );
-    m.add_action(left, 0, vec![Transition::new(left, 1.0, vec![1.0])]);
-    m.add_action(right, 0, vec![Transition::new(right, 1.0, vec![0.0])]);
-    m
-}
-
-/// A healthy two-state cycle plus a state nothing transitions into.
-fn demo_unreachable() -> Mdp {
-    let mut m = Mdp::new(1);
-    let a = m.add_state();
-    let b = m.add_state();
-    let orphan = m.add_state();
-    m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![1.0])]);
-    m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
-    m.add_action(orphan, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
-    m
 }
 
 #[cfg(test)]

@@ -3,5 +3,6 @@
 pub mod audit;
 pub mod bitcoin;
 pub mod games;
+pub mod serve;
 pub mod simulate;
 pub mod solve;

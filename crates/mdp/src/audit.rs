@@ -52,7 +52,7 @@ use std::fmt;
 
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;
-use crate::model::{Mdp, Policy, StateId, PROB_SUM_TOLERANCE};
+use crate::model::{Mdp, Policy, StateId, Transition, PROB_SUM_TOLERANCE};
 
 /// Outcome of a single audit check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -1084,6 +1084,43 @@ fn graph_checks(g: &AuditGraph, opts: &AuditOptions, checks: &mut Vec<CheckResul
             Vec::new(),
         ),
     });
+}
+
+// ---------------------------------------------------------------------------
+// Demo models
+// ---------------------------------------------------------------------------
+
+/// A hand-built certainly-multichain model: the start state falls into
+/// either of two disjoint absorbing traps — the canonical shape every
+/// solver precondition forbids. Auditing it fails the `unichain` check.
+/// Used by `bvc audit --demo multichain` and the serve API to show what a
+/// failing report looks like.
+pub fn demo_multichain() -> Mdp {
+    let mut m = Mdp::new(1);
+    let start = m.add_state();
+    let left = m.add_state();
+    let right = m.add_state();
+    m.add_action(
+        start,
+        0,
+        vec![Transition::new(left, 0.5, vec![0.0]), Transition::new(right, 0.5, vec![0.0])],
+    );
+    m.add_action(left, 0, vec![Transition::new(left, 1.0, vec![1.0])]);
+    m.add_action(right, 0, vec![Transition::new(right, 1.0, vec![0.0])]);
+    m
+}
+
+/// A healthy two-state cycle plus a state nothing transitions into.
+/// Auditing it fails the `reachable` check.
+pub fn demo_unreachable() -> Mdp {
+    let mut m = Mdp::new(1);
+    let a = m.add_state();
+    let b = m.add_state();
+    let orphan = m.add_state();
+    m.add_action(a, 0, vec![Transition::new(b, 1.0, vec![1.0])]);
+    m.add_action(b, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
+    m.add_action(orphan, 0, vec![Transition::new(a, 1.0, vec![0.0])]);
+    m
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ pub mod indexer;
 pub mod model;
 pub mod solve;
 
-pub use audit::{audit_compiled, audit_mdp, audit_policy, AuditOptions, AuditReport, AuditStatus};
+pub use audit::{
+    audit_compiled, audit_mdp, audit_policy, demo_multichain, demo_unreachable, AuditOptions,
+    AuditReport, AuditStatus,
+};
 pub use budget::SolveBudget;
 pub use compiled::CompiledMdp;
 pub use error::MdpError;

@@ -175,5 +175,9 @@ fn main() {
     println!("{}", ad_report.summary());
     println!("{}", gate_report.summary());
     print!("{}{}", ad_report.failure_legend(), gate_report.failure_legend());
+    if opts.json {
+        println!("{}", ad_report.to_json());
+        println!("{}", gate_report.to_json());
+    }
     std::process::exit(ad_report.exit_code().max(gate_report.exit_code()));
 }

@@ -127,5 +127,8 @@ fn main() {
     println!("matching the paper's critique (§2.3) of the emergent-consensus simulations.");
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if opts.json {
+        println!("{}", report.to_json());
+    }
     std::process::exit(report.exit_code());
 }

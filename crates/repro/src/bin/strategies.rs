@@ -117,5 +117,8 @@ fn main() {
     println!("in balanced races, letting Bob and Carol orphan each other.");
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if opts.json {
+        println!("{}", report.to_json());
+    }
     std::process::exit(report.exit_code());
 }

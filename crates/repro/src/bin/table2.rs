@@ -107,6 +107,9 @@ fn main() {
     );
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if sweep_opts.json {
+        println!("{}", report.to_json());
+    }
     let mut exit = report.exit_code();
 
     if !setting1_only {
@@ -133,6 +136,9 @@ fn main() {
         );
         println!("{}", report2.summary());
         print!("{}", report2.failure_legend());
+        if sweep_opts.json {
+            println!("{}", report2.to_json());
+        }
         exit = exit.max(report2.exit_code());
     }
 

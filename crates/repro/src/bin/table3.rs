@@ -104,6 +104,10 @@ fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -
     text.push_str(&report.summary());
     text.push('\n');
     text.push_str(&report.failure_legend());
+    if opts.json {
+        text.push_str(&report.to_json());
+        text.push('\n');
+    }
     (text, report.exit_code())
 }
 

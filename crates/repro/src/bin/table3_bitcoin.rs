@@ -72,5 +72,8 @@ fn main() {
     }
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if opts.json {
+        println!("{}", report.to_json());
+    }
     std::process::exit(report.exit_code());
 }

@@ -72,6 +72,9 @@ fn main() {
     );
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
+    if opts.json {
+        println!("{}", report.to_json());
+    }
     println!();
     println!("Analytical Result 3: BU lets a non-profit-driven attacker orphan up to ~1.77");
     println!("compliant blocks per attacker block; in Bitcoin the same ratio never exceeds 1.");

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod sweep;
 
 use std::fmt::Write as _;

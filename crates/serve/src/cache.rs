@@ -1,0 +1,421 @@
+//! Fingerprint-keyed solve cache: a sharded LRU over solved cells,
+//! single-flight deduplication of concurrent misses, and an admission gate
+//! that sheds cold-path load once the solve queue is full.
+//!
+//! Keys are the same 64-bit FNV-1a fingerprints the sweep journal uses
+//! (`bvc_repro::fingerprint::cell_fingerprint` of the cell key string and
+//! a config token covering every value-affecting solver knob), so a sweep
+//! journal can be preloaded verbatim as a warm cache and a served value is
+//! bit-identical to the journaled one.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bvc_mdp::MdpError;
+use bvc_repro::fingerprint::cell_fingerprint;
+use bvc_repro::sweep::load_journal;
+
+/// One cached solve result.
+#[derive(Debug, Clone)]
+pub struct CachedCell {
+    /// The solved values (one per table cell; more for packed rows).
+    pub vals: Vec<f64>,
+    /// Wall-clock solve time in milliseconds (0 for preloaded cells).
+    pub solve_ms: f64,
+    /// Model state count (0 when unknown, i.e. preloaded).
+    pub states: usize,
+    /// Whether the cell came from a preloaded sweep journal.
+    pub preloaded: bool,
+}
+
+/// Why a leader's solve failed; cloned to every parked follower.
+#[derive(Debug, Clone)]
+pub enum SolveFailure {
+    /// The solver returned a structured error.
+    Mdp(MdpError),
+    /// The solve closure panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+/// Outcome of [`SolveCache::get_or_solve`].
+#[derive(Debug)]
+pub enum Fetched {
+    /// Served from the cache.
+    Hit(Arc<CachedCell>),
+    /// Solved on this request (`leader`) or on a concurrent one we parked
+    /// behind (`!leader`); the cell is now cached either way.
+    Solved {
+        /// The freshly solved cell.
+        cell: Arc<CachedCell>,
+        /// Whether this request ran the solver itself.
+        leader: bool,
+    },
+    /// The solve failed; failures are not cached, so a later request
+    /// retries.
+    Failed {
+        /// The failure, shared verbatim between leader and followers.
+        failure: SolveFailure,
+        /// Whether this request ran the solver itself.
+        leader: bool,
+    },
+    /// Shed by the admission gate: the cold-solve queue is full.
+    Shed,
+}
+
+/// A single-flight slot: the leader publishes its result here and every
+/// follower parks on the condvar until it does.
+struct Flight {
+    done: Mutex<Option<Result<Arc<CachedCell>, SolveFailure>>>,
+    cv: Condvar,
+}
+
+struct Shard {
+    map: HashMap<u64, (u64, Arc<CachedCell>)>,
+    tick: u64,
+}
+
+/// The solve cache. All methods take `&self`; internal locking is
+/// per-shard plus one small in-flight registry.
+pub struct SolveCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    admitted: AtomicUsize,
+    queue_cap: usize,
+    solves_started: AtomicU64,
+}
+
+/// RAII ticket for one admitted cold-path request.
+struct AdmitGuard<'a>(&'a SolveCache);
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl SolveCache {
+    /// A cache holding up to `capacity` cells across `shards` shards, with
+    /// at most `queue_cap` concurrent cold-path (uncached) requests
+    /// admitted before shedding. `queue_cap == 0` sheds every cold
+    /// request — useful for tests and as a read-only journal server.
+    pub fn new(capacity: usize, shards: usize, queue_cap: usize) -> SolveCache {
+        let shards = shards.clamp(1, 64);
+        SolveCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            per_shard_cap: capacity.div_ceil(shards).max(1),
+            inflight: Mutex::new(HashMap::new()),
+            admitted: AtomicUsize::new(0),
+            queue_cap,
+            solves_started: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<Shard> {
+        &self.shards[(fp % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks a cell up, bumping its recency on a hit.
+    pub fn lookup(&self, fp: u64) -> Option<Arc<CachedCell>> {
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(&fp).map(|(last_used, cell)| {
+            *last_used = tick;
+            Arc::clone(cell)
+        })
+    }
+
+    /// Inserts (or replaces) a cell, evicting the least-recently-used
+    /// entry of its shard when over capacity.
+    pub fn insert(&self, fp: u64, cell: Arc<CachedCell>) {
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(fp, (tick, cell));
+        while shard.map.len() > self.per_shard_cap {
+            let Some(oldest) = shard.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| *k)
+            else {
+                break;
+            };
+            shard.map.remove(&oldest);
+        }
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many solver invocations this cache has started (leaders only);
+    /// the single-flight tests key off this.
+    pub fn solves_started(&self) -> u64 {
+        self.solves_started.load(Ordering::SeqCst)
+    }
+
+    fn try_admit(&self) -> Option<AdmitGuard<'_>> {
+        self.admitted
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.queue_cap).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| AdmitGuard(self))
+    }
+
+    /// The core protocol: serve from cache, or dedupe concurrent misses
+    /// into one solver run.
+    ///
+    /// 1. Cache hit → return immediately (hits are never shed).
+    /// 2. Miss → take an admission ticket; if the cold queue is full,
+    ///    return [`Fetched::Shed`] (the route layer answers 429).
+    /// 3. Register in the in-flight table: the first request for a
+    ///    fingerprint becomes the *leader* and runs `solve`; concurrent
+    ///    requests for the same fingerprint park on the leader's flight
+    ///    and receive the identical `Arc`'d result.
+    /// 4. The leader caches a success, publishes to followers, and
+    ///    deregisters. Failures are published but never cached.
+    ///
+    /// A panicking `solve` is caught and published as
+    /// [`SolveFailure::Panicked`] so followers can never be left parked.
+    pub fn get_or_solve<F>(&self, fp: u64, solve: F) -> Fetched
+    where
+        F: FnOnce() -> Result<CachedCell, MdpError>,
+    {
+        if let Some(cell) = self.lookup(fp) {
+            return Fetched::Hit(cell);
+        }
+        let Some(_ticket) = self.try_admit() else {
+            return Fetched::Shed;
+        };
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            // Re-check under the lock: a leader may have finished (and
+            // deregistered) between our miss and here.
+            if let Some(cell) = self.lookup(fp) {
+                return Fetched::Hit(cell);
+            }
+            match inflight.get(&fp) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight { done: Mutex::new(None), cv: Condvar::new() });
+                    inflight.insert(fp, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            self.solves_started.fetch_add(1, Ordering::SeqCst);
+            let result = match catch_unwind(AssertUnwindSafe(solve)) {
+                Ok(Ok(cell)) => {
+                    let cell = Arc::new(cell);
+                    self.insert(fp, Arc::clone(&cell));
+                    Ok(cell)
+                }
+                Ok(Err(e)) => Err(SolveFailure::Mdp(e)),
+                Err(payload) => Err(SolveFailure::Panicked(panic_message(payload))),
+            };
+            {
+                let mut done = flight.done.lock().expect("flight slot poisoned");
+                *done = Some(result.clone());
+            }
+            flight.cv.notify_all();
+            self.inflight.lock().expect("inflight table poisoned").remove(&fp);
+            match result {
+                Ok(cell) => Fetched::Solved { cell, leader: true },
+                Err(failure) => Fetched::Failed { failure, leader: true },
+            }
+        } else {
+            let mut done = flight.done.lock().expect("flight slot poisoned");
+            while done.is_none() {
+                done = flight.cv.wait(done).expect("flight slot poisoned");
+            }
+            match done.clone().expect("loop exits only when published") {
+                Ok(cell) => Fetched::Solved { cell, leader: false },
+                Err(failure) => Fetched::Failed { failure, leader: false },
+            }
+        }
+    }
+
+    /// Warm-start preload: loads every `ok` cell of a sweep journal,
+    /// re-fingerprinting its key under `config_token` (the serve tokens are
+    /// table-prefixed, so journals from different tables cannot collide
+    /// even where their key strings coincide). Returns the number of cells
+    /// loaded.
+    pub fn preload_journal(&self, path: &Path, config_token: &str) -> usize {
+        let mut loaded = 0;
+        for entry in load_journal(path).values() {
+            if !entry.ok {
+                continue;
+            }
+            let fp = cell_fingerprint(&entry.key, config_token);
+            self.insert(
+                fp,
+                Arc::new(CachedCell {
+                    vals: entry.values(),
+                    solve_ms: 0.0,
+                    states: 0,
+                    preloaded: true,
+                }),
+            );
+            loaded += 1;
+        }
+        loaded
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: f64) -> CachedCell {
+        CachedCell { vals: vec![v], solve_ms: 1.0, states: 10, preloaded: false }
+    }
+
+    #[test]
+    fn hit_after_solve_and_lru_eviction() {
+        let cache = SolveCache::new(2, 1, 8);
+        for fp in [1u64, 2, 3] {
+            match cache.get_or_solve(fp, || Ok(cell(fp as f64))) {
+                Fetched::Solved { leader: true, .. } => {}
+                other => panic!("expected a leader solve, got {other:?}"),
+            }
+        }
+        // Capacity 2: fp=1 was least recently used and must be gone.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_none());
+        assert!(cache.lookup(3).is_some());
+        match cache.get_or_solve(3, || panic!("must not re-solve")) {
+            Fetched::Hit(c) => assert_eq!(c.vals, vec![3.0]),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        assert_eq!(cache.solves_started(), 3);
+    }
+
+    #[test]
+    fn lookup_bumps_recency() {
+        let cache = SolveCache::new(2, 1, 8);
+        cache.insert(1, Arc::new(cell(1.0)));
+        cache.insert(2, Arc::new(cell(2.0)));
+        // Touch 1 so that 2 becomes the eviction victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, Arc::new(cell(3.0)));
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(2).is_none());
+    }
+
+    #[test]
+    fn zero_queue_cap_sheds_cold_but_serves_hits() {
+        let cache = SolveCache::new(16, 2, 0);
+        assert!(matches!(cache.get_or_solve(7, || Ok(cell(7.0))), Fetched::Shed));
+        cache.insert(7, Arc::new(cell(7.0)));
+        assert!(matches!(cache.get_or_solve(7, || Ok(cell(0.0))), Fetched::Hit(_)));
+        assert_eq!(cache.solves_started(), 0);
+    }
+
+    #[test]
+    fn failures_propagate_and_are_not_cached() {
+        let cache = SolveCache::new(16, 2, 8);
+        let r = cache.get_or_solve(9, || Err(MdpError::Empty));
+        assert!(matches!(
+            r,
+            Fetched::Failed { failure: SolveFailure::Mdp(MdpError::Empty), leader: true }
+        ));
+        assert!(cache.lookup(9).is_none());
+        // A later request retries (and can succeed).
+        assert!(matches!(cache.get_or_solve(9, || Ok(cell(9.0))), Fetched::Solved { .. }));
+    }
+
+    #[test]
+    fn leader_panic_is_published_not_propagated() {
+        let cache = SolveCache::new(16, 2, 8);
+        let r = cache.get_or_solve(5, || panic!("boom"));
+        match r {
+            Fetched::Failed { failure: SolveFailure::Panicked(msg), leader: true } => {
+                assert!(msg.contains("boom"));
+            }
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+        assert!(cache.lookup(5).is_none());
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight_to_one_solve() {
+        let cache = Arc::new(SolveCache::new(16, 4, 64));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_solve(42, || {
+                        // Hold the flight open long enough that the other
+                        // threads must park on it.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(cell(42.0))
+                    })
+                })
+            })
+            .collect();
+        let mut leaders = 0;
+        for t in threads {
+            match t.join().expect("worker panicked") {
+                Fetched::Solved { cell, leader } => {
+                    assert_eq!(cell.vals, vec![42.0]);
+                    leaders += usize::from(leader);
+                }
+                // A thread arriving after the leader finished sees a hit.
+                Fetched::Hit(cell) => assert_eq!(cell.vals, vec![42.0]),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(cache.solves_started(), 1, "exactly one solver run");
+        assert!(leaders <= 1);
+    }
+
+    #[test]
+    fn preload_round_trips_journal_cells() {
+        let dir = std::env::temp_dir().join(format!("bvc-serve-preload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("journal.jsonl");
+        let token = "table2;tok";
+        let fp = cell_fingerprint("s1 b:g=1:2 a=33%", token);
+        let bits = format!("{:016x}", 0.25f64.to_bits());
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"fp\":\"{fp:016x}\",\"key\":\"s1 b:g=1:2 a=33%\",\"status\":\"ok\",\
+                 \"attempts\":1,\"bits\":[\"{bits}\"]}}\n\
+                 {{\"fp\":\"00000000000000ff\",\"key\":\"bad cell\",\"status\":\"fail\",\
+                 \"attempts\":2,\"reason\":\"x\"}}\n"
+            ),
+        )
+        .expect("write journal");
+        let cache = SolveCache::new(16, 2, 0);
+        assert_eq!(cache.preload_journal(&path, token), 1);
+        let cell = cache.lookup(fp).expect("preloaded cell present");
+        assert_eq!(cell.vals[0].to_bits(), 0.25f64.to_bits());
+        assert!(cell.preloaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,996 @@
+//! The serve API: request routing, parameter parsing, cell-key
+//! construction (bit-compatible with the sweep binaries' journals), and
+//! the mapping from structured solver errors to HTTP statuses.
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + cache size |
+//! | `GET /metrics` | counters and latency histogram (`?format=json`) |
+//! | `GET /v1/table2` | one Table 2 cell (`u1`) by `alpha`/`eb`/`ratio`/... |
+//! | `GET /v1/table3` | one Table 3 cell (`u2`), plus `rds`/`confirmations` |
+//! | `GET /v1/table4` | one Table 4 cell (`u3`) |
+//! | `GET /v1/policy` | decoded optimal-policy summary for a cell |
+//! | `POST /v1/solve` | solve a JSON model spec (incl. audit demo models) |
+//! | `POST /admin/shutdown` | request a graceful drain |
+//!
+//! Error statuses are structural, not ad hoc: malformed input → 400,
+//! audit-gate refusal ([`MdpError::AuditFailed`]) → 422 naming the failed
+//! check, deadline/cancellation → 503, admission shed → 429 with
+//! `Retry-After`, solver bug → 500.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bvc_bu::{Action, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+use bvc_mdp::audit::{demo_multichain, demo_unreachable};
+use bvc_mdp::{audit_mdp, AuditOptions, MdpError, SolveBudget};
+use bvc_repro::fingerprint::cell_fingerprint;
+
+use crate::cache::{CachedCell, Fetched, SolveCache, SolveFailure};
+use crate::http::{self, HttpConfig, Request, Response, Server};
+use crate::json::{FlatJson, JsonObject};
+use crate::metrics::Metrics;
+
+/// Configuration of one serve instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Cache capacity in cells.
+    pub cache_capacity: usize,
+    /// Max concurrent cold-path (uncached) requests before shedding 429.
+    pub queue_cap: usize,
+    /// Per-request solve deadline (`None` = unlimited); deadline misses
+    /// answer 503 without poisoning the cache.
+    pub solve_deadline: Option<Duration>,
+    /// Keep-alive idle / torn-request read deadline.
+    pub read_timeout: Duration,
+    /// Sweep journals to preload: `(table name, journal path)` pairs.
+    pub preload: Vec<(String, PathBuf)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_capacity: 4096,
+            queue_cap: 8,
+            solve_deadline: Some(Duration::from_secs(30)),
+            read_timeout: Duration::from_secs(5),
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// Which published table a request addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Table {
+    T2,
+    T3,
+    T4,
+}
+
+impl Table {
+    fn name(self) -> &'static str {
+        match self {
+            Table::T2 => "table2",
+            Table::T3 => "table3",
+            Table::T4 => "table4",
+        }
+    }
+
+    fn utility(self) -> Utility {
+        match self {
+            Table::T2 => Utility::U1,
+            Table::T3 => Utility::U2,
+            Table::T4 => Utility::U3,
+        }
+    }
+}
+
+/// The paper's three objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Utility {
+    U1,
+    U2,
+    U3,
+}
+
+impl Utility {
+    fn name(self) -> &'static str {
+        match self {
+            Utility::U1 => "u1",
+            Utility::U2 => "u2",
+            Utility::U3 => "u3",
+        }
+    }
+}
+
+/// A fully-resolved solve request: the model config, the objective, and
+/// the journal-compatible cache key.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    cfg: AttackConfig,
+    utility: Utility,
+    key: String,
+    token: String,
+    audit: bool,
+}
+
+/// The cache-key config token for one table: the table name prefixed onto
+/// the default solver fingerprint token, exactly covering every knob that
+/// can change a served value. Table 2 and Table 3 cells can share key
+/// strings, so the table prefix keeps their fingerprints disjoint.
+pub fn config_token(table: &str) -> String {
+    format!("{table};{}", SolveOptions::default().fingerprint_token())
+}
+
+/// The serve service: cache, metrics, and the shutdown latch.
+pub struct Service {
+    cache: SolveCache,
+    /// Exported counters (public for tests and the load generator).
+    pub metrics: Metrics,
+    solve_deadline: Option<Duration>,
+    shutdown: (Mutex<bool>, Condvar),
+}
+
+impl Service {
+    /// Builds a service (cache empty; preloading is done by [`start`]).
+    pub fn new(config: &ServeConfig) -> Service {
+        Service {
+            cache: SolveCache::new(config.cache_capacity, 8, config.queue_cap),
+            metrics: Metrics::new(),
+            solve_deadline: config.solve_deadline,
+            shutdown: (Mutex::new(false), Condvar::new()),
+        }
+    }
+
+    /// The solve cache (public for preloading and tests).
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
+    }
+
+    /// Whether `POST /admin/shutdown` has been called.
+    pub fn shutdown_requested(&self) -> bool {
+        *self.shutdown.0.lock().expect("shutdown latch poisoned")
+    }
+
+    /// Blocks until a shutdown is requested.
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shutdown;
+        let mut requested = lock.lock().expect("shutdown latch poisoned");
+        while !*requested {
+            requested = cv.wait(requested).expect("shutdown latch poisoned");
+        }
+    }
+
+    fn request_shutdown(&self) {
+        let (lock, cv) = &self.shutdown;
+        *lock.lock().expect("shutdown latch poisoned") = true;
+        cv.notify_all();
+    }
+
+    /// Routes one request, recording metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        let resp = self.route(req);
+        self.metrics.observe(resp.status, start.elapsed());
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::json(
+                200,
+                JsonObject::new()
+                    .str("status", "ok")
+                    .num("uptime_s", self.metrics.uptime_s())
+                    .int("cached_cells", self.cache.len() as u64)
+                    .finish(),
+            ),
+            ("GET", "/metrics") => match req.query_param("format") {
+                Some("json") => Response::json(200, self.metrics.render_json()),
+                _ => Response::text(200, self.metrics.render_text()),
+            },
+            ("GET", "/v1/table2") => self.table_route(req, Table::T2),
+            ("GET", "/v1/table3") => self.table_route(req, Table::T3),
+            ("GET", "/v1/table4") => self.table_route(req, Table::T4),
+            ("GET", "/v1/policy") => self.policy_route(req),
+            ("POST", "/v1/solve") => self.solve_route(req),
+            ("POST", "/admin/shutdown") => {
+                self.request_shutdown();
+                Response::json(200, "{\"status\":\"draining\"}".to_string())
+            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/table2" | "/v1/table3" | "/v1/table4" | "/v1/policy"
+                | "/v1/solve" | "/admin/shutdown",
+            ) => Response::json(
+                405,
+                JsonObject::new()
+                    .str("error", "method_not_allowed")
+                    .str("method", &req.method)
+                    .str("path", &req.path)
+                    .finish(),
+            ),
+            _ => Response::json(
+                404,
+                JsonObject::new().str("error", "not_found").str("path", &req.path).finish(),
+            ),
+        }
+    }
+
+    // --- table cells ---
+
+    fn table_route(&self, req: &Request, table: Table) -> Response {
+        let spec = match parse_table_params(req, table) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        self.serve_cell(&spec, table.name())
+    }
+
+    fn serve_cell(&self, spec: &CellSpec, table_name: &str) -> Response {
+        let fp = cell_fingerprint(&spec.key, &spec.token);
+        let fetched = self.run_cell(fp, spec);
+        match fetched {
+            Fetched::Hit(cell) => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cell_response(spec, table_name, fp, &cell, "hit", None)
+            }
+            Fetched::Solved { cell, leader } => {
+                self.note_miss(leader, false);
+                self.cell_response(spec, table_name, fp, &cell, "miss", Some(leader))
+            }
+            Fetched::Failed { failure, leader } => {
+                self.note_miss(leader, true);
+                failure_response(&failure)
+            }
+            Fetched::Shed => {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    429,
+                    JsonObject::new()
+                        .str("error", "overloaded")
+                        .str("detail", "solve queue is full; cached cells are still served")
+                        .finish(),
+                )
+                .with_header("retry-after", "1")
+            }
+        }
+    }
+
+    fn note_miss(&self, leader: bool, errored: bool) {
+        if leader {
+            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.solves.fetch_add(1, Ordering::Relaxed);
+            if errored {
+                self.metrics.solve_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.metrics.flight_joins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn solve_options(&self, audit: bool) -> SolveOptions {
+        let budget = match self.solve_deadline {
+            // Budgets never change a solved value, only whether the solve
+            // finishes — cached results stay bit-identical to the sweeps'.
+            Some(deadline) => SolveBudget::with_timeout(deadline),
+            None => SolveBudget::default(),
+        };
+        SolveOptions { audit, budget, ..SolveOptions::default() }
+    }
+
+    fn run_cell(&self, fp: u64, spec: &CellSpec) -> Fetched {
+        let opts = self.solve_options(spec.audit);
+        let cfg = spec.cfg.clone();
+        let utility = spec.utility;
+        self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let model = AttackModel::build(cfg)?;
+            let states = model.num_states();
+            let value = match utility {
+                Utility::U1 => model.optimal_relative_revenue(&opts)?.value,
+                Utility::U2 => model.optimal_absolute_revenue(&opts)?.value,
+                Utility::U3 => model.optimal_orphan_rate(&opts)?.value,
+            };
+            Ok(CachedCell {
+                vals: vec![value],
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states,
+                preloaded: false,
+            })
+        })
+    }
+
+    fn cell_response(
+        &self,
+        spec: &CellSpec,
+        table_name: &str,
+        fp: u64,
+        cell: &CachedCell,
+        cache: &str,
+        leader: Option<bool>,
+    ) -> Response {
+        let Some(&value) = cell.vals.first() else {
+            return Response::json(
+                500,
+                "{\"error\":\"internal\",\"detail\":\"cached cell has no value\"}".to_string(),
+            );
+        };
+        let mut obj = JsonObject::new()
+            .str("table", table_name)
+            .str("key", &spec.key)
+            .str("fingerprint", &format!("{fp:016x}"))
+            .str("utility", spec.utility.name())
+            .num("value", value)
+            .str("value_bits", &bvc_repro::fingerprint::f64_to_hex(value))
+            .num("alpha", spec.cfg.alpha)
+            .num("beta", spec.cfg.beta)
+            .num("gamma", spec.cfg.gamma)
+            .int("setting", setting_tag(spec.cfg.setting) as u64)
+            .str("cache", cache)
+            .bool("preloaded", cell.preloaded);
+        if cell.states > 0 {
+            obj = obj.int("states", cell.states as u64);
+        }
+        if cache == "miss" {
+            obj = obj.num("solve_ms", cell.solve_ms);
+        }
+        if let Some(leader) = leader {
+            obj = obj.str("flight", if leader { "leader" } else { "follower" });
+        }
+        Response::json(200, obj.finish())
+    }
+
+    // --- policy summaries ---
+
+    fn policy_route(&self, req: &Request) -> Response {
+        let table = match req.query_param("table").unwrap_or("2") {
+            "2" | "table2" => Table::T2,
+            "3" | "table3" => Table::T3,
+            "4" | "table4" => Table::T4,
+            other => return bad_request(&format!("unknown table {other:?}")),
+        };
+        let mut spec = match parse_table_params_inner(req, table, &["table"]) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        // Policy summaries cache under their own token namespace: the cell
+        // payload (7 packed values) differs from the table routes' single
+        // value, so the fingerprints must not collide with table cells or
+        // preloaded journals.
+        spec.token = config_token(&format!("policy-{}", table.name()));
+
+        let fp = cell_fingerprint(&spec.key, &spec.token);
+        let opts = self.solve_options(spec.audit);
+        let cfg = spec.cfg.clone();
+        let utility = spec.utility;
+        let fetched = self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let model = AttackModel::build(cfg)?;
+            let states = model.num_states();
+            let strategy = match utility {
+                Utility::U1 => model.optimal_relative_revenue(&opts)?,
+                Utility::U2 => model.optimal_absolute_revenue(&opts)?,
+                Utility::U3 => model.optimal_orphan_rate(&opts)?,
+            };
+            let summary = bvc_bu::summarize(&model, &strategy.policy);
+            Ok(CachedCell {
+                vals: vec![
+                    strategy.value,
+                    action_code(summary.base_action),
+                    summary.on_chain1 as f64,
+                    summary.on_chain2 as f64,
+                    summary.waits as f64,
+                    summary.with_stronger_group as f64,
+                    summary.phase1_fork_states as f64,
+                ],
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states,
+                preloaded: false,
+            })
+        });
+        match fetched {
+            Fetched::Hit(cell) => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.policy_response(&spec, table, fp, &cell, "hit")
+            }
+            Fetched::Solved { cell, leader } => {
+                self.note_miss(leader, false);
+                self.policy_response(&spec, table, fp, &cell, "miss")
+            }
+            Fetched::Failed { failure, leader } => {
+                self.note_miss(leader, true);
+                failure_response(&failure)
+            }
+            Fetched::Shed => {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    429,
+                    "{\"error\":\"overloaded\",\"detail\":\"solve queue is full\"}".to_string(),
+                )
+                .with_header("retry-after", "1")
+            }
+        }
+    }
+
+    fn policy_response(
+        &self,
+        spec: &CellSpec,
+        table: Table,
+        fp: u64,
+        cell: &CachedCell,
+        cache: &str,
+    ) -> Response {
+        if cell.vals.len() != 7 {
+            return Response::json(
+                500,
+                "{\"error\":\"internal\",\"detail\":\"malformed policy cell\"}".to_string(),
+            );
+        }
+        let policy = JsonObject::new()
+            .str("base_action", action_name(cell.vals[1]))
+            .int("on_chain1", cell.vals[2] as u64)
+            .int("on_chain2", cell.vals[3] as u64)
+            .int("waits", cell.vals[4] as u64)
+            .int("with_stronger_group", cell.vals[5] as u64)
+            .int("phase1_fork_states", cell.vals[6] as u64)
+            .finish();
+        Response::json(
+            200,
+            JsonObject::new()
+                .str("table", table.name())
+                .str("key", &spec.key)
+                .str("fingerprint", &format!("{fp:016x}"))
+                .str("utility", spec.utility.name())
+                .num("value", cell.vals[0])
+                .raw("policy", &policy)
+                .str("cache", cache)
+                .finish(),
+        )
+    }
+
+    // --- generic solves ---
+
+    fn solve_route(&self, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(text) => text,
+            Err(_) => return bad_request("body is not valid UTF-8"),
+        };
+        let doc = match FlatJson::parse(body) {
+            Ok(doc) => doc,
+            Err(detail) => return bad_request(&format!("invalid JSON body: {detail}")),
+        };
+        if let Some(demo) = doc.get_str("demo") {
+            // The broken demo models show the audit gate end to end: they
+            // always fail a static check, so this path always answers 422.
+            let mdp = match demo {
+                "multichain" => demo_multichain(),
+                "unreachable" => demo_unreachable(),
+                other => return bad_request(&format!("unknown demo model {other:?}")),
+            };
+            return match audit_mdp(&mdp, &AuditOptions::default()).gate() {
+                Err(e) => failure_response(&SolveFailure::Mdp(e)),
+                Ok(()) => Response::json(
+                    200,
+                    JsonObject::new().str("demo", demo).str("audit", "passed").finish(),
+                ),
+            };
+        }
+        let spec = match parse_solve_body(&doc) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        self.serve_cell(&spec, "solve")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter parsing and key construction
+// ---------------------------------------------------------------------------
+
+fn bad_request(detail: &str) -> Response {
+    Response::json(
+        400,
+        JsonObject::new().str("error", "bad_request").str("detail", detail).finish(),
+    )
+}
+
+fn setting_tag(setting: Setting) -> u8 {
+    match setting {
+        Setting::One => 1,
+        Setting::Two => 2,
+    }
+}
+
+fn action_code(action: Action) -> f64 {
+    match action {
+        Action::Wait => 0.0,
+        Action::OnChain1 => 1.0,
+        Action::OnChain2 => 2.0,
+    }
+}
+
+fn action_name(code: f64) -> &'static str {
+    match code as i64 {
+        1 => "OnChain1",
+        2 => "OnChain2",
+        _ => "Wait",
+    }
+}
+
+fn parse_f64(raw: &str, name: &str) -> Result<f64, String> {
+    raw.parse::<f64>().map_err(|_| format!("invalid number {raw:?} for {name}"))
+}
+
+fn parse_int(raw: &str, name: &str, lo: u64, hi: u64) -> Result<u64, String> {
+    let v = raw.parse::<u64>().map_err(|_| format!("invalid integer {raw:?} for {name}"))?;
+    if v < lo || v > hi {
+        return Err(format!("{name} must be in [{lo}, {hi}], got {v}"));
+    }
+    Ok(v)
+}
+
+/// Shared scalar inputs of the table/policy/solve routes.
+struct RawParams {
+    alpha: Option<f64>,
+    ratio: Option<(u32, u32)>,
+    eb: Option<u64>,
+    setting: Setting,
+    ad: u8,
+    ad_carol: Option<u8>,
+    gate: u16,
+    rds: f64,
+    confirmations: u8,
+    audit: bool,
+}
+
+impl RawParams {
+    fn resolve(self, table: Table) -> Result<CellSpec, String> {
+        let alpha = match (self.alpha, table) {
+            (Some(a), _) => a,
+            // Table 4 is published for a fixed 1% attacker.
+            (None, Table::T4) => 0.01,
+            (None, _) => return Err("missing required parameter alpha".to_string()),
+        };
+        if !(alpha > 0.0 && alpha < 0.5) {
+            return Err(format!("alpha must be in (0, 0.5), got {alpha}"));
+        }
+        let ratio = match (self.ratio, self.eb) {
+            (Some(_), Some(_)) => {
+                return Err("give either ratio or eb, not both".to_string());
+            }
+            (Some(r), None) => r,
+            // `eb=N` weights the large-EB group (Carol) N-fold: β:γ = 1:N.
+            (None, Some(eb)) => (1, eb as u32),
+            (None, None) => (1, 1),
+        };
+        let incentive = match table {
+            Table::T2 => IncentiveModel::CompliantProfitDriven,
+            Table::T3 => IncentiveModel::NonCompliantProfitDriven {
+                rds: self.rds,
+                threshold: self.confirmations - 1,
+            },
+            Table::T4 => IncentiveModel::NonProfitDriven,
+        };
+        let ad_carol = self.ad_carol.unwrap_or(self.ad);
+        let cfg = AttackConfig::with_ratio(alpha, ratio, self.setting, incentive)
+            .with_ads(self.ad, ad_carol);
+        let mut cfg = cfg;
+        cfg.gate_blocks = self.gate;
+        let key = cell_key(table, &cfg, ratio, alpha);
+        Ok(CellSpec {
+            cfg,
+            utility: table.utility(),
+            key,
+            token: config_token(table.name()),
+            audit: self.audit,
+        })
+    }
+}
+
+fn parse_table_params(req: &Request, table: Table) -> Result<CellSpec, String> {
+    parse_table_params_inner(req, table, &[])
+}
+
+fn parse_table_params_inner(
+    req: &Request,
+    table: Table,
+    extra_allowed: &[&str],
+) -> Result<CellSpec, String> {
+    let mut allowed: Vec<&str> =
+        vec!["alpha", "ratio", "eb", "setting", "ad", "ad-carol", "gate", "audit"];
+    if table == Table::T3 {
+        allowed.extend(["rds", "confirmations"]);
+    }
+    allowed.extend(extra_allowed);
+    for (name, _) in &req.query {
+        if !allowed.contains(&name.as_str()) {
+            return Err(format!("unknown parameter {name:?} (allowed: {})", allowed.join(", ")));
+        }
+    }
+    let get = |name: &str| req.query_param(name);
+    let raw = RawParams {
+        alpha: get("alpha").map(|v| parse_f64(v, "alpha")).transpose()?,
+        ratio: get("ratio").map(parse_ratio).transpose()?,
+        eb: get("eb").map(|v| parse_int(v, "eb", 1, 64)).transpose()?,
+        setting: match get("setting").unwrap_or("1") {
+            "1" => Setting::One,
+            "2" => Setting::Two,
+            other => return Err(format!("setting must be 1 or 2, got {other:?}")),
+        },
+        ad: get("ad").map(|v| parse_int(v, "ad", 2, 24)).transpose()?.unwrap_or(6) as u8,
+        ad_carol: get("ad-carol")
+            .map(|v| parse_int(v, "ad-carol", 2, 24))
+            .transpose()?
+            .map(|v| v as u8),
+        gate: get("gate").map(|v| parse_int(v, "gate", 1, 4096)).transpose()?.unwrap_or(144) as u16,
+        rds: get("rds").map(|v| parse_f64(v, "rds")).transpose()?.unwrap_or(10.0),
+        confirmations: get("confirmations")
+            .map(|v| parse_int(v, "confirmations", 1, 16))
+            .transpose()?
+            .unwrap_or(4) as u8,
+        audit: matches!(get("audit"), Some("1" | "true" | "")),
+    };
+    if raw.rds < 0.0 {
+        return Err(format!("rds must be nonnegative, got {}", raw.rds));
+    }
+    raw.resolve(table)
+}
+
+fn parse_ratio(raw: &str) -> Result<(u32, u32), String> {
+    let (b, c) = raw.split_once(':').ok_or_else(|| format!("expected B:C ratio, got {raw:?}"))?;
+    let parse = |part: &str| {
+        part.parse::<u32>()
+            .ok()
+            .filter(|&v| (1..=64).contains(&v))
+            .ok_or_else(|| format!("ratio parts must be integers in [1, 64], got {raw:?}"))
+    };
+    Ok((parse(b)?, parse(c)?))
+}
+
+fn parse_solve_body(doc: &FlatJson) -> Result<CellSpec, String> {
+    const ALLOWED: [&str; 12] = [
+        "alpha",
+        "ratio",
+        "eb",
+        "setting",
+        "ad",
+        "ad_carol",
+        "gate",
+        "rds",
+        "confirmations",
+        "audit",
+        "incentive",
+        "demo",
+    ];
+    for key in doc.keys() {
+        if !ALLOWED.contains(&key) {
+            return Err(format!("unknown field {key:?} (allowed: {})", ALLOWED.join(", ")));
+        }
+    }
+    let int = |name: &str, lo: u64, hi: u64| -> Result<Option<u64>, String> {
+        match doc.get_num(name) {
+            None => {
+                if doc.has(name) {
+                    Err(format!("{name} must be a number"))
+                } else {
+                    Ok(None)
+                }
+            }
+            Some(v) if v.fract() == 0.0 && v >= lo as f64 && v <= hi as f64 => Ok(Some(v as u64)),
+            Some(v) => Err(format!("{name} must be an integer in [{lo}, {hi}], got {v}")),
+        }
+    };
+    // The incentive picks the table-shaped objective the same way the CLI
+    // does: compliant → u1, double-spend → u2, vandal → u3.
+    let table = match doc.get_str("incentive").unwrap_or("compliant") {
+        "compliant" => Table::T2,
+        "double-spend" => Table::T3,
+        "vandal" => Table::T4,
+        other => {
+            return Err(format!(
+                "incentive must be compliant, double-spend or vandal, got {other:?}"
+            ))
+        }
+    };
+    let ratio = match doc.get_str("ratio") {
+        Some(raw) => Some(parse_ratio(raw)?),
+        None if doc.has("ratio") => return Err("ratio must be a \"B:C\" string".to_string()),
+        None => None,
+    };
+    let raw = RawParams {
+        alpha: doc.get_num("alpha"),
+        ratio,
+        eb: int("eb", 1, 64)?,
+        setting: match int("setting", 1, 2)?.unwrap_or(1) {
+            2 => Setting::Two,
+            _ => Setting::One,
+        },
+        ad: int("ad", 2, 24)?.unwrap_or(6) as u8,
+        ad_carol: int("ad_carol", 2, 24)?.map(|v| v as u8),
+        gate: int("gate", 1, 4096)?.unwrap_or(144) as u16,
+        rds: doc.get_num("rds").unwrap_or(10.0),
+        confirmations: int("confirmations", 1, 16)?.unwrap_or(4) as u8,
+        audit: doc.get_bool("audit").unwrap_or(false),
+    };
+    if raw.rds < 0.0 {
+        return Err(format!("rds must be nonnegative, got {}", raw.rds));
+    }
+    if doc.has("alpha") && raw.alpha.is_none() {
+        return Err("alpha must be a number".to_string());
+    }
+    let mut spec = raw.resolve(table)?;
+    // Generic solves get their own token namespace per utility; their keys
+    // are not meant to match any sweep journal.
+    spec.token = config_token(&format!("solve-{}", spec.utility.name()));
+    Ok(spec)
+}
+
+/// Builds the journal-compatible cell key. For the paper-default shape
+/// (`AD = 6/6`, 144-block gate, default double-spend terms) this is
+/// byte-identical to the key the corresponding sweep binary journals, so a
+/// preloaded journal answers the same requests the sweep solved:
+///
+/// * table2: `s{setting} b:g={b}:{g} a={alpha:.0}%` — but only when the
+///   rounded percent round-trips to exactly the requested `alpha`;
+///   otherwise the exact `Display` form is used so two distinct alphas can
+///   never collide on one key.
+/// * table3/table4: `s{setting} b:g={b}:{g} a={alpha}%` (`Display`, exact).
+///
+/// Non-default structural parameters append explicit ` ad=`/` gate=`
+/// (and ` rds=`/` thr=` for table3) suffixes.
+fn cell_key(table: Table, cfg: &AttackConfig, ratio: (u32, u32), alpha: f64) -> String {
+    let pct = alpha * 100.0;
+    let alpha_txt = match table {
+        Table::T2 => {
+            let rounded = format!("{pct:.0}");
+            let round_trips = rounded
+                .parse::<f64>()
+                .map(|p| (p / 100.0).to_bits() == alpha.to_bits())
+                .unwrap_or(false);
+            if round_trips {
+                rounded
+            } else {
+                format!("{pct}")
+            }
+        }
+        Table::T3 | Table::T4 => format!("{pct}"),
+    };
+    let (b, g) = ratio;
+    let mut key = format!("s{} b:g={b}:{g} a={alpha_txt}%", setting_tag(cfg.setting));
+    if cfg.ad != 6 || cfg.ad_carol != 6 || cfg.gate_blocks != 144 {
+        key.push_str(&format!(" ad={}/{} gate={}", cfg.ad, cfg.ad_carol, cfg.gate_blocks));
+    }
+    if let IncentiveModel::NonCompliantProfitDriven { rds, threshold } = cfg.incentive {
+        if rds.to_bits() != 10.0f64.to_bits() || threshold != 3 {
+            key.push_str(&format!(" rds={rds} thr={threshold}"));
+        }
+    }
+    key
+}
+
+fn failure_response(failure: &SolveFailure) -> Response {
+    match failure {
+        SolveFailure::Mdp(MdpError::AuditFailed { check, detail }) => Response::json(
+            422,
+            JsonObject::new()
+                .str("error", "audit_failed")
+                .str("check", check)
+                .str("detail", detail)
+                .finish(),
+        ),
+        SolveFailure::Mdp(e @ (MdpError::DeadlineExceeded { .. } | MdpError::Cancelled { .. })) => {
+            Response::json(
+                503,
+                JsonObject::new()
+                    .str("error", "deadline_exceeded")
+                    .str("detail", &e.to_string())
+                    .finish(),
+            )
+            .with_header("retry-after", "1")
+        }
+        SolveFailure::Mdp(e) => Response::json(
+            500,
+            JsonObject::new().str("error", "solve_failed").str("detail", &e.to_string()).finish(),
+        ),
+        SolveFailure::Panicked(msg) => Response::json(
+            500,
+            JsonObject::new().str("error", "solver_panicked").str("detail", msg).finish(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server bootstrap
+// ---------------------------------------------------------------------------
+
+/// A started serve instance: the HTTP server plus its service state.
+pub struct RunningServer {
+    server: Server,
+    /// The routed service (cache, metrics, shutdown latch).
+    pub service: Arc<Service>,
+}
+
+impl RunningServer {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Blocks until `POST /admin/shutdown` is received.
+    pub fn wait_for_shutdown(&self) {
+        self.service.wait_for_shutdown();
+    }
+
+    /// Gracefully stops: drains in-flight requests and joins the workers.
+    pub fn stop(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Binds, preloads journals, and starts serving. Preload entries name the
+/// table whose token the journal keys are re-fingerprinted under; unknown
+/// table names are rejected before the server comes up.
+pub fn start(config: ServeConfig) -> io::Result<RunningServer> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let service = Arc::new(Service::new(&config));
+    for (table, path) in &config.preload {
+        if !matches!(table.as_str(), "table2" | "table3" | "table4") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("--preload table must be table2, table3 or table4, got {table:?}"),
+            ));
+        }
+        let loaded = service.cache.preload_journal(path, &config_token(table));
+        service.metrics.preloaded.fetch_add(loaded as u64, Ordering::Relaxed);
+    }
+    let http_cfg = HttpConfig {
+        workers: config.workers,
+        read_timeout: config.read_timeout,
+        ..HttpConfig::default()
+    };
+    let handler_service = Arc::clone(&service);
+    let server = http::serve(
+        listener,
+        http_cfg,
+        Arc::new(move |req: &Request| handler_service.handle(req)),
+    )?;
+    Ok(RunningServer { server, service })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path_and_query: &str) -> Request {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), http::parse_query(q)),
+            None => (path_and_query.to_string(), Vec::new()),
+        };
+        Request {
+            method: "GET".to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: Vec::new(),
+            wants_close: false,
+        }
+    }
+
+    #[test]
+    fn table2_key_matches_sweep_binary_format() {
+        let spec = parse_table_params(&get("/v1/table2?alpha=0.25&ratio=1:2"), Table::T2).unwrap();
+        assert_eq!(spec.key, "s1 b:g=1:2 a=25%");
+        let spec = parse_table_params(&get("/v1/table2?alpha=0.1&ratio=3:2"), Table::T2).unwrap();
+        assert_eq!(spec.key, "s1 b:g=3:2 a=10%");
+        // A lossy alpha falls back to the exact Display form.
+        let spec = parse_table_params(&get("/v1/table2?alpha=0.333"), Table::T2).unwrap();
+        assert_eq!(spec.key, format!("s1 b:g=1:1 a={}%", 0.333 * 100.0));
+    }
+
+    #[test]
+    fn table3_key_uses_exact_display_percent() {
+        let spec = parse_table_params(&get("/v1/table3?alpha=0.025&ratio=4:1"), Table::T3).unwrap();
+        assert_eq!(spec.key, format!("s1 b:g=4:1 a={}%", 0.025 * 100.0));
+        assert!(spec.token.starts_with("table3;"));
+    }
+
+    #[test]
+    fn non_default_shape_gets_key_suffix() {
+        let spec = parse_table_params(&get("/v1/table2?alpha=0.33&eb=2&ad=2"), Table::T2).unwrap();
+        assert_eq!(spec.key, "s1 b:g=1:2 a=33% ad=2/2 gate=144");
+        assert_eq!(spec.cfg.ad, 2);
+        assert_eq!(spec.cfg.ad_carol, 2);
+        let spec =
+            parse_table_params(&get("/v1/table3?alpha=0.1&rds=5&confirmations=3"), Table::T3)
+                .unwrap();
+        assert!(spec.key.ends_with("rds=5 thr=2"), "key = {}", spec.key);
+    }
+
+    #[test]
+    fn eb_and_ratio_are_exclusive_and_validated() {
+        assert!(parse_table_params(&get("/v1/table2?alpha=0.2&eb=2&ratio=1:2"), Table::T2)
+            .unwrap_err()
+            .contains("not both"));
+        assert!(parse_table_params(&get("/v1/table2?alpha=0.9"), Table::T2)
+            .unwrap_err()
+            .contains("alpha"));
+        assert!(parse_table_params(&get("/v1/table2?alpha=0.2&bogus=1"), Table::T2)
+            .unwrap_err()
+            .contains("unknown parameter"));
+        assert!(parse_table_params(&get("/v1/table2?alpha=abc"), Table::T2)
+            .unwrap_err()
+            .contains("invalid number"));
+        // Table 4 defaults to the paper's 1% attacker.
+        let spec = parse_table_params(&get("/v1/table4"), Table::T4).unwrap();
+        assert!((spec.cfg.alpha - 0.01).abs() < 1e-15);
+        assert_eq!(spec.key, "s1 b:g=1:1 a=1%");
+    }
+
+    #[test]
+    fn solve_body_maps_incentive_to_objective() {
+        let doc = FlatJson::parse(
+            "{\"alpha\":0.1,\"incentive\":\"double-spend\",\"ratio\":\"1:4\",\"rds\":10,\
+             \"confirmations\":4}",
+        )
+        .unwrap();
+        let spec = parse_solve_body(&doc).unwrap();
+        assert_eq!(spec.utility.name(), "u2");
+        assert!(spec.token.starts_with("solve-u2;"));
+        assert_eq!(spec.key, "s1 b:g=1:4 a=10%");
+        let doc = FlatJson::parse("{\"alpha\":0.1,\"incentive\":\"mystery\"}").unwrap();
+        assert!(parse_solve_body(&doc).unwrap_err().contains("incentive"));
+        let doc = FlatJson::parse("{\"alpha\":0.1,\"eb\":2.5}").unwrap();
+        assert!(parse_solve_body(&doc).unwrap_err().contains("eb"));
+    }
+
+    #[test]
+    fn routing_statuses() {
+        let service = Service::new(&ServeConfig { queue_cap: 0, ..ServeConfig::default() });
+        assert_eq!(service.handle(&get("/healthz")).status, 200);
+        assert_eq!(service.handle(&get("/metrics")).status, 200);
+        assert_eq!(service.handle(&get("/nope")).status, 404);
+        let mut post = get("/healthz");
+        post.method = "POST".to_string();
+        assert_eq!(service.handle(&post).status, 405);
+        assert_eq!(service.handle(&get("/v1/table2?alpha=bogus")).status, 400);
+        // queue_cap 0: a cold cell is shed with 429 + Retry-After.
+        let shed = service.handle(&get("/v1/table2?alpha=0.33&eb=2&ad=2"));
+        assert_eq!(shed.status, 429);
+        assert!(shed.extra_headers.iter().any(|(k, _)| k == "retry-after"));
+        assert!(!service.shutdown_requested());
+        let mut shutdown = get("/admin/shutdown");
+        shutdown.method = "POST".to_string();
+        assert_eq!(service.handle(&shutdown).status, 200);
+        assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn demo_solve_answers_422_with_check_name() {
+        let service = Service::new(&ServeConfig::default());
+        let mut req = get("/v1/solve");
+        req.method = "POST".to_string();
+        req.body = b"{\"demo\":\"multichain\"}".to_vec();
+        let resp = service.handle(&req);
+        assert_eq!(resp.status, 422);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"error\":\"audit_failed\""), "body = {body}");
+        assert!(body.contains("\"check\":\"absorbing\""), "body = {body}");
+        req.body = b"{\"demo\":\"unreachable\"}".to_vec();
+        let resp = service.handle(&req);
+        assert_eq!(resp.status, 422);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"check\":\"reachable\""));
+        req.body = b"not json".to_vec();
+        assert_eq!(service.handle(&req).status, 400);
+    }
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the bvc-serve HTTP subsystem (`bvc serve`).
+#
+# Brings the server up on an ephemeral port and exercises the full story
+# over real HTTP with curl:
+#
+#   1. /healthz answers 200;
+#   2. the same Table 2 cell requested twice: first a cache miss (solved),
+#      then a cache hit — with byte-identical value_bits;
+#   3. an audit demo model through POST /v1/solve answers 422 naming the
+#      failed check;
+#   4. with --queue-cap 0 a cold cell is shed with 429 (+ Retry-After)
+#      while the warm cell from step 2 is NOT shed on a fresh server
+#      (shedding applies to cold work only, verified via queue-cap 1);
+#   5. POST /admin/shutdown drains and the process exits 0.
+#
+# Usage: scripts/serve_smoke.sh
+# Set BVC_BIN to a prebuilt bvc binary to skip the cargo invocation
+# (defaults to `cargo run --release --offline -p bvc-cli --bin bvc`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+run_bvc() {
+    if [[ -n "${BVC_BIN:-}" ]]; then
+        "$BVC_BIN" "$@"
+    else
+        cargo run --release --offline -q -p bvc-cli --bin bvc -- "$@"
+    fi
+}
+
+# Starts `bvc serve "$@"` in the background, waits for the listening line,
+# and sets $base / $server_pid.
+start_server() {
+    : > "$workdir/serve.log"
+    run_bvc serve --addr 127.0.0.1:0 "$@" > "$workdir/serve.log" 2>&1 &
+    server_pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/^listening on \(http:\/\/.*\)$/\1/p' "$workdir/serve.log")
+        [[ -n "$base" ]] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "FAIL: server exited before listening"; cat "$workdir/serve.log"; exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "$base" ]]; then
+        echo "FAIL: server never printed its address"; cat "$workdir/serve.log"; exit 1
+    fi
+}
+
+# curl_code <file> <args...> — body to file, status code on stdout.
+curl_json() { curl -sS -o "$1" -w '%{http_code}' "${@:2}"; }
+
+field() { # field <file> <key> — extract a scalar JSON field value
+    sed -n "s/.*\"$2\":\"\\{0,1\\}\\([^\",}]*\\)\"\\{0,1\\}[,}].*/\\1/p" "$1" | head -1
+}
+
+cell="/v1/table2?alpha=0.33&eb=2&ad=2&gate=4"
+
+echo "==> [1/5] healthz"
+start_server
+code=$(curl_json "$workdir/health.json" "$base/healthz")
+[[ "$code" == 200 ]] || { echo "FAIL: /healthz -> $code"; exit 1; }
+
+echo "==> [2/5] same cell twice: miss then hit, byte-identical"
+code=$(curl_json "$workdir/cold.json" "$base$cell")
+[[ "$code" == 200 ]] || { echo "FAIL: cold cell -> $code"; cat "$workdir/cold.json"; exit 1; }
+code=$(curl_json "$workdir/warm.json" "$base$cell")
+[[ "$code" == 200 ]] || { echo "FAIL: warm cell -> $code"; exit 1; }
+cold_cache=$(field "$workdir/cold.json" cache)
+warm_cache=$(field "$workdir/warm.json" cache)
+cold_bits=$(field "$workdir/cold.json" value_bits)
+warm_bits=$(field "$workdir/warm.json" value_bits)
+[[ "$cold_cache" == miss ]] || { echo "FAIL: first request was '$cold_cache', expected miss"; exit 1; }
+[[ "$warm_cache" == hit ]] || { echo "FAIL: second request was '$warm_cache', expected hit"; exit 1; }
+[[ -n "$cold_bits" && "$cold_bits" == "$warm_bits" ]] \
+    || { echo "FAIL: value bits differ: '$cold_bits' vs '$warm_bits'"; exit 1; }
+echo "    cell value bits: $cold_bits (miss -> hit)"
+
+echo "==> [3/5] audit demo -> 422 with failed check"
+code=$(curl_json "$workdir/demo.json" -X POST --data '{"demo":"multichain"}' "$base/v1/solve")
+[[ "$code" == 422 ]] || { echo "FAIL: demo solve -> $code"; cat "$workdir/demo.json"; exit 1; }
+check=$(field "$workdir/demo.json" check)
+[[ -n "$check" ]] || { echo "FAIL: 422 body names no check"; cat "$workdir/demo.json"; exit 1; }
+echo "    audit gate refused: check=$check"
+
+echo "==> [4/5] load shedding: cold work 429s under --queue-cap 0, hits still served"
+code=$(curl_json /dev/null -X POST "$base/admin/shutdown")
+[[ "$code" == 200 ]] || { echo "FAIL: shutdown -> $code"; exit 1; }
+wait "$server_pid"; server_pid=""
+
+start_server --queue-cap 0
+code=$(curl_json "$workdir/shed.json" "$base$cell")
+[[ "$code" == 429 ]] || { echo "FAIL: cold cell under queue-cap 0 -> $code (want 429)"; exit 1; }
+curl -sS -D "$workdir/shed.headers" -o /dev/null "$base$cell"
+grep -qi 'retry-after' "$workdir/shed.headers" \
+    || { echo "FAIL: 429 carries no Retry-After"; cat "$workdir/shed.headers"; exit 1; }
+code=$(curl_json /dev/null "$base/healthz")
+[[ "$code" == 200 ]] || { echo "FAIL: healthz during shed -> $code"; exit 1; }
+
+echo "==> [5/5] graceful shutdown"
+code=$(curl_json /dev/null -X POST "$base/admin/shutdown")
+[[ "$code" == 200 ]] || { echo "FAIL: shutdown -> $code"; exit 1; }
+if ! wait "$server_pid"; then
+    echo "FAIL: server exited nonzero after shutdown"; cat "$workdir/serve.log"; exit 1
+fi
+server_pid=""
+
+echo "==> serve smoke OK"

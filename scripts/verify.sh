@@ -29,6 +29,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
 
     echo "==> sweep-runner fault-injection smoke (panic/no-conv/resume)"
     TABLE2_BIN=target/release/table2 scripts/fault_smoke.sh
+
+    echo "==> serve smoke (HTTP cache hit/miss, audit 422, shedding, drain)"
+    BVC_BIN=target/release/bvc scripts/serve_smoke.sh
 fi
 
 echo "==> OK"
