@@ -11,8 +11,12 @@
 //!
 //! ```text
 //! serve_load [--addr HOST:PORT | --self-serve] [--clients 4]
-//!            [--requests 2000] [--hot-frac 0.95] [--queue-cap 8]
+//!            [--requests 2000] [--hot-frac 0.95] [--queue-cap 8] [--json]
 //! ```
+//!
+//! With `--json`, the final line is a single machine-readable JSON record
+//! (`{"bench":"serve_load",...}`) — `scripts/bench_record.sh` appends it to
+//! the benchmark history.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -24,7 +28,8 @@ use std::time::{Duration, Instant};
 compile_error!("serve_load needs 64-bit atomics");
 
 fn parse_flags() -> Result<Flags, String> {
-    let mut flags = Flags { addr: None, clients: 4, requests: 2000, hot_frac: 0.95, queue_cap: 8 };
+    let mut flags =
+        Flags { addr: None, clients: 4, requests: 2000, hot_frac: 0.95, queue_cap: 8, json: false };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +52,7 @@ fn parse_flags() -> Result<Flags, String> {
             "--queue-cap" => {
                 flags.queue_cap = value(&mut i)?.parse().map_err(|e| format!("--queue-cap: {e}"))?
             }
+            "--json" => flags.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -66,6 +72,7 @@ struct Flags {
     requests: usize,
     hot_frac: f64,
     queue_cap: usize,
+    json: bool,
 }
 
 /// FNV-1a, used to derive a deterministic hot/cold request mix without an
@@ -311,6 +318,26 @@ fn main() {
         println!("--- server metrics ---");
         print!("{}", server.service.metrics.render_text());
         server.stop();
+    }
+    if flags.json {
+        println!(
+            "{{\"bench\":\"serve_load\",\"clients\":{},\"requests\":{},\"hot_frac\":{},\
+             \"total\":{total},\"elapsed_s\":{:.6},\"req_per_s\":{throughput:.1},\
+             \"status_200\":{},\"status_429\":{},\"status_other\":{},\"transport_errors\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+            flags.clients,
+            flags.requests,
+            flags.hot_frac,
+            elapsed.as_secs_f64(),
+            by_status[0],
+            by_status[1],
+            by_status[2],
+            by_status[3],
+            quantile(&latencies, 0.50),
+            quantile(&latencies, 0.99),
+            quantile(&latencies, 0.999),
+            latencies.last().copied().unwrap_or(0)
+        );
     }
     if failed_clients > 0 || by_status[3] > 0 {
         std::process::exit(1);

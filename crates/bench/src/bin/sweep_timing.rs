@@ -22,6 +22,10 @@
 //! Also accepts the standard sweep-runner flags (see `bvc_repro::sweep`);
 //! note `--journal` replays cells on every rep after the first, which makes
 //! the timed numbers meaningless — use it only to inspect runner behaviour.
+//!
+//! With `--json`, the final line is a single machine-readable timing record
+//! (`{"bench":"sweep_timing",...}`) — `scripts/bench_record.sh` appends it
+//! to the benchmark history.
 
 use bvc_bench::timing::time_runs_cold;
 use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
@@ -178,4 +182,15 @@ fn main() {
         nested_vals.iter().zip(&compiled_vals).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
     assert!(max_dev < 1e-9, "paths diverged: max |Δu1| = {max_dev:e}");
     println!("paths agree: max |Δu1| = {max_dev:.1e} over {n} cells");
+    if sweep_opts.json {
+        println!(
+            "{{\"bench\":\"sweep_timing\",\"cells\":{n},\"states\":{states},\"reps\":{reps},\
+             \"nested_min_s\":{:.6},\"compiled_min_s\":{:.6},\"speedup\":{:.4},\
+             \"cells_per_s\":{:.3}}}",
+            nested.min().as_secs_f64(),
+            compiled.min().as_secs_f64(),
+            nested.min().as_secs_f64() / compiled.min().as_secs_f64(),
+            compiled.throughput(n)
+        );
+    }
 }

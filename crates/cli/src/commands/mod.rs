@@ -2,7 +2,9 @@
 
 pub mod audit;
 pub mod bitcoin;
+pub mod cluster;
 pub mod games;
+pub mod journal;
 pub mod serve;
 pub mod simulate;
 pub mod solve;

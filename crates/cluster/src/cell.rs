@@ -1,0 +1,331 @@
+//! The per-cell solve machinery shared by the local sweep runner
+//! (`bvc_repro::sweep::run_sweep`) and the cluster workers: retry
+//! escalation, budget wiring, fault classification, and the attempt loop
+//! itself.
+//!
+//! This module is the reason a distributed run journals the same bytes as
+//! a local one: both execute cells through [`run_cell_attempts`], so
+//! attempt counts, failure messages, and escalation behaviour cannot
+//! drift between the two execution paths.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bvc_mdp::solve::{RatioOptions, RviOptions};
+use bvc_mdp::{MdpError, SolveBudget};
+
+/// Why a cell has no value.
+#[derive(Debug, Clone)]
+pub enum CellFailure {
+    /// The worker panicked; the payload is rendered to a string.
+    Panicked(String),
+    /// The solver returned a structured error after exhausting retries.
+    Solver(MdpError),
+    /// A remote worker reported the failure over the cluster protocol.
+    /// `code` and `message` are the worker-side [`reason_code`] and
+    /// [`message`], so the coordinator journals the same bytes a local
+    /// run would have.
+    ///
+    /// [`reason_code`]: CellFailure::reason_code
+    /// [`message`]: CellFailure::message
+    Remote {
+        /// Short failure code (`panic`, `no-conv`, `deadline`, ...).
+        code: String,
+        /// Full human-readable reason.
+        message: String,
+    },
+    /// The coordinator dispatched the cell its maximum number of times and
+    /// every lease expired or disconnected without a result.
+    Lost {
+        /// How many times the cell was handed to a worker.
+        dispatches: u32,
+    },
+    /// The cell was never (fully) attempted: a fail-fast sweep was cancelled
+    /// by an earlier failure before this cell could run to completion.
+    Skipped,
+}
+
+impl CellFailure {
+    /// Short code rendered inside grid cells (`FAIL(code)`).
+    pub fn reason_code(&self) -> String {
+        match self {
+            CellFailure::Panicked(_) => "panic".into(),
+            CellFailure::Solver(MdpError::NoConvergence { .. }) => "no-conv".into(),
+            CellFailure::Solver(MdpError::DeadlineExceeded { .. }) => "deadline".into(),
+            CellFailure::Solver(MdpError::Cancelled { .. }) => "cancelled".into(),
+            CellFailure::Solver(MdpError::AuditFailed { check, .. }) => format!("audit: {check}"),
+            CellFailure::Solver(_) => "error".into(),
+            CellFailure::Remote { code, .. } => code.clone(),
+            CellFailure::Lost { .. } => "lost".into(),
+            CellFailure::Skipped => "skipped".into(),
+        }
+    }
+
+    /// Full human-readable reason, used in journals and failure legends.
+    pub fn message(&self) -> String {
+        match self {
+            CellFailure::Panicked(p) => format!("panic: {p}"),
+            CellFailure::Solver(e) => e.to_string(),
+            CellFailure::Remote { message, .. } => message.clone(),
+            CellFailure::Lost { dispatches } => {
+                format!("lost: no result after {dispatches} dispatch(es) (worker death or stall)")
+            }
+            CellFailure::Skipped => "skipped (sweep cancelled before this cell ran)".into(),
+        }
+    }
+}
+
+/// Escalation schedule for retryable solver failures
+/// ([`MdpError::is_retryable`], i.e. `NoConvergence`). Panics and
+/// non-retryable errors are never retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per cell (first try included).
+    pub max_attempts: u32,
+    /// Multiplier applied to the solver's iteration budget per retry
+    /// (`scale = growth^attempt`).
+    pub iteration_growth: f64,
+    /// Additive bump to the aperiodicity mixing weight per retry, to break
+    /// periodic oscillation stalls.
+    pub tau_step: f64,
+    /// Base backoff slept before each retry; doubles per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            iteration_growth: 4.0,
+            tau_step: 0.05,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the runner hands a cell's solve function on each attempt: the
+/// budget to thread into solver options plus the escalation state.
+#[derive(Debug, Clone)]
+pub struct CellContext {
+    /// Attempt index, 0-based (0 = first try).
+    pub attempt: u32,
+    /// Budget carrying the per-cell deadline and the sweep's shared cancel
+    /// flag. Solve functions must thread this into their solver options or
+    /// watchdogs cannot interrupt them.
+    pub budget: SolveBudget,
+    /// Iteration-budget multiplier for this attempt
+    /// (`iteration_growth^attempt`).
+    pub iteration_scale: f64,
+    /// Additive aperiodicity bump for this attempt (`attempt * tau_step`).
+    pub tau_offset: f64,
+    /// Whether the sweep requested a pre-solve model audit;
+    /// [`TunableSolve`] impls whose options carry an audit gate forward it.
+    pub audit: bool,
+}
+
+impl CellContext {
+    /// Convenience: default options of type `T` with this context's budget
+    /// and escalation applied.
+    pub fn solve_options<T: TunableSolve>(&self) -> T {
+        let mut t = T::default();
+        t.tune(self);
+        t
+    }
+}
+
+/// Solver option types the runner knows how to escalate: apply the budget,
+/// scale the iteration cap, bump the aperiodicity weight.
+pub trait TunableSolve: Default {
+    /// Applies `ctx`'s budget and escalation to these options.
+    fn tune(&mut self, ctx: &CellContext);
+}
+
+fn scale_iterations(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale).min(1e15) as usize
+}
+
+/// Bumped tau, clamped below 1 (0.9 cap leaves the transform meaningful).
+fn bump_tau(base: f64, offset: f64) -> f64 {
+    (base + offset).min(0.9)
+}
+
+impl TunableSolve for RviOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+    }
+}
+
+impl TunableSolve for RatioOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.rvi.tune(ctx);
+    }
+}
+
+impl TunableSolve for bvc_bu::SolveOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+        self.audit = ctx.audit;
+    }
+}
+
+impl TunableSolve for bvc_bitcoin::SolveOptions {
+    fn tune(&mut self, ctx: &CellContext) {
+        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
+        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
+        self.budget = ctx.budget.clone();
+        self.audit = ctx.audit;
+    }
+}
+
+/// Per-cell execution configuration: everything [`run_cell_attempts`]
+/// needs, independent of where the cell runs (local sweep thread or
+/// cluster worker). The coordinator ships these fields to workers in its
+/// config frame so both sides escalate identically.
+#[derive(Debug, Clone, Default)]
+pub struct CellRunConfig {
+    /// Retry escalation schedule.
+    pub retry: RetryPolicy,
+    /// Per-attempt wall-clock deadline for each cell.
+    pub cell_deadline: Option<Duration>,
+    /// Run the static model audit before each cell's solve.
+    pub audit: bool,
+    /// Fault injection: cells whose key contains any of these substrings
+    /// panic instead of solving. Testing/smoke only.
+    pub inject_panic: Vec<String>,
+    /// Fault injection: cells whose key contains any of these substrings
+    /// report `NoConvergence` instead of solving (on every attempt, so
+    /// retries are exercised and then exhausted). Testing/smoke only.
+    pub inject_noconv: Vec<String>,
+}
+
+/// Runs one cell's full attempt loop — fault injection, panic isolation,
+/// budget wiring, and retry escalation — and returns the terminal outcome
+/// plus the number of attempts made.
+///
+/// This is the single implementation both execution paths share; the
+/// journaled `attempts` field of a cell therefore cannot differ between a
+/// local and a distributed run of the same cell under the same config.
+pub fn run_cell_attempts<T>(
+    key: &str,
+    cfg: &CellRunConfig,
+    cancel: &Arc<AtomicBool>,
+    solve: impl Fn(&CellContext) -> Result<T, MdpError>,
+) -> (Result<T, CellFailure>, u32) {
+    let inject_panic = cfg.inject_panic.iter().any(|s| key.contains(s));
+    let inject_noconv = cfg.inject_noconv.iter().any(|s| key.contains(s));
+    let mut attempts = 0u32;
+    let outcome = loop {
+        let attempt = attempts;
+        attempts += 1;
+        let mut budget = SolveBudget::unlimited().with_cancel(cancel.clone());
+        if let Some(deadline) = cfg.cell_deadline {
+            budget = budget.deadline_at(Instant::now() + deadline);
+        }
+        let ctx = CellContext {
+            attempt,
+            budget,
+            iteration_scale: cfg.retry.iteration_growth.powi(attempt as i32),
+            tau_offset: f64::from(attempt) * cfg.retry.tau_step,
+            audit: cfg.audit,
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected panic for cell '{key}'");
+            }
+            if inject_noconv {
+                return Err(MdpError::NoConvergence {
+                    solver: "injected",
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            solve(&ctx)
+        }));
+        match result {
+            Ok(Ok(value)) => break Ok(value),
+            Ok(Err(e)) if e.is_cancellation() => break Err(CellFailure::Skipped),
+            Ok(Err(e)) if e.is_retryable() && attempts < cfg.retry.max_attempts => {
+                if !cfg.retry.backoff.is_zero() {
+                    std::thread::sleep(cfg.retry.backoff * 2u32.pow(attempt.min(16)));
+                }
+            }
+            Ok(Err(e)) => break Err(CellFailure::Solver(e)),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                break Err(CellFailure::Panicked(msg));
+            }
+        }
+    };
+    (outcome, attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never_cancel() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+
+    #[test]
+    fn success_on_first_attempt() {
+        let cfg = CellRunConfig::default();
+        let (outcome, attempts) = run_cell_attempts("k", &cfg, &never_cancel(), |_ctx| Ok(0.25f64));
+        assert_eq!(outcome.unwrap(), 0.25);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn retryable_failures_escalate_then_exhaust() {
+        let mut cfg = CellRunConfig::default();
+        cfg.retry.backoff = Duration::ZERO;
+        let (outcome, attempts) = run_cell_attempts("k", &cfg, &never_cancel(), |ctx| {
+            assert!(ctx.iteration_scale >= 1.0);
+            Err::<f64, _>(MdpError::NoConvergence { solver: "t", iterations: 1, residual: 1.0 })
+        });
+        assert!(matches!(outcome, Err(CellFailure::Solver(MdpError::NoConvergence { .. }))));
+        assert_eq!(attempts, cfg.retry.max_attempts);
+    }
+
+    #[test]
+    fn panics_are_isolated_and_never_retried() {
+        let mut cfg = CellRunConfig::default();
+        cfg.retry.backoff = Duration::ZERO;
+        let (outcome, attempts) =
+            run_cell_attempts::<f64>("k", &cfg, &never_cancel(), |_ctx| panic!("boom"));
+        match outcome {
+            Err(CellFailure::Panicked(msg)) => assert!(msg.contains("boom")),
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn injected_faults_match_by_key_substring() {
+        let cfg = CellRunConfig { inject_panic: vec!["a=10%".into()], ..Default::default() };
+        let (outcome, _) = run_cell_attempts::<f64>("s1 a=10%", &cfg, &never_cancel(), |_| Ok(1.0));
+        assert!(matches!(outcome, Err(CellFailure::Panicked(_))));
+        let (outcome, _) = run_cell_attempts::<f64>("s1 a=15%", &cfg, &never_cancel(), |_| Ok(1.0));
+        assert!(outcome.is_ok());
+    }
+
+    #[test]
+    fn remote_and_lost_failures_render_codes() {
+        let remote = CellFailure::Remote { code: "no-conv".into(), message: "rvi gave up".into() };
+        assert_eq!(remote.reason_code(), "no-conv");
+        assert_eq!(remote.message(), "rvi gave up");
+        let lost = CellFailure::Lost { dispatches: 3 };
+        assert_eq!(lost.reason_code(), "lost");
+        assert!(lost.message().contains("3 dispatch(es)"));
+    }
+}

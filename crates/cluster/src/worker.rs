@@ -1,0 +1,396 @@
+//! The cluster worker: a stateless loop around the budget-governed
+//! solver. Connect, say hello, receive the coordinator's solve
+//! configuration, then claim → solve → report until the coordinator says
+//! `fin`.
+//!
+//! The worker runs each cell through the **same** retry-escalation
+//! attempt loop a local `run_sweep` uses ([`crate::cell::run_cell_attempts`]
+//! with the coordinator-shipped [`crate::cell::RetryPolicy`]), so the
+//! attempts count and failure text that land in the journal are
+//! bit-for-bit what a local run would have written.
+//!
+//! A heartbeat thread shares the connection's [`FrameSender`] and renews
+//! the active lease at a third of the lease period while the solve loop
+//! is busy. For fault-path testing, [`WorkerOptions::die_after`] makes
+//! the worker die mid-batch: [`DieMode::Hang`] stops heartbeating but
+//! keeps the socket open (exercising lease expiry), [`DieMode::Disconnect`]
+//! drops the socket (exercising EOF requeue).
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bvc_serve::net::{
+    apply_deadlines, frame_pair, FrameReader, FrameSender, ReadError, MAX_FRAME_BYTES,
+};
+
+use crate::cell::{run_cell_attempts, CellRunConfig, RetryPolicy};
+use crate::jobs::JobSpec;
+use crate::protocol::{DoneFrame, Frame, TaskFrame, PROTO_VERSION};
+
+/// How a fault-injected worker dies (see [`WorkerOptions::die_after`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DieMode {
+    /// Stop heartbeating and go silent with the socket still open — the
+    /// coordinator only recovers via lease expiry.
+    Hang,
+    /// Drop the socket — the coordinator recovers immediately via EOF.
+    Disconnect,
+}
+
+/// Worker-side knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Threads used to solve cells of one claimed batch concurrently
+    /// (also advertised in the hello frame).
+    pub threads: u32,
+    /// Cells to claim per batch; 0 means "use the coordinator's default".
+    pub batch: u32,
+    /// Fault injection: die after completing this many cells, leaving the
+    /// rest of the claimed batch unfinished.
+    pub die_after: Option<usize>,
+    /// How to die when `die_after` trips.
+    pub die_mode: DieMode,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            threads: 1,
+            batch: 0,
+            die_after: None,
+            die_mode: DieMode::Hang,
+            quiet: true,
+        }
+    }
+}
+
+/// What one worker did before the coordinator finished it (or it died).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Cells solved successfully.
+    pub solved: u64,
+    /// Cells reported as failures.
+    pub failed: u64,
+    /// Batches claimed.
+    pub batches: u64,
+    /// True when the worker died via `die_after` fault injection.
+    pub died: bool,
+}
+
+/// Read timeout for the worker's side of the connection: the coordinator
+/// answers every claim promptly (with `wait` at worst), so consecutive
+/// silent windows mean it is gone.
+const READ_WINDOW: Duration = Duration::from_secs(5);
+const MAX_IDLE_WINDOWS: u32 = 24;
+
+fn recv_frame(rx: &mut FrameReader) -> Result<Frame, String> {
+    let mut idle = 0u32;
+    loop {
+        match rx.recv() {
+            Ok(payload) => return Frame::decode(&payload),
+            Err(ReadError::TimedOut) if !rx.has_partial() => {
+                idle += 1;
+                if idle >= MAX_IDLE_WINDOWS {
+                    return Err("coordinator unresponsive".into());
+                }
+            }
+            Err(ReadError::Closed) => return Err("coordinator closed the connection".into()),
+            Err(ReadError::TimedOut) => return Err("torn frame from coordinator".into()),
+            Err(ReadError::TooLarge(what)) => {
+                return Err(format!("oversized {what} from coordinator"))
+            }
+            Err(ReadError::Malformed(msg)) => return Err(format!("malformed frame: {msg}")),
+            Err(ReadError::Io) => return Err("transport error".into()),
+        }
+    }
+}
+
+fn connect_retry(addr: &str) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for _ in 0..25 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+    Err(format!("cannot connect to coordinator {addr}: {last}"))
+}
+
+/// Runs one worker against the coordinator at `addr` until the sweep
+/// finishes, the coordinator goes away, or fault injection kills it.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let stream = connect_retry(addr)?;
+    apply_deadlines(&stream, READ_WINDOW).map_err(|e| format!("socket setup: {e}"))?;
+    let (tx, mut rx) =
+        frame_pair(stream, MAX_FRAME_BYTES).map_err(|e| format!("socket split: {e}"))?;
+    let threads = opts.threads.max(1);
+    tx.send(&Frame::Hello { proto: PROTO_VERSION, threads }.encode())
+        .map_err(|e| format!("hello: {e}"))?;
+    let wire = match recv_frame(&mut rx)? {
+        Frame::Config(c) => c,
+        Frame::Err { msg } => return Err(format!("coordinator rejected us: {msg}")),
+        other => return Err(format!("expected config frame, got {other:?}")),
+    };
+    if !opts.quiet {
+        eprintln!(
+            "cluster: worker connected to {addr} ({threads} thread(s), sweep '{}')",
+            wire.label
+        );
+    }
+    let cell_cfg = CellRunConfig {
+        retry: RetryPolicy {
+            max_attempts: wire.max_attempts,
+            iteration_growth: wire.iteration_growth,
+            tau_step: wire.tau_step,
+            backoff: Duration::from_millis(wire.backoff_ms),
+        },
+        cell_deadline: wire.cell_deadline_ms.map(Duration::from_millis),
+        audit: wire.audit,
+        inject_panic: wire.inject_panic.clone(),
+        inject_noconv: wire.inject_noconv.clone(),
+    };
+    let batch = if opts.batch > 0 { opts.batch } else { wire.batch.max(1) };
+    let hb_interval = Duration::from_millis((wire.lease_ms / 3).max(50));
+    let lease_ms = wire.lease_ms.max(1);
+
+    let current_lease: Mutex<Option<u64>> = Mutex::new(None);
+    // Condvar-paired stop flag: the heartbeat thread waits on it with the
+    // interval as timeout, so stopping wakes it immediately instead of
+    // stalling worker shutdown for up to a third of a (possibly long) lease.
+    let hb_stop = Mutex::new(false);
+    let hb_cv = Condvar::new();
+    let stop_heartbeat = || {
+        *hb_stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        hb_cv.notify_all();
+    };
+    let solved = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let mut batches = 0u64;
+    let mut died = false;
+
+    let result: Result<(), String> = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut stopped = hb_stop.lock().unwrap_or_else(|e| e.into_inner());
+            while !*stopped {
+                let lease = *current_lease.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(lease) = lease {
+                    let _ = tx.send(&Frame::Heartbeat { lease }.encode());
+                }
+                stopped =
+                    hb_cv.wait_timeout(stopped, hb_interval).unwrap_or_else(|e| e.into_inner()).0;
+            }
+        });
+        let run = (|| -> Result<(), String> {
+            let never_cancel = Arc::new(AtomicBool::new(false));
+            let mut completed_total = 0usize;
+            loop {
+                tx.send(&Frame::Claim { max: batch }.encode())
+                    .map_err(|e| format!("claim: {e}"))?;
+                let mut tasks: Vec<TaskFrame> = Vec::new();
+                let lease = loop {
+                    match recv_frame(&mut rx)? {
+                        Frame::Task(t) => tasks.push(t),
+                        Frame::Grant { lease, count, .. } => {
+                            if tasks.len() as u32 != count {
+                                return Err(format!(
+                                    "grant count {count} != {} tasks received",
+                                    tasks.len()
+                                ));
+                            }
+                            break Some(lease);
+                        }
+                        Frame::Wait { ms } => {
+                            std::thread::sleep(Duration::from_millis(ms.min(2_000)));
+                            break None;
+                        }
+                        Frame::Fin => return Ok(()),
+                        Frame::Err { msg } => return Err(format!("coordinator error: {msg}")),
+                        other => return Err(format!("unexpected frame in claim: {other:?}")),
+                    }
+                };
+                let Some(lease) = lease else { continue };
+                batches += 1;
+                *current_lease.lock().unwrap_or_else(|e| e.into_inner()) = Some(lease);
+
+                let die_at = opts.die_after.map(|n| n.saturating_sub(completed_total));
+                let outcome = solve_batch(
+                    &tx,
+                    lease,
+                    &tasks,
+                    &cell_cfg,
+                    threads,
+                    die_at,
+                    &never_cancel,
+                    &solved,
+                    &failed,
+                );
+                completed_total += outcome.completed;
+                *current_lease.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                if outcome.die {
+                    // Stop renewing the (still-held) lease before playing dead.
+                    stop_heartbeat();
+                    died = true;
+                    match opts.die_mode {
+                        DieMode::Disconnect => {}
+                        DieMode::Hang => {
+                            // Go silent long enough for the lease to expire
+                            // and the cells to be reassigned, then leave.
+                            std::thread::sleep(Duration::from_millis(lease_ms * 2 + 200));
+                        }
+                    }
+                    return Ok(());
+                }
+                outcome.send?;
+            }
+        })();
+        stop_heartbeat();
+        run
+    });
+
+    result?;
+    Ok(WorkerSummary {
+        solved: solved.load(Ordering::SeqCst),
+        failed: failed.load(Ordering::SeqCst),
+        batches,
+        died,
+    })
+}
+
+struct BatchOutcome {
+    completed: usize,
+    die: bool,
+    send: Result<(), String>,
+}
+
+/// Solves the cells of one claimed batch (possibly with several threads)
+/// and streams a `done` frame per cell. `die_at` caps how many cells this
+/// batch may complete before fault injection trips.
+#[allow(clippy::too_many_arguments)]
+fn solve_batch(
+    tx: &FrameSender,
+    lease: u64,
+    tasks: &[TaskFrame],
+    cell_cfg: &CellRunConfig,
+    threads: u32,
+    die_at: Option<usize>,
+    never_cancel: &Arc<AtomicBool>,
+    solved: &AtomicU64,
+    failed: &AtomicU64,
+) -> BatchOutcome {
+    let completed = AtomicUsize::new(0);
+    let send_err: Mutex<Option<String>> = Mutex::new(None);
+    let die = AtomicBool::new(false);
+
+    let solve_one = |task: &TaskFrame| {
+        if let Some(cap) = die_at {
+            // Claim a completion slot; past the cap, die instead.
+            if completed.fetch_add(1, Ordering::SeqCst) >= cap {
+                completed.fetch_sub(1, Ordering::SeqCst);
+                die.store(true, Ordering::SeqCst);
+                return;
+            }
+        } else {
+            completed.fetch_add(1, Ordering::SeqCst);
+        }
+        let started = Instant::now();
+        let done = match JobSpec::decode(&task.spec) {
+            None => {
+                failed.fetch_add(1, Ordering::SeqCst);
+                DoneFrame {
+                    lease,
+                    fp: task.fp,
+                    key: task.key.clone(),
+                    ok: false,
+                    attempts: 1,
+                    bits: Vec::new(),
+                    code: "error".into(),
+                    reason: format!("worker could not decode job spec '{}'", task.spec),
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                }
+            }
+            Some(spec) => {
+                let (res, attempts) =
+                    run_cell_attempts(&task.key, cell_cfg, never_cancel, |ctx| spec.solve(ctx));
+                match res {
+                    Ok(vals) => {
+                        solved.fetch_add(1, Ordering::SeqCst);
+                        DoneFrame {
+                            lease,
+                            fp: task.fp,
+                            key: task.key.clone(),
+                            ok: true,
+                            attempts,
+                            bits: vals.iter().map(|v| v.to_bits()).collect(),
+                            code: String::new(),
+                            reason: String::new(),
+                            elapsed_us: started.elapsed().as_micros() as u64,
+                        }
+                    }
+                    Err(f) => {
+                        failed.fetch_add(1, Ordering::SeqCst);
+                        DoneFrame {
+                            lease,
+                            fp: task.fp,
+                            key: task.key.clone(),
+                            ok: false,
+                            attempts,
+                            bits: Vec::new(),
+                            code: f.reason_code(),
+                            reason: f.message(),
+                            elapsed_us: started.elapsed().as_micros() as u64,
+                        }
+                    }
+                }
+            }
+        };
+        if let Err(e) = tx.send(&Frame::Done(done).encode()) {
+            let mut slot = send_err.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(format!("done: {e}"));
+            }
+        }
+    };
+
+    let workers = (threads as usize).min(tasks.len()).max(1);
+    if workers <= 1 || die_at.is_some() {
+        // Sequential path — also forced under fault injection so "die
+        // after N cells" is deterministic.
+        for task in tasks {
+            if die.load(Ordering::SeqCst)
+                || send_err.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+            {
+                break;
+            }
+            solve_one(task);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    if i >= tasks.len() || die.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    solve_one(&tasks[i]);
+                });
+            }
+        });
+    }
+
+    BatchOutcome {
+        completed: completed.load(Ordering::SeqCst),
+        die: die.load(Ordering::SeqCst),
+        send: match send_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        },
+    }
+}

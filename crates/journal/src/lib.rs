@@ -1,0 +1,659 @@
+//! Checkpoint-journal codec and stable cell fingerprints.
+//!
+//! Three subsystems must agree byte-for-byte on how sweep cells are named
+//! and how their values are serialized:
+//!
+//! * the sweep runner (`bvc_repro::sweep::run_sweep`) appends finished
+//!   cells to a JSONL journal and replays them on resume;
+//! * the `bvc-serve` result cache keys cached cells by exactly the
+//!   fingerprints the journal writes, so a sweep journal can warm-start
+//!   the server;
+//! * the `bvc-cluster` coordinator writes the *same* journal lines for
+//!   cells solved on remote workers, so a distributed run's journal is
+//!   bit-identical to a local one.
+//!
+//! This crate is the single source of truth for that format: FNV-1a cell
+//! fingerprints, bit-exact `f64` hex encoding, the line codec, and the
+//! maintenance operations behind `bvc journal compact|stat`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Fingerprints and bit-exact f64 hex
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash; stable across platforms and releases, which is what
+/// a checkpoint journal (and a cache warmed from one) needs —
+/// `DefaultHasher` makes no such promise.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic identity of one sweep cell: the human-readable cell key
+/// joined with a token describing every solver knob that can change the
+/// cell's *value*. Changing tolerances invalidates old journal entries
+/// (different fingerprint) without invalidating unrelated cells.
+pub fn cell_fingerprint(key: &str, config_token: &str) -> u64 {
+    let mut data = Vec::with_capacity(key.len() + config_token.len() + 1);
+    data.extend_from_slice(key.as_bytes());
+    data.push(0x1f);
+    data.extend_from_slice(config_token.as_bytes());
+    fnv1a64(&data)
+}
+
+/// Renders an `f64` as its 16-hex-digit bit pattern. Lossless for every
+/// value, including NaN payloads, signed zeros, infinities and subnormals
+/// that decimal round-tripping mangles.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parses a bit pattern written by [`f64_to_hex`]. Returns `None` on
+/// malformed input instead of guessing.
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+// ---------------------------------------------------------------------------
+// Journal codec (hand-rolled JSONL; no serde in this workspace)
+// ---------------------------------------------------------------------------
+
+/// One parsed checkpoint-journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Fingerprint the entry was journaled under
+    /// ([`cell_fingerprint`] of key ⊕ config token).
+    pub fp: u64,
+    /// Human-readable cell key.
+    pub key: String,
+    /// Whether the cell solved (`status: ok`) or failed.
+    pub ok: bool,
+    /// Solve attempts recorded for the cell.
+    pub attempts: u32,
+    /// Raw `f64` bit patterns of the encoded value (empty for failures).
+    pub bits: Vec<u64>,
+    /// Failure reason (empty for successes).
+    pub reason: String,
+}
+
+impl JournalEntry {
+    /// The journaled value as `f64`s (bit-exact).
+    pub fn values(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+}
+
+/// Escapes a string for embedding in a journal-line JSON literal (no
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes one journal line (no trailing newline). `vals` is the decimal
+/// mirror of the value, informational for humans reading the journal and
+/// ignored on replay; the hex `bits` in `entry` are canonical. Every writer
+/// (local sweep runner, cluster coordinator) must go through this function
+/// for journals to stay byte-comparable across execution modes.
+pub fn encode_line(entry: &JournalEntry, vals: &[f64]) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"fp\":\"{:016x}\",\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
+        entry.fp,
+        json_escape(&entry.key),
+        if entry.ok { "ok" } else { "fail" },
+        entry.attempts,
+    );
+    if entry.ok {
+        let _ = write!(line, ",\"bits\":[");
+        for (i, b) in entry.bits.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            let _ = write!(line, "{sep}\"{}\"", f64_to_hex(f64::from_bits(*b)));
+        }
+        let _ = write!(line, "],\"vals\":[");
+        for (i, v) in vals.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            if v.is_finite() {
+                let _ = write!(line, "{sep}{v}");
+            } else {
+                let _ = write!(line, "{sep}\"{v}\"");
+            }
+        }
+        let _ = write!(line, "]");
+    } else {
+        let _ = write!(line, ",\"reason\":\"{}\"", json_escape(&entry.reason));
+    }
+    line.push('}');
+    line
+}
+
+/// Minimal cursor over one JSON object line. Tolerant by construction: any
+/// structural surprise makes the whole line parse to `None`, and the caller
+/// skips it (a torn tail line from a killed run must not poison resume).
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cur<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.ws();
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
+    }
+
+    /// Skips a scalar or (possibly nested) array value we don't care about.
+    fn skip_value(&mut self) -> Option<()> {
+        self.ws();
+        match *self.b.get(self.i)? {
+            b'"' => self.string().map(|_| ()),
+            b'[' => {
+                self.i += 1;
+                loop {
+                    self.ws();
+                    if self.eat(b']') {
+                        return Some(());
+                    }
+                    self.skip_value()?;
+                    self.ws();
+                    self.eat(b',');
+                }
+            }
+            b't' | b'f' | b'n' => {
+                while self.i < self.b.len() && self.b[self.i].is_ascii_alphabetic() {
+                    self.i += 1;
+                }
+                Some(())
+            }
+            _ => self.number().map(|_| ()),
+        }
+    }
+}
+
+/// Parses one journal line. Tolerant by construction: any structural
+/// surprise (torn tail from a killed run, stray edit) makes the whole line
+/// parse to `None` and the caller skips it.
+pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let mut c = Cur { b: line.as_bytes(), i: 0 };
+    c.ws();
+    if !c.eat(b'{') {
+        return None;
+    }
+    let mut fp = None;
+    let mut key = None;
+    let mut status = None;
+    let mut attempts = 0u32;
+    let mut bits = Vec::new();
+    let mut reason = String::new();
+    loop {
+        c.ws();
+        if c.eat(b'}') {
+            break;
+        }
+        let name = c.string()?;
+        c.ws();
+        if !c.eat(b':') {
+            return None;
+        }
+        match name.as_str() {
+            "fp" => fp = u64::from_str_radix(&c.string()?, 16).ok(),
+            "key" => key = Some(c.string()?),
+            "status" => status = Some(c.string()?),
+            "attempts" => attempts = c.number()? as u32,
+            "bits" => {
+                c.ws();
+                if !c.eat(b'[') {
+                    return None;
+                }
+                loop {
+                    c.ws();
+                    if c.eat(b']') {
+                        break;
+                    }
+                    bits.push(f64_from_hex(&c.string()?)?.to_bits());
+                    c.ws();
+                    c.eat(b',');
+                }
+            }
+            "reason" => reason = c.string()?,
+            _ => c.skip_value()?,
+        }
+        c.ws();
+        c.eat(b',');
+    }
+    let status = status?;
+    if status != "ok" && status != "fail" {
+        return None;
+    }
+    Some(JournalEntry { fp: fp?, key: key?, ok: status == "ok", attempts, bits, reason })
+}
+
+/// Loads a journal, last-entry-wins per fingerprint. Unparseable lines
+/// (torn tails from killed runs, stray edits) are skipped.
+pub fn load_journal(path: &Path) -> HashMap<u64, JournalEntry> {
+    let mut map = HashMap::new();
+    let Ok(file) = std::fs::File::open(path) else {
+        return map;
+    };
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if let Some(entry) = parse_journal_line(&line) {
+            map.insert(entry.fp, entry);
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: compact and stat (behind `bvc journal`)
+// ---------------------------------------------------------------------------
+
+/// What [`compact_journal`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Lines read from the input.
+    pub lines_in: usize,
+    /// Lines written to the output (one per live fingerprint).
+    pub kept: usize,
+    /// Parseable lines dropped because a later line for the same
+    /// fingerprint supersedes them.
+    pub superseded: usize,
+    /// Unparseable lines dropped (torn tails, stray edits).
+    pub unparseable: usize,
+}
+
+/// Compacts a journal: for each fingerprint only the *last* line survives
+/// (exactly the entry [`load_journal`] would have used), byte-for-byte as
+/// it appeared in the input; superseded and unparseable lines are dropped.
+/// Kept lines stay in input order. The output is written atomically via a
+/// sibling temp file + rename, so `input == output` compacts in place and
+/// a crash never corrupts the original.
+pub fn compact_journal(input: &Path, output: &Path) -> std::io::Result<CompactOutcome> {
+    let text = std::fs::read_to_string(input)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut outcome = CompactOutcome { lines_in: lines.len(), ..CompactOutcome::default() };
+    // Last line index per fingerprint decides survival.
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut fps: Vec<Option<u64>> = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match parse_journal_line(line) {
+            Some(entry) => {
+                last.insert(entry.fp, i);
+                fps.push(Some(entry.fp));
+            }
+            None => fps.push(None),
+        }
+    }
+    let tmp = output.with_extension("compact-tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        for (i, line) in lines.iter().enumerate() {
+            match fps[i] {
+                Some(fp) if last.get(&fp) == Some(&i) => {
+                    writeln!(file, "{line}")?;
+                    outcome.kept += 1;
+                }
+                Some(_) => outcome.superseded += 1,
+                None => outcome.unparseable += 1,
+            }
+        }
+        file.flush()?;
+    }
+    std::fs::rename(&tmp, output)?;
+    Ok(outcome)
+}
+
+/// Summary statistics over a journal, as computed by [`journal_stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalStats {
+    /// Total lines in the file.
+    pub lines: usize,
+    /// Lines that did not parse (torn tails, stray edits).
+    pub unparseable: usize,
+    /// Lines shadowed by a later line with the same fingerprint.
+    pub superseded: usize,
+    /// Live entries (distinct fingerprints, last line wins).
+    pub entries: usize,
+    /// Live entries with `status: ok`.
+    pub ok: usize,
+    /// Live entries with `status: fail`.
+    pub failed: usize,
+    /// Distinct cell keys across live entries.
+    pub distinct_keys: usize,
+    /// Keys appearing under more than one fingerprint — evidence of a
+    /// config-token change (stale entries from an older solver config).
+    pub stale_keys: usize,
+    /// Live failure reasons with counts, most frequent first.
+    pub reasons: Vec<(String, usize)>,
+}
+
+/// Computes [`JournalStats`] for a journal file.
+pub fn journal_stats(path: &Path) -> std::io::Result<JournalStats> {
+    let text = std::fs::read_to_string(path)?;
+    let mut stats = JournalStats::default();
+    let mut live: HashMap<u64, JournalEntry> = HashMap::new();
+    for line in text.lines() {
+        stats.lines += 1;
+        match parse_journal_line(line) {
+            Some(entry) => {
+                if live.insert(entry.fp, entry).is_some() {
+                    stats.superseded += 1;
+                }
+            }
+            None => stats.unparseable += 1,
+        }
+    }
+    stats.entries = live.len();
+    let mut keys: HashMap<&str, usize> = HashMap::new();
+    let mut reasons: HashMap<&str, usize> = HashMap::new();
+    for entry in live.values() {
+        if entry.ok {
+            stats.ok += 1;
+        } else {
+            stats.failed += 1;
+            *reasons.entry(entry.reason.as_str()).or_insert(0) += 1;
+        }
+        *keys.entry(entry.key.as_str()).or_insert(0) += 1;
+    }
+    stats.distinct_keys = keys.len();
+    stats.stale_keys = keys.values().filter(|&&n| n > 1).count();
+    let mut reasons: Vec<(String, usize)> =
+        reasons.into_iter().map(|(r, n)| (r.to_string(), n)).collect();
+    reasons.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    stats.reasons = reasons;
+    Ok(stats)
+}
+
+impl JournalStats {
+    /// Human-readable multi-line rendering for `bvc journal stat`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "lines          {}", self.lines);
+        let _ = writeln!(out, "  unparseable  {}", self.unparseable);
+        let _ = writeln!(out, "  superseded   {}", self.superseded);
+        let _ = writeln!(out, "entries        {}", self.entries);
+        let _ = writeln!(out, "  ok           {}", self.ok);
+        let _ = writeln!(out, "  failed       {}", self.failed);
+        let _ = writeln!(out, "distinct keys  {}", self.distinct_keys);
+        let _ = writeln!(out, "  stale (>1 config token) {}", self.stale_keys);
+        for (reason, n) in &self.reasons {
+            let _ = writeln!(out, "failure x{n}: {reason}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("bvc_journal_{tag}_{}_{n}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_separates_key_and_token() {
+        assert_ne!(cell_fingerprint("ab", "c"), cell_fingerprint("a", "bc"));
+        assert_ne!(cell_fingerprint("k", "a"), cell_fingerprint("k", "b"));
+        assert_eq!(cell_fingerprint("k", "a"), cell_fingerprint("k", "a"));
+    }
+
+    #[test]
+    fn hex_roundtrip_is_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            std::f64::consts::PI,
+        ] {
+            let hex = f64_to_hex(v);
+            assert_eq!(hex.len(), 16);
+            let back = f64_from_hex(&hex).expect("valid hex");
+            assert_eq!(back.to_bits(), v.to_bits(), "roundtrip for {v}: {hex}");
+        }
+    }
+
+    #[test]
+    fn malformed_hex_is_rejected() {
+        for junk in ["", "xyz", "12 34", "g000000000000000"] {
+            assert!(f64_from_hex(junk).is_none(), "accepted junk {junk:?}");
+        }
+        // Short-but-valid hex still parses (leading zeros implied).
+        assert_eq!(f64_from_hex("0").map(f64::to_bits), Some(0));
+    }
+
+    #[test]
+    fn journal_lines_roundtrip_bit_exactly() {
+        for v in [
+            0.25f64,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0e-308,
+            std::f64::consts::PI,
+        ] {
+            let entry = JournalEntry {
+                fp: cell_fingerprint("cell \"x\"\n", "cfg"),
+                key: "cell \"x\"\n".into(),
+                ok: true,
+                attempts: 2,
+                bits: vec![v.to_bits()],
+                reason: String::new(),
+            };
+            let line = encode_line(&entry, &[v]);
+            let parsed = parse_journal_line(&line).expect("line parses");
+            assert_eq!(parsed, entry, "roundtrip for {v}: {line}");
+            assert_eq!(f64::from_bits(parsed.bits[0]).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn failure_lines_roundtrip() {
+        let entry = JournalEntry {
+            fp: 7,
+            key: "k".into(),
+            ok: false,
+            attempts: 3,
+            bits: vec![],
+            reason: "rvi did not converge\n(residual 1e-3)".into(),
+        };
+        let parsed = parse_journal_line(&encode_line(&entry, &[])).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected_not_fatal() {
+        for junk in [
+            "",
+            "not json",
+            "{\"fp\":\"xyz\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1}",
+            "{\"key\":\"missing fp\",\"status\":\"ok\",\"attempts\":1}",
+            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"weird\",\"attempts\":1}",
+            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1,\"bits\":[\"03",
+        ] {
+            assert!(parse_journal_line(junk).is_none(), "accepted junk: {junk:?}");
+        }
+    }
+
+    fn line(fp: u64, key: &str, ok: bool, v: f64) -> String {
+        let entry = JournalEntry {
+            fp,
+            key: key.into(),
+            ok,
+            attempts: 1,
+            bits: if ok { vec![v.to_bits()] } else { vec![] },
+            reason: if ok { String::new() } else { "boom".into() },
+        };
+        let vals = if ok { vec![v] } else { vec![] };
+        encode_line(&entry, &vals)
+    }
+
+    #[test]
+    fn compact_keeps_last_line_per_fingerprint_byte_for_byte() {
+        let path = tmp_path("compact");
+        let contents = [
+            line(1, "a", false, 0.0),
+            line(2, "b", true, 2.5),
+            "{\"torn".to_string(),
+            line(1, "a", true, 1.5), // supersedes the failure above
+        ]
+        .join("\n")
+            + "\n";
+        std::fs::write(&path, &contents).unwrap();
+        let outcome = compact_journal(&path, &path).unwrap();
+        assert_eq!(outcome, CompactOutcome { lines_in: 4, kept: 2, superseded: 1, unparseable: 1 });
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        // Kept lines are byte-identical to the originals, in input order.
+        assert_eq!(
+            compacted,
+            format!("{}\n{}\n", line(2, "b", true, 2.5), line(1, "a", true, 1.5))
+        );
+        // A compacted journal loads to the same map as the original.
+        let loaded = load_journal(&path);
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[&1].ok);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_is_idempotent() {
+        let path = tmp_path("idem");
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n", line(1, "a", true, 1.0), line(1, "a", true, 2.0)),
+        )
+        .unwrap();
+        compact_journal(&path, &path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let again = compact_journal(&path, &path).unwrap();
+        assert_eq!(again, CompactOutcome { lines_in: 1, kept: 1, superseded: 0, unparseable: 0 });
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_count_live_entries_and_stale_keys() {
+        let path = tmp_path("stats");
+        let contents = [
+            line(1, "a", false, 0.0),
+            line(1, "a", true, 1.5),  // supersedes; key "a" now ok
+            line(2, "b", false, 0.0), // live failure
+            line(3, "b", true, 2.0),  // same key, different fp = stale config
+            "junk".to_string(),
+        ]
+        .join("\n");
+        std::fs::write(&path, contents).unwrap();
+        let stats = journal_stats(&path).unwrap();
+        assert_eq!(stats.lines, 5);
+        assert_eq!(stats.unparseable, 1);
+        assert_eq!(stats.superseded, 1);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.distinct_keys, 2);
+        assert_eq!(stats.stale_keys, 1);
+        assert_eq!(stats.reasons, vec![("boom".to_string(), 1)]);
+        let text = stats.render_text();
+        assert!(text.contains("entries        3"), "{text}");
+        assert!(text.contains("failure x1: boom"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

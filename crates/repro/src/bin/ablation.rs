@@ -15,60 +15,9 @@
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
 //! nonzero when any cell failed.
 
-use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
-
-fn config(
-    ad: u8,
-    gate: u16,
-    ratio: (u32, u32),
-    setting: Setting,
-    incentive: IncentiveModel,
-) -> AttackConfig {
-    let mut cfg = AttackConfig::with_ratio(0.10, ratio, setting, incentive);
-    cfg.ad = ad;
-    cfg.gate_blocks = gate;
-    cfg
-}
-
-/// One AD-sweep row packed for the journal:
-/// `[u2, u3, u1, orphan_rate, deep_fork, gate_time]`, where a model whose
-/// optimal policy never opens the gate stores `NaN` for `gate_time`.
-fn ad_row(ad: u8, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
-    let opts = ctx.solve_options::<SolveOptions>();
-    let m2 = AttackModel::build(config(
-        ad,
-        144,
-        (1, 1),
-        Setting::One,
-        IncentiveModel::non_compliant_default(),
-    ))?;
-    let s2 = m2.optimal_absolute_revenue(&opts)?;
-    // Fork frequency under the optimal u2 policy: rate of leaving the
-    // base state via Alice's fork block.
-    let report = m2.evaluate(&s2.policy)?;
-    let orphan_rate = report.rates[rewards::OA] + report.rates[rewards::OOTHERS];
-    let m3 =
-        AttackModel::build(config(ad, 144, (1, 1), Setting::One, IncentiveModel::NonProfitDriven))?;
-    let s3 = m3.optimal_orphan_rate(&opts)?;
-    let m1 = AttackModel::build(config(
-        ad,
-        144,
-        (1, 1),
-        Setting::One,
-        IncentiveModel::CompliantProfitDriven,
-    ))?;
-    let s1 = m1.optimal_relative_revenue(&opts)?;
-    // Episode metrics under the u2-optimal policy: how likely a fork
-    // reaches double-spend depth, and how quickly the attacker opens a
-    // sticky gate in setting 2 (a short gate keeps the sweep fast).
-    let deep_fork = m2.fork_depth_probability(&s2.policy, 4)?;
-    let gate_cfg = config(ad, 24, (1, 1), Setting::Two, IncentiveModel::non_compliant_default());
-    let mg = AttackModel::build(gate_cfg)?;
-    let sg = mg.optimal_absolute_revenue(&opts)?;
-    let gate_time = mg.expected_blocks_to_gate_trigger(&sg.policy)?;
-    Ok(vec![s2.value, s3.value, s1.value, orphan_rate, deep_fork, gate_time.unwrap_or(f64::NAN)])
-}
+use bvc_bu::SolveOptions;
+use bvc_cluster::jobs::{ABLATION_ADS, ABLATION_GATES};
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 
 fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
@@ -82,9 +31,9 @@ fn main() {
         "{:<6} {:>10} {:>10} {:>12} {:>14} {:>14} {:>16}",
         "AD", "u2 (S1)", "u3 (S1)", "u1 (S1)", "orphans/1000", "P(fork>=4)", "blocks to gate"
     );
-    let ads: Vec<u8> = vec![2, 3, 4, 6, 8, 12, 20];
-    let ad_report =
-        run_sweep("ablation-ad", &ads, &opts, |ad| format!("AD={ad}"), |&ad, ctx| ad_row(ad, ctx));
+    let ads = ABLATION_ADS;
+    let ad_jobs: Vec<JobSpec> = ads.iter().map(|&ad| JobSpec::AblationAd { ad }).collect();
+    let ad_report = run_jobs("ablation-ad", &ad_jobs, &opts);
     for (i, ad) in ads.iter().enumerate() {
         match ad_report.value(i) {
             Some(row) => {
@@ -132,33 +81,10 @@ fn main() {
     // regime for longer. At 1:1 the phases coincide and the gate length is
     // irrelevant by symmetry.
     println!("{:<12} {:>10} {:>10}   (beta:gamma = 1:2)", "gate blocks", "u2 (S2)", "u3 (S2)");
-    let gates: Vec<u16> = vec![18, 36, 72, 144, 288];
-    let gate_report = run_sweep(
-        "ablation-gate",
-        &gates,
-        &opts,
-        |gate| format!("gate={gate}"),
-        |&gate, ctx| {
-            let sopts = ctx.solve_options::<SolveOptions>();
-            let m2 = AttackModel::build(config(
-                6,
-                gate,
-                (1, 2),
-                Setting::Two,
-                IncentiveModel::non_compliant_default(),
-            ))?;
-            let u2 = m2.optimal_absolute_revenue(&sopts)?.value;
-            let m3 = AttackModel::build(config(
-                6,
-                gate,
-                (1, 2),
-                Setting::Two,
-                IncentiveModel::NonProfitDriven,
-            ))?;
-            let u3 = m3.optimal_orphan_rate(&sopts)?.value;
-            Ok(vec![u2, u3])
-        },
-    );
+    let gates = ABLATION_GATES;
+    let gate_jobs: Vec<JobSpec> =
+        gates.iter().map(|&gate| JobSpec::AblationGate { gate }).collect();
+    let gate_report = run_jobs("ablation-gate", &gate_jobs, &opts);
     for (i, gate) in gates.iter().enumerate() {
         match gate_report.value(i) {
             Some(row) => println!("{:<12} {:>10.4} {:>10.3}", gate, row[0], row[1]),

@@ -16,102 +16,27 @@
 //! nonzero. Accepts the standard sweep-runner flags (see
 //! `bvc_repro::sweep`).
 
-use bvc_bu::{AttackConfig, AttackModel, AttackState, IncentiveModel, Setting, SolveOptions};
-use bvc_mdp::solve::{sample_path, XorShift64};
-use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
-use bvc_sim::AttackReplay;
-
-const STEPS: usize = 400_000;
-
-type CellSpec = (f64, (u32, u32), IncentiveModel, &'static str);
-
-/// Computes all three estimators for one cell and cross-checks them.
-/// Returns `[exact, mdp_mc, chain_mc]`; panics (isolated to this cell) when
-/// the estimators disagree beyond sampling error.
-fn validate(i: usize, spec: &CellSpec, ctx: &CellContext) -> Result<Vec<f64>, bvc_mdp::MdpError> {
-    let (alpha, ratio, incentive, which) = spec;
-    let cfg = AttackConfig::with_ratio(*alpha, *ratio, Setting::One, *incentive);
-    let model = AttackModel::build(cfg)?;
-    let opts = ctx.solve_options::<SolveOptions>();
-    let sol = match *which {
-        "u1" => model.optimal_relative_revenue(&opts),
-        "u2" => model.optimal_absolute_revenue(&opts),
-        _ => model.optimal_orphan_rate(&opts),
-    }?;
-
-    let exact = model.evaluate(&sol.policy)?;
-    let exact_v = match *which {
-        "u1" => exact.u1,
-        "u2" => exact.u2,
-        _ => exact.u3,
-    };
-
-    // Monte Carlo through the MDP transitions.
-    let base = model.id_of(&AttackState::BASE).expect("base reachable");
-    let mut rng = XorShift64::new(1000 + i as u64);
-    let path = sample_path(model.mdp(), &sol.policy, base, STEPS, &mut rng)?;
-    let t = path.component_totals;
-    let (ra, ro, oa, oo, ds) = (t[0], t[1], t[2], t[3], t[4]);
-    let mdp_mc = match *which {
-        "u1" => ra / (ra + ro),
-        "u2" => (ra + ds) / STEPS as f64,
-        _ => {
-            if ra + oa == 0.0 {
-                0.0
-            } else {
-                oo / (ra + oa)
-            }
-        }
-    };
-
-    // Monte Carlo on the real chain substrate.
-    let mut replay = AttackReplay::new(&model, &sol.policy, 2000 + i as u64);
-    let report = replay.run(STEPS);
-    let chain_mc = match *which {
-        "u1" => report.u1(),
-        "u2" => report.u2(),
-        _ => report.u3(),
-    };
-
-    assert!(
-        (mdp_mc - exact_v).abs() < 0.02 && (chain_mc - exact_v).abs() < 0.05,
-        "cross-validation failed: exact {exact_v:.4} vs MDP-MC {mdp_mc:.4} / chain-MC {chain_mc:.4}"
-    );
-    Ok(vec![exact_v, mdp_mc, chain_mc])
-}
+use bvc_bu::SolveOptions;
+use bvc_cluster::jobs::{crossval_specs, CROSSVAL_STEPS};
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 
 fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
-    opts.config_token = format!("{};steps={STEPS}", SolveOptions::default().fingerprint_token());
+    opts.config_token =
+        format!("{};steps={CROSSVAL_STEPS}", SolveOptions::default().fingerprint_token());
 
-    println!("MDP <-> chain-substrate cross-validation ({STEPS} sampled blocks per run)");
+    println!("MDP <-> chain-substrate cross-validation ({CROSSVAL_STEPS} sampled blocks per run)");
     println!();
-    let cells: Vec<CellSpec> = vec![
-        (0.25, (1u32, 1u32), IncentiveModel::CompliantProfitDriven, "u1"),
-        (0.10, (1, 1), IncentiveModel::non_compliant_default(), "u2"),
-        (0.10, (1, 2), IncentiveModel::non_compliant_default(), "u2"),
-        (0.05, (1, 1), IncentiveModel::NonProfitDriven, "u3"),
-        (0.01, (2, 3), IncentiveModel::NonProfitDriven, "u3"),
-    ];
-    let label_of = |(alpha, ratio, _, which): &CellSpec| {
-        format!("{} alpha={}%, beta:gamma={}:{}", which, alpha * 100.0, ratio.0, ratio.1)
-    };
-    // The MC seeds are index-keyed, so the key carries the index to keep
-    // journal entries honest about what they replay.
-    let report = {
-        let specs: Vec<(usize, CellSpec)> = cells.iter().cloned().enumerate().collect();
-        run_sweep(
-            "crossval",
-            &specs,
-            &opts,
-            |(i, spec)| format!("#{i} {}", label_of(spec)),
-            |(i, spec), ctx| validate(*i, spec, ctx),
-        )
-    };
+    // The cell bodies (and the index-keyed MC seeds) live in the job
+    // registry, so a cluster worker replays exactly this binary's solves.
+    let specs = crossval_specs();
+    let jobs: Vec<JobSpec> = (0..specs.len()).map(|index| JobSpec::Crossval { index }).collect();
+    let report = run_jobs("crossval", &jobs, &opts);
 
     println!("{:<42} {:>9} {:>9} {:>9}", "cell", "exact", "MDP-MC", "chain-MC");
-    for (i, spec) in cells.iter().enumerate() {
-        let label = label_of(spec);
+    for (i, (alpha, ratio, _, which)) in specs.iter().enumerate() {
+        let label =
+            format!("{} alpha={}%, beta:gamma={}:{}", which, alpha * 100.0, ratio.0, ratio.1);
         match report.value(i) {
             Some(row) => println!("{label:<42} {:>9.4} {:>9.4} {:>9.4}", row[0], row[1], row[2]),
             None => {

@@ -18,53 +18,8 @@
 //! journaled, so an interrupted run resumes without re-simulating).
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`).
 
-use bvc_chain::{BuRizunRule, ByteSize, MinerId};
-use bvc_repro::sweep::{run_sweep, SweepOptions};
-use bvc_sim::{DelayModel, HonestStrategy, MinerSpec, Simulation, SplitterStrategy};
-
-const BLOCKS: usize = 20_000;
-
-fn honest(power: f64, eb: ByteSize, mg: ByteSize) -> MinerSpec<BuRizunRule> {
-    MinerSpec { power, rule: BuRizunRule::new(eb, 6), strategy: Box::new(HonestStrategy { mg }) }
-}
-
-/// Miner line-ups are rebuilt inside the cell (strategies are boxed trait
-/// objects, so the specs themselves cannot cross the journal).
-fn miners(scenario: u8) -> (Vec<MinerSpec<BuRizunRule>>, u64) {
-    let mb1 = ByteSize::mb(1);
-    let eb_c = ByteSize::mb(16);
-    match scenario {
-        1 => (vec![honest(0.1, mb1, mb1), honest(0.45, mb1, mb1), honest(0.45, mb1, mb1)], 101),
-        2 => (vec![honest(0.1, mb1, mb1), honest(0.45, mb1, mb1), honest(0.45, eb_c, mb1)], 202),
-        _ => {
-            let attacker = MinerSpec {
-                power: 0.1,
-                rule: BuRizunRule::new(eb_c, 6),
-                strategy: Box::new(SplitterStrategy::against(eb_c, mb1, 6, mb1)),
-            };
-            (vec![attacker, honest(0.45, mb1, mb1), honest(0.45, eb_c, mb1)], 303)
-        }
-    }
-}
-
-/// Journal packing: `[blocks_mined, on_chain, reorgs, max_depth, share]`.
-fn simulate(scenario: u8) -> Vec<f64> {
-    let (miners, seed) = miners(scenario);
-    let n = miners.len();
-    let mut sim = Simulation::new(miners, DelayModel::Zero, seed);
-    let report = sim.run(BLOCKS);
-    let reorgs: usize = (0..n).map(|i| report.reorg_count(i)).sum();
-    let max_depth: u64 = (0..n).map(|i| report.max_reorg_depth(i)).max().unwrap_or(0);
-    let on_chain: usize = report.chain_blocks[n - 1].values().sum();
-    let attacker_share = report.chain_share(n - 1, MinerId(0));
-    vec![
-        report.blocks_mined as f64,
-        on_chain as f64,
-        reorgs as f64,
-        max_depth as f64,
-        attacker_share,
-    ]
-}
+use bvc_cluster::jobs::STONE_BLOCKS;
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 
 fn render(label: &str, row: &[f64]) {
     let [mined, on_chain, reorgs, max_depth, share] = row[..] else {
@@ -87,9 +42,9 @@ fn render(label: &str, row: &[f64]) {
 
 fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
-    opts.config_token = format!("stone;blocks={BLOCKS}");
+    opts.config_token = format!("stone;blocks={STONE_BLOCKS}");
 
-    println!("Stone-style fork-frequency simulations ({BLOCKS} blocks each, zero delay)");
+    println!("Stone-style fork-frequency simulations ({STONE_BLOCKS} blocks each, zero delay)");
     println!();
 
     let scenarios: [(u8, &str); 3] = [
@@ -97,13 +52,11 @@ fn main() {
         (2, "scenario 2 (Stone): heterogeneous EBs (1 MB / 16 MB), static 1 MB blocks"),
         (3, "scenario 3 (paper): 10% attacker with adaptive block sizes"),
     ];
-    let report = run_sweep(
-        "stone-sim",
-        &scenarios,
-        &opts,
-        |&(id, _)| format!("scenario{id}"),
-        |&(id, _), _ctx| Ok(simulate(id)),
-    );
+    // The miner line-ups and seeds live in the job registry
+    // (`stone_simulate`), so a cluster worker replays the same Monte Carlo.
+    let jobs: Vec<JobSpec> =
+        scenarios.iter().map(|&(scenario, _)| JobSpec::StoneSim { scenario }).collect();
+    let report = run_jobs("stone-sim", &jobs, &opts);
 
     for (i, (_, label)) in scenarios.iter().enumerate() {
         match report.value(i) {

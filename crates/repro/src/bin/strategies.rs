@@ -16,17 +16,16 @@
 use bvc_bu::{
     render_phase1_map, summarize, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions,
 };
+use bvc_cluster::jobs::{strategy_specs, StrategySpec};
 use bvc_mdp::Policy;
-use bvc_repro::sweep::{run_sweep, SweepOptions};
-
-type Spec = (&'static str, f64, (u32, u32), IncentiveModel);
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 
 fn build(alpha: f64, ratio: (u32, u32), incentive: &IncentiveModel) -> AttackModel {
     let cfg = AttackConfig::with_ratio(alpha, ratio, Setting::One, *incentive);
     AttackModel::build(cfg).expect("model builds")
 }
 
-fn render(spec: &Spec, packed: &[f64]) {
+fn render(spec: &StrategySpec, packed: &[f64]) {
     let (title, alpha, ratio, incentive) = spec;
     // Journal packing: [optimal value, policy choice per state...]. The
     // model rebuild here is cheap (no solving) and deterministic, so the
@@ -61,42 +60,11 @@ fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
-    let specs: Vec<Spec> = vec![
-        (
-            "compliant & profit-driven (Table 2 cell)",
-            0.25,
-            (1, 1),
-            IncentiveModel::CompliantProfitDriven,
-        ),
-        (
-            "non-compliant & profit-driven (Table 3 cell)",
-            0.10,
-            (1, 2),
-            IncentiveModel::non_compliant_default(),
-        ),
-        ("non-profit-driven (Table 4 cell)", 0.01, (2, 3), IncentiveModel::NonProfitDriven),
-    ];
-    let report = run_sweep(
-        "strategies",
-        &specs,
-        &opts,
-        |(_, alpha, (b, g), incentive)| format!("{incentive:?} a={}% b:g={b}:{g}", alpha * 100.0),
-        |(_, alpha, ratio, incentive), ctx| {
-            let model = build(*alpha, *ratio, incentive);
-            let sopts = ctx.solve_options::<SolveOptions>();
-            let sol = match incentive {
-                IncentiveModel::CompliantProfitDriven => model.optimal_relative_revenue(&sopts),
-                IncentiveModel::NonCompliantProfitDriven { .. } => {
-                    model.optimal_absolute_revenue(&sopts)
-                }
-                IncentiveModel::NonProfitDriven => model.optimal_orphan_rate(&sopts),
-            }?;
-            let mut packed = Vec::with_capacity(1 + sol.policy.choices.len());
-            packed.push(sol.value);
-            packed.extend(sol.policy.choices.iter().map(|&c| c as f64));
-            Ok(packed)
-        },
-    );
+    // Solve bodies live in the job registry; the binary keeps only the
+    // rendering (which needs the deterministic model rebuild anyway).
+    let specs = strategy_specs();
+    let jobs: Vec<JobSpec> = (0..specs.len()).map(|index| JobSpec::Strategies { index }).collect();
+    let report = run_jobs("strategies", &jobs, &opts);
 
     for (i, spec) in specs.iter().enumerate() {
         match report.value(i) {

@@ -5,13 +5,12 @@
 //! Run: `cargo run --release -p bvc-repro --bin table2`
 //!
 //! Accepts the standard sweep-runner flags (`--journal`, `--fail-fast`,
-//! `--cell-deadline`, `--retries`, `--threads`, `--inject-*`; see
-//! `bvc_repro::sweep`) plus `--setting1-only` to skip the much slower
+//! `--cell-deadline`, `--retries`, `--threads`, `--inject-*`, `--cluster`;
+//! see `bvc_repro::sweep`) plus `--setting1-only` to skip the much slower
 //! setting-2 column. Exits nonzero when any cell failed.
 
-use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_mdp::MdpError;
-use bvc_repro::sweep::{run_sweep, CellContext, SweepOptions};
+use bvc_bu::SolveOptions;
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 use bvc_repro::{render_grid, GridEntry};
 
 /// One published row: the β:γ ratio and the u1 values for the four α
@@ -37,43 +36,15 @@ const PAPER_SETTING2: &[((u32, u32), f64)] =
 
 const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
 
-fn solve(
-    alpha: f64,
-    ratio: (u32, u32),
-    setting: Setting,
-    ctx: &CellContext,
-) -> Result<f64, MdpError> {
-    let cfg =
-        AttackConfig::with_ratio(alpha, ratio, setting, IncentiveModel::CompliantProfitDriven);
-    let model = AttackModel::build(cfg)?;
-    Ok(model.optimal_relative_revenue(&ctx.solve_options::<SolveOptions>())?.value)
-}
-
-fn key(setting: u8, ratio: (u32, u32), alpha: f64) -> String {
-    format!("s{setting} b:g={}:{} a={:.0}%", ratio.0, ratio.1, alpha * 100.0)
-}
-
 fn main() {
     let (mut sweep_opts, rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     sweep_opts.config_token = SolveOptions::default().fingerprint_token();
     let setting1_only = rest.iter().any(|a| a == "--setting1-only");
 
-    // Setting 1: sweep all printed cells.
-    let mut jobs = Vec::new();
-    for (ratio, row) in PAPER_SETTING1 {
-        for (i, cell) in row.iter().enumerate() {
-            if cell.is_some() {
-                jobs.push((*ratio, ALPHAS[i]));
-            }
-        }
-    }
-    let report = run_sweep(
-        "table2-setting1",
-        &jobs,
-        &sweep_opts,
-        |&(ratio, alpha)| key(1, ratio, alpha),
-        |&(ratio, alpha), ctx| solve(alpha, ratio, Setting::One, ctx),
-    );
+    // Setting 1: sweep all printed cells (the job registry enumerates
+    // exactly the paper's present cells, row-major).
+    let jobs = bvc_cluster::jobs::table2_setting1_jobs();
+    let report = run_jobs("table2-setting1", &jobs, &sweep_opts);
 
     let row_labels: Vec<String> =
         PAPER_SETTING1.iter().map(|((b, c), _)| format!("{b}:{c}")).collect();
@@ -84,10 +55,8 @@ fn main() {
             row.iter()
                 .enumerate()
                 .map(|(i, paper)| {
-                    match jobs
-                        .iter()
-                        .position(|&(r, a)| r == *ratio && (a - ALPHAS[i]).abs() < 1e-12)
-                    {
+                    let spec = JobSpec::Table2 { alpha: ALPHAS[i], ratio: *ratio, setting: 1 };
+                    match jobs.iter().position(|j| *j == spec) {
                         Some(j) => report.grid_entry(j, *paper),
                         None => GridEntry::Absent,
                     }
@@ -115,14 +84,8 @@ fn main() {
     if !setting1_only {
         // Setting 2, α = 25% column.
         println!();
-        let jobs2: Vec<(u32, u32)> = PAPER_SETTING2.iter().map(|(r, _)| *r).collect();
-        let report2 = run_sweep(
-            "table2-setting2",
-            &jobs2,
-            &sweep_opts,
-            |&ratio| key(2, ratio, 0.25),
-            |&ratio, ctx| solve(0.25, ratio, Setting::Two, ctx),
-        );
+        let jobs2 = bvc_cluster::jobs::table2_setting2_jobs();
+        let report2 = run_jobs("table2-setting2", &jobs2, &sweep_opts);
         let cells2: Vec<Vec<GridEntry>> = PAPER_SETTING2
             .iter()
             .enumerate()

@@ -15,8 +15,8 @@
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
 //! nonzero when any cell failed.
 
-use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_bu::{Setting, SolveOptions};
+use bvc_repro::sweep::{run_jobs, JobSpec, SweepOptions};
 use bvc_repro::{render_grid, GridEntry};
 
 const RATIOS: [(u32, u32); 5] = [(4, 1), (2, 1), (1, 1), (1, 2), (1, 4)];
@@ -45,35 +45,12 @@ const PAPER_S2: [[Option<f64>; 5]; 7] = [
 ];
 
 fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -> (String, i32) {
-    let mut jobs = Vec::new();
-    for (r, row) in paper.iter().enumerate() {
-        for (c, cell) in row.iter().enumerate() {
-            if cell.is_some() {
-                jobs.push((ALPHAS[r], RATIOS[c]));
-            }
-        }
-    }
     let tag = match setting {
-        Setting::One => 1,
+        Setting::One => 1u8,
         Setting::Two => 2,
     };
-    let report = run_sweep(
-        &format!("table3-setting{tag}"),
-        &jobs,
-        opts,
-        |&(alpha, (b, g))| format!("s{tag} b:g={b}:{g} a={}%", alpha * 100.0),
-        |&(alpha, ratio), ctx| {
-            let cfg = AttackConfig::with_ratio(
-                alpha,
-                ratio,
-                setting,
-                IncentiveModel::non_compliant_default(),
-            );
-            Ok(AttackModel::build(cfg)?
-                .optimal_absolute_revenue(&ctx.solve_options::<SolveOptions>())?
-                .value)
-        },
-    );
+    let jobs = bvc_cluster::jobs::table3_jobs(tag);
+    let report = run_jobs(&format!("table3-setting{tag}"), &jobs, opts);
     let cells: Vec<Vec<GridEntry>> = paper
         .iter()
         .enumerate()
@@ -81,10 +58,8 @@ fn panel(setting: Setting, paper: &[[Option<f64>; 5]; 7], opts: &SweepOptions) -
             row.iter()
                 .enumerate()
                 .map(|(c, p)| {
-                    match jobs
-                        .iter()
-                        .position(|&(a, rat)| rat == RATIOS[c] && (a - ALPHAS[r]).abs() < 1e-12)
-                    {
+                    let spec = JobSpec::Table3 { alpha: ALPHAS[r], ratio: RATIOS[c], setting: tag };
+                    match jobs.iter().position(|j| *j == spec) {
                         Some(j) => report.grid_entry(j, *p),
                         None => GridEntry::Absent,
                     }

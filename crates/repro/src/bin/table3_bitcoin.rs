@@ -8,8 +8,8 @@
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
 //! nonzero when any cell failed.
 
-use bvc_bitcoin::{BitcoinConfig, BitcoinModel, SolveOptions};
-use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_bitcoin::SolveOptions;
+use bvc_repro::sweep::{run_jobs, SweepOptions};
 use bvc_repro::{render_grid, GridEntry};
 
 const ALPHAS: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
@@ -22,28 +22,11 @@ fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
-    let mut jobs = Vec::new();
-    for (g, _) in GAMMAS {
-        for a in ALPHAS {
-            jobs.push((a, g));
-        }
-    }
-    // The honest-degeneration demos below ride along as extra sweep cells so
-    // they inherit the same isolation and checkpointing.
-    for gamma in [0.5, 1.0] {
-        jobs.push((0.05, gamma));
-    }
-    let report = run_sweep(
-        "table3-bitcoin",
-        &jobs,
-        &opts,
-        |&(alpha, gamma)| format!("smds a={}% tie={}%", alpha * 100.0, gamma * 100.0),
-        |&(alpha, gamma), ctx| {
-            Ok(BitcoinModel::build(BitcoinConfig::smds(alpha, gamma))?
-                .optimal_absolute_revenue(&ctx.solve_options::<SolveOptions>())?
-                .value)
-        },
-    );
+    // The job registry enumerates the γ-major grid plus the two
+    // honest-degeneration demo cells, which ride along as extra sweep
+    // cells so they inherit the same isolation and checkpointing.
+    let jobs = bvc_cluster::jobs::table3_bitcoin_jobs();
+    let report = run_jobs("table3-bitcoin", &jobs, &opts);
 
     let cells: Vec<Vec<GridEntry>> = (0..2)
         .map(|r| (0..4).map(|c| report.grid_entry(r * 4 + c, Some(PAPER[r][c]))).collect())
@@ -65,7 +48,7 @@ fn main() {
         "Below 10% mining power the optimal strategy degenerates to honest mining (u2 = alpha):"
     );
     for (i, gamma) in [0.5, 1.0].into_iter().enumerate() {
-        match report.value(8 + i) {
+        match report.value(8 + i).and_then(|v| v.first()) {
             Some(v) => println!("  alpha=5%, gamma={gamma}: u2 = {v:.4}"),
             None => println!("  alpha=5%, gamma={gamma}: u2 = FAIL"),
         }

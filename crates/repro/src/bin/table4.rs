@@ -7,8 +7,8 @@
 //! Accepts the standard sweep-runner flags (see `bvc_repro::sweep`); exits
 //! nonzero when any cell failed.
 
-use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_bu::SolveOptions;
+use bvc_repro::sweep::{run_jobs, SweepOptions};
 use bvc_repro::{render_grid, GridEntry};
 
 const RATIOS: [(u32, u32); 9] =
@@ -31,31 +31,9 @@ fn main() {
     let (mut opts, _rest) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     opts.config_token = SolveOptions::default().fingerprint_token();
 
-    let mut jobs = Vec::new();
-    for ratio in RATIOS {
-        for setting in [Setting::One, Setting::Two] {
-            jobs.push((ratio, setting));
-        }
-    }
-    let report = run_sweep(
-        "table4",
-        &jobs,
-        &opts,
-        |&((b, g), setting)| {
-            let tag = match setting {
-                Setting::One => 1,
-                Setting::Two => 2,
-            };
-            format!("s{tag} b:g={b}:{g} a=1%")
-        },
-        |&(ratio, setting), ctx| {
-            let cfg =
-                AttackConfig::with_ratio(0.01, ratio, setting, IncentiveModel::NonProfitDriven);
-            Ok(AttackModel::build(cfg)?
-                .optimal_orphan_rate(&ctx.solve_options::<SolveOptions>())?
-                .value)
-        },
-    );
+    // Ratio-major over settings {1, 2}, same order as the rendered grid.
+    let jobs = bvc_cluster::jobs::table4_jobs();
+    let report = run_jobs("table4", &jobs, &opts);
     let cells: Vec<Vec<GridEntry>> = (0..9)
         .map(|r| (0..2).map(|c| report.grid_entry(r * 2 + c, Some(PAPER[r][c]))).collect())
         .collect();

@@ -1,89 +1,9 @@
 //! Stable cell fingerprints and bit-exact `f64` hex encoding.
 //!
-//! Two consumers share these helpers and must agree byte-for-byte on them:
-//! the sweep checkpoint journal ([`crate::sweep`]) and the `bvc-serve`
-//! result cache, which keys cached cells by exactly the fingerprints the
-//! journal writes so a sweep journal can warm-start the server.
+//! The implementations moved to the bottom-of-the-DAG `bvc-journal` crate
+//! so that the sweep checkpoint journal ([`crate::sweep`]), the
+//! `bvc-serve` result cache, and the `bvc-cluster` wire protocol all hash
+//! and encode through literally the same functions. This module re-exports
+//! them under their historical paths.
 
-/// FNV-1a 64-bit hash; stable across platforms and releases, which is what
-/// a checkpoint journal (and a cache warmed from one) needs —
-/// `DefaultHasher` makes no such promise.
-pub fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Deterministic identity of one sweep cell: the human-readable cell key
-/// joined with a token describing every solver knob that can change the
-/// cell's *value*. Changing tolerances invalidates old journal entries
-/// (different fingerprint) without invalidating unrelated cells.
-pub fn cell_fingerprint(key: &str, config_token: &str) -> u64 {
-    let mut data = Vec::with_capacity(key.len() + config_token.len() + 1);
-    data.extend_from_slice(key.as_bytes());
-    data.push(0x1f);
-    data.extend_from_slice(config_token.as_bytes());
-    fnv1a64(&data)
-}
-
-/// Renders an `f64` as its 16-hex-digit bit pattern. Lossless for every
-/// value, including NaN payloads, signed zeros, infinities and subnormals
-/// that decimal round-tripping mangles.
-pub fn f64_to_hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
-
-/// Parses a bit pattern written by [`f64_to_hex`]. Returns `None` on
-/// malformed input instead of guessing.
-pub fn f64_from_hex(s: &str) -> Option<f64> {
-    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fnv1a64_matches_reference_vectors() {
-        // Published FNV-1a test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
-
-    #[test]
-    fn fingerprint_separates_key_and_token() {
-        assert_ne!(cell_fingerprint("ab", "c"), cell_fingerprint("a", "bc"));
-    }
-
-    #[test]
-    fn hex_roundtrip_is_bit_exact() {
-        for v in [
-            0.0,
-            -0.0,
-            1.5,
-            f64::NAN,
-            f64::INFINITY,
-            f64::NEG_INFINITY,
-            f64::MIN_POSITIVE / 2.0, // subnormal
-            std::f64::consts::PI,
-        ] {
-            let hex = f64_to_hex(v);
-            assert_eq!(hex.len(), 16);
-            let back = f64_from_hex(&hex).expect("valid hex");
-            assert_eq!(back.to_bits(), v.to_bits(), "roundtrip for {v}: {hex}");
-        }
-    }
-
-    #[test]
-    fn malformed_hex_is_rejected() {
-        for junk in ["", "xyz", "12 34", "g000000000000000"] {
-            assert!(f64_from_hex(junk).is_none(), "accepted junk {junk:?}");
-        }
-        // Short-but-valid hex still parses (leading zeros implied).
-        assert_eq!(f64_from_hex("0").map(f64::to_bits), Some(0));
-    }
-}
+pub use bvc_journal::{cell_fingerprint, f64_from_hex, f64_to_hex, fnv1a64};

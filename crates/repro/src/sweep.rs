@@ -26,29 +26,45 @@
 //! signed zeros, and infinities that ordinary decimal round-tripping
 //! mangles.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::OpenOptions;
-use std::io::{BufRead, BufReader, Write as _};
-use std::panic::AssertUnwindSafe;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use bvc_mdp::solve::{RatioOptions, RviOptions};
-use bvc_mdp::{MdpError, SolveBudget};
+use bvc_mdp::MdpError;
 
 use crate::{Cell, GridEntry};
 
 // ---------------------------------------------------------------------------
-// Fingerprints
+// Shared machinery (re-exported under its historical paths)
 // ---------------------------------------------------------------------------
 
-// The FNV-1a fingerprint and hex-f64 helpers live in [`crate::fingerprint`]
-// so the `bvc-serve` result cache can key cells exactly the way this
-// journal does; they are re-exported here for existing callers.
+// The FNV-1a fingerprint and hex-f64 helpers live in `bvc-journal` so the
+// `bvc-serve` result cache and the `bvc-cluster` wire protocol can key
+// cells exactly the way this journal does.
 pub use crate::fingerprint::{cell_fingerprint, fnv1a64};
+
+// The journal line codec also lives in `bvc-journal`: the cluster
+// coordinator writes journals through literally these functions, which is
+// what makes a distributed journal byte-identical to a local one.
+pub use bvc_journal::{encode_line, json_escape, load_journal, parse_journal_line, JournalEntry};
+
+// The per-cell attempt loop (watchdog budget, retry escalation, fault
+// injection, panic isolation) lives in `bvc-cluster`'s [`bvc_cluster::cell`]
+// so cluster workers run cells through literally the same code path as
+// this local runner.
+pub use bvc_cluster::cell::{
+    run_cell_attempts, CellContext, CellFailure, CellRunConfig, RetryPolicy, TunableSolve,
+};
+
+// The job registry: every table binary's cell grid as data, so the same
+// grid can run locally or be shipped to cluster workers.
+pub use bvc_cluster::jobs::{workload, JobSpec, Workload, WORKLOAD_NAMES};
+
+use bvc_cluster::{run_coordinator, ClusterConfig};
 
 // ---------------------------------------------------------------------------
 // Journal values
@@ -90,44 +106,8 @@ impl SweepValue for Vec<f64> {
 }
 
 // ---------------------------------------------------------------------------
-// Failures and per-cell results
+// Per-cell results
 // ---------------------------------------------------------------------------
-
-/// Why a cell has no value.
-#[derive(Debug, Clone)]
-pub enum CellFailure {
-    /// The worker panicked; the payload is rendered to a string.
-    Panicked(String),
-    /// The solver returned a structured error after exhausting retries.
-    Solver(MdpError),
-    /// The cell was never (fully) attempted: a fail-fast sweep was cancelled
-    /// by an earlier failure before this cell could run to completion.
-    Skipped,
-}
-
-impl CellFailure {
-    /// Short code rendered inside grid cells (`FAIL(code)`).
-    pub fn reason_code(&self) -> String {
-        match self {
-            CellFailure::Panicked(_) => "panic".into(),
-            CellFailure::Solver(MdpError::NoConvergence { .. }) => "no-conv".into(),
-            CellFailure::Solver(MdpError::DeadlineExceeded { .. }) => "deadline".into(),
-            CellFailure::Solver(MdpError::Cancelled { .. }) => "cancelled".into(),
-            CellFailure::Solver(MdpError::AuditFailed { check, .. }) => format!("audit: {check}"),
-            CellFailure::Solver(_) => "error".into(),
-            CellFailure::Skipped => "skipped".into(),
-        }
-    }
-
-    /// Full human-readable reason, used in journals and failure legends.
-    pub fn message(&self) -> String {
-        match self {
-            CellFailure::Panicked(p) => format!("panic: {p}"),
-            CellFailure::Solver(e) => e.to_string(),
-            CellFailure::Skipped => "skipped (sweep cancelled before this cell ran)".into(),
-        }
-    }
-}
 
 /// Outcome of one sweep cell, in input order.
 #[derive(Debug, Clone)]
@@ -168,13 +148,13 @@ impl<T> SweepReport<T> {
         self.cells.iter().filter(|c| c.replayed).count()
     }
 
-    /// Number of cells that failed (panic or solver error).
+    /// Number of cells that failed (panic, solver error, remote failure,
+    /// or a cell lost to repeated worker deaths) — everything except
+    /// fail-fast skips.
     pub fn failed(&self) -> usize {
         self.cells
             .iter()
-            .filter(|c| {
-                matches!(&c.outcome, Err(CellFailure::Panicked(_) | CellFailure::Solver(_)))
-            })
+            .filter(|c| matches!(&c.outcome, Err(f) if !matches!(f, CellFailure::Skipped)))
             .count()
     }
 
@@ -320,37 +300,37 @@ impl SweepReport<f64> {
     }
 }
 
+impl SweepReport<Vec<f64>> {
+    /// Builds the grid entry comparing element `j` of cell `i`'s value
+    /// vector against the paper value. A solved cell whose vector is too
+    /// short renders as `FAIL(shape)` rather than panicking.
+    pub fn grid_entry_at(&self, i: usize, j: usize, paper: Option<f64>) -> GridEntry {
+        match &self.cells[i].outcome {
+            Ok(v) => match v.get(j) {
+                Some(x) => GridEntry::Value(Cell { paper, ours: *x }),
+                None => GridEntry::Failed("shape".into()),
+            },
+            Err(failure) => GridEntry::Failed(failure.reason_code()),
+        }
+    }
+
+    /// Builds the grid entry for cell `i` from the first element of its
+    /// value vector (the scalar-sweep convention for job-registry sweeps).
+    pub fn grid_entry(&self, i: usize, paper: Option<f64>) -> GridEntry {
+        self.grid_entry_at(i, 0, paper)
+    }
+
+    /// The value vector of cell `i` as a fixed-size array, if the cell
+    /// solved and the shape matches.
+    pub fn value_array<const N: usize>(&self, i: usize) -> Option<[f64; N]> {
+        let v = self.value(i)?;
+        <[f64; N]>::try_from(v.as_slice()).ok()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Options
 // ---------------------------------------------------------------------------
-
-/// Escalation schedule for retryable solver failures
-/// ([`MdpError::is_retryable`], i.e. `NoConvergence`). Panics and
-/// non-retryable errors are never retried.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total attempts per cell (first try included).
-    pub max_attempts: u32,
-    /// Multiplier applied to the solver's iteration budget per retry
-    /// (`scale = growth^attempt`).
-    pub iteration_growth: f64,
-    /// Additive bump to the aperiodicity mixing weight per retry, to break
-    /// periodic oscillation stalls.
-    pub tau_step: f64,
-    /// Base backoff slept before each retry; doubles per attempt.
-    pub backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            iteration_growth: 4.0,
-            tau_step: 0.05,
-            backoff: Duration::from_millis(50),
-        }
-    }
-}
 
 /// Configuration of one [`run_sweep`] call.
 #[derive(Debug, Clone, Default)]
@@ -385,6 +365,15 @@ pub struct SweepOptions {
     /// serve preloader and CI can consume sweep results without scraping
     /// text.
     pub json: bool,
+    /// Distribute the sweep: bind a cluster coordinator on this address
+    /// (`host:port`, port 0 for ephemeral) and shard cells across
+    /// connecting `bvc cluster work` processes instead of solving
+    /// in-process. Only job-registry sweeps ([`run_jobs`]) support this.
+    pub cluster: Option<String>,
+    /// Cluster lease duration override (default 30s).
+    pub lease: Option<Duration>,
+    /// Cluster claim-batch-size override (default 4 cells per claim).
+    pub cluster_batch: Option<u32>,
 }
 
 impl SweepOptions {
@@ -396,7 +385,8 @@ impl SweepOptions {
     /// `--journal PATH`, `--fail-fast`, `--cell-deadline SECONDS`,
     /// `--retries N` (extra attempts after the first), `--threads N`,
     /// `--audit`, `--json`, `--inject-panic SUBSTR`, `--inject-noconv
-    /// SUBSTR` (the last two repeatable).
+    /// SUBSTR` (the last two repeatable), `--cluster HOST:PORT`,
+    /// `--lease SECONDS`, `--cluster-batch N`.
     ///
     /// Returns `Err` with a usage message on a malformed flag (missing or
     /// unparseable value) instead of panicking; binaries print it and exit
@@ -434,6 +424,16 @@ impl SweepOptions {
                 }
                 "--inject-panic" => opts.inject_panic.push(value(&mut it, "--inject-panic")?),
                 "--inject-noconv" => opts.inject_noconv.push(value(&mut it, "--inject-noconv")?),
+                "--cluster" => opts.cluster = Some(value(&mut it, "--cluster")?),
+                "--lease" => {
+                    let secs: f64 = parse(value(&mut it, "--lease")?, "--lease takes seconds")?;
+                    opts.lease = Some(Duration::from_secs_f64(secs));
+                }
+                "--cluster-batch" => {
+                    let n: u32 =
+                        parse(value(&mut it, "--cluster-batch")?, "--cluster-batch takes a count")?;
+                    opts.cluster_batch = Some(n.max(1));
+                }
                 _ => rest.push(arg),
             }
         }
@@ -454,349 +454,6 @@ impl SweepOptions {
             }
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Per-attempt context
-// ---------------------------------------------------------------------------
-
-/// What the runner hands a cell's solve function on each attempt: the
-/// budget to thread into solver options plus the escalation state.
-#[derive(Debug, Clone)]
-pub struct CellContext {
-    /// Attempt index, 0-based (0 = first try).
-    pub attempt: u32,
-    /// Budget carrying the per-cell deadline and the sweep's shared cancel
-    /// flag. Solve functions must thread this into their solver options or
-    /// watchdogs cannot interrupt them.
-    pub budget: SolveBudget,
-    /// Iteration-budget multiplier for this attempt
-    /// (`iteration_growth^attempt`).
-    pub iteration_scale: f64,
-    /// Additive aperiodicity bump for this attempt (`attempt * tau_step`).
-    pub tau_offset: f64,
-    /// Whether the sweep requested a pre-solve model audit
-    /// ([`SweepOptions::audit`]); [`TunableSolve`] impls whose options
-    /// carry an audit gate forward it.
-    pub audit: bool,
-}
-
-impl CellContext {
-    /// Convenience: default options of type `T` with this context's budget
-    /// and escalation applied.
-    pub fn solve_options<T: TunableSolve>(&self) -> T {
-        let mut t = T::default();
-        t.tune(self);
-        t
-    }
-}
-
-/// Solver option types the runner knows how to escalate: apply the budget,
-/// scale the iteration cap, bump the aperiodicity weight.
-pub trait TunableSolve: Default {
-    /// Applies `ctx`'s budget and escalation to these options.
-    fn tune(&mut self, ctx: &CellContext);
-}
-
-fn scale_iterations(base: usize, scale: f64) -> usize {
-    ((base as f64) * scale).min(1e15) as usize
-}
-
-/// Bumped tau, clamped below 1 (0.9 cap leaves the transform meaningful).
-fn bump_tau(base: f64, offset: f64) -> f64 {
-    (base + offset).min(0.9)
-}
-
-impl TunableSolve for RviOptions {
-    fn tune(&mut self, ctx: &CellContext) {
-        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
-        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
-        self.budget = ctx.budget.clone();
-    }
-}
-
-impl TunableSolve for RatioOptions {
-    fn tune(&mut self, ctx: &CellContext) {
-        self.rvi.tune(ctx);
-    }
-}
-
-impl TunableSolve for bvc_bu::SolveOptions {
-    fn tune(&mut self, ctx: &CellContext) {
-        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
-        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
-        self.budget = ctx.budget.clone();
-        self.audit = ctx.audit;
-    }
-}
-
-impl TunableSolve for bvc_bitcoin::SolveOptions {
-    fn tune(&mut self, ctx: &CellContext) {
-        self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
-        self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
-        self.budget = ctx.budget.clone();
-        self.audit = ctx.audit;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Journal codec (hand-rolled JSONL; no serde in this workspace)
-// ---------------------------------------------------------------------------
-
-/// One parsed checkpoint-journal line.
-///
-/// Public so other subsystems can consume sweep journals directly — the
-/// `bvc-serve` cache preloads itself from one ([`load_journal`] /
-/// [`parse_journal_line`]).
-#[derive(Debug, Clone, PartialEq)]
-pub struct JournalEntry {
-    /// Fingerprint the entry was journaled under
-    /// ([`cell_fingerprint`] of key ⊕ config token).
-    pub fp: u64,
-    /// Human-readable cell key.
-    pub key: String,
-    /// Whether the cell solved (`status: ok`) or failed.
-    pub ok: bool,
-    /// Solve attempts recorded for the cell.
-    pub attempts: u32,
-    /// Raw `f64` bit patterns of the encoded value (empty for failures).
-    pub bits: Vec<u64>,
-    /// Failure reason (empty for successes).
-    pub reason: String,
-}
-
-impl JournalEntry {
-    /// The journaled value as `f64`s (bit-exact).
-    pub fn values(&self) -> Vec<f64> {
-        self.bits.iter().map(|&b| f64::from_bits(b)).collect()
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn encode_line(entry: &JournalEntry, vals: &[f64]) -> String {
-    let mut line = String::new();
-    let _ = write!(
-        line,
-        "{{\"fp\":\"{:016x}\",\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
-        entry.fp,
-        json_escape(&entry.key),
-        if entry.ok { "ok" } else { "fail" },
-        entry.attempts,
-    );
-    if entry.ok {
-        // Canonical value: hex bit patterns (bit-exact). The decimal `vals`
-        // mirror is informational for humans reading the journal and is
-        // ignored on replay.
-        let _ = write!(line, ",\"bits\":[");
-        for (i, b) in entry.bits.iter().enumerate() {
-            let sep = if i > 0 { "," } else { "" };
-            let _ = write!(line, "{sep}\"{}\"", crate::fingerprint::f64_to_hex(f64::from_bits(*b)));
-        }
-        let _ = write!(line, "],\"vals\":[");
-        for (i, v) in vals.iter().enumerate() {
-            let sep = if i > 0 { "," } else { "" };
-            if v.is_finite() {
-                let _ = write!(line, "{sep}{v}");
-            } else {
-                let _ = write!(line, "{sep}\"{v}\"");
-            }
-        }
-        let _ = write!(line, "]");
-    } else {
-        let _ = write!(line, ",\"reason\":\"{}\"", json_escape(&entry.reason));
-    }
-    line.push('}');
-    line
-}
-
-/// Minimal cursor over one JSON object line. Tolerant by construction: any
-/// structural surprise makes the whole line parse to `None`, and the caller
-/// skips it (a torn tail line from a killed run must not poison resume).
-struct Cur<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Cur<'a> {
-    fn ws(&mut self) {
-        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn eat(&mut self, c: u8) -> bool {
-        if self.i < self.b.len() && self.b[self.i] == c {
-            self.i += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.ws();
-        if !self.eat(b'"') {
-            return None;
-        }
-        let mut out = String::new();
-        loop {
-            let c = *self.b.get(self.i)?;
-            self.i += 1;
-            match c {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let e = *self.b.get(self.i)?;
-                    self.i += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.b.get(self.i..self.i + 4)?;
-                            self.i += 4;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                c => out.push(c as char),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<f64> {
-        self.ws();
-        let start = self.i;
-        while self.i < self.b.len()
-            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
-    }
-
-    /// Skips a scalar or (possibly nested) array value we don't care about.
-    fn skip_value(&mut self) -> Option<()> {
-        self.ws();
-        match *self.b.get(self.i)? {
-            b'"' => self.string().map(|_| ()),
-            b'[' => {
-                self.i += 1;
-                loop {
-                    self.ws();
-                    if self.eat(b']') {
-                        return Some(());
-                    }
-                    self.skip_value()?;
-                    self.ws();
-                    self.eat(b',');
-                }
-            }
-            b't' | b'f' | b'n' => {
-                while self.i < self.b.len() && self.b[self.i].is_ascii_alphabetic() {
-                    self.i += 1;
-                }
-                Some(())
-            }
-            _ => self.number().map(|_| ()),
-        }
-    }
-}
-
-/// Parses one journal line. Tolerant by construction: any structural
-/// surprise (torn tail from a killed run, stray edit) makes the whole line
-/// parse to `None` and the caller skips it.
-pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
-    let mut c = Cur { b: line.as_bytes(), i: 0 };
-    c.ws();
-    if !c.eat(b'{') {
-        return None;
-    }
-    let mut fp = None;
-    let mut key = None;
-    let mut status = None;
-    let mut attempts = 0u32;
-    let mut bits = Vec::new();
-    let mut reason = String::new();
-    loop {
-        c.ws();
-        if c.eat(b'}') {
-            break;
-        }
-        let name = c.string()?;
-        c.ws();
-        if !c.eat(b':') {
-            return None;
-        }
-        match name.as_str() {
-            "fp" => fp = u64::from_str_radix(&c.string()?, 16).ok(),
-            "key" => key = Some(c.string()?),
-            "status" => status = Some(c.string()?),
-            "attempts" => attempts = c.number()? as u32,
-            "bits" => {
-                c.ws();
-                if !c.eat(b'[') {
-                    return None;
-                }
-                loop {
-                    c.ws();
-                    if c.eat(b']') {
-                        break;
-                    }
-                    bits.push(crate::fingerprint::f64_from_hex(&c.string()?)?.to_bits());
-                    c.ws();
-                    c.eat(b',');
-                }
-            }
-            "reason" => reason = c.string()?,
-            _ => c.skip_value()?,
-        }
-        c.ws();
-        c.eat(b',');
-    }
-    let status = status?;
-    if status != "ok" && status != "fail" {
-        return None;
-    }
-    Some(JournalEntry { fp: fp?, key: key?, ok: status == "ok", attempts, bits, reason })
-}
-
-/// Loads a journal, last-entry-wins per fingerprint. Unparseable lines
-/// (torn tails from killed runs, stray edits) are skipped.
-pub fn load_journal(path: &std::path::Path) -> HashMap<u64, JournalEntry> {
-    let mut map = HashMap::new();
-    let Ok(file) = std::fs::File::open(path) else {
-        return map;
-    };
-    for line in BufReader::new(file).lines() {
-        let Ok(line) = line else { break };
-        if let Some(entry) = parse_journal_line(&line) {
-            map.insert(entry.fp, entry);
-        }
-    }
-    map
 }
 
 // ---------------------------------------------------------------------------
@@ -883,67 +540,29 @@ where
         .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
         .min(pending.len().max(1));
 
+    // The shared per-cell attempt loop — literally the code a cluster
+    // worker runs, which is what keeps local and distributed journals
+    // byte-identical.
+    let cell_cfg = CellRunConfig {
+        retry: opts.retry.clone(),
+        cell_deadline: opts.cell_deadline,
+        audit: opts.audit,
+        inject_panic: opts.inject_panic.clone(),
+        inject_noconv: opts.inject_noconv.clone(),
+    };
+
     let solve_cell = |i: usize| -> CellResult<T> {
         let key = &keys[i];
         let cell_started = Instant::now();
-        let inject_panic = opts.inject_panic.iter().any(|s| key.contains(s));
-        let inject_noconv = opts.inject_noconv.iter().any(|s| key.contains(s));
-        let mut attempts = 0u32;
-        let outcome = loop {
-            let attempt = attempts;
-            attempts += 1;
-            let mut budget = SolveBudget::unlimited().with_cancel(cancel.clone());
-            if let Some(deadline) = opts.cell_deadline {
-                budget = budget.deadline_at(Instant::now() + deadline);
-            }
-            let ctx = CellContext {
-                attempt,
-                budget,
-                iteration_scale: opts.retry.iteration_growth.powi(attempt as i32),
-                tau_offset: f64::from(attempt) * opts.retry.tau_step,
-                audit: opts.audit,
-            };
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                if inject_panic {
-                    panic!("injected panic for cell '{key}'");
-                }
-                if inject_noconv {
-                    return Err(MdpError::NoConvergence {
-                        solver: "injected",
-                        iterations: 0,
-                        residual: f64::INFINITY,
-                    });
-                }
-                solve(&inputs[i], &ctx)
-            }));
-            match result {
-                Ok(Ok(value)) => break Ok(value),
-                Ok(Err(e)) if e.is_cancellation() => break Err(CellFailure::Skipped),
-                Ok(Err(e)) if e.is_retryable() && attempts < opts.retry.max_attempts => {
-                    if !opts.retry.backoff.is_zero() {
-                        std::thread::sleep(opts.retry.backoff * 2u32.pow(attempt.min(16)));
-                    }
-                }
-                Ok(Err(e)) => break Err(CellFailure::Solver(e)),
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    break Err(CellFailure::Panicked(msg));
-                }
-            }
-        };
+        let (outcome, attempts) =
+            run_cell_attempts(key, &cell_cfg, &cancel, |ctx| solve(&inputs[i], ctx));
 
         // Journal terminal outcomes. Skips are deliberately not journaled:
         // the cell was never really attempted and must re-solve on resume.
         let journaled = match &outcome {
             Ok(value) => Some((true, value.encode(), String::new())),
-            Err(f @ (CellFailure::Panicked(_) | CellFailure::Solver(_))) => {
-                Some((false, Vec::new(), f.message()))
-            }
             Err(CellFailure::Skipped) => None,
+            Err(f) => Some((false, Vec::new(), f.message())),
         };
         if let (Some(writer), Some((ok, vals, reason))) = (&writer, journaled) {
             let entry = JournalEntry {
@@ -962,9 +581,7 @@ where
             let _ = file.flush();
         }
 
-        if opts.fail_fast
-            && matches!(&outcome, Err(CellFailure::Panicked(_) | CellFailure::Solver(_)))
-        {
+        if opts.fail_fast && matches!(&outcome, Err(f) if !matches!(f, CellFailure::Skipped)) {
             cancel.store(true, Ordering::Relaxed);
         }
         CellResult {
@@ -1009,9 +626,124 @@ where
     SweepReport { label: label.to_string(), cells, wall: started.elapsed() }
 }
 
+// ---------------------------------------------------------------------------
+// Executors: local threads or a cluster coordinator
+// ---------------------------------------------------------------------------
+
+/// Where a job-registry sweep executes. The table binaries build their
+/// grids as [`JobSpec`] lists and hand them to an executor, so the same
+/// binary can solve in-process ([`LocalExecutor`]) or shard cells across
+/// worker processes ([`ClusterExecutor`], selected by `--cluster`).
+pub trait CellExecutor {
+    /// Runs `jobs` under `opts`, returning one report entry per job in
+    /// input order. `Err` is an infrastructure failure (bind error,
+    /// journal error, determinism conflict), not a cell failure — cell
+    /// failures are reported inside the `Ok` report.
+    fn execute(
+        &self,
+        label: &str,
+        jobs: &[JobSpec],
+        opts: &SweepOptions,
+    ) -> Result<SweepReport<Vec<f64>>, String>;
+}
+
+/// Solves every cell in-process via [`run_sweep`].
+pub struct LocalExecutor;
+
+impl CellExecutor for LocalExecutor {
+    fn execute(
+        &self,
+        label: &str,
+        jobs: &[JobSpec],
+        opts: &SweepOptions,
+    ) -> Result<SweepReport<Vec<f64>>, String> {
+        Ok(run_sweep(label, jobs, opts, JobSpec::key, |job, ctx| job.solve(ctx)))
+    }
+}
+
+/// Binds a `bvc-cluster` coordinator and shards the cells across
+/// connecting workers. The journal, fingerprints, retry schedule and
+/// fail-fast semantics all come from the same [`SweepOptions`] a local
+/// run uses, so the resulting journal is byte-identical to a local
+/// `--threads 1` run over the same cells.
+pub struct ClusterExecutor {
+    /// Listen address (`host:port`; port 0 binds ephemeral).
+    pub addr: String,
+    /// Lease duration for worker batches.
+    pub lease: Duration,
+    /// Claim batch size suggested to workers.
+    pub batch: u32,
+}
+
+impl CellExecutor for ClusterExecutor {
+    fn execute(
+        &self,
+        label: &str,
+        jobs: &[JobSpec],
+        opts: &SweepOptions,
+    ) -> Result<SweepReport<Vec<f64>>, String> {
+        let cfg = ClusterConfig {
+            config_token: opts.config_token.clone(),
+            journal: opts.journal.clone(),
+            cell: CellRunConfig {
+                retry: opts.retry.clone(),
+                cell_deadline: opts.cell_deadline,
+                audit: opts.audit,
+                inject_panic: opts.inject_panic.clone(),
+                inject_noconv: opts.inject_noconv.clone(),
+            },
+            lease: self.lease,
+            batch: self.batch,
+            fail_fast: opts.fail_fast,
+            ..ClusterConfig::default()
+        };
+        let report = run_coordinator(&self.addr, label, jobs, cfg).map_err(|e| e.to_string())?;
+        for line in report.stats.lines() {
+            eprintln!("# {line}");
+        }
+        Ok(SweepReport {
+            label: report.label,
+            cells: report
+                .cells
+                .into_iter()
+                .map(|c| CellResult {
+                    key: c.key,
+                    outcome: c.outcome,
+                    attempts: c.attempts,
+                    replayed: c.replayed,
+                    elapsed: c.elapsed,
+                })
+                .collect(),
+            wall: report.wall,
+        })
+    }
+}
+
+/// Runs a job-registry sweep through the executor `opts` selects:
+/// [`ClusterExecutor`] when `--cluster` was given, [`LocalExecutor`]
+/// otherwise. Infrastructure failures print and exit 2 (matching the
+/// malformed-flag convention); cell failures are reported in the report.
+pub fn run_jobs(label: &str, jobs: &[JobSpec], opts: &SweepOptions) -> SweepReport<Vec<f64>> {
+    let result = match &opts.cluster {
+        Some(addr) => ClusterExecutor {
+            addr: addr.clone(),
+            lease: opts.lease.unwrap_or(Duration::from_secs(30)),
+            batch: opts.cluster_batch.unwrap_or(4),
+        }
+        .execute(label, jobs, opts),
+        None => LocalExecutor.execute(label, jobs, opts),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bvc_mdp::solve::{RatioOptions, RviOptions};
+    use bvc_mdp::SolveBudget;
     use std::sync::atomic::AtomicU32;
 
     fn tmp_journal(tag: &str) -> PathBuf {
@@ -1022,60 +754,6 @@ mod tests {
 
     fn fast_retry() -> RetryPolicy {
         RetryPolicy { backoff: Duration::ZERO, ..Default::default() }
-    }
-
-    #[test]
-    fn journal_lines_roundtrip_bit_exactly() {
-        for v in [
-            0.25f64,
-            -0.0,
-            f64::NAN,
-            f64::INFINITY,
-            f64::NEG_INFINITY,
-            1.0e-308,
-            std::f64::consts::PI,
-        ] {
-            let entry = JournalEntry {
-                fp: cell_fingerprint("cell \"x\"\n", "cfg"),
-                key: "cell \"x\"\n".into(),
-                ok: true,
-                attempts: 2,
-                bits: vec![v.to_bits()],
-                reason: String::new(),
-            };
-            let line = encode_line(&entry, &[v]);
-            let parsed = parse_journal_line(&line).expect("line parses");
-            assert_eq!(parsed, entry, "roundtrip for {v}: {line}");
-            assert_eq!(f64::from_bits(parsed.bits[0]).to_bits(), v.to_bits());
-        }
-    }
-
-    #[test]
-    fn failure_lines_roundtrip() {
-        let entry = JournalEntry {
-            fp: 7,
-            key: "k".into(),
-            ok: false,
-            attempts: 3,
-            bits: vec![],
-            reason: "rvi did not converge\n(residual 1e-3)".into(),
-        };
-        let parsed = parse_journal_line(&encode_line(&entry, &[])).unwrap();
-        assert_eq!(parsed, entry);
-    }
-
-    #[test]
-    fn corrupt_lines_are_rejected_not_fatal() {
-        for junk in [
-            "",
-            "not json",
-            "{\"fp\":\"xyz\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1}",
-            "{\"key\":\"missing fp\",\"status\":\"ok\",\"attempts\":1}",
-            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"weird\",\"attempts\":1}",
-            "{\"fp\":\"01\",\"key\":\"k\",\"status\":\"ok\",\"attempts\":1,\"bits\":[\"03",
-        ] {
-            assert!(parse_journal_line(junk).is_none(), "accepted junk: {junk:?}");
-        }
     }
 
     #[test]
@@ -1428,6 +1106,12 @@ mod tests {
             "a=20%",
             "--audit",
             "--json",
+            "--cluster",
+            "127.0.0.1:0",
+            "--lease",
+            "1.5",
+            "--cluster-batch",
+            "8",
             "--setting1-only",
         ]
         .map(String::from);
@@ -1441,6 +1125,9 @@ mod tests {
         assert_eq!(opts.inject_noconv, vec!["a=20%".to_string()]);
         assert!(opts.audit);
         assert!(opts.json);
+        assert_eq!(opts.cluster.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.lease, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(opts.cluster_batch, Some(8));
         assert_eq!(rest, vec!["--quick".to_string(), "--setting1-only".to_string()]);
     }
 

@@ -1,0 +1,366 @@
+//! End-to-end tests for the distributed sweep subsystem (`bvc-cluster`):
+//!
+//! 1. a cluster run writes a journal **byte-identical** to a local
+//!    single-threaded `run_sweep` over the same cells;
+//! 2. killing a worker mid-batch (heartbeats stop, socket open) expires
+//!    its lease, the cells are reassigned, and the final journal is still
+//!    byte-identical to a clean local run;
+//! 3. a worker that drops its socket triggers immediate EOF requeue with
+//!    the same guarantee;
+//! 4. duplicate completion frames are deduped by fingerprint (first result
+//!    wins) and results for unknown fingerprints are counted and ignored;
+//! 5. two *successful* results with different value bits for the same cell
+//!    are a hard error (the journal must never silently pick one);
+//! 6. a torn frame (length prefix promising more bytes than arrive) drops
+//!    the connection and requeues its cells without corrupting the journal.
+//!
+//! The stone-sim workload drives the identity tests: three deterministic
+//! Monte Carlo cells, no solver options involved, each cheap enough for a
+//! debug-profile test run.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use bvc_cluster::jobs::workload;
+use bvc_cluster::protocol::{DoneFrame, Frame, PROTO_VERSION};
+use bvc_cluster::{
+    ClusterConfig, ClusterError, ClusterReport, Coordinator, DieMode, WorkerOptions, Workload,
+};
+use bvc_repro::sweep::{run_jobs, SweepOptions};
+
+/// Unique scratch path per invocation (tests in one binary share a process).
+fn tmp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bvc-cluster-e2e-{tag}-{}-{n}.jsonl", std::process::id()))
+}
+
+fn stone() -> Workload {
+    workload("stone-sim").expect("stone-sim is registered")
+}
+
+/// The reference journal: the exact bytes a local single-threaded sweep
+/// writes for this workload.
+fn local_journal(wl: &Workload, tag: &str) -> Vec<u8> {
+    let path = tmp_path(tag);
+    let opts = SweepOptions {
+        journal: Some(path.clone()),
+        threads: Some(1),
+        config_token: wl.config_token.clone(),
+        ..SweepOptions::default()
+    };
+    let report = run_jobs(wl.label, &wl.jobs, &opts);
+    assert_eq!(report.solved(), wl.jobs.len(), "{}", report.failure_legend());
+    let bytes = std::fs::read(&path).expect("local journal written");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Runs a coordinator over `wl` with the given workers, each started after
+/// its configured delay. Returns the report and the journal bytes.
+fn cluster_run(
+    wl: &Workload,
+    tag: &str,
+    lease: Duration,
+    batch: u32,
+    workers: &[(WorkerOptions, Duration)],
+) -> (Result<ClusterReport, ClusterError>, Vec<u8>) {
+    let path = tmp_path(tag);
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        journal: Some(path.clone()),
+        lease,
+        batch,
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let result = std::thread::scope(|scope| {
+        for (opts, delay) in workers {
+            let addr = addr.clone();
+            let delay = *delay;
+            scope.spawn(move || {
+                std::thread::sleep(delay);
+                bvc_cluster::run_worker(&addr, opts)
+            });
+        }
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let bytes = std::fs::read(&path).unwrap_or_default();
+    std::fs::remove_file(&path).ok();
+    (result, bytes)
+}
+
+/// Extracts one `name value` counter from the coordinator's stats text.
+fn stat(stats: &str, name: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("stats missing {name}:\n{stats}"))
+        .trim()
+        .parse()
+        .expect("counter is integral")
+}
+
+fn healthy(threads: u32) -> WorkerOptions {
+    WorkerOptions { threads, ..WorkerOptions::default() }
+}
+
+#[test]
+fn cluster_journal_byte_identical_to_local() {
+    let wl = stone();
+    let reference = local_journal(&wl, "ident-local");
+    let (result, bytes) = cluster_run(
+        &wl,
+        "ident-cluster",
+        Duration::from_secs(30),
+        2,
+        &[(healthy(1), Duration::ZERO)],
+    );
+    let report = result.expect("cluster run succeeds");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert_eq!(
+        bytes,
+        reference,
+        "cluster journal differs from local journal:\n--- cluster ---\n{}\n--- local ---\n{}",
+        String::from_utf8_lossy(&bytes),
+        String::from_utf8_lossy(&reference)
+    );
+}
+
+#[test]
+fn killed_worker_lease_expires_and_journal_is_byte_identical() {
+    let wl = stone();
+    let reference = local_journal(&wl, "kill-local");
+    // Worker A claims two cells, solves one, then goes silent with the
+    // socket open — only lease expiry can recover its second cell. Worker
+    // B starts shortly after and carries the rest of the sweep.
+    let dying =
+        WorkerOptions { die_after: Some(1), die_mode: DieMode::Hang, ..WorkerOptions::default() };
+    let (result, bytes) = cluster_run(
+        &wl,
+        "kill-cluster",
+        Duration::from_millis(300),
+        2,
+        &[(dying, Duration::ZERO), (healthy(1), Duration::from_millis(150))],
+    );
+    let report = result.expect("cluster run survives the killed worker");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert!(
+        stat(&report.stats, "cluster_lease_expiries_total") >= 1,
+        "expected at least one lease expiry:\n{}",
+        report.stats
+    );
+    assert_eq!(bytes, reference, "journal diverged after lease-expiry reassignment");
+}
+
+#[test]
+fn disconnected_worker_requeues_and_journal_is_byte_identical() {
+    let wl = stone();
+    let reference = local_journal(&wl, "eof-local");
+    let dying = WorkerOptions {
+        die_after: Some(1),
+        die_mode: DieMode::Disconnect,
+        ..WorkerOptions::default()
+    };
+    let (result, bytes) = cluster_run(
+        &wl,
+        "eof-cluster",
+        Duration::from_secs(30),
+        2,
+        &[(dying, Duration::ZERO), (healthy(1), Duration::from_millis(150))],
+    );
+    let report = result.expect("cluster run survives the disconnect");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert!(
+        stat(&report.stats, "cluster_requeues_total") >= 1,
+        "expected at least one EOF requeue:\n{}",
+        report.stats
+    );
+    assert_eq!(bytes, reference, "journal diverged after EOF requeue");
+}
+
+// --- Raw protocol clients (misbehaving workers) ---------------------------
+
+fn send_raw(stream: &mut TcpStream, payload: &str) {
+    stream.write_all(&(payload.len() as u32).to_be_bytes()).expect("frame len");
+    stream.write_all(payload.as_bytes()).expect("frame body");
+}
+
+fn recv_raw(stream: &mut TcpStream) -> Frame {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("frame len");
+    let mut buf = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut buf).expect("frame body");
+    Frame::decode(std::str::from_utf8(&buf).expect("utf8 frame")).expect("valid frame")
+}
+
+/// Connects, handshakes, and claims up to `max` cells. Returns the stream
+/// and the granted tasks (fp, lease).
+fn claim_cells(addr: &str, max: u32) -> (TcpStream, Vec<u64>, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    send_raw(&mut stream, &Frame::Hello { proto: PROTO_VERSION, threads: 1 }.encode());
+    let Frame::Config(_) = recv_raw(&mut stream) else { panic!("expected config") };
+    send_raw(&mut stream, &Frame::Claim { max }.encode());
+    let mut fps = Vec::new();
+    let lease = loop {
+        match recv_raw(&mut stream) {
+            Frame::Task(t) => fps.push(t.fp),
+            Frame::Grant { lease, count, .. } => {
+                assert_eq!(count as usize, fps.len());
+                break lease;
+            }
+            other => panic!("unexpected frame during claim: {other:?}"),
+        }
+    };
+    (stream, fps, lease)
+}
+
+fn fabricated_done(lease: u64, fp: u64, bits: Vec<u64>) -> Frame {
+    Frame::Done(DoneFrame {
+        lease,
+        fp,
+        key: String::new(),
+        ok: true,
+        attempts: 1,
+        bits,
+        code: String::new(),
+        reason: String::new(),
+        elapsed_us: 1,
+    })
+}
+
+#[test]
+fn duplicate_and_unknown_results_are_counted_not_applied() {
+    let wl = stone();
+    let path = tmp_path("dup-journal");
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        journal: Some(path.clone()),
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let (mut stream, fps, lease) = claim_cells(&addr, 8);
+            assert_eq!(fps.len(), 3, "stone-sim has three cells");
+            // The first two results sent twice (identical bits) plus one
+            // result for a fingerprint that is not part of the sweep, all
+            // before the final first-time result: once every cell is
+            // terminal the coordinator sends Fin and stops reading, so
+            // trailing frames would be legitimately dropped.
+            for &fp in &fps[..2] {
+                let frame = fabricated_done(lease, fp, vec![1.5f64.to_bits()]);
+                send_raw(&mut stream, &frame.encode());
+                send_raw(&mut stream, &frame.encode());
+            }
+            send_raw(
+                &mut stream,
+                &fabricated_done(lease, 0xdead_beef, vec![2.5f64.to_bits()]).encode(),
+            );
+            send_raw(&mut stream, &fabricated_done(lease, fps[2], vec![1.5f64.to_bits()]).encode());
+            // Drain until the coordinator says fin.
+            send_raw(&mut stream, &Frame::Claim { max: 1 }.encode());
+            loop {
+                match recv_raw(&mut stream) {
+                    Frame::Fin => break,
+                    Frame::Wait { ms } => {
+                        std::thread::sleep(Duration::from_millis(ms.min(100)));
+                        send_raw(&mut stream, &Frame::Claim { max: 1 }.encode());
+                    }
+                    other => panic!("unexpected frame while draining: {other:?}"),
+                }
+            }
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let report = result.expect("fabricated results complete the sweep");
+    assert_eq!(stat(&report.stats, "cluster_duplicate_results_total"), 2);
+    assert_eq!(stat(&report.stats, "cluster_unknown_results_total"), 1);
+    // First result won: every journaled cell carries the fabricated bits.
+    let body = std::fs::read_to_string(&path).expect("journal written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(body.lines().count(), 3);
+    for line in body.lines() {
+        assert!(line.contains("3ff8000000000000"), "expected fabricated bits in {line}");
+    }
+}
+
+#[test]
+fn conflicting_successful_results_are_a_hard_error() {
+    let wl = stone();
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let (mut stream, fps, lease) = claim_cells(&addr, 1);
+            let fp = fps[0];
+            send_raw(&mut stream, &fabricated_done(lease, fp, vec![1.5f64.to_bits()]).encode());
+            send_raw(&mut stream, &fabricated_done(lease, fp, vec![2.5f64.to_bits()]).encode());
+            // The coordinator goes fatal; drop the socket.
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    match result {
+        Err(ClusterError::Conflict { .. }) => {}
+        other => panic!("expected ClusterError::Conflict, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_frame_drops_connection_and_journal_stays_identical() {
+    let wl = stone();
+    let reference = local_journal(&wl, "torn-local");
+    let path = tmp_path("torn-journal");
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        journal: Some(path.clone()),
+        lease: Duration::from_millis(400),
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let addr_worker = addr.clone();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // Claim a cell, then send a frame whose length prefix promises
+            // far more bytes than ever arrive, and go silent. The read tick
+            // sees a partial frame and must drop the connection, requeueing
+            // the claimed cell.
+            let (mut stream, fps, _lease) = claim_cells(&addr, 1);
+            assert_eq!(fps.len(), 1);
+            stream.write_all(&100u32.to_be_bytes()).expect("torn len");
+            stream.write_all(b"only-ten-b").expect("torn body");
+            std::thread::sleep(Duration::from_secs(3));
+        });
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            bvc_cluster::run_worker(&addr_worker, &WorkerOptions::default())
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let report = result.expect("sweep completes despite the torn frame");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert!(
+        stat(&report.stats, "cluster_requeues_total") >= 1,
+        "expected the torn connection's cell to requeue:\n{}",
+        report.stats
+    );
+    let bytes = std::fs::read(&path).expect("journal written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(bytes, reference, "journal diverged after torn-frame recovery");
+}

@@ -3,7 +3,7 @@
 //! that sheds cold-path load once the solve queue is full.
 //!
 //! Keys are the same 64-bit FNV-1a fingerprints the sweep journal uses
-//! (`bvc_repro::fingerprint::cell_fingerprint` of the cell key string and
+//! (`bvc_journal::cell_fingerprint` of the cell key string and
 //! a config token covering every value-affecting solver knob), so a sweep
 //! journal can be preloaded verbatim as a warm cache and a served value is
 //! bit-identical to the journaled one.
@@ -14,9 +14,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use bvc_journal::cell_fingerprint;
+use bvc_journal::load_journal;
 use bvc_mdp::MdpError;
-use bvc_repro::fingerprint::cell_fingerprint;
-use bvc_repro::sweep::load_journal;
 
 /// One cached solve result.
 #[derive(Debug, Clone)]

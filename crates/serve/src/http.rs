@@ -15,6 +15,8 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crate::net::{apply_deadlines, read_chunk, ReadError as RecvError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -135,25 +137,6 @@ impl Response {
     }
 }
 
-/// Why reading the next request off a connection failed.
-#[derive(Debug)]
-enum RecvError {
-    /// Clean EOF before any request byte: the peer closed an idle
-    /// keep-alive connection. Not an error.
-    Closed,
-    /// The read deadline fired (idle keep-alive, or a torn request that
-    /// stopped dribbling in).
-    TimedOut,
-    /// Headers or declared body exceed the configured limits; the literal
-    /// names the offending part (`"header"` or `"body"`).
-    TooLarge(&'static str),
-    /// A syntactically invalid request (including EOF mid-request).
-    Malformed(String),
-    /// Transport-level failure; the connection is dropped without a
-    /// response, so the error kind is not carried.
-    Io,
-}
-
 /// Decodes `%XX` escapes and `+` (as space) in a query component.
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
@@ -210,25 +193,10 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 }
 
 impl Conn {
-    /// Reads more bytes into the buffer; translates EOF and deadline kinds.
+    /// Reads more bytes into the buffer; the EOF/deadline translation lives
+    /// in [`crate::net::read_chunk`], shared with the cluster frame codec.
     fn fill(&mut self, mid_request: bool) -> Result<(), RecvError> {
-        let mut chunk = [0u8; 4096];
-        match self.stream.read(&mut chunk) {
-            Ok(0) => Err(if mid_request {
-                RecvError::Malformed("unexpected eof mid-request".into())
-            } else {
-                RecvError::Closed
-            }),
-            Ok(n) => {
-                self.buf.extend_from_slice(&chunk[..n]);
-                Ok(())
-            }
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                Err(RecvError::TimedOut)
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
-            Err(_) => Err(RecvError::Io),
-        }
+        read_chunk(&mut self.stream, &mut self.buf, mid_request)
     }
 
     /// Reads and parses the next request off the connection.
@@ -408,9 +376,7 @@ fn handle_connection<H: Fn(&Request) -> Response>(
     handler: &H,
     stop: &AtomicBool,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
-    stream.set_write_timeout(Some(cfg.read_timeout))?;
-    let _ = stream.set_nodelay(true);
+    apply_deadlines(&stream, cfg.read_timeout)?;
     let mut conn = Conn { stream, buf: Vec::new() };
     loop {
         let req = match conn.read_request(cfg) {

@@ -2,7 +2,7 @@
 //! parser for *flat* objects (string/number/bool/null values only), which
 //! is all `POST /v1/solve` accepts. The workspace is dependency-free, so
 //! no serde — this mirrors the style of the sweep journal codec in
-//! `bvc_repro::sweep`.
+//! `bvc_journal`.
 
 use std::fmt::Write as _;
 

@@ -21,6 +21,7 @@ pub mod cache;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod routes;
 
 pub use cache::{CachedCell, Fetched, SolveCache, SolveFailure};

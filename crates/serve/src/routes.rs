@@ -26,9 +26,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bvc_bu::{Action, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+use bvc_journal::cell_fingerprint;
 use bvc_mdp::audit::{demo_multichain, demo_unreachable};
 use bvc_mdp::{audit_mdp, AuditOptions, MdpError, SolveBudget};
-use bvc_repro::fingerprint::cell_fingerprint;
 
 use crate::cache::{CachedCell, Fetched, SolveCache, SolveFailure};
 use crate::http::{self, HttpConfig, Request, Response, Server};
@@ -332,7 +332,7 @@ impl Service {
             .str("fingerprint", &format!("{fp:016x}"))
             .str("utility", spec.utility.name())
             .num("value", value)
-            .str("value_bits", &bvc_repro::fingerprint::f64_to_hex(value))
+            .str("value_bits", &bvc_journal::f64_to_hex(value))
             .num("alpha", spec.cfg.alpha)
             .num("beta", spec.cfg.beta)
             .num("gamma", spec.cfg.gamma)

@@ -8,7 +8,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
-use bvc_repro::fingerprint::f64_to_hex;
+use bvc_journal::f64_to_hex;
 use bvc_serve::{start, RunningServer, ServeConfig};
 
 fn test_server(queue_cap: usize, workers: usize) -> RunningServer {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Records benchmark history: runs the std-only bench binaries with --json
+# and appends their one-line machine-readable records (plus a timestamp and
+# the current commit) to JSONL history files at the repo root:
+#
+#   BENCH_sweep.json  — sweep_timing  ({"bench":"sweep_timing",...})
+#   BENCH_serve.json  — serve_load    ({"bench":"serve_load",...})
+#                       cluster_scaling ({"bench":"cluster_scaling",...})
+#
+# Usage:
+#   scripts/bench_record.sh             # quick shapes, suitable for CI boxes
+#   scripts/bench_record.sh --full      # the real workloads (slow)
+#
+# Each line is self-contained JSON, so `jq -s` over the file reconstructs
+# the whole history. Runs are release builds; the script is offline-safe.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+full=false
+[[ "${1:-}" == "--full" ]] && full=true
+
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+echo "==> building bench binaries (release)"
+cargo build --release --offline -q -p bvc-bench \
+    --bin sweep_timing --bin serve_load --bin cluster_scaling
+
+# annotate <record-line> — prefix the JSON object with run metadata.
+annotate() {
+    printf '{"recorded":"%s","commit":"%s",%s\n' "$stamp" "$commit" "${1#\{}"
+}
+
+run_and_append() { # run_and_append <outfile> <bench-name> <cmd...>
+    local outfile=$1 name=$2
+    shift 2
+    local log record
+    log=$(mktemp)
+    "$@" | tee "$log"
+    record=$(grep -o "{\"bench\":\"$name\".*}" "$log" | tail -1)
+    rm -f "$log"
+    if [[ -z "$record" ]]; then
+        echo "FAIL: $name emitted no JSON record" >&2
+        exit 1
+    fi
+    annotate "$record" >> "$outfile"
+    echo "==> appended $name record to $outfile"
+}
+
+if $full; then
+    sweep_args=(--reps 3)
+    serve_args=(--clients 4 --requests 2000)
+    scaling_args=(--workers 1,2,4)
+else
+    sweep_args=(--quick)
+    serve_args=(--clients 2 --requests 200)
+    scaling_args=(--quick --workers 1,2)
+fi
+
+echo "==> sweep_timing ${sweep_args[*]}"
+run_and_append BENCH_sweep.json sweep_timing \
+    target/release/sweep_timing "${sweep_args[@]}" --json
+
+echo "==> serve_load ${serve_args[*]}"
+run_and_append BENCH_serve.json serve_load \
+    target/release/serve_load "${serve_args[@]}" --json
+
+echo "==> cluster_scaling ${scaling_args[*]}"
+run_and_append BENCH_serve.json cluster_scaling \
+    target/release/cluster_scaling "${scaling_args[@]}" --json
+
+echo "==> bench records OK"

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke for the bvc-cluster subsystem.
+#
+# Runs the Table 2 setting-1 workload two ways and demands identical bytes:
+#
+#   1. locally, single-threaded, journaled -> the reference journal;
+#   2. through `bvc cluster coordinate` with two local workers, one of
+#      which is killed mid-batch (--die-after 1 --die-mode hang: it claims
+#      a batch, solves one cell, then goes silent with the socket open, so
+#      its cells come back only via the fault-tolerance machinery — lease
+#      expiry, or straggler re-dispatch to the idle healthy worker if that
+#      fires first).
+#
+# Asserts that the coordinator recovered the dead worker's cells (at least
+# one lease expiry or straggler dispatch), that every cell still solved,
+# and that the cluster journal is byte-identical to the local reference
+# (`cmp`, not `diff`).
+#
+# Usage: scripts/cluster_smoke.sh
+# Set BVC_BIN / TABLE2_BIN to prebuilt binaries to skip the cargo builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+if [[ -z "${BVC_BIN:-}" || -z "${TABLE2_BIN:-}" ]]; then
+    echo "==> building release binaries (bvc, table2)"
+    cargo build --release --offline -q -p bvc-cli -p bvc-repro --bin bvc --bin table2
+fi
+BVC_BIN=${BVC_BIN:-target/release/bvc}
+TABLE2_BIN=${TABLE2_BIN:-target/release/table2}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+port=$(( (RANDOM % 2000) + 19000 ))
+addr="127.0.0.1:$port"
+
+echo "==> [1/3] local reference run (table2 setting 1, single-threaded, journaled)"
+"$TABLE2_BIN" --setting1-only --threads 1 --journal "$workdir/local.jsonl" \
+    > "$workdir/local.txt"
+
+echo "==> [2/3] cluster run on $addr: one healthy worker, one killed mid-batch"
+"$BVC_BIN" cluster coordinate --workload table2-setting1 --addr "$addr" \
+    --journal "$workdir/cluster.jsonl" --lease 1 --batch 4 --quiet \
+    > "$workdir/coordinator.txt" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+
+# Worker A claims a batch of 4, solves one cell, then hangs (heartbeats
+# stop, socket stays open). Workers retry the connect, so starting them
+# while the coordinator is still binding is fine.
+"$BVC_BIN" cluster work --connect "$addr" --die-after 1 --die-mode hang \
+    > "$workdir/worker_a.txt" 2>&1 &
+pids+=("$!")
+sleep 0.5
+"$BVC_BIN" cluster work --connect "$addr" > "$workdir/worker_b.txt" 2>&1 &
+pids+=("$!")
+
+if ! wait "$coord_pid"; then
+    echo "CLUSTER SMOKE FAILED: coordinator exited nonzero" >&2
+    cat "$workdir/coordinator.txt" >&2
+    exit 1
+fi
+wait || true # the workers; the hung one wakes up and exits on its own
+
+echo "==> [3/3] checking recovery stats and journal byte-identity"
+if ! grep -qE 'cluster_(lease_expiries|straggler_dispatches)_total [1-9]' \
+        "$workdir/coordinator.txt"; then
+    echo "CLUSTER SMOKE FAILED: no lease expiry or straggler re-dispatch" \
+         "recorded for the killed worker" >&2
+    cat "$workdir/coordinator.txt" >&2
+    exit 1
+fi
+if ! grep -qE '21/21 cells ok' "$workdir/coordinator.txt"; then
+    echo "CLUSTER SMOKE FAILED: not every cell solved" >&2
+    cat "$workdir/coordinator.txt" >&2
+    exit 1
+fi
+if ! cmp "$workdir/local.jsonl" "$workdir/cluster.jsonl"; then
+    echo "CLUSTER SMOKE FAILED: cluster journal differs from the local reference" >&2
+    diff "$workdir/local.jsonl" "$workdir/cluster.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "==> cluster smoke OK (lease recovery, 21/21 cells, byte-identical journal)"

@@ -32,7 +32,21 @@ if [[ "${1:-}" != "--no-clippy" ]]; then
 fi
 
 echo "==> custom lint: no unwrap/expect/float-eq in solver hot paths"
-targets=(crates/mdp/src/solve/*.rs crates/repro/src/sweep.rs)
+# The cluster runtime (framing, leases, journal) is held to the same
+# contract: a malformed frame or poisoned lock must surface as a structured
+# error, never a panic. jobs.rs is deliberately excluded — it hosts the
+# ported crossval cell whose exact-zero guard is an intentional bitwise
+# comparison, and it has no unwrap-free obligation beyond clippy's.
+targets=(
+    crates/mdp/src/solve/*.rs
+    crates/repro/src/sweep.rs
+    crates/cluster/src/cell.rs
+    crates/cluster/src/coordinator.rs
+    crates/cluster/src/worker.rs
+    crates/cluster/src/protocol.rs
+    crates/journal/src/lib.rs
+    crates/serve/src/net.rs
+)
 for f in "${targets[@]}"; do
     # Strip everything from the first #[cfg(test)] marker on; the lint
     # governs production code only.
