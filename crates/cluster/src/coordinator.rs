@@ -237,6 +237,10 @@ struct State {
     workers: HashMap<u64, WorkerInfo>,
     next_worker: u64,
     done_count: usize,
+    /// True once any cell has failed (remote failure or lost at the
+    /// dispatch cap). Under fail-fast, gates every later hand-out path —
+    /// including requeues — not just the queue drain at first failure.
+    failed: bool,
     /// Reorder-buffer cursor: journal lines are written strictly in input
     /// order; the cursor advances over terminal cells.
     journal_cursor: usize,
@@ -372,6 +376,7 @@ impl Coordinator {
                 workers: HashMap::new(),
                 next_worker: 1,
                 done_count,
+                failed: false,
                 journal_cursor: 0,
                 stats: Stats::default(),
                 fatal: None,
@@ -619,8 +624,13 @@ fn handle_frame(
                 info.last_seen = Instant::now();
             }
             let deadline = Instant::now() + shared.cfg.lease;
+            // Only the lease's own worker may renew it: a stale or guessed
+            // lease id from another connection must not keep a dead
+            // worker's lease alive past the expiry watchdog.
             if let Some(l) = st.leases.get_mut(&lease) {
-                l.deadline = deadline;
+                if Some(l.worker) == *worker_id {
+                    l.deadline = deadline;
+                }
             }
             true
         }
@@ -659,9 +669,14 @@ fn grant_batch(shared: &Shared, tx: &FrameSender, worker: u64, max: u32) -> bool
         let mut straggler = false;
         while picked.len() < take {
             let Some(idx) = st.queue.pop_front() else { break };
+            // A late Done (or fail-fast skip) can land while the index is
+            // still queued; never re-lease a cell that is no longer Queued.
+            if st.cells[idx].status != CellStatus::Queued {
+                continue;
+            }
             picked.push(idx);
         }
-        if picked.is_empty() {
+        if picked.is_empty() && !(shared.cfg.fail_fast && st.failed) {
             // Straggler path: duplicate-dispatch a cell whose only lease
             // is at least half-expired, under the dispatch cap, and not
             // already held by this worker.
@@ -773,20 +788,37 @@ fn handle_done(st: &mut State, shared: &Shared, d: DoneFrame) {
     cell.outstanding = 0;
     let failed = !cell.result.as_ref().is_some_and(|r| r.ok);
     st.done_count += 1;
+    // A lease expiry may have requeued this cell before its late Done
+    // arrived; drop the stale index so it is never re-leased.
+    st.queue.retain(|&q| q != idx);
     // Release the cell from every lease still covering it.
     for lease in st.leases.values_mut() {
         lease.cells.retain(|&c| c != idx);
     }
-    if failed && shared.cfg.fail_fast {
+    if failed {
+        record_failure(st, shared);
+    }
+    advance_journal(st, shared);
+    finish_if_done(st, shared);
+}
+
+/// Records that a cell failed. Under fail-fast this drains the queue
+/// (queued cells are reported skipped) so no further cells are handed
+/// out; [`release_lease`] and [`grant_batch`] consult `st.failed` so
+/// cells requeued *after* the first failure are skipped too.
+fn record_failure(st: &mut State, shared: &Shared) {
+    st.failed = true;
+    if shared.cfg.fail_fast {
         while let Some(q) = st.queue.pop_front() {
             let c = &mut st.cells[q];
+            if c.status != CellStatus::Queued {
+                continue;
+            }
             c.status = CellStatus::Done;
             c.skipped = true;
             st.done_count += 1;
         }
     }
-    advance_journal(st, shared);
-    finish_if_done(st, shared);
 }
 
 /// Releases one lease: unfinished cells are requeued, or marked lost at
@@ -795,6 +827,7 @@ fn release_lease(st: &mut State, shared: &Shared, lease_id: u64) {
     let Some(lease) = st.leases.remove(&lease_id) else { return };
     for idx in lease.cells {
         let max_dispatch = shared.cfg.max_dispatch;
+        let fail_fast_tripped = shared.cfg.fail_fast && st.failed;
         let cell = &mut st.cells[idx];
         if cell.status != CellStatus::Leased {
             continue;
@@ -814,6 +847,12 @@ fn release_lease(st: &mut State, shared: &Shared, lease_id: u64) {
                 elapsed: Duration::ZERO,
             });
             cell.status = CellStatus::Done;
+            st.done_count += 1;
+            record_failure(st, shared);
+        } else if fail_fast_tripped {
+            // The sweep already failed; do not re-dispatch this cell.
+            cell.status = CellStatus::Done;
+            cell.skipped = true;
             st.done_count += 1;
         } else {
             cell.status = CellStatus::Queued;

@@ -181,33 +181,39 @@ impl Cur<'_> {
         if !self.eat(b'"') {
             return None;
         }
-        let mut out = String::new();
+        // Accumulate raw bytes and validate UTF-8 once at the closing
+        // quote: pushing bytes >= 0x80 as chars would mangle multi-byte
+        // UTF-8 sequences (mojibake on keys and failure reasons).
+        let mut out = Vec::new();
         loop {
             let c = *self.b.get(self.i)?;
             self.i += 1;
             match c {
-                b'"' => return Some(out),
+                b'"' => return String::from_utf8(out).ok(),
                 b'\\' => {
                     let e = *self.b.get(self.i)?;
                     self.i += 1;
                     match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
                         b'u' => {
                             let hex = self.b.get(self.i..self.i + 4)?;
                             self.i += 4;
                             let code =
                                 u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(
+                                char::from_u32(code)?.encode_utf8(&mut buf).as_bytes(),
+                            );
                         }
                         _ => return None,
                     }
                 }
-                c => out.push(c as char),
+                c => out.push(c),
             }
         }
     }
@@ -557,6 +563,26 @@ mod tests {
         };
         let parsed = parse_journal_line(&encode_line(&entry, &[])).unwrap();
         assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn non_ascii_keys_and_reasons_roundtrip() {
+        // Multi-byte UTF-8 must survive the byte-level parser unmangled
+        // ("ü" must not come back as "Ã¼") for both raw UTF-8 and \u
+        // escapes.
+        let entry = JournalEntry {
+            fp: 9,
+            key: "τ=0.5 β=½ 日本語".into(),
+            ok: false,
+            attempts: 1,
+            bits: vec![],
+            reason: "solver blew up at τ→∞".into(),
+        };
+        let parsed = parse_journal_line(&encode_line(&entry, &[])).unwrap();
+        assert_eq!(parsed, entry);
+        let escaped = "{\"fp\":\"0000000000000009\",\"key\":\"\\u03c4\",\
+                       \"status\":\"fail\",\"attempts\":1,\"reason\":\"r\"}";
+        assert_eq!(parse_journal_line(escaped).unwrap().key, "τ");
     }
 
     #[test]

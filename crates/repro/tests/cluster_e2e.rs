@@ -27,7 +27,8 @@ use std::time::Duration;
 use bvc_cluster::jobs::workload;
 use bvc_cluster::protocol::{DoneFrame, Frame, PROTO_VERSION};
 use bvc_cluster::{
-    ClusterConfig, ClusterError, ClusterReport, Coordinator, DieMode, WorkerOptions, Workload,
+    CellFailure, ClusterConfig, ClusterError, ClusterReport, Coordinator, DieMode, WorkerOptions,
+    Workload,
 };
 use bvc_repro::sweep::{run_jobs, SweepOptions};
 
@@ -318,6 +319,162 @@ fn conflicting_successful_results_are_a_hard_error() {
         Err(ClusterError::Conflict { .. }) => {}
         other => panic!("expected ClusterError::Conflict, got {other:?}"),
     }
+}
+
+#[test]
+fn late_done_after_lease_expiry_is_accepted_once_not_redispatched() {
+    let wl = stone();
+    let path = tmp_path("late-done-journal");
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        journal: Some(path.clone()),
+        lease: Duration::from_millis(300),
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let addr_raw = addr.clone();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // Claim one cell, stall past lease expiry (the cell is
+            // requeued), then deliver the result late. The late result must
+            // be accepted exactly once and the stale queue index must never
+            // be re-leased: a re-dispatch would hand the healthy worker a
+            // Done cell, whose second (real-bits) result conflicts with the
+            // fabricated one and aborts the sweep.
+            let (mut stream, fps, lease) = claim_cells(&addr_raw, 1);
+            assert_eq!(fps.len(), 1);
+            std::thread::sleep(Duration::from_millis(600));
+            send_raw(&mut stream, &fabricated_done(lease, fps[0], vec![1.5f64.to_bits()]).encode());
+            // Keep the socket open long enough for the frame to be read.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(700));
+            bvc_cluster::run_worker(&addr, &WorkerOptions::default())
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let report = result.expect("late result must not be re-dispatched into a conflict");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert!(
+        stat(&report.stats, "cluster_lease_expiries_total") >= 1,
+        "expected the stalled lease to expire:\n{}",
+        report.stats
+    );
+    let body = std::fs::read_to_string(&path).expect("journal written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(body.lines().count(), 3, "each cell journaled exactly once:\n{body}");
+}
+
+#[test]
+fn fail_fast_skips_cells_requeued_after_the_failure() {
+    let wl = stone();
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        fail_fast: true,
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let addr_worker = addr.clone();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // Claim every cell, fail one, then disconnect: the EOF releases
+            // the two unfinished cells *after* the failure was recorded.
+            // Under fail-fast they must be skipped, not requeued and handed
+            // to the healthy worker.
+            let (mut stream, fps, lease) = claim_cells(&addr, 8);
+            assert_eq!(fps.len(), 3, "stone-sim has three cells");
+            let fail = Frame::Done(DoneFrame {
+                lease,
+                fp: fps[0],
+                key: String::new(),
+                ok: false,
+                attempts: 1,
+                bits: vec![],
+                code: "injected".into(),
+                reason: "injected failure".into(),
+                elapsed_us: 1,
+            });
+            send_raw(&mut stream, &fail.encode());
+            std::thread::sleep(Duration::from_millis(200));
+            drop(stream);
+        });
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            bvc_cluster::run_worker(&addr_worker, &WorkerOptions::default())
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let report = result.expect("fail-fast sweep still reports");
+    let failed = report
+        .cells
+        .iter()
+        .filter(|c| matches!(&c.outcome, Err(CellFailure::Remote { .. })))
+        .count();
+    let skipped =
+        report.cells.iter().filter(|c| matches!(&c.outcome, Err(CellFailure::Skipped))).count();
+    assert_eq!(failed, 1, "the injected failure is reported");
+    assert_eq!(skipped, 2, "cells released after the failure are skipped, not re-dispatched");
+}
+
+#[test]
+fn foreign_heartbeat_cannot_keep_another_workers_lease_alive() {
+    let wl = stone();
+    let cfg = ClusterConfig {
+        config_token: wl.config_token.clone(),
+        lease: Duration::from_millis(300),
+        quiet: true,
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let addr_a = addr.clone();
+    let addr_b = addr.clone();
+    let (lease_tx, lease_rx) = std::sync::mpsc::channel();
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // Worker A claims a cell and goes silent with the socket open.
+            let (_stream, fps, lease) = claim_cells(&addr_a, 1);
+            assert_eq!(fps.len(), 1);
+            lease_tx.send(lease).expect("hand lease id to client B");
+            std::thread::sleep(Duration::from_millis(1500));
+        });
+        scope.spawn(move || {
+            // Client B heartbeats A's lease id from a different connection.
+            // Those renewals must be ignored: A's lease still expires and
+            // its cell is requeued for the healthy worker.
+            let lease = lease_rx.recv().expect("lease id from worker A");
+            let mut stream = TcpStream::connect(&addr_b).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+            send_raw(&mut stream, &Frame::Hello { proto: PROTO_VERSION, threads: 1 }.encode());
+            let Frame::Config(_) = recv_raw(&mut stream) else { panic!("expected config") };
+            for _ in 0..40 {
+                let payload = Frame::Heartbeat { lease }.encode();
+                if stream.write_all(&(payload.len() as u32).to_be_bytes()).is_err()
+                    || stream.write_all(payload.as_bytes()).is_err()
+                {
+                    break; // Coordinator finished and closed the socket.
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(800));
+            bvc_cluster::run_worker(&addr, &WorkerOptions::default())
+        });
+        coordinator.run(wl.label, &wl.jobs)
+    });
+    let report = result.expect("sweep completes despite foreign heartbeats");
+    assert_eq!(report.cells.iter().filter(|c| c.outcome.is_ok()).count(), wl.jobs.len());
+    assert!(
+        stat(&report.stats, "cluster_lease_expiries_total") >= 1,
+        "foreign heartbeats must not stop the lease from expiring:\n{}",
+        report.stats
+    );
 }
 
 #[test]
