@@ -268,7 +268,10 @@ fn main() {
             thread::Builder::new()
                 .name(format!("load-client-{client}"))
                 .spawn(move || run_client(&addr, client, requests, hot_frac))
-                .expect("spawn load client")
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot spawn load client {client}: {e}");
+                    std::process::exit(1);
+                })
         })
         .collect();
 

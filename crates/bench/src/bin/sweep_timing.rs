@@ -17,22 +17,35 @@
 //! $ cargo run --release -p bvc-bench --bin sweep_timing             # setting 1, 1 rep
 //! $ cargo run --release -p bvc-bench --bin sweep_timing -- --quick  # smoke: α = 10% column
 //! $ cargo run --release -p bvc-bench --bin sweep_timing -- --full --reps 3
+//! $ cargo run --release -p bvc-bench --bin sweep_timing -- --full --no-baseline --solve-threads 4
 //! ```
 //!
-//! Also accepts the standard sweep-runner flags (see `bvc_repro::sweep`);
-//! note `--journal` replays cells on every rep after the first, which makes
-//! the timed numbers meaningless — use it only to inspect runner behaviour.
+//! `--no-baseline` skips the nested-layout reference sweep (and with it
+//! the cross-check and speedup line) — the full-grid baseline costs ~10
+//! minutes on a laptop-class core, which swamps iteration on the compiled
+//! path. Also accepts the standard sweep-runner flags (see
+//! `bvc_repro::sweep`), including `--solve-threads`; note `--journal`
+//! replays cells on every rep after the first, which makes the timed
+//! numbers meaningless — use it only to inspect runner behaviour.
 //!
 //! With `--json`, the final line is a single machine-readable timing record
-//! (`{"bench":"sweep_timing",...}`) — `scripts/bench_record.sh` appends it
-//! to the benchmark history.
+//! (`{"bench":"sweep_timing",...}`) with a per-cell breakdown (state count
+//! and wall time per cell, plus the largest cell called out) —
+//! `scripts/bench_record.sh` appends it to the benchmark history.
 
 use bvc_bench::timing::time_runs_cold;
 use bvc_bu::{rewards, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
 use bvc_mdp::solve::reference::maximize_ratio_nested;
 use bvc_mdp::solve::{RatioOptions, RviOptions};
 use bvc_repro::parallel_map;
-use bvc_repro::sweep::{run_sweep, SweepOptions};
+use bvc_repro::sweep::{json_escape, run_sweep, SweepOptions};
+
+/// Prints a structured error and exits with status 2 (usage error), the
+/// same convention as [`SweepOptions::from_cli_or_exit`].
+fn die_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 /// One Table 2 cell: power split and sticky-gate setting.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +92,10 @@ fn build(cell: &SweepCell) -> AttackModel {
         cell.setting,
         IncentiveModel::CompliantProfitDriven,
     );
-    AttackModel::build(cfg).expect("model builds")
+    AttackModel::build(cfg).unwrap_or_else(|e| {
+        eprintln!("error: model for {cell:?} does not build: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// The ratio-solver options `SolveOptions::default()` maps to, duplicated
@@ -96,17 +112,26 @@ fn ratio_opts() -> RatioOptions {
 fn main() {
     let (mut sweep_opts, args) = SweepOptions::from_cli_or_exit(std::env::args().skip(1));
     sweep_opts.config_token = SolveOptions::default().fingerprint_token();
-    let quick = args.iter().any(|a| a == "--quick");
-    let full = args.iter().any(|a| a == "--full");
-    let reps = args
-        .iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| match v.parse() {
-            Ok(r) if r > 0 => r,
-            _ => panic!("--reps takes a positive integer, got {v:?}"),
-        })
-        .unwrap_or(1);
+    let mut quick = false;
+    let mut full = false;
+    let mut no_baseline = false;
+    let mut reps = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => full = true,
+            "--no-baseline" => no_baseline = true,
+            "--reps" => {
+                let v = it.next().unwrap_or_else(|| die_usage("--reps takes a positive integer"));
+                reps = match v.parse() {
+                    Ok(r) if r > 0 => r,
+                    _ => die_usage(&format!("--reps takes a positive integer, got {v:?}")),
+                };
+            }
+            other => die_usage(&format!("unknown sweep_timing flag {other:?}")),
+        }
+    }
 
     let cells = table2_cells(quick, full);
     // Models are built once, outside the clock: both paths consume the same
@@ -126,14 +151,25 @@ fn main() {
     let (num, den) = (rewards::u1_numerator(), rewards::u1_denominator());
 
     // The timed closures keep their last run's values so the two paths can
-    // be cross-checked below without paying for extra sweeps.
+    // be cross-checked below without paying for extra sweeps. With
+    // `--no-baseline` the nested sweep (and its cross-check) is skipped.
     let mut nested_vals = Vec::new();
-    let nested = time_runs_cold(reps, || {
-        nested_vals = parallel_map(models.iter().collect(), |m| {
-            maximize_ratio_nested(m.mdp(), &num, &den, &opts).expect("solver converges").value
+    let nested = if no_baseline {
+        None
+    } else {
+        let t = time_runs_cold(reps, || {
+            nested_vals = parallel_map(models.iter().collect(), |m| {
+                maximize_ratio_nested(m.mdp(), &num, &den, &opts)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: nested baseline solver failed: {e}");
+                        std::process::exit(1);
+                    })
+                    .value
+            });
         });
-    });
-    println!("nested   (baseline): {}  {:>7.2} cells/s", nested.summary(), nested.throughput(n));
+        println!("nested   (baseline): {}  {:>7.2} cells/s", t.summary(), t.throughput(n));
+        Some(t)
+    };
 
     let indices: Vec<usize> = (0..n).collect();
     let mut last_report = None;
@@ -155,16 +191,21 @@ fn main() {
             },
         ));
     });
-    let report = last_report.expect("at least one rep ran");
+    let report = last_report.unwrap_or_else(|| {
+        eprintln!("error: no sweep rep ran (reps = {reps})");
+        std::process::exit(1);
+    });
     println!(
         "compiled (CSR):      {}  {:>7.2} cells/s",
         compiled.summary(),
         compiled.throughput(n)
     );
-    println!(
-        "speedup: {:.2}x (min-over-min wall clock)",
-        nested.min().as_secs_f64() / compiled.min().as_secs_f64()
-    );
+    if let Some(nested) = &nested {
+        println!(
+            "speedup: {:.2}x (min-over-min wall clock)",
+            nested.min().as_secs_f64() / compiled.min().as_secs_f64()
+        );
+    }
     println!("{}", report.summary());
     print!("{}", report.failure_legend());
     if sweep_opts.json {
@@ -176,21 +217,75 @@ fn main() {
     }
 
     // Guard against the two paths silently diverging while we time them.
-    let compiled_vals: Vec<f64> =
-        (0..n).map(|i| *report.value(i).expect("no failures above")).collect();
-    let max_dev =
-        nested_vals.iter().zip(&compiled_vals).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
-    assert!(max_dev < 1e-9, "paths diverged: max |Δu1| = {max_dev:e}");
-    println!("paths agree: max |Δu1| = {max_dev:.1e} over {n} cells");
+    if nested.is_some() {
+        let compiled_vals: Vec<f64> = (0..n)
+            .map(|i| {
+                *report.value(i).unwrap_or_else(|| {
+                    eprintln!("error: cell {i} has no value despite a clean report");
+                    std::process::exit(1);
+                })
+            })
+            .collect();
+        let max_dev = nested_vals
+            .iter()
+            .zip(&compiled_vals)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        // `<` (not `>=`) so a NaN deviation also counts as divergence.
+        let agree = max_dev < 1e-9;
+        if !agree {
+            eprintln!("error: paths diverged: max |Δu1| = {max_dev:e}");
+            std::process::exit(1);
+        }
+        println!("paths agree: max |Δu1| = {max_dev:.1e} over {n} cells");
+    }
     if sweep_opts.json {
-        println!(
+        // The per-cell breakdown times each cell from the *last* rep (the
+        // runner re-solves every cell per rep); the largest cell is the
+        // shard-kernel stress case, so its wall time is called out.
+        let workers = sweep_opts
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        let solve_threads = if workers > 1 { 1 } else { sweep_opts.solve_threads.max(1) };
+        let largest = (0..n)
+            .max_by_key(|&i| models[i].num_states())
+            .unwrap_or_else(|| die_usage("no cells selected"));
+        let mut record = format!(
             "{{\"bench\":\"sweep_timing\",\"cells\":{n},\"states\":{states},\"reps\":{reps},\
-             \"nested_min_s\":{:.6},\"compiled_min_s\":{:.6},\"speedup\":{:.4},\
-             \"cells_per_s\":{:.3}}}",
-            nested.min().as_secs_f64(),
-            compiled.min().as_secs_f64(),
-            nested.min().as_secs_f64() / compiled.min().as_secs_f64(),
-            compiled.throughput(n)
+             \"threads\":{workers},\"solve_threads\":{solve_threads},"
         );
+        match &nested {
+            Some(nested) => {
+                record.push_str(&format!(
+                    "\"nested_min_s\":{:.6},\"speedup\":{:.4},",
+                    nested.min().as_secs_f64(),
+                    nested.min().as_secs_f64() / compiled.min().as_secs_f64(),
+                ));
+            }
+            None => record.push_str("\"nested_min_s\":null,\"speedup\":null,"),
+        }
+        record.push_str(&format!(
+            "\"compiled_min_s\":{:.6},\"cells_per_s\":{:.3},\
+             \"largest_cell\":{{\"key\":\"{}\",\"states\":{},\"elapsed_s\":{:.6}}},\
+             \"cell_breakdown\":[",
+            compiled.min().as_secs_f64(),
+            compiled.throughput(n),
+            json_escape(&report.cells[largest].key),
+            models[largest].num_states(),
+            report.cells[largest].elapsed.as_secs_f64(),
+        ));
+        for (i, c) in report.cells.iter().enumerate() {
+            if i > 0 {
+                record.push(',');
+            }
+            record.push_str(&format!(
+                "{{\"key\":\"{}\",\"states\":{},\"elapsed_s\":{:.6}}}",
+                json_escape(&c.key),
+                models[i].num_states(),
+                c.elapsed.as_secs_f64(),
+            ));
+        }
+        record.push_str("]}");
+        println!("{record}");
     }
 }

@@ -27,6 +27,13 @@ pub struct SolveOptions {
     /// before solving; a model failing any check makes the solve return
     /// [`MdpError::AuditFailed`]. Off by default.
     pub audit: bool,
+    /// Worker threads inside each Bellman sweep; `0`/`1` mean
+    /// single-threaded. Bit-identical for every value, so excluded from
+    /// [`SolveOptions::fingerprint_token`].
+    pub solve_threads: usize,
+    /// Minimum states per intra-solve shard (see
+    /// [`bvc_mdp::DEFAULT_SHARD_MIN_STATES`]). Excluded from the token.
+    pub shard_min_states: usize,
 }
 
 impl Default for SolveOptions {
@@ -39,6 +46,8 @@ impl Default for SolveOptions {
             aperiodicity_tau: rvi.aperiodicity_tau,
             budget: SolveBudget::unlimited(),
             audit: false,
+            solve_threads: 1,
+            shard_min_states: bvc_mdp::DEFAULT_SHARD_MIN_STATES,
         }
     }
 }
@@ -50,6 +59,8 @@ impl SolveOptions {
             max_iterations: self.max_iterations,
             aperiodicity_tau: self.aperiodicity_tau,
             budget: self.budget.clone(),
+            solve_threads: self.solve_threads,
+            shard_min_states: self.shard_min_states,
             ..Default::default()
         }
     }

@@ -28,6 +28,10 @@ pub struct ServeCmd {
     /// Journals to preload, as `table=path` pairs (`--preload`, repeatable
     /// via commas).
     pub preload: Vec<(String, PathBuf)>,
+    /// Worker threads inside each cold solve's Bellman sweeps
+    /// (`--solve-threads`, default 1; bit-identical results, so cache keys
+    /// are unaffected).
+    pub solve_threads: usize,
 }
 
 /// Parses the subcommand's flags.
@@ -64,6 +68,7 @@ pub fn parse(args: &Args) -> Result<ServeCmd, ArgError> {
         queue_cap: args.get_or("queue-cap", 8usize)?,
         deadline_s,
         preload,
+        solve_threads: args.get_or("solve-threads", 1usize)?.max(1),
     })
 }
 
@@ -82,6 +87,7 @@ pub fn run(cmd: &ServeCmd) -> Result<(), String> {
         },
         read_timeout: Duration::from_secs(5),
         preload: cmd.preload.clone(),
+        solve_threads: cmd.solve_threads,
     };
     let server = start(config).map_err(|e| format!("failed to start server: {e}"))?;
     let preloaded = server.service.metrics.preloaded.load(std::sync::atomic::Ordering::Relaxed);
@@ -125,8 +131,11 @@ mod tests {
             "1.5",
             "--preload",
             "table2=a.jsonl,table3=b.jsonl",
+            "--solve-threads",
+            "2",
         ])
         .unwrap();
+        assert_eq!(cmd.solve_threads, 2);
         assert_eq!(cmd.addr, "127.0.0.1:0");
         assert_eq!(cmd.workers, 2);
         assert_eq!(cmd.queue_cap, 0);

@@ -12,11 +12,18 @@ pub struct SolveCmd {
     pub config: AttackConfig,
     /// Whether to print the phase-1 action map.
     pub show_policy: bool,
+    /// Worker threads inside each Bellman sweep (`--solve-threads`,
+    /// default 1; bit-identical results for every value).
+    pub solve_threads: usize,
 }
 
 /// Parses the subcommand's flags.
 pub fn parse(args: &Args) -> Result<SolveCmd, ArgError> {
-    Ok(SolveCmd { config: parse_attack_config(args)?, show_policy: args.has("show-policy") })
+    Ok(SolveCmd {
+        config: parse_attack_config(args)?,
+        show_policy: args.has("show-policy"),
+        solve_threads: args.get_or("solve-threads", 1usize)?.max(1),
+    })
 }
 
 /// Parses the model-defining flags shared by `bvc solve` and `bvc audit`
@@ -65,7 +72,7 @@ pub fn run(cmd: &SolveCmd) -> Result<(), String> {
     }
     let model = AttackModel::build(cfg.clone()).map_err(|e| e.to_string())?;
     println!("state space: {} states", model.num_states());
-    let opts = SolveOptions::default();
+    let opts = SolveOptions { solve_threads: cmd.solve_threads, ..SolveOptions::default() };
     let (label, sol) = match cfg.incentive {
         IncentiveModel::CompliantProfitDriven => (
             "max relative revenue u1",
@@ -123,8 +130,11 @@ mod tests {
             "--gate",
             "24",
             "--show-policy",
+            "--solve-threads",
+            "4",
         ]))
         .unwrap();
+        assert_eq!(cmd.solve_threads, 4);
         assert_eq!(cmd.config.alpha, 0.1);
         assert!(cmd.config.beta < cmd.config.gamma);
         assert_eq!(cmd.config.setting, Setting::Two);

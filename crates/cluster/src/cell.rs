@@ -123,6 +123,14 @@ pub struct CellContext {
     /// Whether the sweep requested a pre-solve model audit;
     /// [`TunableSolve`] impls whose options carry an audit gate forward it.
     pub audit: bool,
+    /// Worker threads inside each Bellman sweep (`0`/`1` = single-threaded).
+    /// A pure throughput knob: results are bit-identical for every value,
+    /// so it is never part of cell fingerprints and never ships over the
+    /// cluster wire (each worker applies its own local setting).
+    pub solve_threads: usize,
+    /// Minimum states per intra-solve shard; `0` keeps the solver default
+    /// ([`bvc_mdp::DEFAULT_SHARD_MIN_STATES`]).
+    pub shard_min_states: usize,
 }
 
 impl CellContext {
@@ -156,6 +164,10 @@ impl TunableSolve for RviOptions {
         self.max_iterations = scale_iterations(self.max_iterations, ctx.iteration_scale);
         self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
         self.budget = ctx.budget.clone();
+        self.solve_threads = ctx.solve_threads.max(1);
+        if ctx.shard_min_states > 0 {
+            self.shard_min_states = ctx.shard_min_states;
+        }
     }
 }
 
@@ -171,6 +183,10 @@ impl TunableSolve for bvc_bu::SolveOptions {
         self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
         self.budget = ctx.budget.clone();
         self.audit = ctx.audit;
+        self.solve_threads = ctx.solve_threads.max(1);
+        if ctx.shard_min_states > 0 {
+            self.shard_min_states = ctx.shard_min_states;
+        }
     }
 }
 
@@ -180,6 +196,10 @@ impl TunableSolve for bvc_bitcoin::SolveOptions {
         self.aperiodicity_tau = bump_tau(self.aperiodicity_tau, ctx.tau_offset);
         self.budget = ctx.budget.clone();
         self.audit = ctx.audit;
+        self.solve_threads = ctx.solve_threads.max(1);
+        if ctx.shard_min_states > 0 {
+            self.shard_min_states = ctx.shard_min_states;
+        }
     }
 }
 
@@ -195,6 +215,15 @@ pub struct CellRunConfig {
     pub cell_deadline: Option<Duration>,
     /// Run the static model audit before each cell's solve.
     pub audit: bool,
+    /// Worker threads inside each Bellman sweep, forwarded into every
+    /// [`CellContext`]. Deliberately NOT part of the coordinator's config
+    /// frame: it changes throughput, never results, so each worker applies
+    /// its own local `--solve-threads` instead of inheriting the
+    /// coordinator's.
+    pub solve_threads: usize,
+    /// Minimum states per intra-solve shard (`0` = solver default); also
+    /// worker-local, like `solve_threads`.
+    pub shard_min_states: usize,
     /// Fault injection: cells whose key contains any of these substrings
     /// panic instead of solving. Testing/smoke only.
     pub inject_panic: Vec<String>,
@@ -233,6 +262,8 @@ pub fn run_cell_attempts<T>(
             iteration_scale: cfg.retry.iteration_growth.powi(attempt as i32),
             tau_offset: f64::from(attempt) * cfg.retry.tau_step,
             audit: cfg.audit,
+            solve_threads: cfg.solve_threads,
+            shard_min_states: cfg.shard_min_states,
         };
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {

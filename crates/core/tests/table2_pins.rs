@@ -12,11 +12,15 @@
 
 use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
 
-fn u1(alpha: f64, ratio: (u32, u32)) -> f64 {
+fn u1_with(alpha: f64, ratio: (u32, u32), opts: &SolveOptions) -> f64 {
     let cfg =
         AttackConfig::with_ratio(alpha, ratio, Setting::One, IncentiveModel::CompliantProfitDriven);
     let model = AttackModel::build(cfg).expect("model builds");
-    model.optimal_relative_revenue(&SolveOptions::default()).expect("solver converges").value
+    model.optimal_relative_revenue(opts).expect("solver converges").value
+}
+
+fn u1(alpha: f64, ratio: (u32, u32)) -> f64 {
+    u1_with(alpha, ratio, &SolveOptions::default())
 }
 
 /// Table 2, setting 1, α = 25%, β:γ = 2:3 — published 0.2739.
@@ -40,4 +44,28 @@ fn table2_alpha10_1to3_compiled() {
     let v = u1(0.10, (1, 3));
     assert!((v - 0.1026).abs() < 5e-4, "expected ≈ 0.1026, got {v:.4}");
     assert!(v > 0.10, "u1 must strictly exceed α");
+}
+
+/// The same pins solved through the sharded Bellman kernel
+/// (`solve_threads: 4`, sharding forced down to 1-state shards) — the
+/// threaded path must reproduce the published table BIT-identically, not
+/// just within tolerance, per the kernel's determinism contract.
+#[test]
+fn table2_pins_bit_identical_through_threaded_path() {
+    let threaded = SolveOptions { solve_threads: 4, shard_min_states: 1, ..Default::default() };
+    for (alpha, ratio, published) in
+        [(0.25, (2, 3), 0.2739), (0.15, (1, 2), 0.1562), (0.10, (1, 3), 0.1026)]
+    {
+        let serial = u1(alpha, ratio);
+        let parallel = u1_with(alpha, ratio, &threaded);
+        assert_eq!(
+            parallel.to_bits(),
+            serial.to_bits(),
+            "α={alpha} β:γ={ratio:?}: threaded u1 {parallel} != serial u1 {serial}"
+        );
+        assert!(
+            (parallel - published).abs() < 5e-4,
+            "α={alpha} β:γ={ratio:?}: expected ≈ {published}, got {parallel:.4}"
+        );
+    }
 }

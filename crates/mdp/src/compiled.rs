@@ -30,6 +30,7 @@
 
 use crate::error::MdpError;
 use crate::model::{Mdp, Objective, Policy, StateId};
+use crate::shard::{effective_threads, run_chunked, SCALARIZE_MIN_ARMS};
 
 /// A validated, flattened, solver-ready MDP (see the module docs).
 #[derive(Debug, Clone)]
@@ -51,6 +52,11 @@ pub struct CompiledMdp {
     /// transition `t` lives at `t * reward_components + c`. Length
     /// `num_transitions * reward_components`.
     rewards: Vec<f64>,
+    /// Every state exactly once, in breadth-first order from state 0
+    /// (states unreachable from it follow in index order). Length
+    /// `num_states`. Precomputed here so the prioritized Gauss-Seidel
+    /// sweep costs nothing per solve.
+    bfs_order: Vec<u32>,
 }
 
 impl CompiledMdp {
@@ -93,6 +99,7 @@ impl CompiledMdp {
             arm_offsets.push(arm_labels.len() as u32);
         }
 
+        let bfs_order = bfs_from_base(&arm_offsets, &tr_offsets, &next, n);
         Ok(CompiledMdp {
             reward_components: k,
             arm_offsets,
@@ -101,6 +108,7 @@ impl CompiledMdp {
             next,
             prob,
             rewards,
+            bfs_order,
         })
     }
 
@@ -197,6 +205,14 @@ impl CompiledMdp {
         &self.rewards
     }
 
+    /// Every state exactly once, in breadth-first order from state 0
+    /// (unreachable states follow in index order) — the sweep order of the
+    /// prioritized Gauss-Seidel solver mode.
+    #[inline]
+    pub fn bfs_order(&self) -> &[u32] {
+        &self.bfs_order
+    }
+
     /// Checks that `policy` selects a valid action index for every state
     /// (compiled counterpart of [`Mdp::validate_policy`]).
     pub fn validate_policy(&self, policy: &Policy) -> Result<(), MdpError> {
@@ -229,23 +245,48 @@ impl CompiledMdp {
     /// weights rewards by transition probability), so collapsing the strided
     /// reward buffer happens exactly once per sweep, outside all hot loops.
     pub fn scalarize_into(&self, objective: &Objective, out: &mut Vec<f64>) {
-        let k = self.reward_components;
+        self.scalarize_into_threaded(objective, out, 1);
+    }
+
+    /// [`CompiledMdp::scalarize_into`] with the arm range sharded across up
+    /// to `threads` scoped threads (each arm's accumulation is independent
+    /// and serial, so the result is bit-identical for every thread count).
+    /// Extra threads only engage when every shard keeps enough arms for the
+    /// spawn cost to pay off; `0`/`1` stay on the calling thread.
+    pub fn scalarize_into_threaded(
+        &self,
+        objective: &Objective,
+        out: &mut Vec<f64>,
+        threads: usize,
+    ) {
         let w = &objective.weights;
-        debug_assert_eq!(w.len(), k, "objective arity mismatch");
+        debug_assert_eq!(w.len(), self.reward_components, "objective arity mismatch");
+        let arms = self.num_arms();
         out.clear();
-        out.reserve(self.num_arms());
-        for arm in 0..self.num_arms() {
-            let mut acc = 0.0;
-            for t in self.transition_range(arm) {
-                let r = &self.rewards[t * k..(t + 1) * k];
-                let mut dot = 0.0;
-                for (rc, wc) in r.iter().zip(w) {
-                    dot += rc * wc;
-                }
-                acc += self.prob[t] * dot;
+        out.resize(arms, 0.0);
+        let shards = effective_threads(threads, arms, SCALARIZE_MIN_ARMS);
+        run_chunked(out, shards, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.scalarize_arm(start + i, w);
             }
-            out.push(acc);
+        });
+    }
+
+    /// Expected immediate scalar reward of one arm under weights `w`:
+    /// `Σ_t p_t · ⟨w, r_t⟩`, accumulated serially in CSR order.
+    #[inline]
+    fn scalarize_arm(&self, arm: usize, w: &[f64]) -> f64 {
+        let k = self.reward_components;
+        let mut acc = 0.0;
+        for t in self.transition_range(arm) {
+            let r = &self.rewards[t * k..(t + 1) * k];
+            let mut dot = 0.0;
+            for (rc, wc) in r.iter().zip(w) {
+                dot += rc * wc;
+            }
+            acc += self.prob[t] * dot;
         }
+        acc
     }
 
     /// Allocating convenience wrapper for [`CompiledMdp::scalarize_into`].
@@ -264,10 +305,25 @@ impl CompiledMdp {
         denominator: &Objective,
         rho: f64,
     ) -> Vec<f64> {
-        let exp_num = self.scalarize(numerator);
-        let exp_den = self.scalarize(denominator);
+        self.scalarize_ratio_threaded(numerator, denominator, rho, 1)
+    }
+
+    /// [`CompiledMdp::scalarize_ratio`] with both component scalarizations
+    /// and the combine sharded across up to `threads` threads
+    /// (bit-identical for every thread count).
+    pub fn scalarize_ratio_threaded(
+        &self,
+        numerator: &Objective,
+        denominator: &Objective,
+        rho: f64,
+        threads: usize,
+    ) -> Vec<f64> {
+        let mut exp_num = Vec::new();
+        let mut exp_den = Vec::new();
+        self.scalarize_into_threaded(numerator, &mut exp_num, threads);
+        self.scalarize_into_threaded(denominator, &mut exp_den, threads);
         let mut out = vec![0.0; self.num_arms()];
-        Self::combine_scalarized_into(&exp_num, &exp_den, rho, &mut out);
+        Self::combine_scalarized_into_threaded(&exp_num, &exp_den, rho, &mut out, threads);
         out
     }
 
@@ -282,6 +338,29 @@ impl CompiledMdp {
         for ((o, n), d) in out.iter_mut().zip(exp_num).zip(exp_den) {
             *o = n - rho * d;
         }
+    }
+
+    /// [`CompiledMdp::combine_scalarized_into`] sharded across up to
+    /// `threads` threads. Elementwise, so bit-identical for every thread
+    /// count; extra threads only engage above the same arm-count threshold
+    /// as the threaded scalarization.
+    pub fn combine_scalarized_into_threaded(
+        exp_num: &[f64],
+        exp_den: &[f64],
+        rho: f64,
+        out: &mut [f64],
+        threads: usize,
+    ) {
+        debug_assert_eq!(exp_num.len(), exp_den.len());
+        debug_assert_eq!(exp_num.len(), out.len());
+        let shards = effective_threads(threads, out.len(), SCALARIZE_MIN_ARMS);
+        run_chunked(out, shards, |start, chunk| {
+            let num = &exp_num[start..start + chunk.len()];
+            let den = &exp_den[start..start + chunk.len()];
+            for ((o, n), d) in chunk.iter_mut().zip(num).zip(den) {
+                *o = n - rho * d;
+            }
+        });
     }
 
     /// Expected *per-component* immediate reward of every arm, arm-major
@@ -303,6 +382,37 @@ impl CompiledMdp {
         }
         out
     }
+}
+
+/// Breadth-first order over states from state 0, following the CSR
+/// transition structure; states unreachable from the base are appended in
+/// index order so the result is a permutation of `0..n`.
+fn bfs_from_base(arm_offsets: &[u32], tr_offsets: &[u32], next: &[u32], n: usize) -> Vec<u32> {
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    if n > 0 {
+        seen[0] = true;
+        order.push(0u32);
+        let mut head = 0usize;
+        while head < order.len() {
+            let s = order[head] as usize;
+            head += 1;
+            let t0 = tr_offsets[arm_offsets[s] as usize] as usize;
+            let t1 = tr_offsets[arm_offsets[s + 1] as usize] as usize;
+            for &to in &next[t0..t1] {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
+                    order.push(to);
+                }
+            }
+        }
+    }
+    for (s, was_seen) in seen.iter().enumerate() {
+        if !was_seen {
+            order.push(s as u32);
+        }
+    }
+    order
 }
 
 #[cfg(test)]
@@ -434,6 +544,51 @@ mod tests {
         // Arm 2: [0.25·0 + 0.75·1, 0.25·4 + 0.75·1] = [0.75, 1.75].
         assert!((e[4] - 0.75).abs() < 1e-15);
         assert!((e[5] - 1.75).abs() < 1e-15);
+    }
+
+    /// BFS order visits states level by level from the base state and is a
+    /// permutation of `0..n` even with unreachable states.
+    #[test]
+    fn bfs_order_is_breadth_first_permutation() {
+        // 0 -> {2, 3}, 2 -> 1, 3 -> 3 (and 1 -> 0); 4 unreachable-from-0
+        // but points somewhere valid so the model compiles.
+        let mut m = Mdp::new(1);
+        for _ in 0..5 {
+            m.add_state();
+        }
+        m.add_action(
+            0,
+            0,
+            vec![Transition::new(2, 0.5, vec![0.0]), Transition::new(3, 0.5, vec![0.0])],
+        );
+        m.add_action(1, 0, vec![Transition::new(0, 1.0, vec![0.0])]);
+        m.add_action(2, 0, vec![Transition::new(1, 1.0, vec![0.0])]);
+        m.add_action(3, 0, vec![Transition::new(3, 1.0, vec![0.0])]);
+        m.add_action(4, 0, vec![Transition::new(0, 1.0, vec![0.0])]);
+        let c = CompiledMdp::compile(&m).unwrap();
+        assert_eq!(c.bfs_order(), &[0, 2, 3, 1, 4]);
+    }
+
+    /// Threaded scalarization and combine are bit-identical to the serial
+    /// versions for every thread count (the threshold keeps the sample model
+    /// single-threaded, but the dispatch path is still exercised).
+    #[test]
+    fn threaded_scalarize_matches_serial_bitwise() {
+        let c = CompiledMdp::compile(&sample_mdp()).unwrap();
+        let obj = Objective::new(vec![1.0, -0.5]);
+        let serial = c.scalarize(&obj);
+        for threads in [0usize, 1, 2, 7] {
+            let mut out = Vec::new();
+            c.scalarize_into_threaded(&obj, &mut out, threads);
+            assert_eq!(serial, out, "threads={threads}");
+        }
+        let n = Objective::component(0, 2);
+        let d = Objective::component(1, 2);
+        let serial_ratio = c.scalarize_ratio(&n, &d, 0.375);
+        for threads in [2usize, 7] {
+            let ratio = c.scalarize_ratio_threaded(&n, &d, 0.375, threads);
+            assert_eq!(serial_ratio, ratio, "threads={threads}");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod compiled;
 pub mod error;
 pub mod indexer;
 pub mod model;
+mod shard;
 pub mod solve;
 
 pub use audit::{
@@ -58,3 +59,4 @@ pub use compiled::CompiledMdp;
 pub use error::MdpError;
 pub use indexer::{explore, ActionSpec, Explored, StateIndexer};
 pub use model::{ActionArm, ActionId, Mdp, Objective, Policy, StateId, Transition};
+pub use shard::DEFAULT_SHARD_MIN_STATES;

@@ -1,0 +1,250 @@
+//! Shard machinery for intra-solve parallelism: state-range partitioning,
+//! the shared-atomic bias buffers the sharded Bellman sweeps run in, and a
+//! one-shot parallel driver for elementwise kernels.
+//!
+//! ## Why results are bit-identical for every thread count
+//!
+//! The sharded sweeps are *Jacobi* iterations: every state's update reads
+//! only the previous iterate (`src`) and writes one disjoint slot of the
+//! next iterate (`dst`). The value written for state `s` is a pure function
+//! of `src` and the model — it cannot depend on how the state range was
+//! partitioned or which thread computed it. The only cross-shard reduction
+//! is the span seminorm, reduced with `f64::min`/`f64::max`, which are
+//! commutative and associative over the finite values a validated model
+//! produces — so the reduced `(lo, hi)` pair is independent of shard count
+//! and arrival order. Everything downstream (convergence test, gain,
+//! normalization offset) is computed from `dst` and `(lo, hi)` alone.
+//!
+//! Shared mutable state uses `AtomicU64`-of-bits buffers ([`AtomicBias`])
+//! rather than `&mut` slices: workers persist across iterations inside one
+//! solve (buffers swap roles every sweep), which safe Rust cannot express
+//! with reborrowed disjoint `&mut` splits. All accesses are `Relaxed`; the
+//! per-iteration channel rendezvous between coordinator and workers
+//! provides the happens-before edges.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum states a shard must hold before an extra worker thread is
+/// engaged (the default for `RviOptions::shard_min_states`). Below this,
+/// per-iteration barrier costs outweigh the sweep work.
+pub const DEFAULT_SHARD_MIN_STATES: usize = 1024;
+
+/// Minimum arms per shard for the one-shot parallel scalarization helpers.
+/// Scalarization is a single cheap pass, so the bar for spawning is much
+/// higher than for iterated sweeps.
+pub(crate) const SCALARIZE_MIN_ARMS: usize = 1 << 16;
+
+/// States a shard worker processes between cancel-flag polls, so a raised
+/// flag stops a multi-threaded sweep at chunk granularity rather than at
+/// the next iteration boundary.
+pub(crate) const CANCEL_POLL_CHUNK: usize = 1024;
+
+/// Effective intra-solve thread count: the requested count, capped so each
+/// shard keeps at least `min_states` states (and never below 1).
+pub(crate) fn effective_threads(requested: usize, n: usize, min_states: usize) -> usize {
+    let cap = n / min_states.max(1);
+    requested.max(1).min(cap.max(1))
+}
+
+/// Partitions `0..n` into `shards` contiguous ranges, balanced by the
+/// per-state weights (transition counts for Bellman sweeps), so the wall
+/// clock of a sweep is set by work, not state count. Deterministic in the
+/// model and shard count — and irrelevant to results either way (see the
+/// module docs).
+pub(crate) fn shard_ranges(
+    weights: impl Fn(usize) -> usize,
+    n: usize,
+    shards: usize,
+) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.max(1).min(n);
+    let total: u128 = (0..n).map(&weights).map(|w| w as u128).sum();
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut acc = 0u128;
+    for k in 0..shards {
+        // Every remaining shard must keep at least one state.
+        let max_end = n - (shards - k - 1);
+        // Ideal cumulative weight at the end of shard k.
+        let target = total * (k as u128 + 1) / shards as u128;
+        let mut end = start + 1;
+        acc += weights(start) as u128;
+        while end < max_end && acc < target {
+            acc += weights(end) as u128;
+            end += 1;
+        }
+        if k + 1 == shards {
+            end = n;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// A bias vector stored as `f64` bit patterns in atomics, so shard workers
+/// can share it by `&` reference across sweep iterations. `Relaxed` loads
+/// and stores compile to plain moves on the targets we care about; the
+/// cross-thread ordering comes from the coordinator's channel rendezvous.
+pub(crate) struct AtomicBias(Vec<AtomicU64>);
+
+impl AtomicBias {
+    /// A buffer of `n` zeros.
+    pub(crate) fn zeros(n: usize) -> Self {
+        AtomicBias((0..n).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// Overwrites the buffer with `src` (lengths must match).
+    pub(crate) fn copy_from(&self, src: &[f64]) {
+        debug_assert_eq!(self.0.len(), src.len());
+        for (slot, &v) in self.0.iter().zip(src) {
+            slot.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the buffer out into `dst` (lengths must match).
+    pub(crate) fn copy_to(&self, dst: &mut [f64]) {
+        debug_assert_eq!(self.0.len(), dst.len());
+        for (slot, v) in self.0.iter().zip(dst) {
+            *v = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline(always)]
+    pub(crate) fn set(&self, i: usize, v: f64) {
+        self.0[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Read access to a bias iterate, abstracting plain slices (single-thread
+/// sweeps) and [`AtomicBias`] (sharded sweeps). `#[inline(always)]`
+/// monomorphization makes both compile to the same plain loads, so the two
+/// paths execute identical arithmetic.
+pub(crate) trait BiasRead: Sync {
+    /// The bias value of state `i`.
+    fn get(&self, i: usize) -> f64;
+}
+
+impl BiasRead for [f64] {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        self[i]
+    }
+}
+
+impl BiasRead for AtomicBias {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        AtomicBias::get(self, i)
+    }
+}
+
+/// Runs `work` over `out` split into `shards` contiguous chunks, one scoped
+/// thread per extra chunk. `work` receives the chunk's global start index
+/// and the chunk itself; chunks are disjoint, so no synchronization beyond
+/// the scope join is needed. Used by the one-shot scalarization helpers —
+/// iterated sweeps use the persistent worker pool in `solve::rvi` instead.
+pub(crate) fn run_chunked<F>(out: &mut [f64], shards: usize, work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let n = out.len();
+    let shards = shards.max(1).min(n.max(1));
+    if shards <= 1 {
+        work(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(shards);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        let work = &work;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let s = start;
+            scope.spawn(move || work(s, head));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_caps_by_state_count() {
+        assert_eq!(effective_threads(4, 10_000, 1024), 4);
+        assert_eq!(effective_threads(8, 3000, 1024), 2);
+        assert_eq!(effective_threads(8, 500, 1024), 1);
+        assert_eq!(effective_threads(0, 500, 1024), 1);
+        assert_eq!(effective_threads(4, 0, 1024), 1);
+        assert_eq!(effective_threads(3, 6, 0), 3);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [1usize, 2, 7, 100, 1001] {
+            for shards in [1usize, 2, 3, 7, 16] {
+                let ranges = shard_ranges(|s| 1 + s % 5, n, shards);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} shards={shards} {ranges:?}");
+                    assert!(r.end > r.start, "empty shard: n={n} shards={shards} {ranges:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= shards);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_balance_by_weight() {
+        // One heavy state at the front: the first shard should hold little
+        // else.
+        let w = |s: usize| if s == 0 { 1000 } else { 1 };
+        let ranges = shard_ranges(w, 100, 4);
+        assert_eq!(ranges.len(), 4);
+        assert!(ranges[0].len() <= 40, "{ranges:?}");
+    }
+
+    #[test]
+    fn atomic_bias_roundtrips_bit_patterns() {
+        let vals = [1.5, -0.0, f64::NAN, f64::INFINITY, 2.25];
+        let buf = AtomicBias::zeros(vals.len());
+        buf.copy_from(&vals);
+        let mut out = vec![0.0; vals.len()];
+        buf.copy_to(&mut out);
+        for (a, b) in vals.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        buf.set(1, 42.0);
+        assert_eq!(buf.get(1), 42.0);
+    }
+
+    #[test]
+    fn run_chunked_touches_every_slot_once() {
+        for shards in [1usize, 2, 3, 8] {
+            let mut out = vec![0.0f64; 37];
+            run_chunked(&mut out, shards, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + i) as f64 + 1.0;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f64 + 1.0, "shards={shards}");
+            }
+        }
+    }
+}

@@ -7,6 +7,14 @@
 //! improvement. It typically converges in a handful of improvement steps
 //! and serves as a cross-check on RVI in the test suite (two very
 //! different iteration schemes agreeing on the same gain).
+//!
+//! Unlike the RVI kernel, this solver is deliberately not sharded across
+//! threads: its evaluation step runs the power method of
+//! [`crate::solve::eval`], whose `pi P` product *scatters* each state's
+//! mass over its successors (writes land at data-dependent indices), so a
+//! disjoint-output decomposition like the Bellman sweep's does not exist.
+//! It is a test-suite cross-check, not a sweep workhorse, so single-thread
+//! cost is acceptable.
 
 use crate::budget::SolveBudget;
 use crate::compiled::CompiledMdp;

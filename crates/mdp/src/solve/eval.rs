@@ -5,6 +5,13 @@
 //! for a single optimal policy, and to cross-check optimizing solvers: the
 //! gain reported by [`crate::solve::rvi`] must equal the scalarized
 //! component rates of the policy it returns.
+//!
+//! Not sharded across threads (unlike the RVI kernel): the power-method
+//! step `pi <- pi P` is a *scatter* — each state writes probability mass
+//! to data-dependent successor indices — so per-thread output slices
+//! would overlap. A gather formulation would need the transposed chain,
+//! which [`CompiledMdp`] does not store. Policy evaluation runs once per
+//! reported cell, so its cost is immaterial next to the solve.
 
 use crate::compiled::CompiledMdp;
 use crate::error::MdpError;

@@ -105,9 +105,13 @@ pub fn maximize_ratio_compiled(
     let n = compiled.num_states();
 
     // Scalarize both functionals once; every rho after this is a vector
-    // combine over these two arrays.
-    let exp_num = compiled.scalarize(numerator);
-    let exp_den = compiled.scalarize(denominator);
+    // combine over these two arrays. Both passes shard across the inner
+    // solver's thread budget on large models (bit-identical either way).
+    let solve_threads = opts.rvi.solve_threads;
+    let mut exp_num = Vec::new();
+    let mut exp_den = Vec::new();
+    compiled.scalarize_into_threaded(numerator, &mut exp_num, solve_threads);
+    compiled.scalarize_into_threaded(denominator, &mut exp_den, solve_threads);
     let mut exp_w = vec![0.0f64; compiled.num_arms()];
 
     // Persistent solver state. `h` carries the bias across bisection steps
@@ -133,7 +137,13 @@ pub fn maximize_ratio_compiled(
                         h_next: &mut Vec<f64>,
                         policy: &mut Policy|
      -> Result<f64, MdpError> {
-        CompiledMdp::combine_scalarized_into(&exp_num, &exp_den, rho, exp_w);
+        CompiledMdp::combine_scalarized_into_threaded(
+            &exp_num,
+            &exp_den,
+            rho,
+            exp_w,
+            solve_threads,
+        );
         let (gain, _iters) = rvi_kernel(compiled, exp_w, h, h_next, policy, &inner_opts)?;
         inner_solves += 1;
         Ok(gain)

@@ -84,25 +84,34 @@ pub fn value_iteration_compiled(
     let mut v_next = vec![0.0f64; n];
     let mut policy = Policy::zeros(n);
 
+    // Same transition-major CSR streaming as the RVI kernel: the offset
+    // arrays are hoisted once and the transition cursor `t0` runs forward
+    // monotonically, so the sweep is a single pass over the flat
+    // prob/next/reward arrays instead of per-arm range lookups.
+    let (arm_offsets, tr_offsets) = compiled.raw_offsets();
+    let (next, prob) = (compiled.raw_next(), compiled.raw_prob());
+
     let mut last_delta = f64::INFINITY;
     for iter in 0..opts.max_iterations {
         opts.budget.check("value_iteration", iter)?;
         let mut delta = 0.0f64;
         for s in 0..n {
+            let a0 = arm_offsets[s] as usize;
+            let a1 = arm_offsets[s + 1] as usize;
             let mut best = f64::NEG_INFINITY;
             let mut best_a = 0;
-            let arms = compiled.arm_range(s);
-            let first_arm = arms.start;
-            for arm in arms {
-                let (probs, nexts) = compiled.arm_transitions(arm);
+            let mut t0 = tr_offsets[a0] as usize;
+            for arm in a0..a1 {
+                let t1 = tr_offsets[arm + 1] as usize;
                 let mut future = 0.0;
-                for (p, &to) in probs.iter().zip(nexts) {
+                for (p, &to) in prob[t0..t1].iter().zip(&next[t0..t1]) {
                     future += p * v[to as usize];
                 }
+                t0 = t1;
                 let q = exp_reward[arm] + gamma * future;
                 if q > best {
                     best = q;
-                    best_a = arm - first_arm;
+                    best_a = arm - a0;
                 }
             }
             v_next[s] = best;

@@ -346,6 +346,15 @@ pub struct SweepOptions {
     pub retry: RetryPolicy,
     /// Worker thread override (defaults to available parallelism).
     pub threads: Option<usize>,
+    /// Worker threads *inside* each cell's Bellman sweeps (sharded Jacobi
+    /// kernel; results are bit-identical for every value). Thread-budget
+    /// arbitration: ignored (forced to 1) whenever the sweep itself runs
+    /// with more than one cell-level thread — cell-level parallelism has
+    /// no synchronization cost, so it always wins the core budget.
+    pub solve_threads: usize,
+    /// Minimum states per intra-solve shard (`0` = solver default); small
+    /// models stay single-threaded regardless of `solve_threads`.
+    pub shard_min_states: usize,
     /// Fault injection: cells whose key contains any of these substrings
     /// panic instead of solving. Testing/smoke only.
     pub inject_panic: Vec<String>,
@@ -384,9 +393,10 @@ impl SweepOptions {
     /// Recognized flags:
     /// `--journal PATH`, `--fail-fast`, `--cell-deadline SECONDS`,
     /// `--retries N` (extra attempts after the first), `--threads N`,
-    /// `--audit`, `--json`, `--inject-panic SUBSTR`, `--inject-noconv
-    /// SUBSTR` (the last two repeatable), `--cluster HOST:PORT`,
-    /// `--lease SECONDS`, `--cluster-batch N`.
+    /// `--solve-threads N`, `--shard-min-states N`, `--audit`, `--json`,
+    /// `--inject-panic SUBSTR`, `--inject-noconv SUBSTR` (the last two
+    /// repeatable), `--cluster HOST:PORT`, `--lease SECONDS`,
+    /// `--cluster-batch N`.
     ///
     /// Returns `Err` with a usage message on a malformed flag (missing or
     /// unparseable value) instead of panicking; binaries print it and exit
@@ -421,6 +431,18 @@ impl SweepOptions {
                 "--threads" => {
                     let n: usize = parse(value(&mut it, "--threads")?, "--threads takes a count")?;
                     opts.threads = Some(n.max(1));
+                }
+                "--solve-threads" => {
+                    let n: usize =
+                        parse(value(&mut it, "--solve-threads")?, "--solve-threads takes a count")?;
+                    opts.solve_threads = n.max(1);
+                }
+                "--shard-min-states" => {
+                    let n: usize = parse(
+                        value(&mut it, "--shard-min-states")?,
+                        "--shard-min-states takes a count",
+                    )?;
+                    opts.shard_min_states = n;
                 }
                 "--inject-panic" => opts.inject_panic.push(value(&mut it, "--inject-panic")?),
                 "--inject-noconv" => opts.inject_noconv.push(value(&mut it, "--inject-noconv")?),
@@ -547,6 +569,10 @@ where
         retry: opts.retry.clone(),
         cell_deadline: opts.cell_deadline,
         audit: opts.audit,
+        // Thread-budget arbitration: cell-level parallelism wins. Sharded
+        // solves only engage when cells run one at a time.
+        solve_threads: if threads > 1 { 1 } else { opts.solve_threads.max(1) },
+        shard_min_states: opts.shard_min_states,
         inject_panic: opts.inject_panic.clone(),
         inject_noconv: opts.inject_noconv.clone(),
     };
@@ -689,6 +715,10 @@ impl CellExecutor for ClusterExecutor {
                 retry: opts.retry.clone(),
                 cell_deadline: opts.cell_deadline,
                 audit: opts.audit,
+                // Never shipped over the wire: each worker applies its own
+                // local --solve-threads (see CellRunConfig docs).
+                solve_threads: 1,
+                shard_min_states: 0,
                 inject_panic: opts.inject_panic.clone(),
                 inject_noconv: opts.inject_noconv.clone(),
             },
@@ -1100,6 +1130,10 @@ mod tests {
             "4",
             "--threads",
             "2",
+            "--solve-threads",
+            "4",
+            "--shard-min-states",
+            "512",
             "--inject-panic",
             "a=15%",
             "--inject-noconv",
@@ -1121,6 +1155,8 @@ mod tests {
         assert_eq!(opts.cell_deadline, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(opts.retry.max_attempts, 5);
         assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.solve_threads, 4);
+        assert_eq!(opts.shard_min_states, 512);
         assert_eq!(opts.inject_panic, vec!["a=15%".to_string()]);
         assert_eq!(opts.inject_noconv, vec!["a=20%".to_string()]);
         assert!(opts.audit);
@@ -1149,16 +1185,27 @@ mod tests {
             iteration_scale: 4.0,
             tau_offset: 0.05,
             audit: true,
+            solve_threads: 4,
+            shard_min_states: 256,
         };
         let rvi: RviOptions = ctx.solve_options();
         let base = RviOptions::default();
         assert_eq!(rvi.max_iterations, base.max_iterations * 4);
         assert!((rvi.aperiodicity_tau - (base.aperiodicity_tau + 0.05)).abs() < 1e-12);
         assert!(!rvi.budget.is_unlimited());
+        assert_eq!(rvi.solve_threads, 4);
+        assert_eq!(rvi.shard_min_states, 256);
 
         let bu: bvc_bu::SolveOptions = ctx.solve_options();
         assert_eq!(bu.max_iterations, base.max_iterations * 4);
         assert!(bu.audit, "audit flag must thread through to solve options");
+        assert_eq!(bu.solve_threads, 4);
+
+        // A context with no shard override keeps the solver default.
+        let plain = CellContext { solve_threads: 0, shard_min_states: 0, ..ctx.clone() };
+        let rvi: RviOptions = plain.solve_options();
+        assert_eq!(rvi.solve_threads, 1);
+        assert_eq!(rvi.shard_min_states, base.shard_min_states);
 
         let ratio: RatioOptions = ctx.solve_options();
         assert_eq!(ratio.rvi.max_iterations, base.max_iterations * 4);

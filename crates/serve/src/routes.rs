@@ -53,6 +53,12 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Sweep journals to preload: `(table name, journal path)` pairs.
     pub preload: Vec<(String, PathBuf)>,
+    /// Worker threads inside each cold solve's Bellman sweeps. Results are
+    /// bit-identical for every value, so this never enters cache keys or
+    /// [`config_token`]. Useful when the server handles few concurrent
+    /// cold solves on a many-core box; leave at 1 when `workers` already
+    /// saturates the machine (thread-budget arbitration, see DESIGN.md).
+    pub solve_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             solve_deadline: Some(Duration::from_secs(30)),
             read_timeout: Duration::from_secs(5),
             preload: Vec::new(),
+            solve_threads: 1,
         }
     }
 }
@@ -138,6 +145,7 @@ pub struct Service {
     /// Exported counters (public for tests and the load generator).
     pub metrics: Metrics,
     solve_deadline: Option<Duration>,
+    solve_threads: usize,
     shutdown: (Mutex<bool>, Condvar),
 }
 
@@ -148,6 +156,7 @@ impl Service {
             cache: SolveCache::new(config.cache_capacity, 8, config.queue_cap),
             metrics: Metrics::new(),
             solve_deadline: config.solve_deadline,
+            solve_threads: config.solve_threads.max(1),
             shutdown: (Mutex::new(false), Condvar::new()),
         }
     }
@@ -286,7 +295,7 @@ impl Service {
             Some(deadline) => SolveBudget::with_timeout(deadline),
             None => SolveBudget::default(),
         };
-        SolveOptions { audit, budget, ..SolveOptions::default() }
+        SolveOptions { audit, budget, solve_threads: self.solve_threads, ..SolveOptions::default() }
     }
 
     fn run_cell(&self, fp: u64, spec: &CellSpec) -> Fetched {

@@ -34,8 +34,13 @@ run_table2() {
 echo "==> [1/3] clean Table 2 run (setting 1)"
 run_table2 --setting1-only > "$workdir/clean.txt"
 
+# The faulted and resumed runs use the sharded Bellman kernel
+# (--solve-threads 2, sharding forced onto these small models) while the
+# clean reference run stays serial: the byte-identical grid diff below
+# then also proves the threaded kernel's determinism end to end.
 echo "==> [2/3] injected faults: one panicking cell, one non-converging cell"
 if run_table2 --setting1-only --journal "$journal" \
+        --threads 1 --solve-threads 2 --shard-min-states 1 \
         --inject-panic 'b:g=1:1 a=15%' --inject-noconv 'b:g=1:2 a=20%' \
         > "$workdir/injected.txt" 2> "$workdir/injected.stderr"; then
     echo "FAULT SMOKE FAILED: injected run exited zero" >&2
@@ -47,7 +52,8 @@ grep -q 'FAIL(no-conv)' "$workdir/injected.txt" || { echo "missing FAIL(no-conv)
 grep -q 'solved 19' "$workdir/injected.txt" || { echo "healthy cells did not all solve" >&2; exit 1; }
 
 echo "==> [3/3] resume from the journal with the faults removed"
-run_table2 --setting1-only --journal "$journal" > "$workdir/resumed.txt"
+run_table2 --setting1-only --journal "$journal" \
+    --threads 1 --solve-threads 2 --shard-min-states 1 > "$workdir/resumed.txt"
 grep -q '(19 replayed)' "$workdir/resumed.txt" || { echo "resume did not replay the 19 checkpointed cells" >&2; exit 1; }
 
 # The '# sweep' diagnostics differ (replay counts, wall time); the grid and
@@ -58,4 +64,4 @@ if ! diff <(grep -v '^# sweep' "$workdir/clean.txt") \
     exit 1
 fi
 
-echo "==> fault smoke OK (isolation, degraded rendering, checkpoint resume)"
+echo "==> fault smoke OK (isolation, degraded rendering, checkpoint resume, sharded-kernel determinism)"

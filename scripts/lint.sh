@@ -37,8 +37,12 @@ echo "==> custom lint: no unwrap/expect/float-eq in solver hot paths"
 # error, never a panic. jobs.rs is deliberately excluded — it hosts the
 # ported crossval cell whose exact-zero guard is an intentional bitwise
 # comparison, and it has no unwrap-free obligation beyond clippy's.
+# Bench binaries are included too: they feed BENCH history and CI smokes,
+# so a bad flag or failed solve must exit with a structured error, not a
+# panic backtrace.
 targets=(
     crates/mdp/src/solve/*.rs
+    crates/mdp/src/shard.rs
     crates/repro/src/sweep.rs
     crates/cluster/src/cell.rs
     crates/cluster/src/coordinator.rs
@@ -46,6 +50,7 @@ targets=(
     crates/cluster/src/protocol.rs
     crates/journal/src/lib.rs
     crates/serve/src/net.rs
+    crates/bench/src/bin/*.rs
 )
 for f in "${targets[@]}"; do
     # Strip everything from the first #[cfg(test)] marker on; the lint

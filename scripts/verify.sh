@@ -23,9 +23,32 @@ cargo build --release --offline --workspace
 echo "==> cargo test (offline, all workspace crates)"
 cargo test -q --offline --workspace
 
+echo "==> sharded-kernel gate (bit-identity proptests + threaded Table 2 pins)"
+# Explicitly re-run the tests that pin the threaded kernel's determinism
+# contract (bit-identical gain/bias/policy for every solve_threads), so a
+# threading regression names this gate instead of drowning in the full
+# workspace test list above.
+cargo test -q --offline -p bvc-mdp --test proptest_solvers -- \
+    sharded_rvi_bit_identical_across_thread_counts threaded_rvi_matches_reference
+cargo test -q --offline -p bvc-bu --test table2_pins
+
 if [[ "${1:-}" != "--no-smoke" ]]; then
     echo "==> sweep_timing smoke (Table 2, quick column)"
     cargo run --release --offline -p bvc-bench --bin sweep_timing -- --quick
+
+    echo "==> sharded-kernel determinism diff (table2 grid, --solve-threads 4)"
+    # The same grid solved serially and through the sharded kernel must be
+    # byte-identical ('# sweep' diagnostics legitimately differ in timing).
+    t1=$(mktemp) t4=$(mktemp)
+    target/release/table2 --setting1-only --threads 1 | grep -v '^# sweep' > "$t1"
+    target/release/table2 --setting1-only --threads 1 \
+        --solve-threads 4 --shard-min-states 1 | grep -v '^# sweep' > "$t4"
+    if ! diff "$t1" "$t4"; then
+        echo "VERIFY FAILED: sharded table2 grid diverged from serial" >&2
+        rm -f "$t1" "$t4"
+        exit 1
+    fi
+    rm -f "$t1" "$t4"
 
     echo "==> sweep-runner fault-injection smoke (panic/no-conv/resume)"
     TABLE2_BIN=target/release/table2 scripts/fault_smoke.sh
