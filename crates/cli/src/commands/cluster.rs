@@ -10,9 +10,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use bvc_cluster::{
-    run_coordinator, run_worker, workload, ClusterConfig, DieMode, RetryPolicy, WorkerOptions,
-    WORKLOAD_NAMES,
+    run_coordinator, run_worker, workload, ClusterConfig, DieMode, ReconnectPolicy, RetryPolicy,
+    WorkerOptions, WORKLOAD_NAMES,
 };
+use bvc_journal::Durability;
 
 use crate::args::{ArgError, Args};
 
@@ -44,6 +45,10 @@ pub enum ClusterCmd {
         fail_fast: bool,
         /// Suppress progress lines (`--quiet`).
         quiet: bool,
+        /// Journal fsync policy (`--durability none|batch|always`).
+        durability: Durability,
+        /// Chaos fault-plan spec (`--chaos`; `BVC_CHAOS` env otherwise).
+        chaos: Option<String>,
     },
     /// `bvc cluster work`: claim and solve batches until `Fin`.
     Work {
@@ -66,9 +71,40 @@ pub enum ClusterCmd {
         die_mode: DieMode,
         /// Suppress per-batch progress (`--quiet`).
         quiet: bool,
+        /// Consecutive no-progress reconnect attempts tolerated before
+        /// giving up (`--reconnect`, 0 disables reconnection).
+        reconnect: u32,
+        /// Chaos fault-plan spec (`--chaos`; `BVC_CHAOS` env otherwise).
+        chaos: Option<String>,
+        /// Chaos site prefix for this worker's streams (`--chaos-site`).
+        chaos_site: String,
     },
     /// `bvc cluster workloads`: list the registry.
     Workloads,
+}
+
+fn parse_durability(args: &Args) -> Result<Durability, ArgError> {
+    let raw = args.get_or("durability", "batch".to_string())?;
+    Durability::parse(&raw)
+        .ok_or_else(|| ArgError(format!("--durability must be none, batch or always, got {raw:?}")))
+}
+
+fn parse_chaos(args: &Args) -> Result<Option<String>, ArgError> {
+    if !args.has("chaos") {
+        return Ok(None);
+    }
+    let spec: String = args.get("chaos")?;
+    bvc_chaos::FaultPlan::parse(&spec).map_err(|e| ArgError(format!("--chaos: {e}")))?;
+    Ok(Some(spec))
+}
+
+/// Installs the process-wide chaos plan: an explicit `--chaos` spec wins,
+/// otherwise `BVC_CHAOS` from the environment applies.
+fn install_chaos(spec: &Option<String>) -> Result<(), String> {
+    match spec {
+        Some(spec) => bvc_chaos::install_spec(spec).map_err(|e| format!("chaos plan: {e}")),
+        None => bvc_chaos::install_from_env().map(|_| ()).map_err(|e| format!("chaos plan: {e}")),
+    }
 }
 
 /// Parses the subcommand's verb and flags.
@@ -115,6 +151,8 @@ pub fn parse(args: &Args) -> Result<ClusterCmd, ArgError> {
                 audit: args.has("audit"),
                 fail_fast: args.has("fail-fast"),
                 quiet: args.has("quiet"),
+                durability: parse_durability(args)?,
+                chaos: parse_chaos(args)?,
             })
         }
         "work" => {
@@ -140,6 +178,9 @@ pub fn parse(args: &Args) -> Result<ClusterCmd, ArgError> {
                 },
                 die_mode,
                 quiet: args.has("quiet"),
+                reconnect: args.get_or("reconnect", ReconnectPolicy::default().attempts)?,
+                chaos: parse_chaos(args)?,
+                chaos_site: args.get_or("chaos-site", "worker".to_string())?,
             })
         }
         "workloads" => Ok(ClusterCmd::Workloads),
@@ -164,7 +205,10 @@ pub fn run(cmd: &ClusterCmd) -> Result<(), String> {
             audit,
             fail_fast,
             quiet,
+            durability,
+            chaos,
         } => {
+            install_chaos(chaos)?;
             let wl = workload(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
             let mut cfg = ClusterConfig {
                 config_token: wl.config_token.clone(),
@@ -174,6 +218,7 @@ pub fn run(cmd: &ClusterCmd) -> Result<(), String> {
                 max_dispatch: *max_dispatch,
                 fail_fast: *fail_fast,
                 quiet: *quiet,
+                durability: *durability,
                 ..ClusterConfig::default()
             };
             cfg.cell.retry = RetryPolicy { max_attempts: *retries, ..RetryPolicy::default() };
@@ -228,7 +273,20 @@ pub fn run(cmd: &ClusterCmd) -> Result<(), String> {
             die_after,
             die_mode,
             quiet,
+            reconnect,
+            chaos,
+            chaos_site,
         } => {
+            install_chaos(chaos)?;
+            // Tie the reconnect jitter stream to the chaos seed when a plan
+            // is installed, so one seed reproduces the whole schedule.
+            let reconnect_policy = ReconnectPolicy {
+                attempts: *reconnect,
+                seed: bvc_chaos::active_plan()
+                    .map(|p| p.seed)
+                    .unwrap_or(ReconnectPolicy::default().seed),
+                ..ReconnectPolicy::default()
+            };
             let opts = WorkerOptions {
                 threads: *threads,
                 batch: *batch,
@@ -237,13 +295,16 @@ pub fn run(cmd: &ClusterCmd) -> Result<(), String> {
                 quiet: *quiet,
                 solve_threads: *solve_threads,
                 shard_min_states: *shard_min_states,
+                reconnect: reconnect_policy,
+                site: chaos_site.clone(),
             };
             let summary = run_worker(connect, &opts).map_err(|e| format!("worker failed: {e}"))?;
             println!(
-                "worker done: {} solved, {} failed over {} batch(es){}",
+                "worker done: {} solved, {} failed over {} batch(es), {} session(s){}",
                 summary.solved,
                 summary.failed,
                 summary.batches,
+                summary.sessions,
                 if summary.died { " (died by injection)" } else { "" }
             );
             Ok(())

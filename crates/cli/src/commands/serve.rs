@@ -32,6 +32,9 @@ pub struct ServeCmd {
     /// (`--solve-threads`, default 1; bit-identical results, so cache keys
     /// are unaffected).
     pub solve_threads: usize,
+    /// Base 429 retry hint in milliseconds (`--retry-after-ms`); each shed
+    /// draws a jittered value in `[base/2, base]`.
+    pub retry_after_ms: u64,
 }
 
 /// Parses the subcommand's flags.
@@ -43,6 +46,10 @@ pub fn parse(args: &Args) -> Result<ServeCmd, ArgError> {
     let deadline_s: f64 = args.get_or("deadline-s", 30.0)?;
     if deadline_s.is_nan() || deadline_s < 0.0 {
         return Err(ArgError(format!("--deadline-s must be nonnegative, got {deadline_s}")));
+    }
+    let retry_after_ms: u64 = args.get_or("retry-after-ms", 1_000u64)?;
+    if retry_after_ms == 0 {
+        return Err(ArgError("--retry-after-ms must be at least 1".into()));
     }
     let mut preload = Vec::new();
     if args.has("preload") {
@@ -69,6 +76,7 @@ pub fn parse(args: &Args) -> Result<ServeCmd, ArgError> {
         deadline_s,
         preload,
         solve_threads: args.get_or("solve-threads", 1usize)?.max(1),
+        retry_after_ms,
     })
 }
 
@@ -88,6 +96,8 @@ pub fn run(cmd: &ServeCmd) -> Result<(), String> {
         read_timeout: Duration::from_secs(5),
         preload: cmd.preload.clone(),
         solve_threads: cmd.solve_threads,
+        retry_after: Duration::from_millis(cmd.retry_after_ms),
+        ..ServeConfig::default()
     };
     let server = start(config).map_err(|e| format!("failed to start server: {e}"))?;
     let preloaded = server.service.metrics.preloaded.load(std::sync::atomic::Ordering::Relaxed);
@@ -118,6 +128,7 @@ mod tests {
         assert_eq!(cmd.addr, "127.0.0.1:8080");
         assert_eq!(cmd.workers, 4);
         assert_eq!(cmd.queue_cap, 8);
+        assert_eq!(cmd.retry_after_ms, 1_000);
         assert!(cmd.preload.is_empty());
         let cmd = parse_cmd(&[
             "serve",
@@ -133,9 +144,12 @@ mod tests {
             "table2=a.jsonl,table3=b.jsonl",
             "--solve-threads",
             "2",
+            "--retry-after-ms",
+            "250",
         ])
         .unwrap();
         assert_eq!(cmd.solve_threads, 2);
+        assert_eq!(cmd.retry_after_ms, 250);
         assert_eq!(cmd.addr, "127.0.0.1:0");
         assert_eq!(cmd.workers, 2);
         assert_eq!(cmd.queue_cap, 0);
@@ -151,5 +165,6 @@ mod tests {
         assert!(parse_cmd(&["serve", "--preload", "nope"]).is_err());
         assert!(parse_cmd(&["serve", "--preload", "table9=x.jsonl"]).is_err());
         assert!(parse_cmd(&["serve", "--deadline-s", "-1"]).is_err());
+        assert!(parse_cmd(&["serve", "--retry-after-ms", "0"]).is_err());
     }
 }

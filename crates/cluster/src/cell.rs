@@ -90,8 +90,23 @@ pub struct RetryPolicy {
     /// Additive bump to the aperiodicity mixing weight per retry, to break
     /// periodic oscillation stalls.
     pub tau_step: f64,
-    /// Base backoff slept before each retry; doubles per attempt.
+    /// Base backoff slept before each retry; doubles per attempt up to
+    /// [`RetryPolicy::max_backoff`].
     pub backoff: Duration,
+    /// Ceiling for the exponential backoff sleep. Without it the doubled
+    /// sleep reaches ~55 minutes by attempt 16 (or overflows `Duration`
+    /// for large bases) — a hung-looking worker, not a retry schedule.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// The backoff sleep before retry number `attempt` (1-based like the
+    /// attempt loop): `backoff * 2^attempt`, saturating, capped at
+    /// `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let mult = 2u32.saturating_pow(attempt.min(16));
+        self.backoff.saturating_mul(mult).min(self.max_backoff)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -101,6 +116,7 @@ impl Default for RetryPolicy {
             iteration_growth: 4.0,
             tau_step: 0.05,
             backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
         }
     }
 }
@@ -283,7 +299,7 @@ pub fn run_cell_attempts<T>(
             Ok(Err(e)) if e.is_cancellation() => break Err(CellFailure::Skipped),
             Ok(Err(e)) if e.is_retryable() && attempts < cfg.retry.max_attempts => {
                 if !cfg.retry.backoff.is_zero() {
-                    std::thread::sleep(cfg.retry.backoff * 2u32.pow(attempt.min(16)));
+                    std::thread::sleep(cfg.retry.backoff_for(attempt));
                 }
             }
             Ok(Err(e)) => break Err(CellFailure::Solver(e)),
@@ -358,5 +374,28 @@ mod tests {
         let lost = CellFailure::Lost { dispatches: 3 };
         assert_eq!(lost.reason_code(), "lost");
         assert!(lost.message().contains("3 dispatch(es)"));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_at_max_backoff() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(50));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(400), "cap engages");
+        assert_eq!(policy.backoff_for(16), Duration::from_millis(400));
+        assert_eq!(policy.backoff_for(u32::MAX), Duration::from_millis(400));
+
+        // Large bases used to overflow `Duration * u32` and panic; now the
+        // multiply saturates and the cap still wins.
+        let huge = RetryPolicy {
+            backoff: Duration::from_secs(u64::MAX / 4),
+            max_backoff: Duration::from_secs(30),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(huge.backoff_for(16), Duration::from_secs(30));
     }
 }

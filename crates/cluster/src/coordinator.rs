@@ -30,15 +30,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use bvc_journal::{cell_fingerprint, encode_line, load_journal, JournalEntry};
+use bvc_journal::{
+    cell_fingerprint, encode_line, recover_journal, Durability, JournalEntry, JournalWriter,
+};
 use bvc_serve::net::{apply_deadlines, frame_pair, FrameSender, ReadError, MAX_FRAME_BYTES};
 
 use crate::cell::{CellFailure, CellRunConfig};
@@ -74,6 +74,8 @@ pub struct ClusterConfig {
     pub fail_fast: bool,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
+    /// Fsync policy for journal appends (`--durability`).
+    pub durability: Durability,
 }
 
 impl Default for ClusterConfig {
@@ -87,6 +89,7 @@ impl Default for ClusterConfig {
             max_dispatch: 3,
             fail_fast: false,
             quiet: false,
+            durability: Durability::default(),
         }
     }
 }
@@ -226,6 +229,7 @@ struct Stats {
     duplicates: u64,
     unknown: u64,
     straggler_dispatches: u64,
+    journal_retries: u64,
 }
 
 struct State {
@@ -254,7 +258,7 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     done: AtomicBool,
-    journal: Option<Mutex<File>>,
+    journal: Option<Mutex<JournalWriter>>,
 }
 
 fn lock_state<'a>(shared: &'a Shared) -> MutexGuard<'a, State> {
@@ -325,11 +329,25 @@ impl Coordinator {
         }
 
         // --- Resume: replay finished cells out of the journal. ---
+        // Crash recovery: a coordinator killed mid-append leaves a torn
+        // tail; recover_journal truncates it back to the last complete
+        // line so the re-solved cell's line lands at exactly that offset
+        // and the final journal stays byte-identical to an uninterrupted
+        // run. In-flight leases need no recovery — they were in-memory
+        // promises; their cells simply have no journal line and requeue.
         let mut done_count = 0usize;
         if let Some(path) = &cfg.journal {
-            let journal = load_journal(path);
+            let recovered = recover_journal(path)
+                .map_err(|e| ClusterError::Journal(format!("{}: {e}", path.display())))?;
+            if recovered.truncated_bytes > 0 && !cfg.quiet {
+                eprintln!(
+                    "cluster: journal {}: truncated {} byte(s) of torn tail",
+                    path.display(),
+                    recovered.truncated_bytes
+                );
+            }
             for cell in &mut cells {
-                if let Some(entry) = journal.get(&cell.fp) {
+                if let Some(entry) = recovered.entries.get(&cell.fp) {
                     if entry.ok {
                         cell.status = CellStatus::Done;
                         cell.replayed = true;
@@ -346,22 +364,13 @@ impl Coordinator {
                 }
             }
         }
-        let journal =
-            match &cfg.journal {
-                Some(path) => {
-                    if let Some(parent) = path.parent() {
-                        if !parent.as_os_str().is_empty() {
-                            let _ = std::fs::create_dir_all(parent);
-                        }
-                    }
-                    Some(Mutex::new(
-                        OpenOptions::new().create(true).append(true).open(path).map_err(|e| {
-                            ClusterError::Journal(format!("{}: {e}", path.display()))
-                        })?,
-                    ))
-                }
-                None => None,
-            };
+        let journal = match &cfg.journal {
+            Some(path) => Some(Mutex::new(
+                JournalWriter::append_to(path, cfg.durability)
+                    .map_err(|e| ClusterError::Journal(format!("{}: {e}", path.display())))?,
+            )),
+            None => None,
+        };
 
         let queue: VecDeque<usize> = (0..cells.len()).filter(|&i| !cells[i].terminal()).collect();
         let n = cells.len();
@@ -457,6 +466,17 @@ impl Coordinator {
             drop(st);
             shared.done.store(true, Ordering::SeqCst);
         });
+
+        // Final journal drain + durability barrier: a transient append
+        // error parks the reorder cursor (advance_journal retries on later
+        // events); give it one last chance, then fsync per the policy.
+        {
+            let mut st = lock_state(&shared);
+            advance_journal(&mut st, &shared);
+        }
+        if let Some(journal) = &shared.journal {
+            let _ = journal.lock().unwrap_or_else(|e| e.into_inner()).sync();
+        }
 
         // --- Build the report. ---
         let st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -585,6 +605,7 @@ fn handle_frame(
                 iteration_growth: cell.retry.iteration_growth,
                 tau_step: cell.retry.tau_step,
                 backoff_ms: cell.retry.backoff.as_millis() as u64,
+                max_backoff_ms: cell.retry.max_backoff.as_millis() as u64,
                 inject_panic: cell.inject_panic.clone(),
                 inject_noconv: cell.inject_noconv.clone(),
                 batch: shared.cfg.batch,
@@ -899,26 +920,32 @@ fn advance_journal(st: &mut State, shared: &Shared) {
     }
     while st.journal_cursor < st.cells.len() && st.cells[st.journal_cursor].terminal() {
         let cell = &st.cells[st.journal_cursor];
+        if !(cell.replayed || cell.skipped || cell.result.is_none()) {
+            // `result` is Some here by the check above.
+            let Some(rec) = &cell.result else { break };
+            if let Some(journal) = &shared.journal {
+                let entry = JournalEntry {
+                    fp: cell.fp,
+                    key: cell.key.clone(),
+                    ok: rec.ok,
+                    attempts: rec.attempts,
+                    bits: rec.bits.clone(),
+                    reason: rec.reason.clone(),
+                };
+                let vals: Vec<f64> = rec.bits.iter().map(|&b| f64::from_bits(b)).collect();
+                let line = encode_line(&entry, &vals);
+                let mut writer = journal.lock().unwrap_or_else(|e| e.into_inner());
+                if writer.append_line(&line).is_err() {
+                    // The writer rolled the file back to the previous
+                    // line boundary; park the cursor so the next advance
+                    // retries this exact line — appending later cells
+                    // first would break input order (and byte-identity).
+                    st.stats.journal_retries += 1;
+                    return;
+                }
+            }
+        }
         st.journal_cursor += 1;
-        if cell.replayed || cell.skipped {
-            continue;
-        }
-        let Some(rec) = &cell.result else { continue };
-        if let Some(journal) = &shared.journal {
-            let entry = JournalEntry {
-                fp: cell.fp,
-                key: cell.key.clone(),
-                ok: rec.ok,
-                attempts: rec.attempts,
-                bits: rec.bits.clone(),
-                reason: rec.reason.clone(),
-            };
-            let vals: Vec<f64> = rec.bits.iter().map(|&b| f64::from_bits(b)).collect();
-            let line = encode_line(&entry, &vals);
-            let mut file = journal.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = writeln!(file, "{line}");
-            let _ = file.flush();
-        }
     }
 }
 
@@ -943,6 +970,7 @@ fn render_stats(st: &State, cfg: &ClusterConfig) -> String {
     let _ = writeln!(out, "cluster_lease_expiries_total {}", st.stats.lease_expiries);
     let _ = writeln!(out, "cluster_duplicate_results_total {}", st.stats.duplicates);
     let _ = writeln!(out, "cluster_unknown_results_total {}", st.stats.unknown);
+    let _ = writeln!(out, "cluster_journal_retries_total {}", st.stats.journal_retries);
     let _ = writeln!(out, "cluster_workers_connected {}", st.workers.len());
     let _ = writeln!(out, "cluster_leases_active {}", st.leases.len());
     let _ = writeln!(out, "cluster_lease_ms {}", cfg.lease.as_millis());

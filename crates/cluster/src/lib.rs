@@ -38,4 +38,4 @@ pub use coordinator::{
     run_coordinator, ClusterCell, ClusterConfig, ClusterError, ClusterReport, Coordinator,
 };
 pub use jobs::{workload, JobSpec, Workload, WORKLOAD_NAMES};
-pub use worker::{run_worker, DieMode, WorkerOptions, WorkerSummary};
+pub use worker::{run_worker, DieMode, ReconnectPolicy, WorkerOptions, WorkerSummary};

@@ -28,7 +28,7 @@ use bvc_journal::{f64_from_hex, f64_to_hex};
 use bvc_serve::json::{FlatJson, JsonObject};
 
 /// Protocol version; bumped on any incompatible frame change.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
 
 /// Separator for list-valued fields (injection substrings). An ASCII
 /// control character, so it never collides with cell-key text and always
@@ -57,6 +57,9 @@ pub struct WireConfig {
     pub tau_step: f64,
     /// Base retry backoff, in milliseconds.
     pub backoff_ms: u64,
+    /// Exponential-backoff ceiling, in milliseconds. Shipped so local and
+    /// distributed runs sleep the identical escalation schedule.
+    pub max_backoff_ms: u64,
     /// Panic-injection key substrings.
     pub inject_panic: Vec<String>,
     /// No-convergence-injection key substrings.
@@ -218,6 +221,7 @@ impl Frame {
                     .str("growth", &f64_to_hex(c.iteration_growth))
                     .str("tau_step", &f64_to_hex(c.tau_step))
                     .int("backoff_ms", c.backoff_ms)
+                    .int("max_backoff_ms", c.max_backoff_ms)
                     .str("inj_panic", &join_list(&c.inject_panic))
                     .str("inj_noconv", &join_list(&c.inject_noconv))
                     .int("batch", u64::from(c.batch))
@@ -292,6 +296,8 @@ impl Frame {
                 iteration_growth: get_hex_f64(&doc, "growth").ok_or_else(|| field("growth"))?,
                 tau_step: get_hex_f64(&doc, "tau_step").ok_or_else(|| field("tau_step"))?,
                 backoff_ms: get_int(&doc, "backoff_ms").ok_or_else(|| field("backoff_ms"))?,
+                max_backoff_ms: get_int(&doc, "max_backoff_ms")
+                    .ok_or_else(|| field("max_backoff_ms"))?,
                 inject_panic: split_list(doc.get_str("inj_panic").unwrap_or_default()),
                 inject_noconv: split_list(doc.get_str("inj_noconv").unwrap_or_default()),
                 batch: get_int(&doc, "batch").ok_or_else(|| field("batch"))? as u32,
@@ -361,6 +367,7 @@ mod tests {
             iteration_growth: 4.0,
             tau_step: 0.05,
             backoff_ms: 50,
+            max_backoff_ms: 5_000,
             inject_panic: vec!["a=10%".into(), "s2".into()],
             inject_noconv: vec![],
             batch: 4,
@@ -414,6 +421,7 @@ mod tests {
             iteration_growth: 4.0,
             tau_step: 0.05,
             backoff_ms: 0,
+            max_backoff_ms: 5_000,
             inject_panic: vec![],
             inject_noconv: vec![],
             batch: 1,
@@ -434,6 +442,7 @@ mod tests {
             iteration_growth: 4.000000000000001,
             tau_step: 0.05000000000000001,
             backoff_ms: 0,
+            max_backoff_ms: 5_000,
             inject_panic: vec![],
             inject_noconv: vec![],
             batch: 1,

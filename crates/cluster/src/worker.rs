@@ -15,14 +15,32 @@
 //! the worker die mid-batch: [`DieMode::Hang`] stops heartbeating but
 //! keeps the socket open (exercising lease expiry), [`DieMode::Disconnect`]
 //! drops the socket (exercising EOF requeue).
+//!
+//! # Reconnect and redelivery
+//!
+//! A dropped connection is a *session* boundary, not the end of the
+//! worker. [`run_worker`] wraps the per-connection protocol in an outer
+//! loop governed by [`ReconnectPolicy`]: transport failures trigger a
+//! seeded-jitter exponential-backoff reconnect, capped at
+//! `attempts` consecutive sessions that made no progress. `done` frames
+//! are kept in a pending buffer until a claim response proves the
+//! coordinator read past them (TCP delivers our frames in order, and the
+//! coordinator handles them in order, so answering a later `claim` acks
+//! every frame sent before it); unacked results are redelivered after the
+//! next handshake and deduped by fingerprint on the coordinator.
+//! Protocol-level rejections (an `err` frame, a version mismatch) are
+//! fatal and never retried.
 
+use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use bvc_chaos::{ChaosStream, SplitMix64};
 use bvc_serve::net::{
-    apply_deadlines, frame_pair, FrameReader, FrameSender, ReadError, MAX_FRAME_BYTES,
+    apply_deadlines, frame_pair, frame_pair_from, FrameReader, FrameSender, ReadError,
+    MAX_FRAME_BYTES,
 };
 
 use crate::cell::{run_cell_attempts, CellRunConfig, RetryPolicy};
@@ -37,6 +55,34 @@ pub enum DieMode {
     Hang,
     /// Drop the socket — the coordinator recovers immediately via EOF.
     Disconnect,
+}
+
+/// Reconnect behaviour after a dropped coordinator connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Consecutive no-progress sessions tolerated before giving up.
+    /// `0` disables reconnection: the first drop ends the worker.
+    pub attempts: u32,
+    /// Backoff before the first reconnect attempt; doubles per
+    /// consecutive failure.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Seed for backoff jitter. The drawn delay is uniform in
+    /// `[cap / 2, cap]` from a [`SplitMix64`] stream, so a given seed
+    /// reproduces the exact reconnect schedule.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: 5,
+            base: Duration::from_millis(200),
+            max: Duration::from_secs(5),
+            seed: 0x5eed,
+        }
+    }
 }
 
 /// Worker-side knobs.
@@ -61,6 +107,11 @@ pub struct WorkerOptions {
     pub solve_threads: usize,
     /// Minimum states per intra-solve shard (`0` = solver default).
     pub shard_min_states: usize,
+    /// Reconnect policy for dropped coordinator connections.
+    pub reconnect: ReconnectPolicy,
+    /// Chaos site prefix for this worker's fault-injected streams; session
+    /// `n` draws from sites `{site}.s{n}.tx` / `{site}.s{n}.rx`.
+    pub site: String,
 }
 
 impl Default for WorkerOptions {
@@ -73,6 +124,8 @@ impl Default for WorkerOptions {
             quiet: true,
             solve_threads: 1,
             shard_min_states: 0,
+            reconnect: ReconnectPolicy::default(),
+            site: "worker".into(),
         }
     }
 }
@@ -88,6 +141,8 @@ pub struct WorkerSummary {
     pub batches: u64,
     /// True when the worker died via `die_after` fault injection.
     pub died: bool,
+    /// Coordinator sessions used (1 = never reconnected).
+    pub sessions: u64,
 }
 
 /// Read timeout for the worker's side of the connection: the coordinator
@@ -96,24 +151,38 @@ pub struct WorkerSummary {
 const READ_WINDOW: Duration = Duration::from_secs(5);
 const MAX_IDLE_WINDOWS: u32 = 24;
 
-fn recv_frame(rx: &mut FrameReader) -> Result<Frame, String> {
+/// Why a `recv` failed, split by whether a fresh connection could help.
+enum RecvErr {
+    /// The transport died or went silent — reconnectable.
+    Transport(String),
+    /// The peer is speaking the protocol wrong — never retried.
+    Protocol(String),
+}
+
+fn recv_frame(rx: &mut FrameReader) -> Result<Frame, RecvErr> {
     let mut idle = 0u32;
     loop {
         match rx.recv() {
-            Ok(payload) => return Frame::decode(&payload),
+            Ok(payload) => return Frame::decode(&payload).map_err(RecvErr::Protocol),
             Err(ReadError::TimedOut) if !rx.has_partial() => {
                 idle += 1;
                 if idle >= MAX_IDLE_WINDOWS {
-                    return Err("coordinator unresponsive".into());
+                    return Err(RecvErr::Transport("coordinator unresponsive".into()));
                 }
             }
-            Err(ReadError::Closed) => return Err("coordinator closed the connection".into()),
-            Err(ReadError::TimedOut) => return Err("torn frame from coordinator".into()),
-            Err(ReadError::TooLarge(what)) => {
-                return Err(format!("oversized {what} from coordinator"))
+            Err(ReadError::Closed) => {
+                return Err(RecvErr::Transport("coordinator closed the connection".into()))
             }
-            Err(ReadError::Malformed(msg)) => return Err(format!("malformed frame: {msg}")),
-            Err(ReadError::Io) => return Err("transport error".into()),
+            Err(ReadError::TimedOut) => {
+                return Err(RecvErr::Transport("torn frame from coordinator".into()))
+            }
+            Err(ReadError::TooLarge(what)) => {
+                return Err(RecvErr::Protocol(format!("oversized {what} from coordinator")))
+            }
+            Err(ReadError::Malformed(msg)) => {
+                return Err(RecvErr::Protocol(format!("malformed frame: {msg}")))
+            }
+            Err(ReadError::Io) => return Err(RecvErr::Transport("transport error".into())),
         }
     }
 }
@@ -132,26 +201,158 @@ fn connect_retry(addr: &str) -> Result<TcpStream, String> {
     Err(format!("cannot connect to coordinator {addr}: {last}"))
 }
 
+/// Splits `stream` into framing halves, wrapping both in [`ChaosStream`]s
+/// when a chaos plan is installed so the session's transport faults come
+/// from the per-site deterministic streams `{site}.s{n}.tx` / `.rx`.
+fn make_frames(
+    stream: TcpStream,
+    site: &str,
+    session: u64,
+) -> io::Result<(FrameSender, FrameReader)> {
+    if bvc_chaos::is_active() {
+        let write_half = stream.try_clone()?;
+        Ok(frame_pair_from(
+            Box::new(ChaosStream::new(write_half, &format!("{site}.s{session}.tx"))),
+            Box::new(ChaosStream::new(stream, &format!("{site}.s{session}.rx"))),
+            MAX_FRAME_BYTES,
+        ))
+    } else {
+        frame_pair(stream, MAX_FRAME_BYTES)
+    }
+}
+
+/// Counters and the unacked-result buffer that outlive a single session.
+struct WorkerState {
+    solved: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    /// Results sent but not yet proven received. Ordered oldest-first;
+    /// claim responses ack a prefix, reconnects redeliver the remainder.
+    pending: Mutex<Vec<DoneFrame>>,
+}
+
+/// How one coordinator session ended.
+enum SessionEnd {
+    /// Coordinator sent `fin`: the sweep is complete.
+    Finished,
+    /// Fault injection (`die_after`) tripped.
+    Died,
+    /// The transport dropped; `progressed` says whether this session got
+    /// work done (resets the consecutive-failure count).
+    Dropped { progressed: bool, why: String },
+    /// Protocol-level rejection — reconnecting cannot help.
+    Fatal(String),
+}
+
 /// Runs one worker against the coordinator at `addr` until the sweep
-/// finishes, the coordinator goes away, or fault injection kills it.
+/// finishes, fault injection kills it, or the coordinator stays gone
+/// through the whole [`ReconnectPolicy`] budget.
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, String> {
-    let stream = connect_retry(addr)?;
-    apply_deadlines(&stream, READ_WINDOW).map_err(|e| format!("socket setup: {e}"))?;
-    let (tx, mut rx) =
-        frame_pair(stream, MAX_FRAME_BYTES).map_err(|e| format!("socket split: {e}"))?;
+    let ws = WorkerState {
+        solved: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        pending: Mutex::new(Vec::new()),
+    };
+    let mut jitter = SplitMix64::new(opts.reconnect.seed);
+    let mut failures = 0u32;
+    let mut sessions = 0u64;
+    let died = loop {
+        sessions += 1;
+        match run_session(addr, opts, sessions, &ws) {
+            SessionEnd::Finished => break false,
+            SessionEnd::Died => break true,
+            SessionEnd::Fatal(msg) => return Err(msg),
+            SessionEnd::Dropped { progressed, why } => {
+                // Progress resets the budget: a coordinator that restarts
+                // every few batches should never exhaust it.
+                failures = if progressed { 1 } else { failures + 1 };
+                if failures > opts.reconnect.attempts {
+                    return Err(format!("giving up after {sessions} session(s): {why}"));
+                }
+                let shift = failures.saturating_sub(1).min(16);
+                let cap = opts
+                    .reconnect
+                    .base
+                    .saturating_mul(2u32.saturating_pow(shift))
+                    .min(opts.reconnect.max);
+                let cap_ms = (cap.as_millis() as u64).max(2);
+                let delay_ms = cap_ms / 2 + jitter.next_range(cap_ms / 2 + 1);
+                if !opts.quiet {
+                    eprintln!(
+                        "cluster: worker lost coordinator ({why}); reconnecting \
+                         (attempt {failures}/{}) in {delay_ms}ms",
+                        opts.reconnect.attempts
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+        }
+    };
+    Ok(WorkerSummary {
+        solved: ws.solved.load(Ordering::SeqCst),
+        failed: ws.failed.load(Ordering::SeqCst),
+        batches: ws.batches.load(Ordering::SeqCst),
+        died,
+        sessions,
+    })
+}
+
+/// One connection's worth of the protocol: connect, handshake, redeliver
+/// unacked results, then claim → solve → report until `fin` or a drop.
+fn run_session(addr: &str, opts: &WorkerOptions, session: u64, ws: &WorkerState) -> SessionEnd {
+    let dropped = |progressed: bool, why: String| SessionEnd::Dropped { progressed, why };
+    let stream = if session == 1 {
+        // First contact keeps the legacy patient dial loop so a worker may
+        // be launched before its coordinator.
+        match connect_retry(addr) {
+            Ok(s) => s,
+            Err(e) => return SessionEnd::Fatal(e),
+        }
+    } else {
+        match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => return dropped(false, format!("reconnect to {addr}: {e}")),
+        }
+    };
+    if let Err(e) = apply_deadlines(&stream, READ_WINDOW) {
+        return dropped(false, format!("socket setup: {e}"));
+    }
+    let (tx, mut rx) = match make_frames(stream, &opts.site, session) {
+        Ok(pair) => pair,
+        Err(e) => return dropped(false, format!("socket split: {e}")),
+    };
     let threads = opts.threads.max(1);
-    tx.send(&Frame::Hello { proto: PROTO_VERSION, threads }.encode())
-        .map_err(|e| format!("hello: {e}"))?;
-    let wire = match recv_frame(&mut rx)? {
-        Frame::Config(c) => c,
-        Frame::Err { msg } => return Err(format!("coordinator rejected us: {msg}")),
-        other => return Err(format!("expected config frame, got {other:?}")),
+    if let Err(e) = tx.send(&Frame::Hello { proto: PROTO_VERSION, threads }.encode()) {
+        return dropped(false, format!("hello: {e}"));
+    }
+    let wire = match recv_frame(&mut rx) {
+        Ok(Frame::Config(c)) => c,
+        Ok(Frame::Err { msg }) => {
+            return SessionEnd::Fatal(format!("coordinator rejected us: {msg}"))
+        }
+        Ok(other) => return SessionEnd::Fatal(format!("expected config frame, got {other:?}")),
+        Err(RecvErr::Transport(why)) => return dropped(false, why),
+        Err(RecvErr::Protocol(why)) => return SessionEnd::Fatal(why),
     };
     if !opts.quiet {
         eprintln!(
-            "cluster: worker connected to {addr} ({threads} thread(s), sweep '{}')",
+            "cluster: worker connected to {addr} ({threads} thread(s), sweep '{}', session {session})",
             wire.label
         );
+    }
+    // Redeliver results the previous session could not prove delivered.
+    // The coordinator dedupes by fingerprint, so double delivery is safe.
+    {
+        let pending = ws.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if !pending.is_empty() && !opts.quiet {
+            eprintln!("cluster: worker redelivering {} unacked result(s)", pending.len());
+        }
+        for done in pending.iter() {
+            if let Err(e) = tx.send(&Frame::Done(done.clone()).encode()) {
+                return dropped(false, format!("redeliver: {e}"));
+            }
+        }
     }
     let cell_cfg = CellRunConfig {
         retry: RetryPolicy {
@@ -159,6 +360,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
             iteration_growth: wire.iteration_growth,
             tau_step: wire.tau_step,
             backoff: Duration::from_millis(wire.backoff_ms),
+            max_backoff: Duration::from_millis(wire.max_backoff_ms),
         },
         cell_deadline: wire.cell_deadline_ms.map(Duration::from_millis),
         audit: wire.audit,
@@ -183,12 +385,9 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
         *hb_stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
         hb_cv.notify_all();
     };
-    let solved = AtomicU64::new(0);
-    let failed = AtomicU64::new(0);
-    let mut batches = 0u64;
-    let mut died = false;
+    let progressed = AtomicBool::new(false);
 
-    let result: Result<(), String> = std::thread::scope(|scope| {
+    let end = std::thread::scope(|scope| {
         scope.spawn(|| {
             let mut stopped = hb_stop.lock().unwrap_or_else(|e| e.into_inner());
             while !*stopped {
@@ -200,19 +399,30 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                     hb_cv.wait_timeout(stopped, hb_interval).unwrap_or_else(|e| e.into_inner()).0;
             }
         });
-        let run = (|| -> Result<(), String> {
+        let run = (|| -> SessionEnd {
             let never_cancel = Arc::new(AtomicBool::new(false));
             let mut completed_total = 0usize;
             loop {
-                tx.send(&Frame::Claim { max: batch }.encode())
-                    .map_err(|e| format!("claim: {e}"))?;
+                // Any claim response proves the coordinator consumed every
+                // frame we sent before the claim — ack that prefix.
+                let watermark = ws.pending.lock().unwrap_or_else(|e| e.into_inner()).len();
+                if let Err(e) = tx.send(&Frame::Claim { max: batch }.encode()) {
+                    return dropped(progressed.load(Ordering::SeqCst), format!("claim: {e}"));
+                }
                 let mut tasks: Vec<TaskFrame> = Vec::new();
                 let lease = loop {
-                    match recv_frame(&mut rx)? {
+                    let frame = match recv_frame(&mut rx) {
+                        Ok(f) => f,
+                        Err(RecvErr::Transport(why)) => {
+                            return dropped(progressed.load(Ordering::SeqCst), why)
+                        }
+                        Err(RecvErr::Protocol(why)) => return SessionEnd::Fatal(why),
+                    };
+                    match frame {
                         Frame::Task(t) => tasks.push(t),
                         Frame::Grant { lease, count, .. } => {
                             if tasks.len() as u32 != count {
-                                return Err(format!(
+                                return SessionEnd::Fatal(format!(
                                     "grant count {count} != {} tasks received",
                                     tasks.len()
                                 ));
@@ -223,33 +433,38 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                             std::thread::sleep(Duration::from_millis(ms.min(2_000)));
                             break None;
                         }
-                        Frame::Fin => return Ok(()),
-                        Frame::Err { msg } => return Err(format!("coordinator error: {msg}")),
-                        other => return Err(format!("unexpected frame in claim: {other:?}")),
+                        Frame::Fin => {
+                            ws.pending.lock().unwrap_or_else(|e| e.into_inner()).clear();
+                            return SessionEnd::Finished;
+                        }
+                        Frame::Err { msg } => {
+                            return SessionEnd::Fatal(format!("coordinator error: {msg}"))
+                        }
+                        other => {
+                            return SessionEnd::Fatal(format!(
+                                "unexpected frame in claim: {other:?}"
+                            ))
+                        }
                     }
                 };
+                {
+                    let mut pending = ws.pending.lock().unwrap_or_else(|e| e.into_inner());
+                    let acked = watermark.min(pending.len());
+                    pending.drain(..acked);
+                }
+                progressed.store(true, Ordering::SeqCst);
                 let Some(lease) = lease else { continue };
-                batches += 1;
+                ws.batches.fetch_add(1, Ordering::SeqCst);
                 *current_lease.lock().unwrap_or_else(|e| e.into_inner()) = Some(lease);
 
                 let die_at = opts.die_after.map(|n| n.saturating_sub(completed_total));
-                let outcome = solve_batch(
-                    &tx,
-                    lease,
-                    &tasks,
-                    &cell_cfg,
-                    threads,
-                    die_at,
-                    &never_cancel,
-                    &solved,
-                    &failed,
-                );
+                let outcome =
+                    solve_batch(&tx, lease, &tasks, &cell_cfg, threads, die_at, &never_cancel, ws);
                 completed_total += outcome.completed;
                 *current_lease.lock().unwrap_or_else(|e| e.into_inner()) = None;
                 if outcome.die {
                     // Stop renewing the (still-held) lease before playing dead.
                     stop_heartbeat();
-                    died = true;
                     match opts.die_mode {
                         DieMode::Disconnect => {}
                         DieMode::Hang => {
@@ -258,22 +473,17 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
                             std::thread::sleep(Duration::from_millis(lease_ms * 2 + 200));
                         }
                     }
-                    return Ok(());
+                    return SessionEnd::Died;
                 }
-                outcome.send?;
+                if let Err(e) = outcome.send {
+                    return dropped(true, e);
+                }
             }
         })();
         stop_heartbeat();
         run
     });
-
-    result?;
-    Ok(WorkerSummary {
-        solved: solved.load(Ordering::SeqCst),
-        failed: failed.load(Ordering::SeqCst),
-        batches,
-        died,
-    })
+    end
 }
 
 struct BatchOutcome {
@@ -284,7 +494,9 @@ struct BatchOutcome {
 
 /// Solves the cells of one claimed batch (possibly with several threads)
 /// and streams a `done` frame per cell. `die_at` caps how many cells this
-/// batch may complete before fault injection trips.
+/// batch may complete before fault injection trips. Every frame is parked
+/// in the pending buffer *before* the send so a dropped connection can
+/// redeliver it.
 #[allow(clippy::too_many_arguments)]
 fn solve_batch(
     tx: &FrameSender,
@@ -294,8 +506,7 @@ fn solve_batch(
     threads: u32,
     die_at: Option<usize>,
     never_cancel: &Arc<AtomicBool>,
-    solved: &AtomicU64,
-    failed: &AtomicU64,
+    ws: &WorkerState,
 ) -> BatchOutcome {
     let completed = AtomicUsize::new(0);
     let send_err: Mutex<Option<String>> = Mutex::new(None);
@@ -315,7 +526,7 @@ fn solve_batch(
         let started = Instant::now();
         let done = match JobSpec::decode(&task.spec) {
             None => {
-                failed.fetch_add(1, Ordering::SeqCst);
+                ws.failed.fetch_add(1, Ordering::SeqCst);
                 DoneFrame {
                     lease,
                     fp: task.fp,
@@ -333,7 +544,7 @@ fn solve_batch(
                     run_cell_attempts(&task.key, cell_cfg, never_cancel, |ctx| spec.solve(ctx));
                 match res {
                     Ok(vals) => {
-                        solved.fetch_add(1, Ordering::SeqCst);
+                        ws.solved.fetch_add(1, Ordering::SeqCst);
                         DoneFrame {
                             lease,
                             fp: task.fp,
@@ -347,7 +558,7 @@ fn solve_batch(
                         }
                     }
                     Err(f) => {
-                        failed.fetch_add(1, Ordering::SeqCst);
+                        ws.failed.fetch_add(1, Ordering::SeqCst);
                         DoneFrame {
                             lease,
                             fp: task.fp,
@@ -363,6 +574,7 @@ fn solve_batch(
                 }
             }
         };
+        ws.pending.lock().unwrap_or_else(|e| e.into_inner()).push(done.clone());
         if let Err(e) = tx.send(&Frame::Done(done).encode()) {
             let mut slot = send_err.lock().unwrap_or_else(|e| e.into_inner());
             if slot.is_none() {

@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::Path;
 
@@ -332,6 +333,209 @@ pub fn load_journal(path: &Path) -> HashMap<u64, JournalEntry> {
 }
 
 // ---------------------------------------------------------------------------
+// Durable appends and crash recovery
+// ---------------------------------------------------------------------------
+
+/// How hard an append pushes bytes toward the platter before returning.
+///
+/// `flush` (stdlib buffering) always happens; durability levels add
+/// `fsync`:
+///
+/// * `None` — no fsync; an OS crash can lose recently appended lines
+///   (they re-solve on resume).
+/// * `Batch` — fsync every [`JournalWriter::BATCH_SYNC_EVERY`] appends and
+///   on [`JournalWriter::sync`]; bounds loss to one batch. The default.
+/// * `Always` — fsync after every append; an acknowledged line survives
+///   power loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Flush only, never fsync.
+    None,
+    /// Fsync every few appends and at sweep end.
+    #[default]
+    Batch,
+    /// Fsync after every append.
+    Always,
+}
+
+impl Durability {
+    /// Parses the `--durability` CLI value (`none` | `batch` | `always`).
+    pub fn parse(raw: &str) -> Option<Durability> {
+        match raw {
+            "none" => Some(Durability::None),
+            "batch" => Some(Durability::Batch),
+            "always" => Some(Durability::Always),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only journal writer with an explicit [`Durability`] policy
+/// and atomic-or-nothing appends.
+///
+/// Every append is a single `line + '\n'` write followed by a flush. If
+/// the write fails partway (disk full, short write, injected torn-write
+/// fault), the writer truncates the file back to the pre-append length
+/// before returning the error — the file never gains a torn *middle*, so
+/// a later retry of the same line keeps the journal byte-identical to an
+/// uninterrupted run. Torn *tails* (process killed mid-write) are
+/// repaired by [`recover_journal`] at the next open.
+///
+/// Chaos integration: appends honor the `journal.append` torn-write fault
+/// site and the `journal.before_append` / `journal.after_append` crash
+/// points (see `bvc-chaos`).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    durability: Durability,
+    len: u64,
+    since_sync: u64,
+}
+
+impl JournalWriter {
+    /// Appends between fsyncs under [`Durability::Batch`].
+    pub const BATCH_SYNC_EVERY: u64 = 16;
+
+    /// Opens (creating if needed) `path` for appending, creating parent
+    /// directories. Does **not** recover torn tails — call
+    /// [`recover_journal`] first when resuming.
+    pub fn append_to(path: &Path, durability: Durability) -> std::io::Result<JournalWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(JournalWriter { file, durability, len, since_sync: 0 })
+    }
+
+    /// Appends one journal line (newline added) atomically-or-nothing,
+    /// then applies the durability policy.
+    pub fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        bvc_chaos::crash_point("journal.before_append");
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+
+        let result = match bvc_chaos::draw_io("journal.append", bvc_chaos::IoOp::Write) {
+            bvc_chaos::IoFault::Torn { cut } => {
+                // Simulated short write: a prefix lands on disk, then the
+                // device errors — exactly what ENOSPC mid-line looks like.
+                let n = ((bytes.len() as f64 * cut) as usize).min(bytes.len() - 1);
+                if n > 0 {
+                    let _ = self.file.write(&bytes[..n]);
+                    let _ = self.file.flush();
+                }
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "chaos: torn journal append",
+                ))
+            }
+            bvc_chaos::IoFault::Reset => Err(std::io::Error::other("chaos: journal append error")),
+            bvc_chaos::IoFault::Stall(d) => {
+                std::thread::sleep(d);
+                self.file.write_all(&bytes).and_then(|()| self.file.flush())
+            }
+            bvc_chaos::IoFault::None => {
+                self.file.write_all(&bytes).and_then(|()| self.file.flush())
+            }
+        };
+
+        match result.and_then(|()| self.apply_durability()) {
+            Ok(()) => {
+                self.len += bytes.len() as u64;
+                bvc_chaos::crash_point("journal.after_append");
+                Ok(())
+            }
+            Err(e) => {
+                // Atomic-or-nothing: drop whatever prefix landed so the
+                // journal never carries a torn middle. (On a crash there
+                // is no repair step — recover_journal handles the tail.)
+                let _ = self.file.set_len(self.len);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_durability(&mut self) -> std::io::Result<()> {
+        match self.durability {
+            Durability::None => Ok(()),
+            Durability::Always => self.file.sync_data(),
+            Durability::Batch => {
+                self.since_sync += 1;
+                if self.since_sync >= Self::BATCH_SYNC_EVERY {
+                    self.since_sync = 0;
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Forces an fsync now (end-of-sweep barrier for `Batch`; a no-op
+    /// amount of extra work for `Always`).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.since_sync = 0;
+        self.file.sync_data()
+    }
+}
+
+/// What [`recover_journal`] found (and repaired) in a journal.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredJournal {
+    /// Live entries, last-wins per fingerprint — same semantics as
+    /// [`load_journal`] over the retained prefix.
+    pub entries: HashMap<u64, JournalEntry>,
+    /// Bytes of torn tail truncated from the file (0 when clean).
+    pub truncated_bytes: u64,
+}
+
+/// Opens a journal for crash recovery: truncates any unterminated tail
+/// (bytes after the last `'\n'` — a line torn by a kill or power loss,
+/// even if it happens to parse) and returns the live entries of the
+/// retained prefix.
+///
+/// Truncation is what lets a restarted coordinator produce a journal
+/// byte-identical to an uninterrupted run: the torn cell re-solves and
+/// its line is re-appended at exactly the truncation point. Terminated
+/// mid-file lines that do not parse are left in place and skipped, like
+/// [`load_journal`] does. A missing file is an empty journal.
+pub fn recover_journal(path: &Path) -> std::io::Result<RecoveredJournal> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(RecoveredJournal::default())
+        }
+        Err(e) => return Err(e),
+    };
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let truncated_bytes = (bytes.len() - keep) as u64;
+    if truncated_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.sync_data()?;
+    }
+    let mut entries = HashMap::new();
+    for line in bytes[..keep].split(|&b| b == b'\n') {
+        // Tolerate CRLF journals (e.g. edited on another platform): the
+        // parser already ignores bytes after the closing brace, but strip
+        // explicitly so the rule is visible here.
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            continue;
+        }
+        if let Ok(text) = std::str::from_utf8(line) {
+            if let Some(entry) = parse_journal_line(text) {
+                entries.insert(entry.fp, entry);
+            }
+        }
+    }
+    Ok(RecoveredJournal { entries, truncated_bytes })
+}
+
+// ---------------------------------------------------------------------------
 // Maintenance: compact and stat (behind `bvc journal`)
 // ---------------------------------------------------------------------------
 
@@ -385,8 +589,20 @@ pub fn compact_journal(input: &Path, output: &Path) -> std::io::Result<CompactOu
             }
         }
         file.flush()?;
+        // The rename below only atomically replaces what has reached the
+        // disk: fsync the temp file first, then the rename, then the
+        // directory entry, so a crash never yields a half-compacted file.
+        file.sync_all()?;
     }
     std::fs::rename(&tmp, output)?;
+    if let Some(parent) = output.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    bvc_chaos::crash_point("journal.after_compact");
     Ok(outcome)
 }
 
@@ -599,6 +815,14 @@ mod tests {
         }
     }
 
+    // The chaos controller is process-global and JournalWriter draws from
+    // the `journal.append` fault site on every append; tests that write
+    // journals while a plan may be installed must not interleave.
+    fn writer_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn line(fp: u64, key: &str, ok: bool, v: f64) -> String {
         let entry = JournalEntry {
             fp,
@@ -680,6 +904,121 @@ mod tests {
         let text = stats.render_text();
         assert!(text.contains("entries        3"), "{text}");
         assert!(text.contains("failure x1: boom"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_missing_file_is_an_empty_journal() {
+        let rec = recover_journal(&tmp_path("recover_missing")).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn recover_truncates_tail_torn_mid_multibyte_utf8_key() {
+        let path = tmp_path("recover_utf8");
+        let keep = line(1, "a", true, 1.5);
+        let torn = line(2, "日本語のセル", true, 2.5);
+        // Cut the second line mid multi-byte sequence: one byte past the
+        // first non-ASCII byte, well before its newline.
+        let cut = torn.bytes().position(|b| b >= 0x80).unwrap() + 1;
+        let mut bytes = format!("{keep}\n").into_bytes();
+        bytes.extend_from_slice(&torn.as_bytes()[..cut]);
+        assert!(std::str::from_utf8(&bytes).is_err(), "tail must be invalid UTF-8");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, cut as u64);
+        assert_eq!(rec.entries.len(), 1, "exactly the torn cell degrades to re-solve");
+        assert!(rec.entries.contains_key(&1), "earlier entry intact");
+        // The file itself was repaired: the torn tail is gone, so a
+        // re-appended line lands at exactly the right offset.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{keep}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_tolerates_crlf_line_endings() {
+        let path = tmp_path("recover_crlf");
+        let a = line(1, "a", true, 1.0);
+        let b = line(2, "b", true, 2.0);
+        let torn = line(3, "c", true, 3.0);
+        let mut bytes = format!("{a}\r\n{b}\r\n").into_bytes();
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.entries.len(), 2, "CRLF-terminated entries both load");
+        assert!(rec.entries.contains_key(&1) && rec.entries.contains_key(&2));
+        assert!(!rec.entries.contains_key(&3), "only the torn cell re-solves");
+        assert_eq!(rec.truncated_bytes, (torn.len() / 2) as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_truncates_final_line_missing_its_newline() {
+        let _g = writer_lock();
+        let path = tmp_path("recover_nonewline");
+        let a = line(1, "a", true, 1.0);
+        let b = line(2, "b", true, 2.0);
+        // The final line is complete and parseable but unterminated — a
+        // kill between write and newline-write, or a lost final block.
+        // Appending after it would corrupt both lines, so recovery must
+        // truncate it and let exactly that cell re-solve.
+        std::fs::write(&path, format!("{a}\n{b}")).unwrap();
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, b.len() as u64);
+        assert!(rec.entries.contains_key(&1) && !rec.entries.contains_key(&2));
+
+        // Re-appending the re-solved cell restores byte-identity with an
+        // uninterrupted run.
+        let mut w = JournalWriter::append_to(&path, Durability::Always).unwrap();
+        w.append_line(&b).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{a}\n{b}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writer_durability_levels_append_identically() {
+        let _g = writer_lock();
+        for durability in [Durability::None, Durability::Batch, Durability::Always] {
+            let path = tmp_path("writer_durability");
+            let mut w = JournalWriter::append_to(&path, durability).unwrap();
+            for i in 0..(JournalWriter::BATCH_SYNC_EVERY + 2) {
+                w.append_line(&line(i, &format!("k{i}"), true, i as f64)).unwrap();
+            }
+            w.sync().unwrap();
+            drop(w);
+            let loaded = load_journal(&path);
+            assert_eq!(loaded.len(), JournalWriter::BATCH_SYNC_EVERY as usize + 2);
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(Durability::parse("always"), Some(Durability::Always));
+        assert_eq!(Durability::parse("batch"), Some(Durability::Batch));
+        assert_eq!(Durability::parse("none"), Some(Durability::None));
+        assert_eq!(Durability::parse("fsync"), None);
+    }
+
+    #[test]
+    fn writer_short_write_fault_repairs_the_tail_and_retries_cleanly() {
+        let _g = writer_lock();
+        let path = tmp_path("writer_torn");
+        let a = line(1, "a", true, 1.0);
+        let b = line(2, "b", true, 2.0);
+        bvc_chaos::install(
+            bvc_chaos::FaultPlan::parse("seed=3,torn_write_at=journal.append:2").unwrap(),
+        );
+        let mut w = JournalWriter::append_to(&path, Durability::Batch).unwrap();
+        w.append_line(&a).unwrap();
+        let err = w.append_line(&b).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // The torn prefix was rolled back: no torn middle in the file.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{a}\n"));
+        // A retry of the same line lands byte-identically to an
+        // uninterrupted run.
+        w.append_line(&b).unwrap();
+        bvc_chaos::reset();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{a}\n{b}\n"));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -27,8 +27,6 @@
 //! mangles.
 
 use std::fmt::Write as _;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,7 +48,10 @@ pub use crate::fingerprint::{cell_fingerprint, fnv1a64};
 // The journal line codec also lives in `bvc-journal`: the cluster
 // coordinator writes journals through literally these functions, which is
 // what makes a distributed journal byte-identical to a local one.
-pub use bvc_journal::{encode_line, json_escape, load_journal, parse_journal_line, JournalEntry};
+pub use bvc_journal::{
+    encode_line, json_escape, load_journal, parse_journal_line, recover_journal, Durability,
+    JournalEntry, JournalWriter,
+};
 
 // The per-cell attempt loop (watchdog budget, retry escalation, fault
 // injection, panic isolation) lives in `bvc-cluster`'s [`bvc_cluster::cell`]
@@ -383,6 +384,12 @@ pub struct SweepOptions {
     pub lease: Option<Duration>,
     /// Cluster claim-batch-size override (default 4 cells per claim).
     pub cluster_batch: Option<u32>,
+    /// Fsync policy for journal appends (`--durability none|batch|always`).
+    pub durability: Durability,
+    /// Validated chaos fault-plan spec (`--chaos`); installed process-wide
+    /// by [`SweepOptions::from_cli_or_exit`] (binaries) — library callers
+    /// install it themselves via [`bvc_chaos::install_spec`].
+    pub chaos: Option<String>,
 }
 
 impl SweepOptions {
@@ -456,6 +463,17 @@ impl SweepOptions {
                         parse(value(&mut it, "--cluster-batch")?, "--cluster-batch takes a count")?;
                     opts.cluster_batch = Some(n.max(1));
                 }
+                "--durability" => {
+                    let raw = value(&mut it, "--durability")?;
+                    opts.durability = Durability::parse(&raw).ok_or_else(|| {
+                        format!("--durability takes none|batch|always, got {raw:?}")
+                    })?;
+                }
+                "--chaos" => {
+                    let spec = value(&mut it, "--chaos")?;
+                    bvc_chaos::FaultPlan::parse(&spec).map_err(|e| format!("--chaos: {e}"))?;
+                    opts.chaos = Some(spec);
+                }
                 _ => rest.push(arg),
             }
         }
@@ -468,13 +486,25 @@ impl SweepOptions {
     pub fn from_cli_or_exit<I: IntoIterator<Item = String>>(
         args: I,
     ) -> (SweepOptions, Vec<String>) {
-        match Self::from_cli(args) {
+        let parsed = match Self::from_cli(args) {
             Ok(parsed) => parsed,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 std::process::exit(2);
             }
+        };
+        // Install the chaos plan process-wide: the `--chaos` flag wins,
+        // otherwise `BVC_CHAOS` from the environment applies (so whole
+        // pipelines can be fault-injected without threading a flag).
+        let install = match &parsed.0.chaos {
+            Some(spec) => bvc_chaos::install_spec(spec),
+            None => bvc_chaos::install_from_env().map(|_| ()),
+        };
+        if let Err(msg) = install {
+            eprintln!("error: chaos plan: {msg}");
+            std::process::exit(2);
         }
+        parsed
     }
 }
 
@@ -519,9 +549,20 @@ where
     // Resume: replay finished cells out of the journal; failed or missing
     // entries are re-solved.
     if let Some(path) = &opts.journal {
-        let journal = load_journal(path);
+        // Crash recovery: truncate any torn tail (a crash mid-append) back
+        // to the last complete line before replaying, so the re-appended
+        // line lands at the same byte offset an uninterrupted run used.
+        let journal = recover_journal(path)
+            .unwrap_or_else(|e| panic!("cannot recover journal {}: {e}", path.display()));
+        if journal.truncated_bytes > 0 {
+            eprintln!(
+                "sweep {label}: journal {}: truncated {} byte(s) of torn tail",
+                path.display(),
+                journal.truncated_bytes
+            );
+        }
         for i in 0..n {
-            if let Some(entry) = journal.get(&fps[i]) {
+            if let Some(entry) = journal.entries.get(&fps[i]) {
                 if entry.ok {
                     let vals: Vec<f64> = entry.bits.iter().map(|&b| f64::from_bits(b)).collect();
                     if let Some(value) = T::decode(&vals) {
@@ -540,16 +581,8 @@ where
 
     let pending: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
     let writer = opts.journal.as_ref().map(|path| {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-        }
         Mutex::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
+            JournalWriter::append_to(path, opts.durability)
                 .unwrap_or_else(|e| panic!("cannot open journal {}: {e}", path.display())),
         )
     });
@@ -603,8 +636,15 @@ where
             // A worker panicking while holding the lock poisons it; the
             // journal file itself is still usable, so recover the guard.
             let mut file = writer.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = writeln!(file, "{line}");
-            let _ = file.flush();
+            // A failed append rolled the file back to the previous line
+            // boundary, so a retry re-appends the identical bytes. Give a
+            // transiently faulted disk a few chances; a line lost past
+            // that degrades to re-solving this cell on resume.
+            for _ in 0..3 {
+                if file.append_line(&line).is_ok() {
+                    break;
+                }
+            }
         }
 
         if opts.fail_fast && matches!(&outcome, Err(f) if !matches!(f, CellFailure::Skipped)) {
@@ -632,6 +672,12 @@ where
             });
         }
     });
+
+    // Durability barrier: under `batch`, appends since the last sync-every-N
+    // boundary are only flushed, not fsynced — close the window here.
+    if let Some(writer) = &writer {
+        let _ = writer.lock().unwrap_or_else(|e| e.into_inner()).sync();
+    }
 
     let cells = slots_mx
         .into_inner()
@@ -725,6 +771,7 @@ impl CellExecutor for ClusterExecutor {
             lease: self.lease,
             batch: self.batch,
             fail_fast: opts.fail_fast,
+            durability: opts.durability,
             ..ClusterConfig::default()
         };
         let report = run_coordinator(&self.addr, label, jobs, cfg).map_err(|e| e.to_string())?;

@@ -50,8 +50,8 @@ pub fn apply_deadlines(stream: &TcpStream, timeout: Duration) -> io::Result<()> 
 /// (`mid_record == false`) and [`ReadError::Malformed`] inside one;
 /// `WouldBlock`/`TimedOut` become [`ReadError::TimedOut`]; `Interrupted`
 /// retries silently.
-pub fn read_chunk(
-    stream: &mut TcpStream,
+pub fn read_chunk<S: Read + ?Sized>(
+    stream: &mut S,
     buf: &mut Vec<u8>,
     mid_record: bool,
 ) -> Result<(), ReadError> {
@@ -74,6 +74,15 @@ pub fn read_chunk(
     }
 }
 
+/// The byte transport under the framed codec. [`TcpStream`] (and anything
+/// else `Read + Write`, e.g. a chaos-wrapped stream injecting seeded
+/// faults) implements it via the blanket impl; the framing layer is
+/// deliberately oblivious to what carries its bytes, which is the seam
+/// deterministic fault injection plugs into.
+pub trait ByteStream: Read + Write + Send + std::fmt::Debug {}
+
+impl<T: Read + Write + Send + std::fmt::Debug> ByteStream for T {}
+
 /// Generous frame-size ceiling for the cluster protocol. Policy payloads
 /// for the larger models serialize to megabytes; anything past this is a
 /// protocol violation, not a workload.
@@ -87,12 +96,17 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 /// [`send`]: FrameSender::send
 #[derive(Debug)]
 pub struct FrameSender {
-    stream: Mutex<TcpStream>,
+    stream: Mutex<Box<dyn ByteStream>>,
 }
 
 impl FrameSender {
     /// Wraps a stream (typically a [`TcpStream::try_clone`] of the reader's).
     pub fn new(stream: TcpStream) -> FrameSender {
+        FrameSender::from_stream(Box::new(stream))
+    }
+
+    /// Wraps an arbitrary byte transport (e.g. a chaos-wrapped stream).
+    pub fn from_stream(stream: Box<dyn ByteStream>) -> FrameSender {
         FrameSender { stream: Mutex::new(stream) }
     }
 
@@ -117,7 +131,7 @@ impl FrameSender {
 /// the carry-over buffer between frames.
 #[derive(Debug)]
 pub struct FrameReader {
-    stream: TcpStream,
+    stream: Box<dyn ByteStream>,
     buf: Vec<u8>,
     max_frame: usize,
 }
@@ -125,6 +139,11 @@ pub struct FrameReader {
 impl FrameReader {
     /// Wraps a stream with a frame-size ceiling.
     pub fn new(stream: TcpStream, max_frame: usize) -> FrameReader {
+        FrameReader::from_stream(Box::new(stream), max_frame)
+    }
+
+    /// Wraps an arbitrary byte transport (e.g. a chaos-wrapped stream).
+    pub fn from_stream(stream: Box<dyn ByteStream>, max_frame: usize) -> FrameReader {
         FrameReader { stream, buf: Vec::new(), max_frame }
     }
 
@@ -153,7 +172,7 @@ impl FrameReader {
                 }
             }
             let mid_record = !self.buf.is_empty();
-            read_chunk(&mut self.stream, &mut self.buf, mid_record)?;
+            read_chunk(&mut *self.stream, &mut self.buf, mid_record)?;
         }
     }
 }
@@ -163,6 +182,17 @@ impl FrameReader {
 pub fn frame_pair(stream: TcpStream, max_frame: usize) -> io::Result<(FrameSender, FrameReader)> {
     let write_half = stream.try_clone()?;
     Ok((FrameSender::new(write_half), FrameReader::new(stream, max_frame)))
+}
+
+/// [`frame_pair`] over pre-wrapped transports: the caller supplies the two
+/// halves (usually `try_clone`d and wrapped, e.g. in a chaos stream) so the
+/// framing codec on top stays byte-identical to the unwrapped path.
+pub fn frame_pair_from(
+    write_half: Box<dyn ByteStream>,
+    read_half: Box<dyn ByteStream>,
+    max_frame: usize,
+) -> (FrameSender, FrameReader) {
+    (FrameSender::from_stream(write_half), FrameReader::from_stream(read_half, max_frame))
 }
 
 #[cfg(test)]

@@ -59,6 +59,13 @@ pub struct ServeConfig {
     /// cold solves on a many-core box; leave at 1 when `workers` already
     /// saturates the machine (thread-budget arbitration, see DESIGN.md).
     pub solve_threads: usize,
+    /// Base retry hint on 429 sheds (`--retry-after-ms`). Each shed draws
+    /// a jittered value uniform in `[base/2, base]` so synchronized
+    /// clients do not retry in lockstep; it is emitted as a standard
+    /// whole-second `retry-after` plus a precise `retry-after-ms`.
+    pub retry_after: Duration,
+    /// Seed for the shed-jitter stream (deterministic for tests).
+    pub retry_jitter_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +79,8 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             preload: Vec::new(),
             solve_threads: 1,
+            retry_after: Duration::from_secs(1),
+            retry_jitter_seed: 0x7e7e_a11e,
         }
     }
 }
@@ -146,6 +155,8 @@ pub struct Service {
     pub metrics: Metrics,
     solve_deadline: Option<Duration>,
     solve_threads: usize,
+    retry_after: Duration,
+    retry_jitter: Mutex<bvc_chaos::SplitMix64>,
     shutdown: (Mutex<bool>, Condvar),
 }
 
@@ -157,8 +168,23 @@ impl Service {
             metrics: Metrics::new(),
             solve_deadline: config.solve_deadline,
             solve_threads: config.solve_threads.max(1),
+            retry_after: config.retry_after,
+            retry_jitter: Mutex::new(bvc_chaos::SplitMix64::new(config.retry_jitter_seed)),
             shutdown: (Mutex::new(false), Condvar::new()),
         }
+    }
+
+    /// Stamps a shed response with jittered retry hints: `retry-after`
+    /// (whole seconds, ceiling, at least 1) for standard clients and
+    /// `retry-after-ms` with the precise draw from `[base/2, base]`.
+    fn shed_retry_headers(&self, resp: Response) -> Response {
+        let base_ms = (self.retry_after.as_millis() as u64).max(2);
+        let jitter =
+            self.retry_jitter.lock().unwrap_or_else(|e| e.into_inner()).next_range(base_ms / 2 + 1);
+        let ms = base_ms / 2 + jitter;
+        let secs = ms.div_ceil(1_000).max(1);
+        resp.with_header("retry-after", &secs.to_string())
+            .with_header("retry-after-ms", &ms.to_string())
     }
 
     /// The solve cache (public for preloading and tests).
@@ -264,14 +290,13 @@ impl Service {
             }
             Fetched::Shed => {
                 self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
-                Response::json(
+                self.shed_retry_headers(Response::json(
                     429,
                     JsonObject::new()
                         .str("error", "overloaded")
                         .str("detail", "solve queue is full; cached cells are still served")
                         .finish(),
-                )
-                .with_header("retry-after", "1")
+                ))
             }
         }
     }
@@ -423,11 +448,10 @@ impl Service {
             }
             Fetched::Shed => {
                 self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
-                Response::json(
+                self.shed_retry_headers(Response::json(
                     429,
                     "{\"error\":\"overloaded\",\"detail\":\"solve queue is full\"}".to_string(),
-                )
-                .with_header("retry-after", "1")
+                ))
             }
         }
     }

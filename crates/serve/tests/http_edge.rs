@@ -174,3 +174,66 @@ fn shutdown_drains_in_flight_request() {
     assert!(out.starts_with("HTTP/1.1 200"), "in-flight request was dropped: {out:?}");
     assert!(out.contains("connection: close"), "drained response must close: {out:?}");
 }
+
+#[test]
+fn shed_retry_after_is_jittered_within_the_configured_range() {
+    use bvc_serve::{Request, ServeConfig, Service};
+
+    // queue_cap 0 sheds every cold solve, so each request draws one
+    // retry hint from the seeded jitter stream.
+    let service = Service::new(&ServeConfig {
+        queue_cap: 0,
+        retry_after: Duration::from_millis(800),
+        retry_jitter_seed: 7,
+        ..ServeConfig::default()
+    });
+    let shed_request = || Request {
+        method: "GET".to_string(),
+        path: "/v1/table2".to_string(),
+        query: vec![("alpha".to_string(), "0.33".to_string())],
+        headers: Vec::new(),
+        body: Vec::new(),
+        wants_close: false,
+    };
+    let mut draws = Vec::new();
+    for _ in 0..8 {
+        let resp = service.handle(&shed_request());
+        assert_eq!(resp.status, 429);
+        let ms: u64 = resp
+            .extra_headers
+            .iter()
+            .find(|(k, _)| k == "retry-after-ms")
+            .map(|(_, v)| v.parse().expect("retry-after-ms is numeric"))
+            .expect("shed carries retry-after-ms");
+        assert!((400..=800).contains(&ms), "retry-after-ms {ms} outside [base/2, base]");
+        let secs: u64 = resp
+            .extra_headers
+            .iter()
+            .find(|(k, _)| k == "retry-after")
+            .map(|(_, v)| v.parse().expect("retry-after is numeric"))
+            .expect("shed carries retry-after");
+        assert_eq!(secs, ms.div_ceil(1_000).max(1), "whole-second hint matches the draw");
+        draws.push(ms);
+    }
+    let distinct: std::collections::HashSet<u64> = draws.iter().copied().collect();
+    assert!(distinct.len() >= 2, "jitter never varied: {draws:?}");
+
+    // Same seed, same schedule: the hint sequence is reproducible.
+    let replay = Service::new(&ServeConfig {
+        queue_cap: 0,
+        retry_after: Duration::from_millis(800),
+        retry_jitter_seed: 7,
+        ..ServeConfig::default()
+    });
+    let again: Vec<u64> = (0..8)
+        .map(|_| {
+            let resp = replay.handle(&shed_request());
+            resp.extra_headers
+                .iter()
+                .find(|(k, _)| k == "retry-after-ms")
+                .map(|(_, v)| v.parse().expect("numeric"))
+                .expect("retry-after-ms")
+        })
+        .collect();
+    assert_eq!(draws, again);
+}

@@ -21,6 +21,7 @@ fn test_server(queue_cap: usize, workers: usize) -> RunningServer {
         read_timeout: Duration::from_secs(5),
         preload: Vec::new(),
         solve_threads: 1,
+        ..ServeConfig::default()
     })
     .expect("start server")
 }

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the chaos layer: real process deaths, not
+# in-process simulations (those live in `chaos_soak`).
+#
+# Scenarios (all against the Table 2 setting-1 workload, 21 cells, with
+# a local single-threaded journal as the byte-identity reference):
+#
+#   1. planned crash — the coordinator runs under
+#      `BVC_CHAOS=crash_at=journal.after_append:5` and exits 137 after
+#      journaling exactly 5 cells, twice (same plan, same line count:
+#      the failure schedule replays). A restarted coordinator over the
+#      same journal replays the 5-line prefix and finishes byte-identical
+#      to the reference; the worker rides the outage via `--reconnect`.
+#   2. kill -9 — a latency-paced worker keeps the run slow enough to
+#      SIGKILL the coordinator mid-run with at least 5 cells journaled;
+#      the restarted coordinator (fsync-per-append, over a possibly torn
+#      tail) again converges to byte-identity.
+#
+# Usage: scripts/chaos_smoke.sh
+# Set BVC_BIN / TABLE2_BIN to prebuilt binaries to skip the cargo builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+if [[ -z "${BVC_BIN:-}" || -z "${TABLE2_BIN:-}" ]]; then
+    echo "==> building release binaries (bvc, table2)"
+    cargo build --release --offline -q -p bvc-cli -p bvc-repro --bin bvc --bin table2
+fi
+BVC_BIN=${BVC_BIN:-target/release/bvc}
+TABLE2_BIN=${TABLE2_BIN:-target/release/table2}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    { for pid in "${pids[@]}"; do kill -9 "$pid" || true; done; wait; } \
+        2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+lines() { if [[ -f "$1" ]]; then wc -l < "$1"; else echo 0; fi; }
+
+echo "==> [1/4] local reference run (table2 setting 1, single-threaded, journaled)"
+"$TABLE2_BIN" --setting1-only --threads 1 --journal "$workdir/local.jsonl" \
+    > "$workdir/local.txt"
+
+# --- scenario 1: planned crash point, twice, then restart-resume --------------
+port=$(( (RANDOM % 2000) + 19000 ))
+addr="127.0.0.1:$port"
+crash_plan="seed=42,crash_at=journal.after_append:5"
+
+echo "==> [2/4] planned crash: coordinator exits 137 after 5 journal appends (x2)"
+for round in a b; do
+    rm -f "$workdir/crash.jsonl"
+    BVC_CHAOS="$crash_plan" "$BVC_BIN" cluster coordinate \
+        --workload table2-setting1 --addr "$addr" \
+        --journal "$workdir/crash.jsonl" --quiet \
+        > "$workdir/crash_$round.txt" 2>&1 &
+    coord_pid=$!
+    pids+=("$coord_pid")
+    if [[ "$round" == "a" ]]; then
+        # One worker for the whole scenario; --reconnect carries it across
+        # both planned crashes and into the restarted coordinator below.
+        "$BVC_BIN" cluster work --connect "$addr" --reconnect 25 \
+            > "$workdir/crash_worker.txt" 2>&1 &
+        pids+=("$!")
+    fi
+    status=0
+    wait "$coord_pid" || status=$?
+    if [[ "$status" -ne 137 ]]; then
+        echo "CHAOS SMOKE FAILED: crash run $round exited $status, want 137" >&2
+        cat "$workdir/crash_$round.txt" >&2
+        exit 1
+    fi
+    count=$(lines "$workdir/crash.jsonl")
+    if [[ "$count" -ne 5 ]]; then
+        echo "CHAOS SMOKE FAILED: crash run $round journaled $count lines, want" \
+             "exactly 5 (crash schedule must replay deterministically)" >&2
+        exit 1
+    fi
+done
+
+echo "==> [3/4] restart-resume: same port, same journal, byte-identity after replay"
+"$BVC_BIN" cluster coordinate --workload table2-setting1 --addr "$addr" \
+    --journal "$workdir/crash.jsonl" \
+    > "$workdir/resume.txt" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+if ! wait "$coord_pid"; then
+    echo "CHAOS SMOKE FAILED: restarted coordinator exited nonzero" >&2
+    cat "$workdir/resume.txt" >&2
+    exit 1
+fi
+if ! grep -qE '21/21 cells ok \(5 replayed' "$workdir/resume.txt"; then
+    echo "CHAOS SMOKE FAILED: restart did not replay the 5-line prefix" >&2
+    cat "$workdir/resume.txt" >&2
+    exit 1
+fi
+if ! cmp "$workdir/local.jsonl" "$workdir/crash.jsonl"; then
+    echo "CHAOS SMOKE FAILED: resumed journal differs from the local reference" >&2
+    exit 1
+fi
+
+# --- scenario 2: real SIGKILL mid-run, fsync-per-append restart ---------------
+port=$(( (RANDOM % 2000) + 19000 ))
+addr="127.0.0.1:$port"
+
+echo "==> [4/4] kill -9 mid-run, restart with --durability always"
+"$BVC_BIN" cluster coordinate --workload table2-setting1 --addr "$addr" \
+    --journal "$workdir/kill.jsonl" --quiet \
+    > "$workdir/kill_a.txt" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+# The worker's chaos plan paces every frame op so the journal grows
+# slowly enough to kill the coordinator mid-run with cells left over.
+"$BVC_BIN" cluster work --connect "$addr" --reconnect 25 \
+    --chaos "seed=7,latency_ms=120" --chaos-site pacer \
+    > "$workdir/kill_worker.txt" 2>&1 &
+pids+=("$!")
+
+for _ in $(seq 1 200); do
+    [[ "$(lines "$workdir/kill.jsonl")" -ge 5 ]] && break
+    sleep 0.1
+done
+count=$(lines "$workdir/kill.jsonl")
+if [[ "$count" -lt 5 || "$count" -ge 21 ]]; then
+    echo "CHAOS SMOKE FAILED: wanted to SIGKILL mid-run, journal has $count lines" >&2
+    exit 1
+fi
+{ kill -9 "$coord_pid" && wait "$coord_pid"; } 2>/dev/null || true
+
+"$BVC_BIN" cluster coordinate --workload table2-setting1 --addr "$addr" \
+    --journal "$workdir/kill.jsonl" --durability always \
+    > "$workdir/kill_b.txt" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+if ! wait "$coord_pid"; then
+    echo "CHAOS SMOKE FAILED: post-SIGKILL coordinator exited nonzero" >&2
+    cat "$workdir/kill_b.txt" >&2
+    exit 1
+fi
+if ! grep -qE '21/21 cells ok' "$workdir/kill_b.txt"; then
+    echo "CHAOS SMOKE FAILED: not every cell solved after SIGKILL restart" >&2
+    cat "$workdir/kill_b.txt" >&2
+    exit 1
+fi
+if ! cmp "$workdir/local.jsonl" "$workdir/kill.jsonl"; then
+    echo "CHAOS SMOKE FAILED: post-SIGKILL journal differs from the reference" >&2
+    exit 1
+fi
+
+echo "==> chaos smoke OK (planned crash x2, resume replay, SIGKILL recovery," \
+     "byte-identical journals)"

@@ -58,6 +58,13 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
 
     echo "==> cluster smoke (killed worker, lease recovery, byte-identical journal)"
     BVC_BIN=target/release/bvc TABLE2_BIN=target/release/table2 scripts/cluster_smoke.sh
+
+    echo "==> chaos soak (in-process fault matrix: churn, drops, torn appends)"
+    cargo run --release --offline -q -p bvc-bench --bin chaos_soak
+
+    echo "==> chaos smoke (crash points, SIGKILL restart-resume, reconnect)"
+    timeout 90 env BVC_BIN=target/release/bvc TABLE2_BIN=target/release/table2 \
+        scripts/chaos_smoke.sh
 fi
 
 echo "==> OK"
