@@ -15,13 +15,13 @@ use bvc_bu::{AttackConfig, AttackModel, IncentiveModel, Setting};
 /// α = 20%, β:γ = 1:1).
 pub fn standard_model(incentive: IncentiveModel) -> AttackModel {
     AttackModel::build(AttackConfig::with_ratio(0.2, (1, 1), Setting::One, incentive))
-        .expect("model builds")
+        .unwrap_or_else(|e| panic!("standard bench model failed to build: {e}"))
 }
 
 /// Builds the setting-2 variant (sticky gate enabled, 144-block countdown).
 pub fn setting2_model(incentive: IncentiveModel) -> AttackModel {
     AttackModel::build(AttackConfig::with_ratio(0.2, (1, 1), Setting::Two, incentive))
-        .expect("model builds")
+        .unwrap_or_else(|e| panic!("setting-2 bench model failed to build: {e}"))
 }
 
 #[cfg(test)]

@@ -252,6 +252,7 @@ fn lock_ctl() -> std::sync::MutexGuard<'static, Option<Chaos>> {
 /// resetting all per-site streams and counters.
 pub fn install(plan: FaultPlan) {
     let mut ctl = lock_ctl();
+    // ordering: SeqCst — set-once under the CTL lock; off every hot path, strongest order is free.
     ACTIVE.store(true, Ordering::SeqCst);
     *ctl = Some(Chaos { plan, sites: HashMap::new(), events: Vec::new() });
 }
@@ -279,6 +280,7 @@ pub fn install_from_env() -> Result<bool, String> {
 /// Removes the installed plan; every hook becomes a no-op again.
 pub fn reset() {
     let mut ctl = lock_ctl();
+    // ordering: SeqCst — set-once under the CTL lock; off every hot path, strongest order is free.
     ACTIVE.store(false, Ordering::SeqCst);
     *ctl = None;
 }
@@ -286,6 +288,7 @@ pub fn reset() {
 /// True when a fault plan is installed (one relaxed load on the no-chaos
 /// fast path).
 pub fn is_active() -> bool {
+    // ordering: Relaxed — no-chaos fast path; hooks that see true re-check under the CTL lock.
     ACTIVE.load(Ordering::Relaxed)
 }
 

@@ -1,0 +1,830 @@
+//! The controlled scheduler and the DFS exploration driver.
+//!
+//! Model threads are real OS threads, but exactly one holds the "active"
+//! token at any instant. A thread reaching a visible operation publishes
+//! the operation, runs the scheduling decision itself (no separate
+//! scheduler thread), and parks until it is the active thread again. A
+//! decision point with more than one enabled choice becomes a branch in
+//! the DFS; the sequence of branch choices *is* the schedule.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Public configuration and report types
+// ---------------------------------------------------------------------------
+
+/// Exploration limits and semantics switches.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum forced context switches per schedule (iterative bounding
+    /// runs 0, 1, …, `max_preemptions`).
+    pub max_preemptions: usize,
+    /// Hard cap on explored schedules (the report notes when it is hit).
+    pub max_schedules: u64,
+    /// Per-run visible-operation budget; exceeding it is a violation
+    /// (livelock guard).
+    pub max_steps: usize,
+    /// Model spurious condvar wakeups: any parked waiter may be woken at
+    /// any decision point.
+    pub spurious: bool,
+    /// Wall-clock budget for the whole exploration (the report notes when
+    /// it is hit).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: 2,
+            max_schedules: 50_000,
+            max_steps: 20_000,
+            spurious: false,
+            deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// What kind of property the counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No runnable thread, not all finished (includes lost wakeups).
+    Deadlock,
+    /// A model thread panicked (failed `assert!` included).
+    Panic,
+    /// The per-run operation budget was exhausted (livelock guard).
+    StepLimit,
+    /// A replayed schedule no longer matches the program.
+    Divergence,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Deadlock => write!(f, "deadlock"),
+            ViolationKind::Panic => write!(f, "panic"),
+            ViolationKind::StepLimit => write!(f, "step-limit"),
+            ViolationKind::Divergence => write!(f, "divergence"),
+        }
+    }
+}
+
+/// One counterexample: what went wrong and the schedule that reproduces
+/// it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Violation class.
+    pub kind: ViolationKind,
+    /// Human-readable description (panic message, per-thread blocked
+    /// states for a deadlock, …).
+    pub message: String,
+    /// Replayable schedule string: branch choices at every multi-choice
+    /// decision point, dot-separated (empty = the deterministic default
+    /// schedule). Feed to [`replay`].
+    pub schedule: String,
+    /// The tail of the visible-operation log of the violating run.
+    pub ops: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule: \"{}\"", self.schedule)?;
+        writeln!(f, "last operations:")?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules fully executed.
+    pub schedules: u64,
+    /// Highest preemption bound reached (inclusive).
+    pub bound_reached: usize,
+    /// The first counterexample found, if any.
+    pub violation: Option<Violation>,
+    /// True when the schedule cap or wall-clock deadline stopped the
+    /// search before the state space (at `max_preemptions`) was
+    /// exhausted.
+    pub capped: bool,
+}
+
+impl Report {
+    /// True when every schedule within the bounds was explored and none
+    /// violated a property.
+    pub fn exhaustive_pass(&self) -> bool {
+        self.violation.is_none() && !self.capped
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.violation {
+            Some(v) => write!(
+                f,
+                "VIOLATION after {} schedule(s) (bound {}):\n{v}",
+                self.schedules, self.bound_reached
+            ),
+            None => write!(
+                f,
+                "ok: {} schedule(s) explored, preemption bound {}{}",
+                self.schedules,
+                self.bound_reached,
+                if self.capped { " (CAPPED: not exhaustive)" } else { "" }
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) ctrl: Arc<Controller>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current model context, if this OS thread is a model thread.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctrl: Arc<Controller>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctrl, tid }));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Panic payload used to unwind model threads when a run is torn down
+/// after a violation. [`is_model_abort`] lets model code that catches
+/// panics (e.g. fault-isolation layers under test) recognize and re-raise
+/// it.
+pub(crate) struct ModelAbort;
+
+/// True when a caught panic payload is the checker's internal teardown
+/// signal rather than a real panic. Model code that uses `catch_unwind`
+/// must re-raise such payloads with `std::panic::resume_unwind`.
+pub fn is_model_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<ModelAbort>()
+}
+
+/// Convenience for fault-isolation layers under test: resumes the unwind
+/// when `payload` is the checker's teardown signal, otherwise hands the
+/// payload back for normal handling.
+pub fn reraise_if_abort(payload: Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    if is_model_abort(payload.as_ref()) {
+        std::panic::resume_unwind(payload);
+    }
+    payload
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// Why a thread cannot currently be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Schedulable.
+    None,
+    /// Waiting to acquire a mutex.
+    Mutex(usize),
+    /// Parked on a condvar (released `mutex`); `timeout_ok` marks a
+    /// `wait_timeout` that may be woken by its timeout at any point.
+    Condvar { cv: usize, mutex: usize, timeout_ok: bool },
+    /// Waiting for another thread to finish.
+    Join(usize),
+    /// Done.
+    Finished,
+}
+
+/// Why a parked waiter woke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notified,
+    Timeout,
+    Spurious,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    /// Schedule a runnable thread.
+    Run(usize),
+    /// Wake a parked waiter (timeout or spurious) and schedule it.
+    Wake(usize),
+}
+
+/// One multi-choice decision point of a run, as needed for backtracking.
+#[derive(Debug, Clone)]
+struct TraceEntry {
+    /// Rank chosen (0 = default: continue the yielding thread when
+    /// possible, else the first enabled choice).
+    rank: usize,
+    /// Preemption cost per rank. Rank 0 (the default) is always free;
+    /// a non-default `Run` costs 1 only when it preempts a yielding
+    /// thread that could have continued; a `Wake` (timeout or spurious
+    /// injection) always costs 1, which bounds wake chains by the
+    /// preemption budget.
+    costs: Vec<u8>,
+}
+
+struct Inner {
+    threads: Vec<Blocked>,
+    wake_reason: Vec<Option<Wake>>,
+    mutex_owner: Vec<Option<usize>>,
+    next_cv: usize,
+    /// The thread currently holding the execution token.
+    active: Option<usize>,
+    complete: bool,
+    failure: Option<(ViolationKind, String)>,
+    steps: usize,
+    /// Index into `prefix` (counts multi-choice points only).
+    decision_i: usize,
+    trace: Vec<TraceEntry>,
+    ops: VecDeque<String>,
+}
+
+pub(crate) struct Controller {
+    state: StdMutex<Inner>,
+    cv: StdCondvar,
+    prefix: Vec<usize>,
+    spurious: bool,
+    max_steps: usize,
+}
+
+const OP_LOG_CAP: usize = 64;
+
+impl Controller {
+    fn new(prefix: Vec<usize>, spurious: bool, max_steps: usize) -> Controller {
+        Controller {
+            state: StdMutex::new(Inner {
+                threads: vec![Blocked::None],
+                wake_reason: vec![None],
+                mutex_owner: Vec::new(),
+                next_cv: 0,
+                active: Some(0),
+                complete: false,
+                failure: None,
+                steps: 0,
+                decision_i: 0,
+                trace: Vec::new(),
+                ops: VecDeque::new(),
+            }),
+            cv: StdCondvar::new(),
+            prefix,
+            spurious,
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, Inner> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn log(inner: &mut Inner, op: String) {
+        if inner.ops.len() == OP_LOG_CAP {
+            inner.ops.pop_front();
+        }
+        inner.ops.push_back(op);
+    }
+
+    /// Records a failure (first one wins) and releases every parked
+    /// thread so the run tears down.
+    fn fail(&self, inner: &mut Inner, kind: ViolationKind, message: String) {
+        if inner.failure.is_none() {
+            inner.failure = Some((kind, message));
+        }
+        inner.active = None;
+        self.cv.notify_all();
+    }
+
+    /// The scheduling decision: enumerates enabled choices, consumes the
+    /// replay prefix or takes the default, applies the choice. Called
+    /// with the lock held by the thread giving up the token.
+    fn pick(&self, inner: &mut Inner) {
+        if inner.failure.is_some() {
+            return;
+        }
+        inner.steps += 1;
+        if inner.steps > self.max_steps {
+            self.fail(
+                inner,
+                ViolationKind::StepLimit,
+                format!("run exceeded {} visible operations (livelock?)", self.max_steps),
+            );
+            return;
+        }
+
+        let mut choices: Vec<Choice> = Vec::new();
+        for (t, b) in inner.threads.iter().enumerate() {
+            if *b == Blocked::None {
+                choices.push(Choice::Run(t));
+            }
+        }
+        for (t, b) in inner.threads.iter().enumerate() {
+            if let Blocked::Condvar { timeout_ok, .. } = b {
+                if self.spurious || *timeout_ok {
+                    choices.push(Choice::Wake(t));
+                }
+            }
+        }
+
+        if choices.is_empty() {
+            if inner.threads.iter().all(|b| *b == Blocked::Finished) {
+                inner.complete = true;
+                inner.active = None;
+                self.cv.notify_all();
+            } else {
+                let msg = describe_deadlock(inner);
+                self.fail(inner, ViolationKind::Deadlock, msg);
+            }
+            return;
+        }
+
+        // Exploration order: rank 0 = the yielding thread itself when
+        // still runnable (zero preemptions), else the first choice; the
+        // remaining choices keep enumeration order.
+        let prev = inner.active;
+        let prev_pos =
+            prev.and_then(|p| choices.iter().position(|c| matches!(c, Choice::Run(t) if *t == p)));
+        let default_pos = prev_pos.unwrap_or(0);
+        // rank -> concrete choice: 0 is default_pos, others skip it.
+        let rank_to_pos = |rank: usize| {
+            if rank == 0 {
+                default_pos
+            } else {
+                (0..choices.len()).filter(|&p| p != default_pos).nth(rank - 1).unwrap_or(0)
+            }
+        };
+
+        let rank = if choices.len() > 1 {
+            let di = inner.decision_i;
+            inner.decision_i += 1;
+            let rank = if di < self.prefix.len() { self.prefix[di] } else { 0 };
+            if rank >= choices.len() {
+                self.fail(
+                    inner,
+                    ViolationKind::Divergence,
+                    format!(
+                        "replayed schedule chose branch {rank} of a {}-way decision point \
+                         (the schedule no longer matches the program)",
+                        choices.len()
+                    ),
+                );
+                return;
+            }
+            let costs: Vec<u8> = (0..choices.len())
+                .map(|r| {
+                    if r == 0 {
+                        0
+                    } else {
+                        match choices[rank_to_pos(r)] {
+                            Choice::Wake(_) => 1,
+                            Choice::Run(_) => u8::from(prev_pos.is_some()),
+                        }
+                    }
+                })
+                .collect();
+            inner.trace.push(TraceEntry { rank, costs });
+            rank
+        } else {
+            0
+        };
+
+        let pos = rank_to_pos(rank);
+        match choices[pos] {
+            Choice::Run(t) => inner.active = Some(t),
+            Choice::Wake(t) => {
+                let reason = match &inner.threads[t] {
+                    Blocked::Condvar { timeout_ok: true, .. } => Wake::Timeout,
+                    _ => Wake::Spurious,
+                };
+                Self::log(inner, format!("t{t} woken ({reason:?}) by scheduler"));
+                inner.threads[t] = Blocked::None;
+                inner.wake_reason[t] = Some(reason);
+                inner.active = Some(t);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread holds the execution token; unwinds with
+    /// [`ModelAbort`] when the run failed.
+    fn wait_for_turn<'a>(&'a self, mut inner: StdMutexGuard<'a, Inner>, tid: usize) {
+        while inner.active != Some(tid) {
+            if inner.failure.is_some() {
+                drop(inner);
+                std::panic::panic_any(ModelAbort);
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // -- operations used by the shims ------------------------------------
+
+    /// A plain visible operation (atomic access, yield): decision point,
+    /// then the caller performs its effect while holding the token.
+    pub(crate) fn op(&self, tid: usize, label: impl FnOnce() -> String) {
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} {}", label()));
+        self.pick(&mut inner);
+        self.wait_for_turn(inner, tid);
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut inner = self.lock();
+        inner.mutex_owner.push(None);
+        inner.mutex_owner.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut inner = self.lock();
+        inner.next_cv += 1;
+        inner.next_cv - 1
+    }
+
+    /// Registers a new model thread (runnable, waiting for its first
+    /// turn) and returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = self.lock();
+        inner.threads.push(Blocked::None);
+        inner.wake_reason.push(None);
+        inner.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned model thread.
+    pub(crate) fn first_turn(&self, tid: usize) {
+        let inner = self.lock();
+        self.wait_for_turn(inner, tid);
+    }
+
+    /// Blocking mutex acquire.
+    pub(crate) fn mutex_lock(&self, tid: usize, mid: usize) {
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} lock m{mid}"));
+        inner.threads[tid] = match inner.mutex_owner[mid] {
+            Some(owner) if owner != tid => Blocked::Mutex(mid),
+            _ => Blocked::None,
+        };
+        self.pick(&mut inner);
+        loop {
+            self.wait_for_turn(inner, tid);
+            inner = self.lock();
+            if inner.mutex_owner[mid].is_none() {
+                inner.mutex_owner[mid] = Some(tid);
+                inner.threads[tid] = Blocked::None;
+                drop(inner);
+                return;
+            }
+            // Scheduled, but another thread re-took the mutex first.
+            inner.threads[tid] = Blocked::Mutex(mid);
+            self.pick(&mut inner);
+        }
+    }
+
+    /// Mutex release; never a decision point and never panics (runs in
+    /// guard drops, possibly during unwinding).
+    pub(crate) fn mutex_unlock(&self, tid: usize, mid: usize) {
+        let mut inner = self.lock();
+        if inner.failure.is_some() {
+            return;
+        }
+        Self::log(&mut inner, format!("t{tid} unlock m{mid}"));
+        inner.mutex_owner[mid] = None;
+        for b in inner.threads.iter_mut() {
+            if *b == Blocked::Mutex(mid) {
+                *b = Blocked::None;
+            }
+        }
+    }
+
+    /// Atomic release-and-park; returns the wake reason after the mutex
+    /// has been re-acquired.
+    pub(crate) fn cond_wait(&self, tid: usize, cvid: usize, mid: usize, timeout_ok: bool) -> Wake {
+        // Pre-park switch point: in real executions other threads can run
+        // between the caller's last predicate check and the park (the
+        // wait is only atomic with respect to the *mutex*). Without this
+        // decision the classic lost-wakeup — a notify landing after an
+        // unlocked predicate check but before the park — would be
+        // inexpressible.
+        self.op(tid, || format!("about to wait c{cvid} (still holds m{mid})"));
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} wait c{cvid} (releases m{mid})"));
+        inner.mutex_owner[mid] = None;
+        for b in inner.threads.iter_mut() {
+            if *b == Blocked::Mutex(mid) {
+                *b = Blocked::None;
+            }
+        }
+        inner.threads[tid] = Blocked::Condvar { cv: cvid, mutex: mid, timeout_ok };
+        inner.wake_reason[tid] = None;
+        self.pick(&mut inner);
+        self.wait_for_turn(inner, tid);
+        // Woken and scheduled: take the reason, re-acquire the mutex.
+        let mut inner = self.lock();
+        let reason = inner.wake_reason[tid].take().unwrap_or(Wake::Notified);
+        loop {
+            if inner.mutex_owner[mid].is_none() {
+                inner.mutex_owner[mid] = Some(tid);
+                inner.threads[tid] = Blocked::None;
+                drop(inner);
+                return reason;
+            }
+            inner.threads[tid] = Blocked::Mutex(mid);
+            self.pick(&mut inner);
+            self.wait_for_turn(inner, tid);
+            inner = self.lock();
+        }
+    }
+
+    /// `notify_one` / `notify_all`: a decision point, then wakes the
+    /// lowest-tid waiter (or all of them).
+    pub(crate) fn notify(&self, tid: usize, cvid: usize, all: bool) {
+        self.op(tid, || format!("notify_{} c{cvid}", if all { "all" } else { "one" }));
+        let mut inner = self.lock();
+        if inner.failure.is_some() {
+            return;
+        }
+        let mut woken = Vec::new();
+        for (t, b) in inner.threads.iter_mut().enumerate() {
+            if let Blocked::Condvar { cv, .. } = b {
+                if *cv == cvid {
+                    *b = Blocked::None;
+                    woken.push(t);
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+        for &t in &woken {
+            inner.wake_reason[t] = Some(Wake::Notified);
+        }
+        if !woken.is_empty() {
+            Self::log(&mut inner, format!("t{tid} woke {woken:?} on c{cvid}"));
+        }
+    }
+
+    /// Blocks until `target` finishes (a decision point either way).
+    pub(crate) fn join(&self, tid: usize, target: usize) {
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} join t{target}"));
+        if inner.threads[target] != Blocked::Finished {
+            inner.threads[tid] = Blocked::Join(target);
+        }
+        self.pick(&mut inner);
+        loop {
+            self.wait_for_turn(inner, tid);
+            inner = self.lock();
+            if inner.threads[target] == Blocked::Finished {
+                inner.threads[tid] = Blocked::None;
+                return;
+            }
+            inner.threads[tid] = Blocked::Join(target);
+            self.pick(&mut inner);
+        }
+    }
+
+    /// Marks a thread finished, wakes its joiners, hands the token on.
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut inner = self.lock();
+        if inner.failure.is_some() {
+            return;
+        }
+        Self::log(&mut inner, format!("t{tid} finished"));
+        inner.threads[tid] = Blocked::Finished;
+        for b in inner.threads.iter_mut() {
+            if *b == Blocked::Join(tid) {
+                *b = Blocked::None;
+            }
+        }
+        self.pick(&mut inner);
+    }
+
+    /// Records a real panic of a model thread as a violation (internal
+    /// teardown unwinds are ignored).
+    pub(crate) fn thread_panicked(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        if is_model_abort(payload) {
+            let mut inner = self.lock();
+            inner.threads[tid] = Blocked::Finished;
+            return;
+        }
+        let msg = panic_message(payload);
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} panicked: {msg}"));
+        inner.threads[tid] = Blocked::Finished;
+        self.fail(&mut inner, ViolationKind::Panic, format!("t{tid} panicked: {msg}"));
+    }
+
+    /// Records a panic as a violation *without* finishing the thread —
+    /// used when a scope owner unwinds but keeps running (the panic will
+    /// cross the scope boundary later). Teardown unwinds are ignored.
+    pub(crate) fn record_panic(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        if is_model_abort(payload) {
+            return;
+        }
+        let msg = panic_message(payload);
+        let mut inner = self.lock();
+        Self::log(&mut inner, format!("t{tid} panicked: {msg}"));
+        self.fail(&mut inner, ViolationKind::Panic, format!("t{tid} panicked: {msg}"));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn describe_deadlock(inner: &Inner) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("no runnable thread:");
+    let mut parked_on_cv = false;
+    for (t, b) in inner.threads.iter().enumerate() {
+        match b {
+            Blocked::Finished => {}
+            Blocked::None => {
+                let _ = write!(out, " t{t}=runnable?!");
+            }
+            Blocked::Mutex(m) => {
+                let holder =
+                    inner.mutex_owner[*m].map_or("nobody".to_string(), |h| format!("t{h}"));
+                let _ = write!(out, " t{t}=lock(m{m} held by {holder})");
+            }
+            Blocked::Condvar { cv, mutex, .. } => {
+                parked_on_cv = true;
+                let _ = write!(out, " t{t}=parked(c{cv}, released m{mutex})");
+            }
+            Blocked::Join(j) => {
+                let _ = write!(out, " t{t}=join(t{j})");
+            }
+        }
+    }
+    if parked_on_cv {
+        out.push_str(" — a thread is parked on a condvar forever (lost wakeup or deadlock)");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+struct RunOutcome {
+    trace: Vec<TraceEntry>,
+    failure: Option<(ViolationKind, String)>,
+    ops: Vec<String>,
+}
+
+fn run_once<F>(cfg: &Config, prefix: &[usize], f: &F) -> RunOutcome
+where
+    F: Fn() + Send + Sync,
+{
+    let ctrl = Arc::new(Controller::new(prefix.to_vec(), cfg.spurious, cfg.max_steps));
+    std::thread::scope(|scope| {
+        let ctrl = &ctrl;
+        scope.spawn(move || {
+            set_ctx(Arc::clone(ctrl), 0);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            match r {
+                Ok(()) => ctrl.finish(0),
+                Err(payload) => ctrl.thread_panicked(0, payload.as_ref()),
+            }
+            clear_ctx();
+        });
+    });
+    // Model threads created with `thread::spawn` are real detached
+    // threads; the scope above only joins the root. Wait for the
+    // scheduler to declare the run over before reading the outcome.
+    let mut inner = ctrl.state.lock().unwrap_or_else(|e| e.into_inner());
+    while !inner.complete && inner.failure.is_none() {
+        inner = ctrl.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+    RunOutcome {
+        trace: inner.trace.clone(),
+        failure: inner.failure.clone(),
+        ops: inner.ops.iter().cloned().collect(),
+    }
+}
+
+fn schedule_string(trace: &[TraceEntry]) -> String {
+    trace.iter().map(|e| e.rank.to_string()).collect::<Vec<_>>().join(".")
+}
+
+/// The deepest-first next prefix within the preemption bound, or None
+/// when this subtree is exhausted.
+fn next_prefix(trace: &[TraceEntry], bound: usize) -> Option<Vec<usize>> {
+    let cost = |e: &TraceEntry, rank: usize| e.costs[rank] as usize;
+    let mut spent: Vec<usize> = Vec::with_capacity(trace.len() + 1);
+    let mut acc = 0;
+    for e in trace {
+        spent.push(acc);
+        acc += cost(e, e.rank);
+    }
+    for i in (0..trace.len()).rev() {
+        let e = &trace[i];
+        let next_rank = e.rank + 1;
+        if next_rank < e.costs.len() && spent[i] + cost(e, next_rank) <= bound {
+            let mut prefix: Vec<usize> = trace[..i].iter().map(|t| t.rank).collect();
+            prefix.push(next_rank);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Explores the interleavings of `f` under `cfg`, iterating the
+/// preemption bound from 0 upward so minimal counterexamples surface
+/// first. `f` is re-run once per schedule and must construct fresh state
+/// each time.
+pub fn explore<F>(cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    let started = Instant::now();
+    let mut report = Report { schedules: 0, bound_reached: 0, violation: None, capped: false };
+    for bound in 0..=cfg.max_preemptions {
+        report.bound_reached = bound;
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let out = run_once(cfg, &prefix, &f);
+            report.schedules += 1;
+            if let Some((kind, message)) = out.failure {
+                report.violation = Some(Violation {
+                    kind,
+                    message,
+                    schedule: schedule_string(&out.trace),
+                    ops: out.ops,
+                });
+                return report;
+            }
+            if report.schedules >= cfg.max_schedules
+                || cfg.deadline.is_some_and(|d| started.elapsed() >= d)
+            {
+                report.capped = true;
+                return report;
+            }
+            match next_prefix(&out.trace, bound) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+    }
+    report
+}
+
+/// [`explore`] with the default [`Config`].
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    explore(&Config::default(), f)
+}
+
+/// Re-executes exactly one schedule (a [`Violation::schedule`] string)
+/// and reports what it does — deterministic counterexample replay. Pass
+/// the same [`Config`] the violating exploration used: the semantics
+/// switches (notably [`Config::spurious`]) change which choices exist at
+/// each decision point, and the schedule indexes into those choices.
+pub fn replay<F>(cfg: &Config, schedule: &str, f: F) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    let prefix: Vec<usize> = schedule
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<usize>().unwrap_or(usize::MAX))
+        .collect();
+    let out = run_once(cfg, &prefix, &f);
+    Report {
+        schedules: 1,
+        bound_reached: 0,
+        violation: out.failure.map(|(kind, message)| Violation {
+            kind,
+            message,
+            schedule: schedule_string(&out.trace),
+            ops: out.ops,
+        }),
+        capped: false,
+    }
+}

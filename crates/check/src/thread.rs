@@ -1,0 +1,195 @@
+//! Thread shims: model-aware `spawn`, `scope`, `sleep`, `yield_now`.
+//!
+//! Inside a model run, spawned closures become scheduler-controlled model
+//! threads; outside a run everything delegates to `std::thread`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use crate::sched::{clear_ctx, current, set_ctx, Controller};
+
+/// Spawns a thread. Inside a model run this registers a new model thread
+/// (the spawn itself is a decision point — the child may run first).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some(ctx) => {
+            let tid = ctx.ctrl.register_thread();
+            let ctrl = Arc::clone(&ctx.ctrl);
+            let real = std::thread::spawn(move || {
+                set_ctx(Arc::clone(&ctrl), tid);
+                ctrl.first_turn(tid);
+                let r = catch_unwind(AssertUnwindSafe(f));
+                match &r {
+                    Ok(_) => ctrl.finish(tid),
+                    Err(payload) => ctrl.thread_panicked(tid, payload.as_ref()),
+                }
+                clear_ctx();
+                r
+            });
+            // The decision point comes after the OS thread exists, so the
+            // scheduler may hand it the token immediately.
+            ctx.ctrl.op(ctx.tid, || format!("spawn t{tid}"));
+            JoinHandle { model: Some((ctx.ctrl, tid)), real }
+        }
+        None => JoinHandle {
+            model: None,
+            real: std::thread::spawn(move || catch_unwind(AssertUnwindSafe(f))),
+        },
+    }
+}
+
+/// Handle returned by [`spawn`].
+pub struct JoinHandle<T> {
+    model: Option<(Arc<Controller>, usize)>,
+    real: std::thread::JoinHandle<std::thread::Result<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a decision point inside a model
+    /// run) and returns its result; `Err` carries a panic payload exactly
+    /// like `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(ctx), Some((_, target))) = (current(), &self.model) {
+            ctx.ctrl.join(ctx.tid, *target);
+        }
+        match self.real.join() {
+            Ok(r) => r,
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+/// Scoped threads mirroring `std::thread::scope`. All threads spawned on
+/// the [`Scope`] are joined (model-joined first, inside the scheduler)
+/// before `scope` returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = current();
+    std::thread::scope(|s| {
+        let scope = Scope {
+            real: s,
+            ctrl: ctx.as_ref().map(|c| Arc::clone(&c.ctrl)),
+            children: StdMutex::new(Vec::new()),
+        };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        match &out {
+            // Model-join every child before std's implicit (real) join:
+            // the real join blocks this OS thread while it still holds
+            // the scheduler token, so un-joined model children would
+            // never be scheduled again.
+            Ok(_) => scope.join_all(),
+            // The scope owner is unwinding. Recording the panic now sets
+            // the run's failure so parked children tear down and std's
+            // implicit join can complete; the payload then resumes below
+            // and crosses the scope boundary as it would under std.
+            Err(payload) => {
+                if let Some(c) = &ctx {
+                    c.ctrl.record_panic(c.tid, payload.as_ref());
+                }
+            }
+        }
+        match out {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// Scope passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    real: &'scope std::thread::Scope<'scope, 'env>,
+    ctrl: Option<Arc<Controller>>,
+    children: StdMutex<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread (a decision point inside a model run).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match (&self.ctrl, current()) {
+            (Some(ctrl), Some(ctx)) => {
+                let tid = ctrl.register_thread();
+                self.children.lock().unwrap_or_else(|e| e.into_inner()).push(tid);
+                let ctrl2 = Arc::clone(ctrl);
+                let real = self.real.spawn(move || {
+                    set_ctx(Arc::clone(&ctrl2), tid);
+                    ctrl2.first_turn(tid);
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    match &r {
+                        Ok(_) => ctrl2.finish(tid),
+                        Err(payload) => ctrl2.thread_panicked(tid, payload.as_ref()),
+                    }
+                    clear_ctx();
+                    r
+                });
+                ctx.ctrl.op(ctx.tid, || format!("spawn t{tid} (scoped)"));
+                ScopedJoinHandle { model: Some((Arc::clone(ctrl), tid)), real }
+            }
+            _ => ScopedJoinHandle {
+                model: None,
+                real: self.real.spawn(move || catch_unwind(AssertUnwindSafe(f))),
+            },
+        }
+    }
+
+    /// Model-joins every child spawned on this scope (idempotent: joining
+    /// a finished thread is a plain decision point).
+    fn join_all(&self) {
+        if self.ctrl.is_none() {
+            return;
+        }
+        if let Some(ctx) = current() {
+            let children: Vec<usize> =
+                self.children.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            for t in children {
+                ctx.ctrl.join(ctx.tid, t);
+            }
+        }
+    }
+}
+
+/// Handle returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    model: Option<(Arc<Controller>, usize)>,
+    real: std::thread::ScopedJoinHandle<'scope, std::thread::Result<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the scoped thread to finish; see [`JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(ctx), Some((_, target))) = (current(), &self.model) {
+            ctx.ctrl.join(ctx.tid, *target);
+        }
+        match self.real.join() {
+            Ok(r) => r,
+            Err(payload) => Err(payload),
+        }
+    }
+}
+
+/// Inside a model run a sleep is just a decision point (time is not
+/// simulated); outside it really sleeps.
+pub fn sleep(dur: Duration) {
+    match current() {
+        Some(ctx) => ctx.ctrl.op(ctx.tid, || format!("sleep {dur:?} (yield)")),
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// A pure decision point inside a model run; a real yield elsewhere.
+pub fn yield_now() {
+    match current() {
+        Some(ctx) => ctx.ctrl.op(ctx.tid, || "yield".to_string()),
+        None => std::thread::yield_now(),
+    }
+}

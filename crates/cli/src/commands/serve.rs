@@ -100,6 +100,7 @@ pub fn run(cmd: &ServeCmd) -> Result<(), String> {
         ..ServeConfig::default()
     };
     let server = start(config).map_err(|e| format!("failed to start server: {e}"))?;
+    // ordering: Relaxed — one-shot metrics read for the startup banner; nothing synchronizes on it.
     let preloaded = server.service.metrics.preloaded.load(std::sync::atomic::Ordering::Relaxed);
     if preloaded > 0 {
         println!("preloaded {preloaded} cells from sweep journals");

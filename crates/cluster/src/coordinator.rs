@@ -32,9 +32,10 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
+
+use crate::sync::{AtomicBool, Condvar, Mutex, MutexGuard};
 
 use bvc_journal::{
     cell_fingerprint, encode_line, recover_journal, Durability, JournalEntry, JournalWriter,
@@ -167,14 +168,14 @@ pub struct ClusterReport {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum CellStatus {
+pub(crate) enum CellStatus {
     Queued,
     Leased,
     Done,
 }
 
 #[derive(Debug, Clone)]
-struct DoneRec {
+pub(crate) struct DoneRec {
     ok: bool,
     attempts: u32,
     bits: Vec<u64>,
@@ -184,11 +185,11 @@ struct DoneRec {
 }
 
 #[derive(Debug)]
-struct CellState {
-    key: String,
-    fp: u64,
+pub(crate) struct CellState {
+    pub(crate) key: String,
+    pub(crate) fp: u64,
     spec: String,
-    status: CellStatus,
+    pub(crate) status: CellStatus,
     /// Times this cell has been handed to a worker.
     dispatches: u32,
     /// Live leases currently covering this cell (0 or 1 normally; 2 during
@@ -196,26 +197,33 @@ struct CellState {
     outstanding: u32,
     replayed: bool,
     /// Terminal without a result: drained by fail-fast (never journaled).
-    skipped: bool,
-    result: Option<DoneRec>,
+    pub(crate) skipped: bool,
+    pub(crate) result: Option<DoneRec>,
 }
 
 impl CellState {
-    fn terminal(&self) -> bool {
+    pub(crate) fn terminal(&self) -> bool {
         self.status == CellStatus::Done
+    }
+
+    /// Whether the terminal result reports success. (Used by model-run
+    /// invariants; production code inspects `result` directly.)
+    #[cfg_attr(not(bvc_check), allow(dead_code))]
+    pub(crate) fn succeeded(&self) -> bool {
+        self.result.as_ref().is_some_and(|r| r.ok)
     }
 }
 
 #[derive(Debug)]
-struct Lease {
-    worker: u64,
+pub(crate) struct Lease {
+    pub(crate) worker: u64,
     cells: Vec<usize>,
     granted: Instant,
-    deadline: Instant,
+    pub(crate) deadline: Instant,
 }
 
 #[derive(Debug)]
-struct WorkerInfo {
+pub(crate) struct WorkerInfo {
     threads: u32,
     last_seen: Instant,
     done_cells: u64,
@@ -232,36 +240,131 @@ struct Stats {
     journal_retries: u64,
 }
 
-struct State {
-    cells: Vec<CellState>,
-    by_fp: HashMap<u64, usize>,
-    queue: VecDeque<usize>,
-    leases: HashMap<u64, Lease>,
+pub(crate) struct State {
+    pub(crate) cells: Vec<CellState>,
+    pub(crate) by_fp: HashMap<u64, usize>,
+    pub(crate) queue: VecDeque<usize>,
+    pub(crate) leases: HashMap<u64, Lease>,
     next_lease: u64,
-    workers: HashMap<u64, WorkerInfo>,
+    pub(crate) workers: HashMap<u64, WorkerInfo>,
     next_worker: u64,
-    done_count: usize,
+    pub(crate) done_count: usize,
     /// True once any cell has failed (remote failure or lost at the
     /// dispatch cap). Under fail-fast, gates every later hand-out path —
     /// including requeues — not just the queue drain at first failure.
     failed: bool,
     /// Reorder-buffer cursor: journal lines are written strictly in input
     /// order; the cursor advances over terminal cells.
-    journal_cursor: usize,
+    pub(crate) journal_cursor: usize,
     stats: Stats,
-    fatal: Option<ClusterError>,
+    pub(crate) fatal: Option<ClusterError>,
 }
 
-struct Shared {
-    cfg: ClusterConfig,
+/// Deliberate re-introductions of historical races, togglable only under
+/// the model checker so the regression tests can demonstrate that
+/// exploration (not luck) finds each one. Every flag is `false` in
+/// production — the accessors below compile to constants there.
+#[cfg(bvc_check)]
+#[derive(Debug, Default, Clone)]
+pub struct ModelFaults {
+    /// Undo the late-Done fix at both of its sites: leave a requeued
+    /// index in the queue when its result lands, and skip the
+    /// status-recheck when popping the queue — so a completed cell can be
+    /// re-leased and double-counted.
+    pub keep_stale_queue_index: bool,
+    /// Undo the fail-fast requeue gate: cells released after the sweep
+    /// already failed go back on the queue instead of being skipped.
+    pub skip_fail_fast_gate: bool,
+    /// Undo the heartbeat ownership check: any connection can renew any
+    /// lease id, keeping a dead worker's lease alive forever.
+    pub heartbeat_any_lease: bool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ClusterConfig,
     label: String,
-    state: Mutex<State>,
-    cv: Condvar,
-    done: AtomicBool,
+    pub(crate) state: Mutex<State>,
+    pub(crate) cv: Condvar,
+    pub(crate) done: AtomicBool,
     journal: Option<Mutex<JournalWriter>>,
+    /// Model-only observation channel: the fingerprint of every journal
+    /// line the reorder buffer commits, in commit order. A plain std
+    /// mutex so recording adds no scheduler decision points.
+    #[cfg(bvc_check)]
+    pub(crate) appended: std::sync::Mutex<Vec<u64>>,
+    #[cfg(bvc_check)]
+    pub(crate) faults: ModelFaults,
 }
 
-fn lock_state<'a>(shared: &'a Shared) -> MutexGuard<'a, State> {
+impl Shared {
+    fn fault_keep_stale_queue_index(&self) -> bool {
+        #[cfg(bvc_check)]
+        return self.faults.keep_stale_queue_index;
+        #[cfg(not(bvc_check))]
+        false
+    }
+
+    fn fault_skip_fail_fast_gate(&self) -> bool {
+        #[cfg(bvc_check)]
+        return self.faults.skip_fail_fast_gate;
+        #[cfg(not(bvc_check))]
+        false
+    }
+
+    fn fault_heartbeat_any_lease(&self) -> bool {
+        #[cfg(bvc_check)]
+        return self.faults.heartbeat_any_lease;
+        #[cfg(not(bvc_check))]
+        false
+    }
+
+    /// Builds a `Shared` over `n` synthetic queued cells with no journal
+    /// writer (the `appended` trace observes the reorder buffer instead)
+    /// and no listener — model runs drive the state transitions directly.
+    #[cfg(bvc_check)]
+    pub(crate) fn for_model(n: usize, cfg: ClusterConfig, faults: ModelFaults) -> Shared {
+        let cells: Vec<CellState> = (0..n)
+            .map(|i| CellState {
+                key: format!("cell{i}"),
+                fp: 0x1000 + i as u64,
+                spec: String::new(),
+                status: CellStatus::Queued,
+                dispatches: 0,
+                outstanding: 0,
+                replayed: false,
+                skipped: false,
+                result: None,
+            })
+            .collect();
+        let by_fp = cells.iter().enumerate().map(|(i, c)| (c.fp, i)).collect();
+        let queue: VecDeque<usize> = (0..n).collect();
+        Shared {
+            cfg,
+            label: "model".into(),
+            state: Mutex::new(State {
+                cells,
+                by_fp,
+                queue,
+                leases: HashMap::new(),
+                next_lease: 0,
+                workers: HashMap::new(),
+                next_worker: 0,
+                done_count: 0,
+                failed: false,
+                journal_cursor: 0,
+                stats: Stats::default(),
+                fatal: None,
+            }),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+            journal: None,
+            appended: std::sync::Mutex::new(Vec::new()),
+            faults,
+        }
+    }
+}
+
+pub(crate) fn lock_state<'a>(shared: &'a Shared) -> MutexGuard<'a, State> {
     shared.state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -394,12 +497,17 @@ impl Coordinator {
             done: AtomicBool::new(false),
             journal,
             cfg,
+            #[cfg(bvc_check)]
+            appended: std::sync::Mutex::new(Vec::new()),
+            #[cfg(bvc_check)]
+            faults: ModelFaults::default(),
         };
         {
             // Replayed prefix: move the journal cursor over it now.
             let mut st = lock_state(&shared);
             advance_journal(&mut st, &shared);
             if st.done_count == n {
+                // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
                 shared.done.store(true, Ordering::SeqCst);
             }
         }
@@ -414,10 +522,11 @@ impl Coordinator {
             scope.spawn(|| {
                 let tick = (shared.cfg.lease / 4)
                     .clamp(Duration::from_millis(20), Duration::from_millis(500));
+                // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
                 while !shared.done.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     let mut st = lock_state(&shared);
-                    expire_leases(&mut st, &shared);
+                    expire_leases(&mut st, &shared, Instant::now());
                 }
             });
 
@@ -428,12 +537,14 @@ impl Coordinator {
                         scope.spawn(|| handle_conn(&shared, stream));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
                         if shared.done.load(Ordering::SeqCst) {
                             return;
                         }
                         std::thread::sleep(Duration::from_millis(10));
                     }
                     Err(_) => {
+                        // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
                         if shared.done.load(Ordering::SeqCst) {
                             return;
                         }
@@ -464,6 +575,7 @@ impl Coordinator {
                 }
             }
             drop(st);
+            // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
             shared.done.store(true, Ordering::SeqCst);
         });
 
@@ -539,6 +651,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     let mut worker_id: Option<u64> = None;
 
     loop {
+        // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
         if shared.done.load(Ordering::SeqCst) {
             let _ = tx.send(&Frame::Fin.encode());
             break;
@@ -564,12 +677,20 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     }
     if let Some(id) = worker_id {
         let mut st = lock_state(shared);
-        st.workers.remove(&id);
-        let held: Vec<u64> =
-            st.leases.iter().filter(|(_, l)| l.worker == id).map(|(&lid, _)| lid).collect();
-        for lid in held {
-            release_lease(&mut st, shared, lid);
-        }
+        disconnect_worker(&mut st, shared, id);
+    }
+}
+
+/// Drops a worker: deregisters it and releases every lease it holds (in
+/// lease-id order, so replays are deterministic — `leases` is a HashMap
+/// and its iteration order is not).
+pub(crate) fn disconnect_worker(st: &mut State, shared: &Shared, id: u64) {
+    st.workers.remove(&id);
+    let mut held: Vec<u64> =
+        st.leases.iter().filter(|(_, l)| l.worker == id).map(|(&lid, _)| lid).collect();
+    held.sort_unstable();
+    for lid in held {
+        release_lease(st, shared, lid);
     }
 }
 
@@ -590,9 +711,7 @@ fn handle_frame(
                 return false;
             }
             let mut st = lock_state(shared);
-            let id = st.next_worker;
-            st.next_worker += 1;
-            st.workers.insert(id, WorkerInfo { threads, last_seen: Instant::now(), done_cells: 0 });
+            let id = register_worker(&mut st, threads, Instant::now());
             drop(st);
             *worker_id = Some(id);
             let cell = &shared.cfg.cell;
@@ -644,15 +763,7 @@ fn handle_frame(
             if let Some(info) = worker_id.and_then(|id| st.workers.get_mut(&id)) {
                 info.last_seen = Instant::now();
             }
-            let deadline = Instant::now() + shared.cfg.lease;
-            // Only the lease's own worker may renew it: a stale or guessed
-            // lease id from another connection must not keep a dead
-            // worker's lease alive past the expiry watchdog.
-            if let Some(l) = st.leases.get_mut(&lease) {
-                if Some(l.worker) == *worker_id {
-                    l.deadline = deadline;
-                }
-            }
+            renew_lease(&mut st, shared, *worker_id, lease, Instant::now() + shared.cfg.lease);
             true
         }
         // Coordinator-to-worker frames arriving here are protocol abuse.
@@ -669,113 +780,176 @@ fn handle_frame(
     }
 }
 
+/// What [`claim_cells`] decided for one claim, before any frame I/O.
+pub(crate) enum ClaimOutcome {
+    /// The sweep hit a fatal error; the connection should be dropped.
+    Fatal,
+    /// Every cell is terminal; send `Fin` and drop the connection.
+    Fin,
+    /// Nothing to hand out right now; send a wait hint.
+    Wait,
+    /// A fresh lease over `tasks`.
+    Grant {
+        /// Lease id the worker must heartbeat and report against.
+        lease_id: u64,
+        /// The granted cells, in grant order.
+        tasks: Vec<TaskFrame>,
+    },
+}
+
+/// The claim state transition: pops queued cells (skipping indices made
+/// stale by a late Done or fail-fast drain), falls back to a straggler
+/// duplicate-dispatch, and records the new lease. Pure with respect to
+/// `now` so the model checker can drive it with injected clocks; the
+/// serving path passes `Instant::now()`.
+pub(crate) fn claim_cells(
+    st: &mut State,
+    shared: &Shared,
+    worker: u64,
+    max: u32,
+    now: Instant,
+) -> ClaimOutcome {
+    let n_cells = st.cells.len();
+    if st.fatal.is_some() {
+        return ClaimOutcome::Fatal;
+    }
+    if st.done_count == n_cells {
+        return ClaimOutcome::Fin;
+    }
+    let take = max.clamp(1, 64) as usize;
+    let mut picked: Vec<usize> = Vec::with_capacity(take);
+    let mut straggler = false;
+    while picked.len() < take {
+        let Some(idx) = st.queue.pop_front() else { break };
+        // A late Done (or fail-fast skip) can land while the index is
+        // still queued; never re-lease a cell that is no longer Queued.
+        if !shared.fault_keep_stale_queue_index() && st.cells[idx].status != CellStatus::Queued {
+            continue;
+        }
+        picked.push(idx);
+    }
+    if picked.is_empty() && !(shared.cfg.fail_fast && st.failed) {
+        // Straggler path: duplicate-dispatch a cell whose only lease
+        // is at least half-expired, under the dispatch cap, and not
+        // already held by this worker.
+        let half = shared.cfg.lease / 2;
+        let held_by_me: Vec<usize> = st
+            .leases
+            .values()
+            .filter(|l| l.worker == worker)
+            .flat_map(|l| l.cells.iter().copied())
+            .collect();
+        let mut cands: Vec<usize> = (0..n_cells)
+            .filter(|&i| {
+                let c = &st.cells[i];
+                c.status == CellStatus::Leased
+                    && c.outstanding == 1
+                    && c.dispatches < shared.cfg.max_dispatch
+                    && !held_by_me.contains(&i)
+            })
+            .filter(|&i| {
+                st.leases.values().any(|l| l.cells.contains(&i) && now >= l.granted + half)
+            })
+            .collect();
+        cands.sort_by_key(|&i| st.cells[i].dispatches);
+        cands.truncate(1);
+        if !cands.is_empty() {
+            straggler = true;
+            picked = cands;
+        }
+    }
+    if picked.is_empty() {
+        return ClaimOutcome::Wait;
+    }
+    let lease_id = st.next_lease;
+    st.next_lease += 1;
+    let mut tasks = Vec::with_capacity(picked.len());
+    for &idx in &picked {
+        let c = &mut st.cells[idx];
+        c.status = CellStatus::Leased;
+        c.outstanding += 1;
+        c.dispatches += 1;
+        tasks.push(TaskFrame { fp: c.fp, key: c.key.clone(), spec: c.spec.clone() });
+    }
+    st.stats.dispatches += picked.len() as u64;
+    if straggler {
+        st.stats.straggler_dispatches += picked.len() as u64;
+    }
+    st.leases.insert(
+        lease_id,
+        Lease { worker, cells: picked, granted: now, deadline: now + shared.cfg.lease },
+    );
+    ClaimOutcome::Grant { lease_id, tasks }
+}
+
 /// Answers a claim: a batch of queued cells, a straggler duplicate, a
 /// wait hint, or fin. Returns false to drop the connection.
 fn grant_batch(shared: &Shared, tx: &FrameSender, worker: u64, max: u32) -> bool {
-    let n_cells;
-    let granted: Vec<(u64, Vec<TaskFrame>)>;
-    {
+    let outcome = {
         let mut st = lock_state(shared);
-        n_cells = st.cells.len();
-        if st.fatal.is_some() {
+        claim_cells(&mut st, shared, worker, max, Instant::now())
+    };
+    match outcome {
+        ClaimOutcome::Fatal => {
             let _ = tx.send(&Frame::Err { msg: "sweep aborted (fatal error)".into() }.encode());
-            return false;
+            false
         }
-        if st.done_count == n_cells {
+        ClaimOutcome::Fin => {
             let _ = tx.send(&Frame::Fin.encode());
-            return false;
+            false
         }
-        let take = max.clamp(1, 64) as usize;
-        let mut picked: Vec<usize> = Vec::with_capacity(take);
-        let mut straggler = false;
-        while picked.len() < take {
-            let Some(idx) = st.queue.pop_front() else { break };
-            // A late Done (or fail-fast skip) can land while the index is
-            // still queued; never re-lease a cell that is no longer Queued.
-            if st.cells[idx].status != CellStatus::Queued {
-                continue;
-            }
-            picked.push(idx);
-        }
-        if picked.is_empty() && !(shared.cfg.fail_fast && st.failed) {
-            // Straggler path: duplicate-dispatch a cell whose only lease
-            // is at least half-expired, under the dispatch cap, and not
-            // already held by this worker.
-            let now = Instant::now();
-            let half = shared.cfg.lease / 2;
-            let held_by_me: Vec<usize> = st
-                .leases
-                .values()
-                .filter(|l| l.worker == worker)
-                .flat_map(|l| l.cells.iter().copied())
-                .collect();
-            let mut cands: Vec<usize> = (0..n_cells)
-                .filter(|&i| {
-                    let c = &st.cells[i];
-                    c.status == CellStatus::Leased
-                        && c.outstanding == 1
-                        && c.dispatches < shared.cfg.max_dispatch
-                        && !held_by_me.contains(&i)
-                })
-                .filter(|&i| {
-                    st.leases.values().any(|l| l.cells.contains(&i) && now >= l.granted + half)
-                })
-                .collect();
-            cands.sort_by_key(|&i| st.cells[i].dispatches);
-            cands.truncate(1);
-            if !cands.is_empty() {
-                straggler = true;
-                picked = cands;
-            }
-        }
-        if picked.is_empty() {
-            drop(st);
+        ClaimOutcome::Wait => {
             let ms = (shared.cfg.lease.as_millis() as u64 / 4).clamp(50, 500);
-            return tx.send(&Frame::Wait { ms }.encode()).is_ok();
+            tx.send(&Frame::Wait { ms }.encode()).is_ok()
         }
-        let lease_id = st.next_lease;
-        st.next_lease += 1;
-        let now = Instant::now();
-        let mut tasks = Vec::with_capacity(picked.len());
-        for &idx in &picked {
-            let c = &mut st.cells[idx];
-            c.status = CellStatus::Leased;
-            c.outstanding += 1;
-            c.dispatches += 1;
-            tasks.push(TaskFrame { fp: c.fp, key: c.key.clone(), spec: c.spec.clone() });
-        }
-        st.stats.dispatches += picked.len() as u64;
-        if straggler {
-            st.stats.straggler_dispatches += picked.len() as u64;
-        }
-        st.leases.insert(
-            lease_id,
-            Lease { worker, cells: picked, granted: now, deadline: now + shared.cfg.lease },
-        );
-        granted = vec![(lease_id, tasks)];
-    }
-    for (lease_id, tasks) in granted {
-        let count = tasks.len() as u32;
-        for task in tasks {
-            if tx.send(&Frame::Task(task).encode()).is_err() {
-                return false;
+        ClaimOutcome::Grant { lease_id, tasks } => {
+            let count = tasks.len() as u32;
+            for task in tasks {
+                if tx.send(&Frame::Task(task).encode()).is_err() {
+                    return false;
+                }
             }
-        }
-        let grant =
-            Frame::Grant { lease: lease_id, count, lease_ms: shared.cfg.lease.as_millis() as u64 };
-        if tx.send(&grant.encode()).is_err() {
-            return false;
+            let grant = Frame::Grant {
+                lease: lease_id,
+                count,
+                lease_ms: shared.cfg.lease.as_millis() as u64,
+            };
+            tx.send(&grant.encode()).is_ok()
         }
     }
-    true
 }
 
 // ---------------------------------------------------------------------------
 // State transitions (all called with the state lock held)
 // ---------------------------------------------------------------------------
 
+/// Registers a connection as a worker and returns its id.
+pub(crate) fn register_worker(st: &mut State, threads: u32, now: Instant) -> u64 {
+    let id = st.next_worker;
+    st.next_worker += 1;
+    st.workers.insert(id, WorkerInfo { threads, last_seen: now, done_cells: 0 });
+    id
+}
+
+/// Renews one lease to `deadline`. Only the lease's own worker may renew
+/// it: a stale or guessed lease id from another connection must not keep
+/// a dead worker's lease alive past the expiry watchdog.
+pub(crate) fn renew_lease(
+    st: &mut State,
+    shared: &Shared,
+    worker_id: Option<u64>,
+    lease: u64,
+    deadline: Instant,
+) {
+    if let Some(l) = st.leases.get_mut(&lease) {
+        if shared.fault_heartbeat_any_lease() || Some(l.worker) == worker_id {
+            l.deadline = deadline;
+        }
+    }
+}
+
 /// Accepts or dedupes one result frame.
-fn handle_done(st: &mut State, shared: &Shared, d: DoneFrame) {
+pub(crate) fn handle_done(st: &mut State, shared: &Shared, d: DoneFrame) {
     let Some(&idx) = st.by_fp.get(&d.fp) else {
         st.stats.unknown += 1;
         return;
@@ -811,7 +985,9 @@ fn handle_done(st: &mut State, shared: &Shared, d: DoneFrame) {
     st.done_count += 1;
     // A lease expiry may have requeued this cell before its late Done
     // arrived; drop the stale index so it is never re-leased.
-    st.queue.retain(|&q| q != idx);
+    if !shared.fault_keep_stale_queue_index() {
+        st.queue.retain(|&q| q != idx);
+    }
     // Release the cell from every lease still covering it.
     for lease in st.leases.values_mut() {
         lease.cells.retain(|&c| c != idx);
@@ -848,7 +1024,8 @@ fn release_lease(st: &mut State, shared: &Shared, lease_id: u64) {
     let Some(lease) = st.leases.remove(&lease_id) else { return };
     for idx in lease.cells {
         let max_dispatch = shared.cfg.max_dispatch;
-        let fail_fast_tripped = shared.cfg.fail_fast && st.failed;
+        let fail_fast_tripped =
+            shared.cfg.fail_fast && st.failed && !shared.fault_skip_fail_fast_gate();
         let cell = &mut st.cells[idx];
         if cell.status != CellStatus::Leased {
             continue;
@@ -885,10 +1062,13 @@ fn release_lease(st: &mut State, shared: &Shared, lease_id: u64) {
     finish_if_done(st, shared);
 }
 
-fn expire_leases(st: &mut State, shared: &Shared) {
-    let now = Instant::now();
-    let expired: Vec<u64> =
+/// Expires every lease whose deadline is at or before `now`, in lease-id
+/// order (the `leases` map iterates in hash order, which would make the
+/// requeue order — and hence grant order — nondeterministic).
+pub(crate) fn expire_leases(st: &mut State, shared: &Shared, now: Instant) {
+    let mut expired: Vec<u64> =
         st.leases.iter().filter(|(_, l)| l.deadline <= now).map(|(&id, _)| id).collect();
+    expired.sort_unstable();
     for id in expired {
         st.stats.lease_expiries += 1;
         release_lease(st, shared, id);
@@ -899,12 +1079,14 @@ fn fail_fatal(st: &mut State, shared: &Shared, err: ClusterError) {
     if st.fatal.is_none() {
         st.fatal = Some(err);
     }
+    // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
     shared.done.store(true, Ordering::SeqCst);
     shared.cv.notify_all();
 }
 
 fn finish_if_done(st: &mut State, shared: &Shared) {
     if st.done_count == st.cells.len() {
+        // ordering: SeqCst shutdown flag — cross-thread data flows through the state mutex; the flag only gates loops.
         shared.done.store(true, Ordering::SeqCst);
     }
     shared.cv.notify_all();
@@ -944,6 +1126,11 @@ fn advance_journal(st: &mut State, shared: &Shared) {
                     return;
                 }
             }
+            // The line is committed (or would be, absent a writer) —
+            // record its fingerprint so model tests can assert each cell
+            // is journaled exactly once, in input order.
+            #[cfg(bvc_check)]
+            shared.appended.lock().unwrap_or_else(|e| e.into_inner()).push(cell.fp);
         }
         st.journal_cursor += 1;
     }

@@ -28,7 +28,10 @@
 pub mod cell;
 pub mod coordinator;
 pub mod jobs;
+#[cfg(bvc_check)]
+pub mod model;
 pub mod protocol;
+pub(crate) mod sync;
 pub mod worker;
 
 pub use cell::{

@@ -1,0 +1,160 @@
+//! Model-checking harness for the coordinator lease state machine.
+//!
+//! Compiled only under `--cfg bvc_check`. Wraps the coordinator's
+//! [`Shared`] state and exposes each network-driven transition (claim,
+//! done, heartbeat, lease expiry, worker disconnect) as a direct method
+//! call with an **injected clock**, so `bvc_check::explore` can
+//! exhaustively interleave them without sockets or real time. All clocks
+//! are millisecond offsets from a per-run origin, which keeps every
+//! deadline comparison deterministic across schedules.
+//!
+//! The tests in `tests/model.rs` drive this harness twice per scenario:
+//! once against the shipped code (must pass under exhaustive
+//! exploration) and once with a [`ModelFaults`] flag re-introducing a
+//! historical race (must produce a violation with a replayable
+//! schedule). See DESIGN.md §13.
+
+use std::time::{Duration, Instant};
+
+use crate::coordinator::{
+    claim_cells, disconnect_worker, expire_leases, handle_done, lock_state, register_worker,
+    renew_lease, ClaimOutcome, ClusterConfig, ModelFaults, Shared,
+};
+use crate::protocol::DoneFrame;
+
+/// An in-memory coordinator over `n` synthetic cells, driven by direct
+/// transition calls instead of protocol frames.
+pub struct ModelCluster {
+    shared: Shared,
+    base: Instant,
+}
+
+/// A read-only snapshot of coordinator state for end-of-run invariants.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// Number of input cells.
+    pub n_cells: usize,
+    /// Cells counted terminal (must equal `n_cells` at quiescence).
+    pub done_count: usize,
+    /// Reorder-buffer cursor position.
+    pub journal_cursor: usize,
+    /// Indices still sitting in the dispatch queue.
+    pub queued: usize,
+    /// Live lease entries (possibly empty of cells).
+    pub live_leases: usize,
+    /// Per-cell: terminal with a successful result.
+    pub succeeded: Vec<bool>,
+    /// Per-cell: terminal without a result (fail-fast drain).
+    pub skipped: Vec<bool>,
+    /// Per-cell: terminal at all.
+    pub terminal: Vec<bool>,
+    /// Whether a fatal error (e.g. result conflict) was recorded.
+    pub fatal: bool,
+}
+
+impl ModelCluster {
+    /// Builds a model coordinator over `n` queued cells.
+    pub fn new(n: usize, cfg: ClusterConfig, faults: ModelFaults) -> ModelCluster {
+        ModelCluster { shared: Shared::for_model(n, cfg, faults), base: Instant::now() }
+    }
+
+    /// Fingerprint of input cell `i` (the synthetic scheme used by
+    /// [`Shared::for_model`]).
+    pub fn fp_of(&self, i: usize) -> u64 {
+        0x1000 + i as u64
+    }
+
+    /// The injected clock at `ms` milliseconds past the run origin.
+    pub fn at_ms(&self, ms: u64) -> Instant {
+        self.base + Duration::from_millis(ms)
+    }
+
+    /// Registers a worker connection and returns its id.
+    pub fn register_worker(&self) -> u64 {
+        let mut st = lock_state(&self.shared);
+        register_worker(&mut st, 1, self.base)
+    }
+
+    /// Claims up to `max` cells for `worker` at time `now_ms`. Returns
+    /// the granted lease id and cell fingerprints, or `None` when the
+    /// coordinator answered wait/fin/fatal.
+    pub fn claim(&self, worker: u64, max: u32, now_ms: u64) -> Option<(u64, Vec<u64>)> {
+        let now = self.at_ms(now_ms);
+        let mut st = lock_state(&self.shared);
+        match claim_cells(&mut st, &self.shared, worker, max, now) {
+            ClaimOutcome::Grant { lease_id, tasks } => {
+                Some((lease_id, tasks.iter().map(|t| t.fp).collect()))
+            }
+            ClaimOutcome::Fatal | ClaimOutcome::Fin | ClaimOutcome::Wait => None,
+        }
+    }
+
+    /// Reports one cell result under `lease`.
+    pub fn done(&self, lease: u64, fp: u64, ok: bool) {
+        let frame = DoneFrame {
+            lease,
+            fp,
+            key: String::new(),
+            ok,
+            attempts: 1,
+            bits: if ok { vec![fp] } else { Vec::new() },
+            code: if ok { String::new() } else { "model".into() },
+            reason: if ok { String::new() } else { "model failure".into() },
+            elapsed_us: 0,
+        };
+        let mut st = lock_state(&self.shared);
+        handle_done(&mut st, &self.shared, frame);
+    }
+
+    /// Renews `lease` to expire at `deadline_ms`, as connection `worker`.
+    pub fn heartbeat(&self, worker: u64, lease: u64, deadline_ms: u64) {
+        let deadline = self.at_ms(deadline_ms);
+        let mut st = lock_state(&self.shared);
+        renew_lease(&mut st, &self.shared, Some(worker), lease, deadline);
+    }
+
+    /// Runs the expiry watchdog with the clock at `now_ms`.
+    pub fn expire_at(&self, now_ms: u64) {
+        let now = self.at_ms(now_ms);
+        let mut st = lock_state(&self.shared);
+        expire_leases(&mut st, &self.shared, now);
+    }
+
+    /// Drops `worker`, releasing every lease it holds.
+    pub fn disconnect(&self, worker: u64) {
+        let mut st = lock_state(&self.shared);
+        disconnect_worker(&mut st, &self.shared, worker);
+    }
+
+    /// Fingerprints of every journal line committed so far, in order.
+    pub fn appended(&self) -> Vec<u64> {
+        self.shared.appended.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Claims-and-completes as `worker` (clock fixed at `now_ms`) until
+    /// the coordinator stops granting. Used to drain to quiescence after
+    /// the racing threads have joined.
+    pub fn drain(&self, worker: u64, now_ms: u64) {
+        while let Some((lease, fps)) = self.claim(worker, 64, now_ms) {
+            for fp in fps {
+                self.done(lease, fp, true);
+            }
+        }
+    }
+
+    /// Snapshots the state for invariant checks.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        let st = lock_state(&self.shared);
+        ModelSnapshot {
+            n_cells: st.cells.len(),
+            done_count: st.done_count,
+            journal_cursor: st.journal_cursor,
+            queued: st.queue.len(),
+            live_leases: st.leases.len(),
+            succeeded: st.cells.iter().map(|c| c.succeeded()).collect(),
+            skipped: st.cells.iter().map(|c| c.skipped).collect(),
+            terminal: st.cells.iter().map(|c| c.terminal()).collect(),
+            fatal: st.fatal.is_some(),
+        }
+    }
+}

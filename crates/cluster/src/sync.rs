@@ -1,0 +1,16 @@
+//! Synchronization facade.
+//!
+//! Production builds alias `std::sync` directly — the facade is
+//! zero-cost and binaries are bit-identical to using std paths inline.
+//! Under `--cfg bvc_check` the same names resolve to the `bvc-check`
+//! shims, whose every operation is a decision point of the model
+//! checker's controlled scheduler (and which fall back to plain std
+//! behaviour outside a model run). See DESIGN.md §13.
+
+#[cfg(not(bvc_check))]
+pub(crate) use std::sync::atomic::AtomicBool;
+#[cfg(not(bvc_check))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(bvc_check)]
+pub(crate) use bvc_check::sync::{AtomicBool, Condvar, Mutex, MutexGuard};

@@ -290,9 +290,9 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, Str
         }
     };
     Ok(WorkerSummary {
-        solved: ws.solved.load(Ordering::SeqCst),
-        failed: ws.failed.load(Ordering::SeqCst),
-        batches: ws.batches.load(Ordering::SeqCst),
+        solved: ws.solved.load(Ordering::SeqCst), // ordering: read-back after join
+        failed: ws.failed.load(Ordering::SeqCst), // ordering: read-back after join
+        batches: ws.batches.load(Ordering::SeqCst), // ordering: read-back after join
         died,
         sessions,
     })
@@ -407,6 +407,7 @@ fn run_session(addr: &str, opts: &WorkerOptions, session: u64, ws: &WorkerState)
                 // frame we sent before the claim — ack that prefix.
                 let watermark = ws.pending.lock().unwrap_or_else(|e| e.into_inner()).len();
                 if let Err(e) = tx.send(&Frame::Claim { max: batch }.encode()) {
+                    // ordering: SeqCst — cold error path; strongest order costs nothing here.
                     return dropped(progressed.load(Ordering::SeqCst), format!("claim: {e}"));
                 }
                 let mut tasks: Vec<TaskFrame> = Vec::new();
@@ -414,7 +415,8 @@ fn run_session(addr: &str, opts: &WorkerOptions, session: u64, ws: &WorkerState)
                     let frame = match recv_frame(&mut rx) {
                         Ok(f) => f,
                         Err(RecvErr::Transport(why)) => {
-                            return dropped(progressed.load(Ordering::SeqCst), why)
+                            // ordering: SeqCst — cold error path; strongest order costs nothing here.
+                            return dropped(progressed.load(Ordering::SeqCst), why);
                         }
                         Err(RecvErr::Protocol(why)) => return SessionEnd::Fatal(why),
                     };
@@ -452,8 +454,10 @@ fn run_session(addr: &str, opts: &WorkerOptions, session: u64, ws: &WorkerState)
                     let acked = watermark.min(pending.len());
                     pending.drain(..acked);
                 }
+                // ordering: SeqCst — records that this batch made progress before any later drop is reported.
                 progressed.store(true, Ordering::SeqCst);
                 let Some(lease) = lease else { continue };
+                // ordering: SeqCst stats counter — once per batch, never hot.
                 ws.batches.fetch_add(1, Ordering::SeqCst);
                 *current_lease.lock().unwrap_or_else(|e| e.into_inner()) = Some(lease);
 
@@ -515,17 +519,21 @@ fn solve_batch(
     let solve_one = |task: &TaskFrame| {
         if let Some(cap) = die_at {
             // Claim a completion slot; past the cap, die instead.
+            // ordering: SeqCst — the returned slot index decides die-vs-solve exactly once across workers.
             if completed.fetch_add(1, Ordering::SeqCst) >= cap {
-                completed.fetch_sub(1, Ordering::SeqCst);
+                completed.fetch_sub(1, Ordering::SeqCst); // ordering: undo of the SeqCst claim above
+                                                          // ordering: SeqCst — die must be visible no later than the completion count it reflects.
                 die.store(true, Ordering::SeqCst);
                 return;
             }
         } else {
+            // ordering: SeqCst completion counter — read back only after the batch loop ends.
             completed.fetch_add(1, Ordering::SeqCst);
         }
         let started = Instant::now();
         let done = match JobSpec::decode(&task.spec) {
             None => {
+                // ordering: SeqCst stats counter — once per failed cell, never hot.
                 ws.failed.fetch_add(1, Ordering::SeqCst);
                 DoneFrame {
                     lease,
@@ -544,6 +552,7 @@ fn solve_batch(
                     run_cell_attempts(&task.key, cell_cfg, never_cancel, |ctx| spec.solve(ctx));
                 match res {
                     Ok(vals) => {
+                        // ordering: SeqCst stats counter — once per solved cell, never hot.
                         ws.solved.fetch_add(1, Ordering::SeqCst);
                         DoneFrame {
                             lease,
@@ -558,6 +567,7 @@ fn solve_batch(
                         }
                     }
                     Err(f) => {
+                        // ordering: SeqCst stats counter — once per failed cell, never hot.
                         ws.failed.fetch_add(1, Ordering::SeqCst);
                         DoneFrame {
                             lease,
@@ -588,6 +598,7 @@ fn solve_batch(
         // Sequential path — also forced under fault injection so "die
         // after N cells" is deterministic.
         for task in tasks {
+            // ordering: SeqCst — die/claim protocol kept trivially sequential; the batch loop is not hot.
             if die.load(Ordering::SeqCst)
                 || send_err.lock().unwrap_or_else(|e| e.into_inner()).is_some()
             {
@@ -600,7 +611,9 @@ fn solve_batch(
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ordering: SeqCst — claim cursor; keeps the die/claim protocol trivially sequential.
                     let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    // ordering: see the cursor claim above
                     if i >= tasks.len() || die.load(Ordering::SeqCst) {
                         return;
                     }
@@ -611,8 +624,8 @@ fn solve_batch(
     }
 
     BatchOutcome {
-        completed: completed.load(Ordering::SeqCst),
-        die: die.load(Ordering::SeqCst),
+        completed: completed.load(Ordering::SeqCst), // ordering: read-back after join
+        die: die.load(Ordering::SeqCst),             // ordering: read-back after join
         send: match send_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(e) => Err(e),
             None => Ok(()),

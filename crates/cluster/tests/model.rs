@@ -1,0 +1,210 @@
+//! Exhaustive model checks of the coordinator lease state machine.
+//!
+//! Runs only under `RUSTFLAGS="--cfg bvc_check"`. Each scenario encodes a
+//! race that PR 5 actually fixed, and is checked twice:
+//!
+//! * against the shipped code, `explore` must pass **exhaustively**
+//!   (every interleaving up to the preemption bound, no cap hit);
+//! * with the matching [`ModelFaults`] flag re-introducing the historical
+//!   bug, `explore` must find a violation — and the reported schedule
+//!   must replay to the same violation deterministically.
+#![cfg(bvc_check)]
+
+use std::time::Duration;
+
+use bvc_check::{explore, replay, Config, Report};
+use bvc_cluster::coordinator::{ClusterConfig, ModelFaults};
+use bvc_cluster::model::ModelCluster;
+
+fn cfg_lease_ms(ms: u64, fail_fast: bool) -> ClusterConfig {
+    ClusterConfig {
+        lease: Duration::from_millis(ms),
+        fail_fast,
+        max_dispatch: 5,
+        ..ClusterConfig::default()
+    }
+}
+
+fn model_config() -> Config {
+    // Transitions here are coarse (one lock section each), so the state
+    // space is small; bound 2 with generous caps still finishes fast.
+    Config { max_preemptions: 2, ..Config::default() }
+}
+
+/// Asserts the report passed exhaustively (no violation, bound reached,
+/// not capped).
+fn assert_exhaustive_pass(report: &Report, what: &str) {
+    assert!(
+        report.violation.is_none(),
+        "{what}: unexpected violation:\n{}",
+        report.violation.as_ref().unwrap()
+    );
+    assert!(report.exhaustive_pass(), "{what}: exploration was capped (not exhaustive)");
+}
+
+/// Asserts a violation was found and that its schedule replays to the
+/// same violation, three times.
+fn assert_violation_replays<F>(report: &Report, what: &str, f: F)
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let v = report.violation.as_ref().unwrap_or_else(|| panic!("{what}: no violation found"));
+    for _ in 0..3 {
+        let r = replay(&model_config(), &v.schedule, f.clone());
+        let rv = r
+            .violation
+            .as_ref()
+            .unwrap_or_else(|| panic!("{what}: schedule {:?} did not replay", v.schedule));
+        assert_eq!(rv.kind, v.kind, "{what}: replayed kind differs");
+        assert_eq!(rv.schedule, v.schedule, "{what}: replayed schedule differs");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Race 1: late Done after lease expiry (stale queue index)
+// ---------------------------------------------------------------------------
+
+/// Worker 1 holds both cells; its Done for cell 0 races the expiry
+/// watchdog requeueing both. Afterwards worker 2 drains. Every cell must
+/// end terminal exactly once: `done_count == n`, each fingerprint
+/// journaled exactly once, in input order.
+fn late_done_scenario(faults: ModelFaults) -> impl Fn() + Send + Sync + Clone + 'static {
+    move || {
+        let m = std::sync::Arc::new(ModelCluster::new(2, cfg_lease_ms(100, false), faults.clone()));
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        let (lease, fps) = m.claim(w1, 2, 0).expect("initial grant");
+        assert_eq!(fps, vec![m.fp_of(0), m.fp_of(1)]);
+
+        let ma = std::sync::Arc::clone(&m);
+        let a = bvc_check::thread::spawn(move || ma.done(lease, ma.fp_of(0), true));
+        let mb = std::sync::Arc::clone(&m);
+        let b = bvc_check::thread::spawn(move || mb.expire_at(200));
+        a.join().unwrap();
+        b.join().unwrap();
+
+        m.drain(w2, 300);
+        let s = m.snapshot();
+        assert_eq!(s.done_count, 2, "done_count overshoot or undershoot: {s:?}");
+        assert!(s.terminal.iter().all(|&t| t), "non-terminal cell: {s:?}");
+        assert!(s.succeeded.iter().all(|&t| t), "failed cell: {s:?}");
+        assert_eq!(s.queued, 0, "stale queue entries: {s:?}");
+        assert_eq!(s.journal_cursor, 2, "journal cursor parked: {s:?}");
+        let app = m.appended();
+        assert_eq!(app, vec![m.fp_of(0), m.fp_of(1)], "journal lines duplicated or reordered");
+    }
+}
+
+#[test]
+fn late_done_after_expiry_fixed_passes() {
+    let report = explore(&model_config(), late_done_scenario(ModelFaults::default()));
+    assert_exhaustive_pass(&report, "late-done fixed");
+}
+
+#[test]
+fn late_done_after_expiry_broken_is_found_and_replays() {
+    let faults = ModelFaults { keep_stale_queue_index: true, ..ModelFaults::default() };
+    let scenario = late_done_scenario(faults);
+    let report = explore(&model_config(), scenario.clone());
+    assert_violation_replays(&report, "late-done broken", scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Race 2: fail-fast requeue gap
+// ---------------------------------------------------------------------------
+
+/// Under fail-fast, worker 1's failure for cell 0 races worker 2's
+/// disconnect while holding cell 1. Whichever order, cell 1 must end
+/// terminal (skipped or failed-over) — never parked in the queue after
+/// the sweep already failed.
+fn fail_fast_scenario(faults: ModelFaults) -> impl Fn() + Send + Sync + Clone + 'static {
+    move || {
+        let m = std::sync::Arc::new(ModelCluster::new(2, cfg_lease_ms(100, true), faults.clone()));
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        let (l1, fps1) = m.claim(w1, 1, 0).expect("grant to w1");
+        assert_eq!(fps1, vec![m.fp_of(0)]);
+        let (_l2, fps2) = m.claim(w2, 1, 0).expect("grant to w2");
+        assert_eq!(fps2, vec![m.fp_of(1)]);
+
+        let ma = std::sync::Arc::clone(&m);
+        let a = bvc_check::thread::spawn(move || ma.done(l1, ma.fp_of(0), false));
+        let mb = std::sync::Arc::clone(&m);
+        let b = bvc_check::thread::spawn(move || mb.disconnect(w2));
+        a.join().unwrap();
+        b.join().unwrap();
+
+        let s = m.snapshot();
+        assert_eq!(s.done_count, 2, "cell left live after fail-fast: {s:?}");
+        assert!(s.terminal.iter().all(|&t| t), "non-terminal cell: {s:?}");
+        assert_eq!(s.queued, 0, "cell requeued after sweep failure: {s:?}");
+        // Cell 0 carries the failure; cell 1 must not have succeeded
+        // (it was never solved — skipped, or failed over).
+        assert!(!s.succeeded[0], "failed cell recorded as success: {s:?}");
+    }
+}
+
+#[test]
+fn fail_fast_requeue_gap_fixed_passes() {
+    let report = explore(&model_config(), fail_fast_scenario(ModelFaults::default()));
+    assert_exhaustive_pass(&report, "fail-fast fixed");
+}
+
+#[test]
+fn fail_fast_requeue_gap_broken_is_found_and_replays() {
+    let faults = ModelFaults { skip_fail_fast_gate: true, ..ModelFaults::default() };
+    let scenario = fail_fast_scenario(faults);
+    let report = explore(&model_config(), scenario.clone());
+    assert_violation_replays(&report, "fail-fast broken", scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Race 3: heartbeat renewing an unowned lease
+// ---------------------------------------------------------------------------
+
+/// Worker 1 claims cell 0 and dies. Worker 2's (buggy or malicious)
+/// heartbeat naming worker 1's lease races the expiry watchdog. The
+/// ownership check must keep the dead worker's lease from being renewed:
+/// after expiry + drain, the cell is done. With the check removed, the
+/// renew-then-expire order keeps the lease alive and the cell is never
+/// finished.
+fn heartbeat_scenario(faults: ModelFaults) -> impl Fn() + Send + Sync + Clone + 'static {
+    move || {
+        let m = std::sync::Arc::new(ModelCluster::new(1, cfg_lease_ms(100, false), faults.clone()));
+        let w1 = m.register_worker();
+        let w2 = m.register_worker();
+        let (lease, fps) = m.claim(w1, 1, 0).expect("grant to w1");
+        assert_eq!(fps, vec![m.fp_of(0)]);
+        // w1 dies silently (no disconnect teardown — e.g. SIGKILL).
+
+        let ma = std::sync::Arc::clone(&m);
+        let a = bvc_check::thread::spawn(move || ma.heartbeat(w2, lease, 10_000));
+        let mb = std::sync::Arc::clone(&m);
+        let b = bvc_check::thread::spawn(move || mb.expire_at(200));
+        a.join().unwrap();
+        b.join().unwrap();
+
+        // Drain with the clock still early (before the straggler
+        // half-lease threshold) so duplicate dispatch cannot paper over a
+        // lease that wrongly survived expiry.
+        m.drain(w2, 10);
+        let s = m.snapshot();
+        assert_eq!(s.done_count, 1, "dead worker's lease kept the cell alive: {s:?}");
+        assert!(s.terminal[0], "cell never completed: {s:?}");
+        assert_eq!(m.appended(), vec![m.fp_of(0)]);
+    }
+}
+
+#[test]
+fn heartbeat_unowned_lease_fixed_passes() {
+    let report = explore(&model_config(), heartbeat_scenario(ModelFaults::default()));
+    assert_exhaustive_pass(&report, "heartbeat fixed");
+}
+
+#[test]
+fn heartbeat_unowned_lease_broken_is_found_and_replays() {
+    let faults = ModelFaults { heartbeat_any_lease: true, ..ModelFaults::default() };
+    let scenario = heartbeat_scenario(faults);
+    let report = explore(&model_config(), scenario.clone());
+    assert_violation_replays(&report, "heartbeat broken", scenario);
+}

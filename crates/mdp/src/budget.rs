@@ -71,6 +71,7 @@ impl SolveBudget {
 
     /// True once the shared cancel flag has been raised.
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — best-effort cancellation; a stale read costs one extra iteration.
         self.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
     }
 

@@ -101,6 +101,7 @@ impl AtomicBias {
     pub(crate) fn copy_from(&self, src: &[f64]) {
         debug_assert_eq!(self.0.len(), src.len());
         for (slot, &v) in self.0.iter().zip(src) {
+            // ordering: Relaxed — slots are data, not flags: the scope join between sweeps publishes them.
             slot.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -109,17 +110,20 @@ impl AtomicBias {
     pub(crate) fn copy_to(&self, dst: &mut [f64]) {
         debug_assert_eq!(self.0.len(), dst.len());
         for (slot, v) in self.0.iter().zip(dst) {
+            // ordering: Relaxed — slots are data, not flags: the scope join between sweeps publishes them.
             *v = f64::from_bits(slot.load(Ordering::Relaxed));
         }
     }
 
     #[inline(always)]
     pub(crate) fn get(&self, i: usize) -> f64 {
+        // ordering: Relaxed — slots are data, not flags: the scope join between sweeps publishes them.
         f64::from_bits(self.0[i].load(Ordering::Relaxed))
     }
 
     #[inline(always)]
     pub(crate) fn set(&self, i: usize, v: f64) {
+        // ordering: Relaxed — slots are data, not flags: the scope join between sweeps publishes them.
         self.0[i].store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -231,6 +235,39 @@ mod tests {
         }
         buf.set(1, 42.0);
         assert_eq!(buf.get(1), 42.0);
+    }
+
+    /// Shard workers share an [`AtomicBias`] by reference: each thread
+    /// writes a disjoint index range while every thread reads the whole
+    /// buffer, exactly the access pattern of a sharded sweep iteration.
+    /// Sized to stay fast under Miri, which runs this test in CI to check
+    /// the bit-pattern atomics for data races.
+    #[test]
+    fn atomic_bias_concurrent_shard_writes() {
+        const THREADS: usize = 4;
+        const PER_SHARD: usize = 8;
+        let n = THREADS * PER_SHARD;
+        let buf = AtomicBias::zeros(n);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let buf = &buf;
+                s.spawn(move || {
+                    for i in t * PER_SHARD..(t + 1) * PER_SHARD {
+                        buf.set(i, i as f64 + 0.5);
+                        // Cross-shard reads race with other writers; any
+                        // value seen must be a whole written f64, never a
+                        // torn word.
+                        let other = buf.get((i + PER_SHARD) % n);
+                        assert!(other == 0.0 || other.fract() == 0.5, "torn read: {other}");
+                    }
+                });
+            }
+        });
+        let mut out = vec![0.0; n];
+        buf.copy_to(&mut out);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64 + 0.5);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod fingerprint;
 pub mod sweep;
+pub(crate) mod sync;
 
 use std::fmt::Write as _;
 
@@ -167,42 +168,75 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    use std::panic::AssertUnwindSafe;
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
     let n = inputs.len();
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    parallel_map_with_threads(inputs, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count instead of
+/// `available_parallelism`. Exposed so model-checking runs (and tests on
+/// single-core machines) can force real claim-cursor contention.
+///
+/// # Panics
+/// Same contract as [`parallel_map`].
+pub fn parallel_map_with_threads<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::Ordering;
+
+    use crate::sync::{scope, AtomicBool, AtomicUsize, Mutex};
+
+    let n = inputs.len();
+    let threads = threads.clamp(1, n.max(1));
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|scope| {
+    scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // ordering: Relaxed suffices — the flag is a shutdown hint,
+                // and the claim cursor's fetch_add is itself atomic; no
+                // other memory is published through either.
+                // ordering: Relaxed — the abort flag is a shutdown hint; no data is published through it.
                 if abort.load(Ordering::Relaxed) {
                     return;
                 }
+                // ordering: Relaxed — the RMW itself is the claim; slot data flows via the out mutex.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     return;
                 }
                 match std::panic::catch_unwind(AssertUnwindSafe(|| f(&inputs[i]))) {
-                    Ok(o) => out.lock().expect("result vector poisoned")[i] = Some(o),
+                    Ok(o) => {
+                        out.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(o);
+                    }
                     Err(payload) => {
+                        // A model-checker abort is scheduler teardown, not
+                        // a user panic; re-raise it untouched.
+                        #[cfg(bvc_check)]
+                        let payload = bvc_check::reraise_if_abort(payload);
+                        // ordering: Relaxed — hint only; the payload is published under the panic_payload mutex.
                         abort.store(true, Ordering::Relaxed);
-                        panic_payload.lock().expect("payload slot poisoned").get_or_insert(payload);
+                        panic_payload
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get_or_insert(payload);
                         return;
                     }
                 }
             });
         }
     });
-    if let Some(payload) = panic_payload.into_inner().expect("payload slot poisoned") {
+    if let Some(payload) = panic_payload.into_inner().unwrap_or_else(|e| e.into_inner()) {
         std::panic::resume_unwind(payload);
     }
     out.into_inner()
-        .expect("result vector poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|o| o.expect("all cells computed"))
         .collect()

@@ -648,6 +648,7 @@ where
         }
 
         if opts.fail_fast && matches!(&outcome, Err(f) if !matches!(f, CellFailure::Skipped)) {
+            // ordering: Relaxed — best-effort cancel hint; results are joined through the scope barrier.
             cancel.store(true, Ordering::Relaxed);
         }
         CellResult {
@@ -662,9 +663,11 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // ordering: Relaxed — a stale read solves at most one extra cell.
                 if cancel.load(Ordering::Relaxed) {
                     return;
                 }
+                // ordering: Relaxed — the RMW itself is the claim; cell results flow through their own slots.
                 let p = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = pending.get(p) else { return };
                 let result = solve_cell(i);

@@ -1,0 +1,20 @@
+//! Synchronization facade.
+//!
+//! Production builds alias `std::sync`/`std::thread` directly — the
+//! facade is zero-cost and binaries are bit-identical to using std paths
+//! inline. Under `--cfg bvc_check` the same names resolve to the
+//! `bvc-check` shims, whose every operation is a decision point of the
+//! model checker's controlled scheduler (and which fall back to plain
+//! std behaviour outside a model run). See DESIGN.md §13.
+
+#[cfg(not(bvc_check))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize};
+#[cfg(not(bvc_check))]
+pub(crate) use std::sync::Mutex;
+#[cfg(not(bvc_check))]
+pub(crate) use std::thread::scope;
+
+#[cfg(bvc_check)]
+pub(crate) use bvc_check::sync::{AtomicBool, AtomicUsize, Mutex};
+#[cfg(bvc_check)]
+pub(crate) use bvc_check::thread::scope;

@@ -11,8 +11,9 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+
+use crate::sync::{Arc, AtomicU64, AtomicUsize, Condvar, Mutex};
 
 use bvc_journal::cell_fingerprint;
 use bvc_journal::load_journal;
@@ -93,6 +94,7 @@ struct AdmitGuard<'a>(&'a SolveCache);
 
 impl Drop for AdmitGuard<'_> {
     fn drop(&mut self) {
+        // ordering: SeqCst — pairs with the admission fetch_update; the gate must never undercount.
         self.0.admitted.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -122,7 +124,7 @@ impl SolveCache {
 
     /// Looks a cell up, bumping its recency on a hit.
     pub fn lookup(&self, fp: u64) -> Option<Arc<CachedCell>> {
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.get_mut(&fp).map(|(last_used, cell)| {
@@ -134,7 +136,7 @@ impl SolveCache {
     /// Inserts (or replaces) a cell, evicting the least-recently-used
     /// entry of its shard when over capacity.
     pub fn insert(&self, fp: u64, cell: Arc<CachedCell>) {
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.insert(fp, (tick, cell));
@@ -149,7 +151,7 @@ impl SolveCache {
 
     /// Number of cached cells.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -160,11 +162,13 @@ impl SolveCache {
     /// How many solver invocations this cache has started (leaders only);
     /// the single-flight tests key off this.
     pub fn solves_started(&self) -> u64 {
+        // ordering: SeqCst — diagnostic read of the single-flight counter; strongest order for free.
         self.solves_started.load(Ordering::SeqCst)
     }
 
     fn try_admit(&self) -> Option<AdmitGuard<'_>> {
         self.admitted
+            // ordering: SeqCst — capacity check and increment form one RMW; gate math must totally order.
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 (n < self.queue_cap).then_some(n + 1)
             })
@@ -198,7 +202,7 @@ impl SolveCache {
             return Fetched::Shed;
         };
         let (flight, leader) = {
-            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
             // Re-check under the lock: a leader may have finished (and
             // deregistered) between our miss and here.
             if let Some(cell) = self.lookup(fp) {
@@ -214,6 +218,7 @@ impl SolveCache {
             }
         };
         if leader {
+            // ordering: SeqCst — leader-election evidence; the exactly-one-leader checks read this.
             self.solves_started.fetch_add(1, Ordering::SeqCst);
             let result = match catch_unwind(AssertUnwindSafe(solve)) {
                 Ok(Ok(cell)) => {
@@ -222,26 +227,36 @@ impl SolveCache {
                     Ok(cell)
                 }
                 Ok(Err(e)) => Err(SolveFailure::Mdp(e)),
-                Err(payload) => Err(SolveFailure::Panicked(panic_message(payload))),
+                Err(payload) => {
+                    // Under the model checker a scheduler teardown unwind
+                    // must pass through this catch untouched.
+                    #[cfg(bvc_check)]
+                    let payload = bvc_check::reraise_if_abort(payload);
+                    Err(SolveFailure::Panicked(panic_message(payload)))
+                }
             };
             {
-                let mut done = flight.done.lock().expect("flight slot poisoned");
+                let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
                 *done = Some(result.clone());
             }
             flight.cv.notify_all();
-            self.inflight.lock().expect("inflight table poisoned").remove(&fp);
+            self.inflight.lock().unwrap_or_else(|e| e.into_inner()).remove(&fp);
             match result {
                 Ok(cell) => Fetched::Solved { cell, leader: true },
                 Err(failure) => Fetched::Failed { failure, leader: true },
             }
         } else {
-            let mut done = flight.done.lock().expect("flight slot poisoned");
-            while done.is_none() {
-                done = flight.cv.wait(done).expect("flight slot poisoned");
-            }
-            match done.clone().expect("loop exits only when published") {
-                Ok(cell) => Fetched::Solved { cell, leader: false },
-                Err(failure) => Fetched::Failed { failure, leader: false },
+            let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match &*done {
+                    Some(Ok(cell)) => {
+                        return Fetched::Solved { cell: Arc::clone(cell), leader: false }
+                    }
+                    Some(Err(failure)) => {
+                        return Fetched::Failed { failure: failure.clone(), leader: false }
+                    }
+                    None => done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner()),
+                }
             }
         }
     }

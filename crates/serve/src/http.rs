@@ -334,11 +334,13 @@ fn worker_loop<H: Fn(&Request) -> Response>(
     stop: Arc<AtomicBool>,
 ) {
     loop {
+        // ordering: Acquire — pairs with the Release store in stop(); sees all pre-shutdown writes.
         if stop.load(Ordering::Acquire) {
             return;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // ordering: Acquire — pairs with the Release store in stop(); sees all pre-shutdown writes.
                 if stop.load(Ordering::Acquire) {
                     // Shutdown wakeup (or a connection raced it): close
                     // without reading rather than serve past the drain.
@@ -413,6 +415,7 @@ fn handle_connection<H: Fn(&Request) -> Response>(
             ),
         };
         // Finish the in-flight request even when draining, then close.
+        // ordering: Acquire — pairs with the Release store in stop(); sees all pre-shutdown writes.
         let close = req.wants_close || stop.load(Ordering::Acquire);
         write_response(&mut conn.stream, &resp, close)?;
         if close {
@@ -430,6 +433,7 @@ impl Server {
     /// Graceful shutdown: stop accepting, wake parked workers, and join
     /// them once each has drained the request it is serving.
     pub fn shutdown(self) {
+        // ordering: Release — publishes every pre-shutdown write to the acceptor's Acquire loads.
         self.stop.store(true, Ordering::Release);
         // New `accept` calls now return WouldBlock instead of parking...
         let _ = self.listener.set_nonblocking(true);

@@ -121,7 +121,7 @@ impl FlatJson {
     pub fn parse(text: &str) -> Result<FlatJson, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         p.skip_ws();
-        p.expect(b'{')?;
+        p.expect_byte(b'{')?;
         let mut fields = Vec::new();
         p.skip_ws();
         if p.peek() == Some(b'}') {
@@ -131,7 +131,7 @@ impl FlatJson {
                 p.skip_ws();
                 let key = p.string()?;
                 p.skip_ws();
-                p.expect(b':')?;
+                p.expect_byte(b':')?;
                 p.skip_ws();
                 let value = p.scalar()?;
                 fields.push((key, value));
@@ -209,7 +209,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
         match self.next() {
             Some(b) if b == want => Ok(()),
             _ => Err(format!("expected {:?} at byte {}", want as char, self.pos)),
@@ -217,7 +217,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.next() {

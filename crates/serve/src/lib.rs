@@ -23,6 +23,7 @@ pub mod json;
 pub mod metrics;
 pub mod net;
 pub mod routes;
+pub(crate) mod sync;
 
 pub use cache::{CachedCell, Fetched, SolveCache, SolveFailure};
 pub use http::{HttpConfig, Request, Response};

@@ -36,14 +36,14 @@ impl Histogram {
     pub fn record(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+        self.sum_us.fetch_add(us, Ordering::Relaxed); // ordering: independent monotonic counter
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: point-in-time stat read
     }
 
     /// Mean latency in microseconds (0 when empty).
@@ -52,7 +52,7 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64 // ordering: point-in-time stat read
         }
     }
 
@@ -66,7 +66,7 @@ impl Histogram {
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.load(Ordering::Relaxed); // ordering: point-in-time stat read
             if seen >= target {
                 return if i == 0 { 0 } else { 1u64 << i };
             }
@@ -131,22 +131,22 @@ impl Metrics {
 
     /// Records one completed request.
     pub fn observe(&self, status: u16, elapsed: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
         let idx = STATUSES.iter().position(|&s| s == status).unwrap_or(STATUSES.len());
-        self.status_counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.status_counts[idx].fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
         self.latency.record(elapsed);
     }
 
     /// Requests that completed with `status`.
     pub fn status_count(&self, status: u16) -> u64 {
         match STATUSES.iter().position(|&s| s == status) {
-            Some(idx) => self.status_counts[idx].load(Ordering::Relaxed),
+            Some(idx) => self.status_counts[idx].load(Ordering::Relaxed), // ordering: point-in-time stat read
             None => 0,
         }
     }
 
     fn rows(&self) -> Vec<(String, String)> {
-        let int = |v: &AtomicU64| v.load(Ordering::Relaxed).to_string();
+        let int = |v: &AtomicU64| v.load(Ordering::Relaxed).to_string(); // ordering: point-in-time stat read
         let mut rows = vec![
             ("serve_uptime_seconds".to_string(), format!("{:.3}", self.uptime_s())),
             ("serve_requests_total".to_string(), int(&self.requests)),
@@ -165,12 +165,12 @@ impl Metrics {
         for (i, &status) in STATUSES.iter().enumerate() {
             rows.push((
                 format!("serve_responses_total{{status=\"{status}\"}}"),
-                self.status_counts[i].load(Ordering::Relaxed).to_string(),
+                self.status_counts[i].load(Ordering::Relaxed).to_string(), // ordering: point-in-time stat read
             ));
         }
         rows.push((
             "serve_responses_total{status=\"other\"}".to_string(),
-            self.status_counts[STATUSES.len()].load(Ordering::Relaxed).to_string(),
+            self.status_counts[STATUSES.len()].load(Ordering::Relaxed).to_string(), // ordering: point-in-time stat read
         ));
         rows
     }
@@ -234,5 +234,31 @@ mod tests {
         assert!(text.contains("serve_responses_total{status=\"other\"} 1"));
         let json = m.render_json();
         assert!(json.contains("\"serve_requests_total\":4"));
+    }
+
+    /// Concurrent `observe` calls from several threads must never lose a
+    /// count or tear the histogram. Sized to stay fast under Miri, which
+    /// runs this test in CI to check the atomics for data races.
+    #[test]
+    fn concurrent_observe_loses_nothing() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 32;
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let status = if (t as u64 + i).is_multiple_of(2) { 200 } else { 429 };
+                        m.observe(status, Duration::from_micros(i + 1));
+                    }
+                });
+            }
+        });
+        let total = THREADS as u64 * PER_THREAD;
+        // ordering: point-in-time stat read
+        assert_eq!(m.requests.load(Ordering::Relaxed), total);
+        assert_eq!(m.status_count(200) + m.status_count(429), total);
+        assert_eq!(m.latency.count(), total);
     }
 }

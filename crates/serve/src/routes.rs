@@ -194,21 +194,21 @@ impl Service {
 
     /// Whether `POST /admin/shutdown` has been called.
     pub fn shutdown_requested(&self) -> bool {
-        *self.shutdown.0.lock().expect("shutdown latch poisoned")
+        *self.shutdown.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Blocks until a shutdown is requested.
     pub fn wait_for_shutdown(&self) {
         let (lock, cv) = &self.shutdown;
-        let mut requested = lock.lock().expect("shutdown latch poisoned");
+        let mut requested = lock.lock().unwrap_or_else(|e| e.into_inner());
         while !*requested {
-            requested = cv.wait(requested).expect("shutdown latch poisoned");
+            requested = cv.wait(requested).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn request_shutdown(&self) {
         let (lock, cv) = &self.shutdown;
-        *lock.lock().expect("shutdown latch poisoned") = true;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
         cv.notify_all();
     }
 
@@ -277,7 +277,7 @@ impl Service {
         let fetched = self.run_cell(fp, spec);
         match fetched {
             Fetched::Hit(cell) => {
-                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
                 self.cell_response(spec, table_name, fp, &cell, "hit", None)
             }
             Fetched::Solved { cell, leader } => {
@@ -289,7 +289,7 @@ impl Service {
                 failure_response(&failure)
             }
             Fetched::Shed => {
-                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
                 self.shed_retry_headers(Response::json(
                     429,
                     JsonObject::new()
@@ -303,13 +303,13 @@ impl Service {
 
     fn note_miss(&self, leader: bool, errored: bool) {
         if leader {
-            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            self.metrics.solves.fetch_add(1, Ordering::Relaxed);
+            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+            self.metrics.solves.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
             if errored {
-                self.metrics.solve_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.solve_errors.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
             }
         } else {
-            self.metrics.flight_joins.fetch_add(1, Ordering::Relaxed);
+            self.metrics.flight_joins.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
         }
     }
 
@@ -435,7 +435,7 @@ impl Service {
         });
         match fetched {
             Fetched::Hit(cell) => {
-                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
                 self.policy_response(&spec, table, fp, &cell, "hit")
             }
             Fetched::Solved { cell, leader } => {
@@ -447,7 +447,7 @@ impl Service {
                 failure_response(&failure)
             }
             Fetched::Shed => {
-                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
                 self.shed_retry_headers(Response::json(
                     429,
                     "{\"error\":\"overloaded\",\"detail\":\"solve queue is full\"}".to_string(),
@@ -720,7 +720,7 @@ fn parse_solve_body(doc: &FlatJson) -> Result<CellSpec, String> {
                     Ok(None)
                 }
             }
-            Some(v) if v.fract() == 0.0 && v >= lo as f64 && v <= hi as f64 => Ok(Some(v as u64)),
+            Some(v) if v == v.trunc() && v >= lo as f64 && v <= hi as f64 => Ok(Some(v as u64)),
             Some(v) => Err(format!("{name} must be an integer in [{lo}, {hi}], got {v}")),
         }
     };
@@ -805,7 +805,8 @@ fn cell_key(table: Table, cfg: &AttackConfig, ratio: (u32, u32), alpha: f64) -> 
         key.push_str(&format!(" ad={}/{} gate={}", cfg.ad, cfg.ad_carol, cfg.gate_blocks));
     }
     if let IncentiveModel::NonCompliantProfitDriven { rds, threshold } = cfg.incentive {
-        if rds.to_bits() != 10.0f64.to_bits() || threshold != 3 {
+        const DEFAULT_RDS: f64 = 10.0;
+        if rds.to_bits() != DEFAULT_RDS.to_bits() || threshold != 3 {
             key.push_str(&format!(" rds={rds} thr={threshold}"));
         }
     }
@@ -885,6 +886,7 @@ pub fn start(config: ServeConfig) -> io::Result<RunningServer> {
             ));
         }
         let loaded = service.cache.preload_journal(path, &config_token(table));
+        // ordering: Relaxed — independent monotonic counter bumped once at startup.
         service.metrics.preloaded.fetch_add(loaded as u64, Ordering::Relaxed);
     }
     let http_cfg = HttpConfig {

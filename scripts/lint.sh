@@ -45,7 +45,8 @@ targets=(
     crates/cluster/src/*.rs
     crates/journal/src/*.rs
     crates/chaos/src/*.rs
-    crates/serve/src/net.rs
+    crates/serve/src/*.rs
+    crates/bench/src/*.rs
     crates/bench/src/bin/*.rs
 )
 # jobs.rs is exempt from the float-eq lint only: it hosts the ported
@@ -81,6 +82,30 @@ for f in "${targets[@]}"; do
         fail=1
     fi
 done
+
+echo "==> custom lint: every atomic Ordering is justified"
+# Memory-ordering choices are easy to cargo-cult and hard to review after
+# the fact. Every `Ordering::` use in non-test code must carry a
+# `// ordering: <why this ordering is sufficient>` comment on the same
+# line or the line directly above it. The model checker (crates/check)
+# explores interleavings but NOT weak memory, so these justifications are
+# the only recorded reasoning about ordering strength.
+while IFS= read -r f; do
+    bad=$(awk '/#\[cfg\(test\)\]/{exit}
+        {
+            if ($0 ~ /Ordering::(Relaxed|Acquire|Release|AcqRel|SeqCst)/ \
+                && $0 !~ /^[[:space:]]*\/\// \
+                && $0 !~ /ordering:/ && prev !~ /ordering:/) {
+                print NR": "$0
+            }
+            prev=$0
+        }' "$f")
+    if [[ -n "$bad" ]]; then
+        echo "LINT: $f: Ordering:: without an \"// ordering:\" justification:"
+        printf '%s\n' "$bad" | sed 's/^/    /'
+        fail=1
+    fi
+done < <(find crates -path '*/src/*' -name '*.rs' | sort)
 
 if [[ "$fail" -ne 0 ]]; then
     echo "==> LINT FAILED"

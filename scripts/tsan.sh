@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Best-effort ThreadSanitizer pass over the concurrency-heavy crates.
+#
+# TSan needs a nightly toolchain with rust-src (for -Zbuild-std). The CI
+# containers are offline and ship only stable, so this script detects the
+# prerequisites and SKIPS cleanly (exit 0) when they are missing — it is a
+# supplementary dynamic check, not a gate. The authoritative concurrency
+# gate is the bvc-check model suite (scripts/verify.sh, "model-check").
+#
+#   scripts/tsan.sh          # run if nightly+rust-src present, else skip
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+if ! command -v rustup >/dev/null 2>&1; then
+    echo "==> TSAN SKIPPED: rustup not installed"
+    exit 0
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    echo "==> TSAN SKIPPED: no nightly toolchain (offline container ships stable only)"
+    exit 0
+fi
+host=$(rustc -vV | awk '/^host:/{print $2}')
+if ! rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+    echo "==> TSAN SKIPPED: nightly rust-src component missing (needed for -Zbuild-std)"
+    exit 0
+fi
+
+echo "==> TSan: racing tests in bvc-serve / bvc-repro / bvc-mdp (host: $host)"
+# -Zbuild-std instruments std itself; without it TSan reports false
+# positives on std's own synchronization. Target dir is isolated so the
+# sanitized artifacts never mix with production builds.
+RUSTFLAGS="-Zsanitizer=thread" \
+CARGO_TARGET_DIR=target/tsan \
+cargo +nightly test -q --offline -Zbuild-std --target "$host" \
+    -p bvc-serve -p bvc-repro -p bvc-mdp
+status=$?
+if [[ $status -ne 0 ]]; then
+    echo "==> TSAN FAILED"
+    exit $status
+fi
+echo "==> TSAN OK"

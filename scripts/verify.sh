@@ -23,6 +23,15 @@ cargo build --release --offline --workspace
 echo "==> cargo test (offline, all workspace crates)"
 cargo test -q --offline --workspace
 
+echo "==> model-check gate (bvc-check scheduler + cache/coordinator/parallel_map models)"
+# Exhaustive interleaving exploration of the three ported concurrency
+# algorithms under the bvc-check controlled scheduler (preemption bound 2).
+# The shims only compile in under --cfg bvc_check; the isolated target dir
+# keeps the instrumented artifacts out of the production build cache.
+RUSTFLAGS="--cfg bvc_check" CARGO_TARGET_DIR=target/check \
+    cargo test -q --offline -p bvc-check -p bvc-serve -p bvc-cluster -p bvc-repro \
+    --test selfcheck --test model
+
 echo "==> sharded-kernel gate (bit-identity proptests + threaded Table 2 pins)"
 # Explicitly re-run the tests that pin the threaded kernel's determinism
 # contract (bit-identical gain/bias/policy for every solve_threads), so a
