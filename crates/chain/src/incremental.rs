@@ -267,9 +267,14 @@ impl<R: IncrementalRule> IncrementalView<R> {
     /// Panics if the parent has not been delivered.
     pub fn receive(&mut self, tree: &BlockTree, block: BlockId) -> bool {
         let b = tree.block(block);
-        let parent = b.parent.expect("genesis is never delivered");
-        let parent_state =
-            self.states.get(&parent).expect("parent must be delivered before its child");
+        let parent = match b.parent {
+            Some(p) => p,
+            None => panic!("genesis is never delivered"),
+        };
+        let parent_state = match self.states.get(&parent) {
+            Some(s) => s,
+            None => panic!("parent must be delivered before its child"),
+        };
         let state = self.rule.step(parent_state, b.size);
         let valid = self.rule.state_valid(&state);
         self.states.insert(block, state);

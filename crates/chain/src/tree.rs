@@ -116,19 +116,30 @@ impl BlockTree {
         false
     }
 
+    /// The parent of a block known to sit above genesis; every walk in
+    /// [`BlockTree::common_ancestor`] stops at genesis before the parent
+    /// link can run out, so a missing parent is a structural invariant
+    /// violation, not a recoverable condition.
+    fn parent_above_genesis(&self, id: BlockId) -> BlockId {
+        match self.blocks[id.0].parent {
+            Some(p) => p,
+            None => panic!("walked past genesis: every pair of blocks meets at genesis"),
+        }
+    }
+
     /// The deepest common ancestor of `a` and `b` (possibly genesis).
     pub fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
         let mut x = a;
         let mut y = b;
         while self.height(x) > self.height(y) {
-            x = self.blocks[x.0].parent.expect("above genesis");
+            x = self.parent_above_genesis(x);
         }
         while self.height(y) > self.height(x) {
-            y = self.blocks[y.0].parent.expect("above genesis");
+            y = self.parent_above_genesis(y);
         }
         while x != y {
-            x = self.blocks[x.0].parent.expect("roots meet at genesis");
-            y = self.blocks[y.0].parent.expect("roots meet at genesis");
+            x = self.parent_above_genesis(x);
+            y = self.parent_above_genesis(y);
         }
         x
     }

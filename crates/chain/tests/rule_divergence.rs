@@ -1,0 +1,198 @@
+//! Differential tests pinning where the sticky-gate *spec* acceptance rule
+//! ([`BuRizunRule`]) and the buggy March-2017 *source-code* rule of §2.2
+//! ([`BuSourceCodeRule`]) diverge — on the same sizes, and on the same
+//! hand-built block tree through per-node incremental views.
+//!
+//! The divergence geometry (all with `AD = 3`, `EB = 1 MB`):
+//!
+//! * Clause 2 of the source-code rule ("an excessive block with height in
+//!   `[h − AD − 143, h − AD + 1]`") is a broken approximation of the sticky
+//!   gate: the real gate opens when an excessive block reaches `AD` depth
+//!   and covers the next 144 blocks, so with an excessive block at height 1
+//!   the gate last accepts a second excessive block at height 145 — but
+//!   clause 2 keeps accepting one up to height `h = 147`.
+//! * The paper's "two excessive blocks at heights `h` and `h − AD − 143`"
+//!   chain (`h = 147`, early block at height 1) is therefore **valid under
+//!   the source code and invalid under the spec**, and becomes invalid
+//!   under the source code when one more block is appended (clause 1 now
+//!   fails and the early block has left clause 2's window) — validity is
+//!   not monotone under extension.
+//!
+//! These are exactly the disagreement surfaces the scenario engine's
+//! `RuleKind` toggle exposes at network scale.
+
+use bvc_chain::incremental::{IncrementalRule, IncrementalView};
+use bvc_chain::{
+    BlockId, BlockTree, BuRizunRule, BuSourceCodeRule, ByteSize, MinerId, ValidityRule,
+};
+
+const EB: ByteSize = ByteSize(1_000_000);
+const SMALL: ByteSize = ByteSize(900_000);
+const EXC: ByteSize = ByteSize(1_000_001);
+const AD: u64 = 3;
+
+fn spec_rule() -> BuRizunRule {
+    BuRizunRule::new(EB, AD)
+}
+
+fn source_rule() -> BuSourceCodeRule {
+    BuSourceCodeRule { eb: EB, ad: AD }
+}
+
+/// The paper's divergence chain: an excessive block at height 1, smalls up
+/// to height 146, and a second excessive block at height `tip` (147 in the
+/// canonical instance, so that `tip − AD − 143 = 1`).
+fn divergence_chain(tip: usize) -> Vec<ByteSize> {
+    let mut sizes = vec![EXC];
+    sizes.extend(std::iter::repeat_n(SMALL, tip - 2));
+    sizes.push(EXC);
+    assert_eq!(sizes.len(), tip);
+    sizes
+}
+
+/// Folds sizes through an incremental rule and reports tip validity.
+fn incremental_valid<R: IncrementalRule>(rule: &R, sizes: &[ByteSize]) -> bool {
+    let mut s = rule.initial_state();
+    for &sz in sizes {
+        s = rule.step(&s, sz);
+    }
+    rule.state_valid(&s)
+}
+
+#[test]
+fn rules_agree_on_plain_chains() {
+    let spec = spec_rule();
+    let source = source_rule();
+    // All-small chains and a properly buried excessive block: no dispute.
+    let cases: [&[ByteSize]; 4] = [
+        &[],
+        &[SMALL, SMALL, SMALL],
+        &[EXC, SMALL, SMALL], // buried AD deep => accepted
+        &[SMALL, EXC],        // fresh excessive => rejected
+    ];
+    for sizes in cases {
+        assert_eq!(
+            spec.chain_valid(sizes),
+            source.chain_valid(sizes),
+            "expected agreement on {sizes:?}"
+        );
+    }
+}
+
+/// The canonical divergence: excessive blocks at heights 1 and 147. The
+/// sticky gate opened at height 3 and closed at height 145, so the spec
+/// rejects the fresh excessive tip; the source code's clause-2 window
+/// `[147 − 146, 147 − 2] = [1, 145]` still contains height 1, so it
+/// accepts.
+#[test]
+fn source_code_accepts_where_spec_gate_has_closed() {
+    let sizes = divergence_chain(147);
+    assert!(!spec_rule().chain_valid(&sizes), "spec: gate closed at 145, tip is pending");
+    assert!(source_rule().chain_valid(&sizes), "source code: clause 2 window covers height 1");
+}
+
+/// While the sticky gate is still open (second excessive block at height
+/// <= 144), both rules accept — the clause-2 window only *over*-extends
+/// the gate, it never under-extends it on this family of chains.
+#[test]
+fn rules_agree_while_gate_is_open() {
+    // The gate opens at height 3 with a 144-block countdown consumed by
+    // heights 2.. (the burial blocks count), so the last gate-accepted
+    // height for the second excessive block is 145.
+    for tip in [10, 100, 145] {
+        let sizes = divergence_chain(tip);
+        assert!(spec_rule().chain_valid(&sizes), "gate still open at height {tip}");
+        assert!(source_rule().chain_valid(&sizes), "clause 2 covers height 1 at {tip}");
+    }
+    // The divergence band: gate closed, window still matching.
+    for tip in [146, 147] {
+        let sizes = divergence_chain(tip);
+        assert!(!spec_rule().chain_valid(&sizes), "spec rejects at height {tip}");
+        assert!(source_rule().chain_valid(&sizes), "source accepts at height {tip}");
+    }
+}
+
+/// The paper's counter-intuitive consequence, pinned exactly: the
+/// two-excessive chain is valid at height 147, *invalid* at height 148
+/// (clause 1 fails, the early block leaves the window), and valid again at
+/// 149 (the tip excessive block itself enters the window). The spec's
+/// verdict sequence is invalid / invalid / valid — once it accepts, it
+/// stays accepted.
+#[test]
+fn source_code_validity_is_not_monotone_under_extension() {
+    let mut sizes = divergence_chain(147);
+    assert!(source_rule().chain_valid(&sizes));
+    assert!(!spec_rule().chain_valid(&sizes));
+
+    sizes.push(SMALL); // height 148
+    assert!(!source_rule().chain_valid(&sizes), "extending the valid chain invalidates it");
+    assert!(!spec_rule().chain_valid(&sizes), "spec: tip excessive still pending");
+
+    sizes.push(SMALL); // height 149: tip excessive buried AD deep
+    assert!(source_rule().chain_valid(&sizes), "height 147 is inside its own clause-2 window");
+    assert!(spec_rule().chain_valid(&sizes), "spec: excessive block reached AD depth");
+}
+
+/// The incremental scan states must reproduce the batch verdicts of both
+/// rules on every prefix of the divergence chain — the exact chain family
+/// where an off-by-one in either implementation would hide.
+#[test]
+fn incremental_states_match_batch_rules_across_the_divergence() {
+    let sizes = divergence_chain(149);
+    let spec = spec_rule();
+    let source = source_rule();
+    for n in 0..=sizes.len() {
+        let prefix = &sizes[..n];
+        assert_eq!(
+            incremental_valid(&spec, prefix),
+            spec.chain_valid(prefix),
+            "spec incremental/batch split at prefix {n}"
+        );
+        assert_eq!(
+            incremental_valid(&source, prefix),
+            source.chain_valid(prefix),
+            "source incremental/batch split at prefix {n}"
+        );
+    }
+}
+
+/// The fork, end to end: one shared block tree, one node per rule. Branch X
+/// is the two-excessive chain to height 147; branch Y forks off at height
+/// 146 with an ordinary block. The source-code node keeps X (valid, first
+/// received at height 147); the spec node rejects X's tip and adopts Y.
+/// Same tree, same delivery order — permanently different accepted tips.
+#[test]
+fn views_fork_on_the_divergence_chain() {
+    let sizes = divergence_chain(147);
+    let mut tree = BlockTree::new();
+    let mut spec_view = IncrementalView::new(spec_rule());
+    let mut source_view = IncrementalView::new(source_rule());
+
+    let mut tip = BlockId::GENESIS;
+    let mut height_146 = BlockId::GENESIS;
+    for (i, &size) in sizes.iter().enumerate() {
+        tip = tree.extend(tip, size, MinerId(0));
+        spec_view.receive(&tree, tip);
+        source_view.receive(&tree, tip);
+        if i + 1 == 146 {
+            height_146 = tip;
+        }
+    }
+    // Both have processed X. The spec node is stuck at height 146 (the
+    // excessive tip is pending); the source node accepted all 147.
+    assert_eq!(spec_view.accepted_height(), 146);
+    assert_eq!(source_view.accepted_height(), 147);
+    assert_eq!(source_view.accepted_tip(), tip);
+
+    // Branch Y: an ordinary block forking off at height 146.
+    let y = tree.extend(height_146, SMALL, MinerId(1));
+    spec_view.receive(&tree, y);
+    source_view.receive(&tree, y);
+
+    // The spec node adopts Y (first valid chain to height 147 in its
+    // view); the source node stays on X (same height, first received
+    // wins). The network is split.
+    assert_eq!(spec_view.accepted_tip(), y, "spec node forks onto the ordinary branch");
+    assert_eq!(source_view.accepted_tip(), tip, "source-code node keeps the excessive branch");
+    assert_ne!(spec_view.accepted_tip(), source_view.accepted_tip());
+}

@@ -5,6 +5,7 @@ pub mod bitcoin;
 pub mod cluster;
 pub mod games;
 pub mod journal;
+pub mod scenario;
 pub mod serve;
 pub mod simulate;
 pub mod solve;

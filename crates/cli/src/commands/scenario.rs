@@ -1,0 +1,208 @@
+//! `bvc scenario` — run one `bvc-scenario` network cell from the command
+//! line: an N-node BU network with a chosen hash-rate distribution,
+//! `EB`/`AD` assignment, delay model, acceptance rule and attacker, or
+//! list the canonical grid/cross-validation cells the cluster workloads
+//! expose.
+
+use bvc_bu::SolveOptions;
+use bvc_scenario::{
+    crossval_cells, grid_specs, run_scenario, AttackerSpec, DelaySpec, HashDist, RuleKind,
+    ScenarioSpec, GRID_SEED, METRIC_ARITY,
+};
+
+use crate::args::{parse_ratio, ArgError, Args};
+
+/// Parsed configuration of the `scenario` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCmd {
+    /// The fully-resolved cell to run (`None` when only listing).
+    pub spec: Option<ScenarioSpec>,
+    /// List the canonical cells instead of running (`--list`).
+    pub list: bool,
+    /// Emit the metrics as one JSON object (`--json`).
+    pub json: bool,
+}
+
+/// Parses the subcommand's flags into a validated [`ScenarioSpec`].
+pub fn parse(args: &Args) -> Result<ScenarioCmd, ArgError> {
+    let list = args.has("list");
+    let json = args.has("json");
+    if list {
+        return Ok(ScenarioCmd { spec: None, list, json });
+    }
+
+    let hash = match args.get_or("hash", "uniform".to_string())?.as_str() {
+        "uniform" => HashDist::Uniform,
+        "zipf" => HashDist::Zipf { s: args.get_or("zipf-s", 1.0)? },
+        "measured" => HashDist::Measured,
+        other => {
+            return Err(ArgError(format!(
+                "--hash must be uniform, zipf or measured, got {other:?}"
+            )))
+        }
+    };
+    let delay = match args.get_or("delay", "zero".to_string())?.as_str() {
+        "zero" => DelaySpec::Zero,
+        "constant" => DelaySpec::Constant { d: args.get_or("delay-d", 0.05)? },
+        "uniform" => DelaySpec::Uniform {
+            min: args.get_or("delay-min", 0.0)?,
+            max: args.get_or("delay-max", 0.2)?,
+        },
+        "ring" => DelaySpec::Ring { per_hop: args.get_or("per-hop", 0.01)? },
+        other => {
+            return Err(ArgError(format!(
+                "--delay must be zero, constant, uniform or ring, got {other:?}"
+            )))
+        }
+    };
+    let attacker = match args.get_or("attacker", "honest".to_string())?.as_str() {
+        "honest" => AttackerSpec::Honest,
+        "lead-k" => {
+            AttackerSpec::LeadK { alpha: args.get::<f64>("alpha")?, k: args.get_or("k", 2u32)? }
+        }
+        "mdp" => AttackerSpec::Mdp {
+            alpha: args.get::<f64>("alpha")?,
+            ratio: parse_ratio(&args.get_or("ratio", "1:1".to_string())?)?,
+        },
+        other => {
+            return Err(ArgError(format!(
+                "--attacker must be honest, lead-k or mdp, got {other:?}"
+            )))
+        }
+    };
+    // An MDP replay is only defined for the paper's setting-1 semantics;
+    // default its rule accordingly so the obvious invocation works.
+    let rule_default =
+        if matches!(attacker, AttackerSpec::Mdp { .. }) { "rizun-nogate" } else { "rizun" };
+    let rule = match args.get_or("rule", rule_default.to_string())?.as_str() {
+        "rizun" => RuleKind::Rizun { sticky: true },
+        "rizun-nogate" => RuleKind::Rizun { sticky: false },
+        "srccode" => RuleKind::SourceCode,
+        other => {
+            return Err(ArgError(format!(
+                "--rule must be rizun, rizun-nogate or srccode, got {other:?}"
+            )))
+        }
+    };
+    let spec = ScenarioSpec {
+        nodes: args.get_or("nodes", 40u32)?,
+        hash,
+        eb_small_mb: args.get_or("eb-small", 1u32)?,
+        eb_large_mb: args.get_or("eb-large", 16u32)?,
+        ad: args.get_or("ad", 6u8)?,
+        large_frac: args.get_or("large-frac", 0.4)?,
+        delay,
+        rule,
+        attacker,
+        blocks: args.get_or("blocks", 1_500u32)?,
+        seed: args.get_or("seed", GRID_SEED)?,
+    };
+    spec.validate().map_err(ArgError)?;
+    Ok(ScenarioCmd { spec: Some(spec), list, json })
+}
+
+/// Runs the subcommand.
+pub fn run(cmd: &ScenarioCmd) -> Result<(), String> {
+    if cmd.list {
+        println!("scenario-grid cells (sweep workload `scenario-grid`):");
+        for spec in grid_specs() {
+            println!("  {}", spec.key());
+        }
+        println!();
+        println!("scenario-crossval cells (sweep workload `scenario-crossval`):");
+        for spec in crossval_cells() {
+            println!("  {}", spec.key());
+        }
+        return Ok(());
+    }
+    let Some(spec) = &cmd.spec else {
+        return Err("nothing to do (internal: no spec and no --list)".to_string());
+    };
+    if !cmd.json {
+        println!("running cell {}", spec.key());
+    }
+    let metrics = run_scenario(spec, &SolveOptions::default()).map_err(|e| e.to_string())?;
+    if metrics.len() != METRIC_ARITY {
+        return Err(format!("internal: expected {METRIC_ARITY} metrics, got {}", metrics.len()));
+    }
+    let names: [&str; METRIC_ARITY] = if matches!(spec.attacker, AttackerSpec::Mdp { .. }) {
+        ["u1_sim", "u1_exact", "abs_diff", "attacker_blocks", "compliant_blocks", "steps"]
+    } else {
+        [
+            "blocks_mined",
+            "reorgs",
+            "max_reorg_depth",
+            "miner0_share",
+            "distinct_tips",
+            "sim_duration",
+        ]
+    };
+    if cmd.json {
+        let fields: Vec<String> =
+            names.iter().zip(&metrics).map(|(name, value)| format!("\"{name}\":{value}")).collect();
+        println!("{{\"key\":\"{}\",{}}}", spec.key(), fields.join(","));
+    } else {
+        for (name, value) in names.iter().zip(&metrics) {
+            println!("  {name:<18} {value}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn parses_defaults_to_the_grid_base_cell() {
+        let cmd = parse(&args(&[])).unwrap();
+        let spec = cmd.spec.unwrap();
+        assert_eq!(spec.nodes, 40);
+        assert_eq!(spec.blocks, 1_500);
+        assert_eq!(spec.seed, GRID_SEED);
+        assert_eq!(spec.rule, RuleKind::Rizun { sticky: true });
+        assert_eq!(spec.attacker, AttackerSpec::Honest);
+    }
+
+    #[test]
+    fn mdp_attacker_defaults_to_the_replay_rule() {
+        let cmd = parse(&args(&[
+            "--attacker",
+            "mdp",
+            "--alpha",
+            "0.25",
+            "--nodes",
+            "12",
+            "--blocks",
+            "2000",
+        ]))
+        .unwrap();
+        let spec = cmd.spec.unwrap();
+        assert_eq!(spec.rule, RuleKind::Rizun { sticky: false });
+        assert_eq!(spec.attacker, AttackerSpec::Mdp { alpha: 0.25, ratio: (1, 1) });
+    }
+
+    #[test]
+    fn rejects_invalid_specs_and_enums() {
+        assert!(parse(&args(&["--nodes", "1"])).is_err());
+        assert!(parse(&args(&["--hash", "bogus"])).is_err());
+        assert!(parse(&args(&["--attacker", "lead-k"])).is_err(), "lead-k needs --alpha");
+    }
+
+    #[test]
+    fn runs_a_small_cell() {
+        let cmd = parse(&args(&["--nodes", "6", "--blocks", "80", "--seed", "11"])).unwrap();
+        run(&cmd).unwrap();
+    }
+
+    #[test]
+    fn lists_the_canonical_cells() {
+        let cmd = parse(&args(&["--list"])).unwrap();
+        assert!(cmd.list && cmd.spec.is_none());
+        run(&cmd).unwrap();
+    }
+}

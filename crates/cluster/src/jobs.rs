@@ -20,6 +20,7 @@ use bvc_chain::{BuRizunRule, ByteSize, MinerId};
 use bvc_journal::{f64_from_hex, f64_to_hex};
 use bvc_mdp::solve::{sample_path, XorShift64};
 use bvc_mdp::MdpError;
+use bvc_scenario::{run_scenario, ScenarioSpec};
 use bvc_sim::{AttackReplay, DelayModel, HonestStrategy, MinerSpec, Simulation, SplitterStrategy};
 
 use crate::cell::CellContext;
@@ -192,6 +193,19 @@ pub enum JobSpec {
         /// Scenario id (1, 2, or 3).
         scenario: u8,
     },
+    /// One BU network scenario cell (the `bvc-scenario` engine); the spec
+    /// is self-contained, so the cell carries its full parameterization
+    /// across the wire.
+    Scenario {
+        /// The scenario cell.
+        spec: ScenarioSpec,
+    },
+    /// One scenario cross-validation replication (MDP policy replayed on
+    /// an N-node network).
+    ScenarioCrossval {
+        /// Index into [`bvc_scenario::crossval_cells`].
+        index: usize,
+    },
 }
 
 impl JobSpec {
@@ -230,6 +244,16 @@ impl JobSpec {
                 None => format!("strategies#{index} invalid"),
             },
             JobSpec::StoneSim { scenario } => format!("scenario{scenario}"),
+            JobSpec::Scenario { spec } => spec.key(),
+            JobSpec::ScenarioCrossval { index } => {
+                match bvc_scenario::crossval_cells().get(*index) {
+                    Some(cell) => {
+                        let rep = index % bvc_scenario::CROSSVAL_REPS;
+                        format!("#{index} {} rep={rep}", cell.key())
+                    }
+                    None => format!("#{index} invalid"),
+                }
+            }
         }
     }
 
@@ -252,11 +276,17 @@ impl JobSpec {
             JobSpec::Crossval { index } => format!("cv;{index}"),
             JobSpec::Strategies { index } => format!("st;{index}"),
             JobSpec::StoneSim { scenario } => format!("ss;{scenario}"),
+            JobSpec::Scenario { spec } => spec.encode(),
+            JobSpec::ScenarioCrossval { index } => format!("sx;{index}"),
         }
     }
 
     /// Decodes a wire spec; `None` on any malformation.
     pub fn decode(text: &str) -> Option<JobSpec> {
+        // Scenario specs own the "sc;" prefix and their full codec.
+        if text.starts_with("sc;") {
+            return ScenarioSpec::decode(text).map(|spec| JobSpec::Scenario { spec });
+        }
         let parts: Vec<&str> = text.split(';').collect();
         let ratio =
             |b: &str, g: &str| -> Option<(u32, u32)> { Some((b.parse().ok()?, g.parse().ok()?)) };
@@ -282,6 +312,7 @@ impl JobSpec {
             ["cv", i] => Some(JobSpec::Crossval { index: i.parse().ok()? }),
             ["st", i] => Some(JobSpec::Strategies { index: i.parse().ok()? }),
             ["ss", s] => Some(JobSpec::StoneSim { scenario: s.parse().ok()? }),
+            ["sx", i] => Some(JobSpec::ScenarioCrossval { index: i.parse().ok()? }),
             _ => None,
         }
     }
@@ -368,6 +399,17 @@ impl JobSpec {
                 Ok(packed)
             }
             JobSpec::StoneSim { scenario } => Ok(stone_simulate(*scenario)),
+            JobSpec::Scenario { spec } => run_scenario(spec, &ctx.solve_options::<SolveOptions>()),
+            JobSpec::ScenarioCrossval { index } => {
+                let cells = bvc_scenario::crossval_cells();
+                let Some(cell) = cells.get(*index) else {
+                    return Err(MdpError::BadOption {
+                        what: "scenario crossval cell index",
+                        value: *index as f64,
+                    });
+                };
+                run_scenario(cell, &ctx.solve_options::<SolveOptions>())
+            }
         }
     }
 }
@@ -590,7 +632,7 @@ pub struct Workload {
 }
 
 /// Every named workload the registry can build.
-pub const WORKLOAD_NAMES: [&str; 11] = [
+pub const WORKLOAD_NAMES: [&str; 13] = [
     "table2-setting1",
     "table2-setting2",
     "table3-setting1",
@@ -602,6 +644,8 @@ pub const WORKLOAD_NAMES: [&str; 11] = [
     "crossval",
     "strategies",
     "stone-sim",
+    "scenario-grid",
+    "scenario-crossval",
 ];
 
 /// Table 2 setting-1 cells, row-major over the published mask.
@@ -704,6 +748,25 @@ pub fn workload(name: &str) -> Option<Workload> {
             format!("stone;blocks={STONE_BLOCKS}"),
             [1u8, 2, 3].iter().map(|&scenario| JobSpec::StoneSim { scenario }).collect(),
         ),
+        "scenario-grid" => (
+            "scenario-grid",
+            // Simulation cells carry every parameter in their key; the
+            // solver token still matters for the embedded MDP cell.
+            format!("{};scn-grid", bu_token()),
+            bvc_scenario::grid_specs().into_iter().map(|spec| JobSpec::Scenario { spec }).collect(),
+        ),
+        "scenario-crossval" => (
+            "scenario-crossval",
+            format!(
+                "{};scn-xval blocks={} reps={}",
+                bu_token(),
+                bvc_scenario::CROSSVAL_BLOCKS,
+                bvc_scenario::CROSSVAL_REPS
+            ),
+            (0..bvc_scenario::crossval_cells().len())
+                .map(|index| JobSpec::ScenarioCrossval { index })
+                .collect(),
+        ),
         _ => return None,
     };
     Some(Workload { name: WORKLOAD_NAMES.iter().find(|&&n| n == name)?, label, config_token, jobs })
@@ -767,6 +830,24 @@ mod tests {
         assert_eq!(workload("table4").unwrap().jobs.len(), 18);
         assert_eq!(workload("crossval").unwrap().jobs.len(), 5);
         assert_eq!(workload("stone-sim").unwrap().jobs.len(), 3);
+        assert_eq!(workload("scenario-grid").unwrap().jobs.len(), 13);
+        assert_eq!(workload("scenario-crossval").unwrap().jobs.len(), 20);
+    }
+
+    #[test]
+    fn scenario_specs_roundtrip_through_the_job_codec() {
+        let w = workload("scenario-grid").unwrap();
+        for job in &w.jobs {
+            let wire = job.encode();
+            assert!(wire.starts_with("sc;"), "scenario wire tag: {wire}");
+            assert_eq!(JobSpec::decode(&wire).as_ref(), Some(job));
+        }
+        let xval = JobSpec::ScenarioCrossval { index: 3 };
+        assert_eq!(JobSpec::decode("sx;3"), Some(xval.clone()));
+        assert!(xval.key().contains("rep=3"), "{}", xval.key());
+        // Out-of-range crossval indices decode but fail to solve, like
+        // the other indexed cell kinds.
+        assert!(JobSpec::decode("sx;999").is_some());
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub mod table1;
 pub use config::{AttackConfig, IncentiveModel, Setting};
 pub use model::{expand, AttackModel};
 pub use multi_eb::{EbGroup, MultiEbScenario, SplitOutcome};
-pub use policy_view::{render_phase1_map, state_actions, summarize, PolicySummary, StateAction};
+pub use policy_view::{
+    policy_table, render_phase1_map, state_actions, summarize, PolicySummary, StateAction,
+};
 pub use solve::{OptimalStrategy, SolveOptions, UtilityReport};
 pub use state::{Action, AttackState};

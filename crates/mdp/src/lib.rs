@@ -47,6 +47,7 @@ pub mod compiled;
 pub mod error;
 pub mod indexer;
 pub mod model;
+pub mod policy_table;
 mod shard;
 pub mod solve;
 
@@ -59,4 +60,5 @@ pub use compiled::CompiledMdp;
 pub use error::MdpError;
 pub use indexer::{explore, ActionSpec, Explored, StateIndexer};
 pub use model::{ActionArm, ActionId, Mdp, Objective, Policy, StateId, Transition};
+pub use policy_table::{PolicyTable, PolicyTableError};
 pub use shard::DEFAULT_SHARD_MIN_STATES;

@@ -1,0 +1,360 @@
+//! N-node network replay of an MDP attack policy.
+//!
+//! [`bvc_sim::AttackReplay`] validates a solved policy against a chain
+//! world with exactly three miners — Alice plus the aggregate miners Bob
+//! and Carol. [`NetworkReplay`] generalizes the compliant side to two
+//! *groups of nodes* with heterogeneous per-node hash rates: every node
+//! runs its own [`NodeView`] over the shared block tree, and the groups'
+//! total powers are scaled to the model's `beta` and `gamma`. Under the
+//! paper's setting-1 semantics (zero propagation delay, no sticky gate)
+//! every node in a group computes the identical accepted chain, so the
+//! network's aggregate dynamics coincide *exactly* with the three-miner
+//! MDP — which is what makes the cross-validation sharp: the simulated
+//! relative revenue must converge to the MDP's `u1` no matter how many
+//! nodes the groups are split into or how skewed the intra-group hash
+//! distribution is. The replay asserts that per-group view coherence at
+//! every settlement instead of assuming it.
+//!
+//! The attacker's decisions come from a [`PolicyTable`] keyed by the
+//! domain state string — the same artifact `/v1/policy` serves — so the
+//! replay also exercises the production policy-export round trip rather
+//! than peeking at solver internals.
+
+use bvc_bu::{Action, AttackModel, AttackState, IncentiveModel, Setting};
+use bvc_chain::{BlockId, BlockTree, BuRizunRule, ByteSize, MinerId, NodeView};
+use bvc_chaos::SplitMix64;
+use bvc_mdp::PolicyTable;
+use bvc_sim::ReplayReport;
+
+/// The attacker's miner id; compliant node `i` is `MinerId(1 + i)`.
+pub const ALICE: MinerId = MinerId(0);
+
+/// One compliant node: a BU view plus its absolute hash-rate share.
+struct Node {
+    view: NodeView<BuRizunRule>,
+    power: f64,
+}
+
+/// Chain-level replay of a table-encoded policy on an N-node network.
+pub struct NetworkReplay<'a> {
+    model: &'a AttackModel,
+    table: &'a PolicyTable,
+    rng: SplitMix64,
+    tree: BlockTree,
+    /// Group 1: the small-`EB` ("Bob") nodes; powers sum to `beta`.
+    small: Vec<Node>,
+    large: Vec<Node>,
+    last_agreed: BlockId,
+    since_agreement: Vec<BlockId>,
+    eb_b: ByteSize,
+    eb_c: ByteSize,
+    report: ReplayReport,
+}
+
+impl<'a> NetworkReplay<'a> {
+    /// Creates a replay for a setting-1 model, a policy table exported
+    /// from it, and raw per-node weights for the two compliant groups
+    /// (any positive values — each group is rescaled so its total power
+    /// is exactly the model's `beta` / `gamma`).
+    ///
+    /// # Panics
+    /// Panics if the model is not setting 1, either group is empty, or a
+    /// weight is not finite and positive.
+    pub fn new(
+        model: &'a AttackModel,
+        table: &'a PolicyTable,
+        small_weights: &[f64],
+        large_weights: &[f64],
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            model.config().setting,
+            Setting::One,
+            "chain-faithful replay is defined for setting 1 only"
+        );
+        assert!(
+            !small_weights.is_empty() && !large_weights.is_empty(),
+            "both compliant groups need at least one node"
+        );
+        let cfg = model.config();
+        let eb_b = ByteSize::mb(1);
+        let eb_c = ByteSize::mb(16);
+        let ad = u64::from(cfg.ad);
+        let group = |weights: &[f64], total_power: f64, eb: ByteSize| -> Vec<Node> {
+            let sum: f64 = weights.iter().sum();
+            assert!(
+                weights.iter().all(|w| w.is_finite() && *w > 0.0) && sum > 0.0,
+                "group weights must be finite and positive"
+            );
+            weights
+                .iter()
+                .map(|w| Node {
+                    view: NodeView::new(BuRizunRule::without_sticky_gate(eb, ad)),
+                    power: w / sum * total_power,
+                })
+                .collect()
+        };
+        let small = group(small_weights, cfg.beta, eb_b);
+        let large = group(large_weights, cfg.gamma, eb_c);
+        NetworkReplay {
+            model,
+            table,
+            rng: SplitMix64::new(seed),
+            tree: BlockTree::new(),
+            small,
+            large,
+            last_agreed: BlockId::GENESIS,
+            since_agreement: Vec::new(),
+            eb_b,
+            eb_c,
+            report: ReplayReport::default(),
+        }
+    }
+
+    fn bob_tip(&self) -> BlockId {
+        self.small[0].view.accepted_tip()
+    }
+
+    fn carol_tip(&self) -> BlockId {
+        self.large[0].view.accepted_tip()
+    }
+
+    /// Derives the MDP state from the two group-representative views
+    /// (identical to [`bvc_sim::AttackReplay::current_state`]).
+    pub fn current_state(&self) -> AttackState {
+        let bt = self.bob_tip();
+        let ct = self.carol_tip();
+        if bt == ct {
+            return AttackState::BASE;
+        }
+        let fork = self.tree.common_ancestor(bt, ct);
+        let l1 = (self.tree.height(bt) - self.tree.height(fork)) as u8;
+        let l2 = (self.tree.height(ct) - self.tree.height(fork)) as u8;
+        let count_alice = |tip: BlockId| {
+            self.tree
+                .ancestors(tip)
+                .take_while(|&b| b != fork)
+                .filter(|&b| self.tree.block(b).miner == ALICE)
+                .count() as u8
+        };
+        AttackState { l1, l2, a1: count_alice(bt), a2: count_alice(ct), r: 0 }
+    }
+
+    /// Every node in a group must hold the identical accepted tip — the
+    /// zero-delay, homogeneous-rule invariant the aggregation rests on.
+    fn assert_group_coherence(&self) {
+        for (name, nodes) in [("small", &self.small), ("large", &self.large)] {
+            let tip = nodes[0].view.accepted_tip();
+            for (i, n) in nodes.iter().enumerate() {
+                assert_eq!(
+                    n.view.accepted_tip(),
+                    tip,
+                    "{name}-group node {i} diverged from its group representative"
+                );
+            }
+        }
+    }
+
+    fn ds_payout(&self, orphaned: u8) -> f64 {
+        match self.model.config().incentive {
+            IncentiveModel::NonCompliantProfitDriven { rds, threshold } if orphaned > threshold => {
+                f64::from(orphaned - threshold) * rds
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Settles rewards once the groups agree again, then checkpoints the
+    /// chain world (the same memoryless reset as `AttackReplay`: in the
+    /// gate-less semantics an agreement point carries no history).
+    fn settle(&mut self) {
+        let bt = self.bob_tip();
+        if bt != self.carol_tip() {
+            return;
+        }
+        self.assert_group_coherence();
+        let agreed_h = self.tree.height(self.last_agreed);
+        let locked: Vec<BlockId> =
+            self.tree.ancestors(bt).take_while(|&b| self.tree.height(b) > agreed_h).collect();
+        let mut orphans = 0u8;
+        for &b in &self.since_agreement {
+            let is_alice = self.tree.block(b).miner == ALICE;
+            if locked.contains(&b) {
+                if is_alice {
+                    self.report.ra += 1.0;
+                } else {
+                    self.report.rothers += 1.0;
+                }
+            } else {
+                orphans += 1;
+                if is_alice {
+                    self.report.oa += 1.0;
+                } else {
+                    self.report.oothers += 1.0;
+                }
+            }
+        }
+        self.report.ds += self.ds_payout(orphans);
+        self.since_agreement.clear();
+        self.tree = BlockTree::new();
+        let ad = u64::from(self.model.config().ad);
+        for n in &mut self.small {
+            n.view = NodeView::new(BuRizunRule::without_sticky_gate(self.eb_b, ad));
+        }
+        for n in &mut self.large {
+            n.view = NodeView::new(BuRizunRule::without_sticky_gate(self.eb_c, ad));
+        }
+        self.last_agreed = BlockId::GENESIS;
+    }
+
+    /// Runs `steps` blocks and returns the tally.
+    pub fn run(&mut self, steps: usize) -> ReplayReport {
+        let cfg = self.model.config().clone();
+        for _ in 0..steps {
+            let state = self.current_state();
+            let label = self
+                .table
+                .action_of(&state.to_string())
+                .unwrap_or_else(|| panic!("network produced a state outside the table: {state}"));
+            let action = Action::from_label(label);
+
+            // Sample the finder over every individual node; under Wait,
+            // Alice's power is excluded and the compliant powers rescale.
+            let (pa, scale) = match action {
+                Action::Wait => (0.0, 1.0 / (cfg.beta + cfg.gamma)),
+                _ => (cfg.alpha, 1.0),
+            };
+            let x = self.rng.next_f64();
+            let (miner, parent, size) = if x < pa {
+                let (parent, size) = match (state.forked(), action) {
+                    (false, Action::OnChain1) => (self.bob_tip(), self.eb_b),
+                    (false, Action::OnChain2) => (self.bob_tip(), self.eb_c),
+                    (true, Action::OnChain1) => (self.bob_tip(), self.eb_b),
+                    (true, Action::OnChain2) => (self.carol_tip(), self.eb_b),
+                    (_, Action::Wait) => unreachable!("pa = 0 under Wait"),
+                };
+                (ALICE, parent, size)
+            } else {
+                // Walk the cumulative per-node distribution; the final
+                // node absorbs the float remainder so the walk is total.
+                let mut acc = pa;
+                let mut pick = None;
+                let n_small = self.small.len();
+                for (i, n) in self.small.iter().chain(self.large.iter()).enumerate() {
+                    acc += n.power * scale;
+                    if x < acc {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+                let i = pick.unwrap_or(n_small + self.large.len() - 1);
+                if i < n_small {
+                    (MinerId(1 + i), self.bob_tip(), self.eb_b)
+                } else {
+                    (MinerId(1 + i), self.carol_tip(), self.eb_b)
+                }
+            };
+
+            let block = self.tree.extend(parent, size, miner);
+            for n in self.small.iter_mut().chain(self.large.iter_mut()) {
+                n.view.receive(&self.tree, block);
+            }
+            self.since_agreement.push(block);
+            self.report.steps += 1;
+            self.settle();
+        }
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_bu::{policy_table, AttackConfig, SolveOptions};
+
+    fn model(alpha: f64, ratio: (u32, u32)) -> AttackModel {
+        AttackModel::build(AttackConfig::with_ratio(
+            alpha,
+            ratio,
+            Setting::One,
+            IncentiveModel::CompliantProfitDriven,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn honest_network_replay_matches_alpha() {
+        let m = model(0.2, (1, 1));
+        let table = policy_table(&m, &m.honest_policy()).unwrap();
+        let small = [1.0, 1.0, 1.0];
+        let large = [2.0, 0.5, 0.25, 0.25];
+        let mut replay = NetworkReplay::new(&m, &table, &small, &large, 42);
+        let report = replay.run(30_000);
+        assert!((report.u1() - 0.2).abs() < 0.01, "u1 = {}", report.u1());
+        assert_eq!(report.oa + report.oothers, 0.0, "honest mining never forks");
+    }
+
+    /// The aggregation theorem in executable form: splitting Bob and
+    /// Carol into many unequal nodes must not move the optimal policy's
+    /// revenue away from the exact MDP value.
+    #[test]
+    fn optimal_policy_on_a_split_network_matches_mdp() {
+        let m = model(0.25, (1, 1));
+        let sol = m.optimal_relative_revenue(&SolveOptions::default()).unwrap();
+        let exact = m.evaluate(&sol.policy).unwrap();
+        let table = policy_table(&m, &sol.policy).unwrap();
+        // 5 + 7 nodes, skewed weights inside each group.
+        let small: Vec<f64> = (0..5).map(|i| 1.0 / (i + 1) as f64).collect();
+        let large: Vec<f64> = (0..7).map(|i| (i + 1) as f64).collect();
+        let mut replay = NetworkReplay::new(&m, &table, &small, &large, 7);
+        let report = replay.run(300_000);
+        assert!(
+            (report.u1() - exact.u1).abs() < 0.01,
+            "network u1 {} vs MDP {}",
+            report.u1(),
+            exact.u1
+        );
+    }
+
+    /// With one node per group the replay must walk in lockstep with
+    /// `bvc_sim::AttackReplay` — same seed discipline modulo RNG choice,
+    /// same dynamics, so the utilities agree tightly.
+    #[test]
+    fn degenerates_to_three_miner_replay() {
+        let m = model(0.3, (3, 2));
+        let sol = m.optimal_relative_revenue(&SolveOptions::default()).unwrap();
+        let table = policy_table(&m, &sol.policy).unwrap();
+        let mut net = NetworkReplay::new(&m, &table, &[1.0], &[1.0], 13);
+        let net_report = net.run(200_000);
+        let mut three = bvc_sim::AttackReplay::new(&m, &sol.policy, 13);
+        let three_report = three.run(200_000);
+        assert!(
+            (net_report.u1() - three_report.u1()).abs() < 0.01,
+            "network {} vs three-miner {}",
+            net_report.u1(),
+            three_report.u1()
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let m = model(0.25, (1, 1));
+        let sol = m.optimal_relative_revenue(&SolveOptions::default()).unwrap();
+        let table = policy_table(&m, &sol.policy).unwrap();
+        let run = |seed| {
+            let mut r = NetworkReplay::new(&m, &table, &[1.0, 2.0], &[1.0, 1.0, 1.0], seed);
+            let rep = r.run(20_000);
+            (rep.ra.to_bits(), rep.rothers.to_bits(), rep.oa.to_bits(), rep.oothers.to_bits())
+        };
+        assert_eq!(run(5), run(5), "same seed must be bit-identical");
+        assert_ne!(run(5), run(6), "different seeds must decorrelate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_group() {
+        let m = model(0.2, (1, 1));
+        let table = policy_table(&m, &m.honest_policy()).unwrap();
+        NetworkReplay::new(&m, &table, &[], &[1.0], 0);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `GET /v1/table3` | one Table 3 cell (`u2`), plus `rds`/`confirmations` |
 //! | `GET /v1/table4` | one Table 4 cell (`u3`) |
 //! | `GET /v1/policy` | decoded optimal-policy summary for a cell |
+//! | `GET /v1/scenario` | one BU network scenario cell (`bvc-scenario` metrics) |
 //! | `POST /v1/solve` | solve a JSON model spec (incl. audit demo models) |
 //! | `POST /admin/shutdown` | request a graceful drain |
 //!
@@ -29,6 +30,10 @@ use bvc_bu::{Action, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOp
 use bvc_journal::cell_fingerprint;
 use bvc_mdp::audit::{demo_multichain, demo_unreachable};
 use bvc_mdp::{audit_mdp, AuditOptions, MdpError, SolveBudget};
+use bvc_scenario::{
+    run_scenario, AttackerSpec, DelaySpec, HashDist, RuleKind, ScenarioSpec, GRID_SEED,
+    METRIC_ARITY,
+};
 
 use crate::cache::{CachedCell, Fetched, SolveCache, SolveFailure};
 use crate::http::{self, HttpConfig, Request, Response, Server};
@@ -238,6 +243,7 @@ impl Service {
             ("GET", "/v1/table3") => self.table_route(req, Table::T3),
             ("GET", "/v1/table4") => self.table_route(req, Table::T4),
             ("GET", "/v1/policy") => self.policy_route(req),
+            ("GET", "/v1/scenario") => self.scenario_route(req),
             ("POST", "/v1/solve") => self.solve_route(req),
             ("POST", "/admin/shutdown") => {
                 self.request_shutdown();
@@ -246,7 +252,7 @@ impl Service {
             (
                 _,
                 "/healthz" | "/metrics" | "/v1/table2" | "/v1/table3" | "/v1/table4" | "/v1/policy"
-                | "/v1/solve" | "/admin/shutdown",
+                | "/v1/scenario" | "/v1/solve" | "/admin/shutdown",
             ) => Response::json(
                 405,
                 JsonObject::new()
@@ -490,6 +496,107 @@ impl Service {
                 .str("cache", cache)
                 .finish(),
         )
+    }
+
+    // --- scenario cells ---
+
+    /// `GET /v1/scenario`: runs (or serves from cache) one `bvc-scenario`
+    /// network cell. Parameters mirror [`ScenarioSpec`]; the response
+    /// carries the cell's six metrics named by kind (simulation vs
+    /// MDP-replay). Work is capped well below the spec's structural limit
+    /// so a single request cannot monopolize a worker — larger cells
+    /// belong in the sweep binaries.
+    fn scenario_route(&self, req: &Request) -> Response {
+        let spec = match parse_scenario_params(req) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        // Scenario cells cache under their own token namespace: the
+        // six-value payload must never collide with table cells or
+        // preloaded journals.
+        let fp = cell_fingerprint(&spec.key(), &config_token("scenario"));
+        let opts = self.solve_options(false);
+        let cell_spec = spec.clone();
+        let fetched = self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let vals = run_scenario(&cell_spec, &opts)?;
+            Ok(CachedCell {
+                vals,
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states: 0,
+                preloaded: false,
+            })
+        });
+        match fetched {
+            Fetched::Hit(cell) => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+                self.scenario_response(&spec, fp, &cell, "hit")
+            }
+            Fetched::Solved { cell, leader } => {
+                self.note_miss(leader, false);
+                self.scenario_response(&spec, fp, &cell, "miss")
+            }
+            Fetched::Failed { failure, leader } => {
+                self.note_miss(leader, true);
+                failure_response(&failure)
+            }
+            Fetched::Shed => {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+                self.shed_retry_headers(Response::json(
+                    429,
+                    "{\"error\":\"overloaded\",\"detail\":\"solve queue is full\"}".to_string(),
+                ))
+            }
+        }
+    }
+
+    fn scenario_response(
+        &self,
+        spec: &ScenarioSpec,
+        fp: u64,
+        cell: &CachedCell,
+        cache: &str,
+    ) -> Response {
+        if cell.vals.len() != METRIC_ARITY {
+            return Response::json(
+                500,
+                "{\"error\":\"internal\",\"detail\":\"malformed scenario cell\"}".to_string(),
+            );
+        }
+        let v = &cell.vals;
+        let mdp = matches!(spec.attacker, AttackerSpec::Mdp { .. });
+        let metrics = if mdp {
+            JsonObject::new()
+                .num("u1_sim", v[0])
+                .num("u1_exact", v[1])
+                .num("abs_diff", v[2])
+                .num("attacker_blocks", v[3])
+                .num("compliant_blocks", v[4])
+                .int("steps", v[5] as u64)
+                .finish()
+        } else {
+            JsonObject::new()
+                .int("blocks_mined", v[0] as u64)
+                .int("reorgs", v[1] as u64)
+                .int("max_reorg_depth", v[2] as u64)
+                .num("miner0_share", v[3])
+                .int("distinct_tips", v[4] as u64)
+                .num("sim_duration", v[5])
+                .finish()
+        };
+        let mut obj = JsonObject::new()
+            .str("key", &spec.key())
+            .str("fingerprint", &format!("{fp:016x}"))
+            .str("kind", if mdp { "mdp-replay" } else { "simulation" })
+            .int("nodes", u64::from(spec.nodes))
+            .int("blocks", u64::from(spec.blocks))
+            .raw("metrics", &metrics)
+            .str("cache", cache)
+            .bool("preloaded", cell.preloaded);
+        if cache == "miss" {
+            obj = obj.num("solve_ms", cell.solve_ms);
+        }
+        Response::json(200, obj.finish())
     }
 
     // --- generic solves ---
@@ -769,6 +876,144 @@ fn parse_solve_body(doc: &FlatJson) -> Result<CellSpec, String> {
     Ok(spec)
 }
 
+/// Serve-side cap on `nodes * blocks` for one scenario request. Far below
+/// [`ScenarioSpec::validate`]'s structural 50e6 limit: an interactive
+/// route must answer in seconds, not minutes — larger cells belong in the
+/// `scenario-grid` / `scenario-crossval` sweep workloads.
+const SCENARIO_WORK_CAP: u64 = 5_000_000;
+
+/// Parses `GET /v1/scenario` query parameters into a validated
+/// [`ScenarioSpec`]. Defaults mirror the grid's base cell (40 uniform
+/// nodes, `EB` 1/16 MB, `AD` 6, zero delay, sticky Rizun rule, honest
+/// miners, 1500 blocks, seed [`GRID_SEED`]); sub-parameters of an enum
+/// choice are rejected when the choice does not use them, so typos fail
+/// loudly instead of being ignored. An `attacker=mdp` request defaults
+/// `rule` to `rizun-nogate` (the only rule the replay is defined for).
+fn parse_scenario_params(req: &Request) -> Result<ScenarioSpec, String> {
+    const ALLOWED: [&str; 19] = [
+        "nodes",
+        "blocks",
+        "seed",
+        "hash",
+        "zipf-s",
+        "eb-small",
+        "eb-large",
+        "ad",
+        "large-frac",
+        "delay",
+        "delay-d",
+        "delay-min",
+        "delay-max",
+        "per-hop",
+        "rule",
+        "attacker",
+        "alpha",
+        "k",
+        "ratio",
+    ];
+    for (name, _) in &req.query {
+        if !ALLOWED.contains(&name.as_str()) {
+            return Err(format!("unknown parameter {name:?} (allowed: {})", ALLOWED.join(", ")));
+        }
+    }
+    let get = |name: &str| req.query_param(name);
+    let float = |name: &str| get(name).map(|v| parse_f64(v, name)).transpose();
+
+    let hash_kind = get("hash").unwrap_or("uniform");
+    if get("zipf-s").is_some() && hash_kind != "zipf" {
+        return Err("zipf-s only applies with hash=zipf".to_string());
+    }
+    let hash = match hash_kind {
+        "uniform" => HashDist::Uniform,
+        "zipf" => HashDist::Zipf { s: float("zipf-s")?.unwrap_or(1.0) },
+        "measured" => HashDist::Measured,
+        other => return Err(format!("hash must be uniform, zipf or measured, got {other:?}")),
+    };
+
+    let delay_kind = get("delay").unwrap_or("zero");
+    for (name, needs) in [
+        ("delay-d", "constant"),
+        ("delay-min", "uniform"),
+        ("delay-max", "uniform"),
+        ("per-hop", "ring"),
+    ] {
+        if get(name).is_some() && delay_kind != needs {
+            return Err(format!("{name} only applies with delay={needs}"));
+        }
+    }
+    let delay = match delay_kind {
+        "zero" => DelaySpec::Zero,
+        "constant" => DelaySpec::Constant { d: float("delay-d")?.unwrap_or(0.05) },
+        "uniform" => DelaySpec::Uniform {
+            min: float("delay-min")?.unwrap_or(0.0),
+            max: float("delay-max")?.unwrap_or(0.2),
+        },
+        "ring" => DelaySpec::Ring { per_hop: float("per-hop")?.unwrap_or(0.01) },
+        other => {
+            return Err(format!("delay must be zero, constant, uniform or ring, got {other:?}"))
+        }
+    };
+
+    let atk_kind = get("attacker").unwrap_or("honest");
+    if atk_kind == "honest" && get("alpha").is_some() {
+        return Err("alpha only applies with attacker=lead-k or attacker=mdp".to_string());
+    }
+    if get("k").is_some() && atk_kind != "lead-k" {
+        return Err("k only applies with attacker=lead-k".to_string());
+    }
+    if get("ratio").is_some() && atk_kind != "mdp" {
+        return Err("ratio only applies with attacker=mdp".to_string());
+    }
+    let attacker = match atk_kind {
+        "honest" => AttackerSpec::Honest,
+        "lead-k" => AttackerSpec::LeadK {
+            alpha: float("alpha")?.ok_or("attacker=lead-k needs alpha")?,
+            k: get("k").map(|v| parse_int(v, "k", 1, 64)).transpose()?.unwrap_or(2) as u32,
+        },
+        "mdp" => AttackerSpec::Mdp {
+            alpha: float("alpha")?.ok_or("attacker=mdp needs alpha")?,
+            ratio: get("ratio").map(parse_ratio).transpose()?.unwrap_or((1, 1)),
+        },
+        other => return Err(format!("attacker must be honest, lead-k or mdp, got {other:?}")),
+    };
+
+    let rule_default =
+        if matches!(attacker, AttackerSpec::Mdp { .. }) { "rizun-nogate" } else { "rizun" };
+    let rule = match get("rule").unwrap_or(rule_default) {
+        "rizun" => RuleKind::Rizun { sticky: true },
+        "rizun-nogate" => RuleKind::Rizun { sticky: false },
+        "srccode" => RuleKind::SourceCode,
+        other => return Err(format!("rule must be rizun, rizun-nogate or srccode, got {other:?}")),
+    };
+
+    let spec = ScenarioSpec {
+        nodes: parse_int(get("nodes").unwrap_or("40"), "nodes", 2, 10_000)? as u32,
+        hash,
+        eb_small_mb: parse_int(get("eb-small").unwrap_or("1"), "eb-small", 1, 32)? as u32,
+        eb_large_mb: parse_int(get("eb-large").unwrap_or("16"), "eb-large", 1, 32)? as u32,
+        ad: parse_int(get("ad").unwrap_or("6"), "ad", 1, 24)? as u8,
+        large_frac: float("large-frac")?.unwrap_or(0.4),
+        delay,
+        rule,
+        attacker,
+        blocks: parse_int(get("blocks").unwrap_or("1500"), "blocks", 1, u64::from(u32::MAX))?
+            as u32,
+        seed: get("seed")
+            .map(|v| parse_int(v, "seed", 0, u64::MAX))
+            .transpose()?
+            .unwrap_or(GRID_SEED),
+    };
+    let work = u64::from(spec.nodes) * u64::from(spec.blocks);
+    if work > SCENARIO_WORK_CAP {
+        return Err(format!(
+            "nodes*blocks is capped at {SCENARIO_WORK_CAP} per request (got {work}); run \
+             larger cells through the scenario sweep workloads"
+        ));
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
 /// Builds the journal-compatible cell key. For the paper-default shape
 /// (`AD = 6/6`, 144-block gate, default double-spend terms) this is
 /// byte-identical to the key the corresponding sweep binary journals, so a
@@ -990,6 +1235,62 @@ mod tests {
     }
 
     #[test]
+    fn scenario_params_default_to_the_grid_base_cell() {
+        let spec = parse_scenario_params(&get("/v1/scenario")).unwrap();
+        assert_eq!(spec.nodes, 40);
+        assert_eq!(spec.blocks, 1_500);
+        assert_eq!(spec.seed, GRID_SEED);
+        assert_eq!(spec.rule, RuleKind::Rizun { sticky: true });
+        assert_eq!(spec.attacker, AttackerSpec::Honest);
+        // An MDP request defaults to the only rule the replay supports.
+        let spec = parse_scenario_params(&get(
+            "/v1/scenario?attacker=mdp&alpha=0.25&ratio=1:1&nodes=12&blocks=2000",
+        ))
+        .unwrap();
+        assert_eq!(spec.rule, RuleKind::Rizun { sticky: false });
+        assert_eq!(spec.attacker, AttackerSpec::Mdp { alpha: 0.25, ratio: (1, 1) });
+    }
+
+    #[test]
+    fn scenario_params_reject_misuse() {
+        for (query, needle) in [
+            ("/v1/scenario?bogus=1", "unknown parameter"),
+            ("/v1/scenario?zipf-s=1.2", "zipf-s only applies"),
+            ("/v1/scenario?delay-d=0.1", "delay-d only applies"),
+            ("/v1/scenario?alpha=0.2", "alpha only applies"),
+            ("/v1/scenario?ratio=1:2", "ratio only applies"),
+            ("/v1/scenario?attacker=lead-k", "needs alpha"),
+            ("/v1/scenario?nodes=1", "nodes must be in"),
+            ("/v1/scenario?nodes=5000&blocks=5000", "capped at"),
+            ("/v1/scenario?attacker=mdp&alpha=0.25&rule=srccode", "rizun-nogate"),
+        ] {
+            let err = parse_scenario_params(&get(query)).unwrap_err();
+            assert!(err.contains(needle), "{query}: {err}");
+        }
+    }
+
+    #[test]
+    fn scenario_route_runs_and_caches_a_cell() {
+        let service = Service::new(&ServeConfig::default());
+        let req = get("/v1/scenario?nodes=6&blocks=80&seed=11");
+        let resp = service.handle(&req);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"kind\":\"simulation\""), "body = {body}");
+        assert!(body.contains("\"blocks_mined\":80"), "body = {body}");
+        assert!(body.contains("\"cache\":\"miss\""), "body = {body}");
+        let resp = service.handle(&req);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"cache\":\"hit\""), "body = {body}");
+        // A degenerate MDP group split passes parsing but fails the
+        // engine's audit: structural 422, not a 500.
+        let resp = service
+            .handle(&get("/v1/scenario?attacker=mdp&alpha=0.25&nodes=4&blocks=100&large-frac=0"));
+        assert_eq!(resp.status, 422);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"check\":\"scenario-spec\""));
+    }
+
+    #[test]
     fn routing_statuses() {
         let service = Service::new(&ServeConfig { queue_cap: 0, ..ServeConfig::default() });
         assert_eq!(service.handle(&get("/healthz")).status, 200);
@@ -999,6 +1300,10 @@ mod tests {
         post.method = "POST".to_string();
         assert_eq!(service.handle(&post).status, 405);
         assert_eq!(service.handle(&get("/v1/table2?alpha=bogus")).status, 400);
+        assert_eq!(service.handle(&get("/v1/scenario?nodes=1")).status, 400);
+        let mut post_scenario = get("/v1/scenario");
+        post_scenario.method = "POST".to_string();
+        assert_eq!(service.handle(&post_scenario).status, 405);
         // queue_cap 0: a cold cell is shed with 429 + Retry-After.
         let shed = service.handle(&get("/v1/table2?alpha=0.33&eb=2&ad=2"));
         assert_eq!(shed.status, 429);

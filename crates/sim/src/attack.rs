@@ -48,10 +48,11 @@ pub struct ReplayReport {
 impl ReplayReport {
     /// Relative revenue `u1`.
     pub fn u1(&self) -> f64 {
-        if self.ra + self.rothers == 0.0 {
-            0.0
+        let locked = self.ra + self.rothers;
+        if locked > 0.0 {
+            self.ra / locked
         } else {
-            self.ra / (self.ra + self.rothers)
+            0.0
         }
     }
 
@@ -62,10 +63,11 @@ impl ReplayReport {
 
     /// Orphans per attacker block `u3`.
     pub fn u3(&self) -> f64 {
-        if self.ra + self.oa == 0.0 {
-            0.0
+        let attacker_blocks = self.ra + self.oa;
+        if attacker_blocks > 0.0 {
+            self.oothers / attacker_blocks
         } else {
-            self.oothers / (self.ra + self.oa)
+            0.0
         }
     }
 }

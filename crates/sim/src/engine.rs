@@ -38,6 +38,31 @@ pub enum DelayModel {
     /// edges (e.g. a mining cartel with high internal bandwidth, the
     /// scenario Rizun's analysis flags).
     Matrix(Vec<Vec<f64>>),
+    /// Symmetric per-pair delays drawn uniformly from `[min, max)`.
+    ///
+    /// The delay of an unordered pair is derived *statelessly* by hashing
+    /// `(min(from, to), max(from, to))` with `seed` through a SplitMix64
+    /// mix, so the model costs O(1) memory at any node count (a `Matrix`
+    /// would be O(n²) at 10⁴ nodes) and is bit-stable across runs and
+    /// thread counts — the same discipline as `bvc-chaos` per-site
+    /// streams.
+    Uniform {
+        /// Smallest pair delay (block intervals).
+        min: f64,
+        /// Exclusive upper bound on pair delays (block intervals).
+        max: f64,
+        /// Seed mixed into every pair hash.
+        seed: u64,
+    },
+    /// Ring topology: delay between nodes `i` and `j` is `per_hop` times
+    /// their ring distance `min(|i−j|, n−|i−j|)`. The cheapest
+    /// topology-aware model: distant edges exist, memory stays O(1).
+    Ring {
+        /// Delay per ring hop (block intervals).
+        per_hop: f64,
+        /// Number of nodes on the ring (must match the simulation).
+        nodes: usize,
+    },
 }
 
 impl DelayModel {
@@ -46,17 +71,44 @@ impl DelayModel {
             DelayModel::Zero => 0.0,
             DelayModel::Constant(d) => *d,
             DelayModel::Matrix(m) => m[from][to],
+            DelayModel::Uniform { min, max, seed } => {
+                let (a, b) = if from <= to { (from, to) } else { (to, from) };
+                // One SplitMix64 step per field decorrelates pairs; the
+                // stream depends only on the unordered pair and the seed.
+                let mut rng = bvc_chaos::SplitMix64::new(
+                    seed ^ (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (b as u64),
+                );
+                rng.next_u64();
+                min + (max - min) * rng.next_f64()
+            }
+            DelayModel::Ring { per_hop, nodes } => {
+                let d = from.abs_diff(to);
+                per_hop * d.min(nodes - d) as f64
+            }
         }
     }
 
     /// Validates shape and non-negativity against a node count.
     fn validate(&self, nodes: usize) {
-        if let DelayModel::Matrix(m) = self {
-            assert_eq!(m.len(), nodes, "delay matrix must be nodes x nodes");
-            for row in m {
-                assert_eq!(row.len(), nodes, "delay matrix must be square");
-                assert!(row.iter().all(|d| *d >= 0.0 && d.is_finite()));
+        match self {
+            DelayModel::Matrix(m) => {
+                assert_eq!(m.len(), nodes, "delay matrix must be nodes x nodes");
+                for row in m {
+                    assert_eq!(row.len(), nodes, "delay matrix must be square");
+                    assert!(row.iter().all(|d| *d >= 0.0 && d.is_finite()));
+                }
             }
+            DelayModel::Uniform { min, max, .. } => {
+                assert!(
+                    *min >= 0.0 && max >= min && max.is_finite(),
+                    "uniform delay needs 0 <= min <= max, got [{min}, {max})"
+                );
+            }
+            DelayModel::Ring { per_hop, nodes: n } => {
+                assert!(*per_hop >= 0.0 && per_hop.is_finite(), "ring per-hop delay: {per_hop}");
+                assert_eq!(*n, nodes, "ring node count must match the simulation");
+            }
+            DelayModel::Zero | DelayModel::Constant(_) => {}
         }
     }
 }
@@ -128,7 +180,10 @@ impl<R: IncrementalRule> SimNode<R> {
     /// Delivers `block` (and any buffered descendants) to the view; returns
     /// the reorg depth if the accepted tip moved off its previous chain.
     fn deliver(&mut self, tree: &BlockTree, block: BlockId) -> Vec<BlockId> {
-        let parent = tree.block(block).parent.expect("never delivers genesis");
+        let parent = match tree.block(block).parent {
+            Some(p) => p,
+            None => panic!("genesis is pre-delivered, never scheduled"),
+        };
         if !self.received.contains(&parent) {
             self.pending.entry(parent).or_default().push(block);
             return Vec::new();
@@ -374,5 +429,53 @@ mod tests {
     fn rejects_bad_powers() {
         let miners = vec![honest_miner(0.5), honest_miner(0.2)];
         Simulation::new(miners, DelayModel::Zero, 0);
+    }
+
+    #[test]
+    fn uniform_delay_is_symmetric_bounded_and_seeded() {
+        let m = DelayModel::Uniform { min: 0.1, max: 0.3, seed: 9 };
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..20usize {
+            for j in 0..20usize {
+                if i == j {
+                    continue;
+                }
+                let d = m.delay(i, j);
+                assert!((0.1..0.3).contains(&d), "pair ({i},{j}) delay {d}");
+                assert_eq!(d, m.delay(j, i), "must be symmetric");
+                distinct.insert(d.to_bits());
+            }
+        }
+        assert!(distinct.len() > 100, "pairs must get decorrelated delays");
+        let other = DelayModel::Uniform { min: 0.1, max: 0.3, seed: 10 };
+        assert_ne!(m.delay(0, 1), other.delay(0, 1), "seed must matter");
+    }
+
+    #[test]
+    fn ring_delay_is_hop_distance() {
+        let m = DelayModel::Ring { per_hop: 0.5, nodes: 6 };
+        assert_eq!(m.delay(0, 1), 0.5);
+        assert_eq!(m.delay(0, 3), 1.5);
+        assert_eq!(m.delay(0, 5), 0.5, "wraps around the ring");
+        assert_eq!(m.delay(4, 1), 1.5);
+    }
+
+    #[test]
+    fn uniform_delay_network_runs_deterministically() {
+        let run = || {
+            let miners = vec![honest_miner(0.5), honest_miner(0.3), honest_miner(0.2)];
+            let delay = DelayModel::Uniform { min: 0.0, max: 0.2, seed: 5 };
+            let mut sim = Simulation::new(miners, delay, 21);
+            let r = sim.run(400);
+            (r.duration.to_bits(), r.reorgs.len(), r.final_tips)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring node count")]
+    fn ring_rejects_wrong_node_count() {
+        let miners = vec![honest_miner(0.5), honest_miner(0.5)];
+        Simulation::new(miners, DelayModel::Ring { per_hop: 0.1, nodes: 3 }, 0);
     }
 }

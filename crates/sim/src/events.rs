@@ -43,11 +43,11 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first. Tie-break on
         // sequence number for determinism (FIFO among simultaneous events).
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
-            .then(other.seq.cmp(&self.seq))
+        // `schedule()` rejects non-finite times, so the comparison is total.
+        match other.time.partial_cmp(&self.time) {
+            Some(ord) => ord.then(other.seq.cmp(&self.seq)),
+            None => unreachable!("schedule() rejects non-finite event times"),
+        }
     }
 }
 impl PartialOrd for Scheduled {

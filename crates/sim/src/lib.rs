@@ -40,4 +40,6 @@ pub mod strategy;
 pub use attack::{AttackReplay, ReplayReport, ALICE, BOB, CAROL};
 pub use engine::{DelayModel, MinerSpec, Reorg, SimReport, Simulation};
 pub use events::{Event, EventQueue};
-pub use strategy::{BlockPlan, HonestStrategy, MinerStrategy, SplitterStrategy, StrategyContext};
+pub use strategy::{
+    BlockPlan, HonestStrategy, LeadKStrategy, MinerStrategy, SplitterStrategy, StrategyContext,
+};

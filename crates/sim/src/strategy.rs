@@ -129,6 +129,116 @@ impl<R: IncrementalRule> MinerStrategy<R> for SplitterStrategy {
     }
 }
 
+/// A lead-k splitter: behaves like [`SplitterStrategy`] while the split is
+/// competitive, but concedes and rejoins the victims' chain once their
+/// branch leads the attacker's split branch by `k` or more blocks — the
+/// bounded-loss variant of the Cryptoconomy attack, analogous to the
+/// lead-based give-up rules in selfish-mining analyses.
+///
+/// Two pieces of private book-keeping make "lead" well-defined (the
+/// attacker's *own view* would defect to the victims' chain as soon as it
+/// grew longer, which is exactly what this strategy refuses to do until
+/// the lead reaches `k`):
+///
+/// * the victims' branch is mirrored with an [`IncrementalView`] built
+///   from their *signalled* `EB`/`AD` (public under the threat model),
+///   fed block-by-block through [`MinerStrategy::observe`] — the
+///   propagation layer delivers parents first, so the mirror is always
+///   well-formed;
+/// * the split branch's tip is tracked explicitly from the injected
+///   `EB_C` block onward, extended by any observed child (the attacker's
+///   own follow-ups and large-EB supporters' blocks alike).
+pub struct LeadKStrategy {
+    /// The larger EB in the network (the split block's size).
+    pub ebc: ByteSize,
+    /// Size of the attacker's blocks outside the injection move.
+    pub follow_up: ByteSize,
+    /// Concede when the victims' branch leads the split branch by this
+    /// many blocks (clamped to at least 1).
+    pub k: u64,
+    victim_rule: VictimRule,
+    victim_view: IncrementalView<bvc_chain::BuRizunRule>,
+    /// Tip of the live split branch, if a split is ongoing.
+    split_tip: Option<BlockId>,
+    /// Set between planning an `EB_C` injection and observing the mined
+    /// block (delivery to the miner's own node is immediate, so the next
+    /// observed `EB_C`-sized block is ours).
+    awaiting_inject: bool,
+}
+
+impl LeadKStrategy {
+    /// A lead-k splitter against victims with the given small `EB` and
+    /// `AD` (sticky gate enabled, as deployed).
+    pub fn against(
+        ebc: ByteSize,
+        victim_eb: ByteSize,
+        ad: u64,
+        follow_up: ByteSize,
+        k: u64,
+    ) -> Self {
+        let rule = bvc_chain::BuRizunRule::new(victim_eb, ad);
+        LeadKStrategy {
+            ebc,
+            follow_up,
+            k: k.max(1),
+            victim_rule: VictimRule(rule),
+            victim_view: IncrementalView::new(rule),
+            split_tip: None,
+            awaiting_inject: false,
+        }
+    }
+}
+
+impl<R: IncrementalRule> MinerStrategy<R> for LeadKStrategy {
+    fn plan(&mut self, ctx: &StrategyContext<'_, R>) -> BlockPlan {
+        let victim_tip = self.victim_view.accepted_tip();
+        if let Some(split) = self.split_tip {
+            if ctx.tree.is_ancestor(split, victim_tip) {
+                // The victims adopted the split branch (e.g. their gate
+                // opened): the split resolved in our favour.
+                self.split_tip = None;
+            } else {
+                let lead = ctx.tree.height(victim_tip) as i64 - ctx.tree.height(split) as i64;
+                if lead >= self.k as i64 {
+                    // Concede: abandon the split branch, rejoin the
+                    // victims' chain.
+                    self.split_tip = None;
+                    return BlockPlan { parent: victim_tip, size: self.follow_up };
+                }
+                return BlockPlan { parent: split, size: self.follow_up };
+            }
+        }
+        // No live split: inject a fresh EB_C block when the victims'
+        // gates are closed, otherwise pause with ordinary blocks (same
+        // rule as the unbounded splitter).
+        let sizes: Vec<ByteSize> =
+            ctx.tree.chain(victim_tip).into_iter().map(|b| ctx.tree.block(b).size).collect();
+        let (victim_accepts, gate) = self.victim_rule.0.scan(&sizes);
+        if victim_accepts && matches!(gate, bvc_chain::GateStatus::Closed) {
+            self.awaiting_inject = true;
+            BlockPlan { parent: victim_tip, size: self.ebc }
+        } else {
+            BlockPlan { parent: victim_tip, size: self.follow_up }
+        }
+    }
+
+    fn observe(&mut self, ctx: &StrategyContext<'_, R>, block: BlockId) {
+        self.victim_view.receive(ctx.tree, block);
+        if self.awaiting_inject && ctx.tree.block(block).size == self.ebc {
+            self.split_tip = Some(block);
+            self.awaiting_inject = false;
+        } else if let Some(split) = self.split_tip {
+            if ctx.tree.block(block).parent == Some(split) {
+                self.split_tip = Some(block);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lead-k"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +255,47 @@ mod tests {
         let plan = MinerStrategy::<BitcoinRule>::plan(&mut s, &ctx);
         assert_eq!(plan.parent, a);
         assert_eq!(plan.size, ByteSize::mb(1));
+    }
+
+    #[test]
+    fn lead_k_races_then_concedes() {
+        let ebc = ByteSize::mb(16);
+        let mut tree = BlockTree::new();
+        let mut view = IncrementalView::new(BuRizunRule::without_sticky_gate(ebc, 6));
+        let mut s = LeadKStrategy::against(ebc, ByteSize::mb(1), 6, ByteSize::mb(1), 2);
+        let observe = |s: &mut LeadKStrategy,
+                       tree: &BlockTree,
+                       view: &mut IncrementalView<BuRizunRule>,
+                       b: BlockId| {
+            view.receive(tree, b);
+            let ctx = StrategyContext { tree, view, now: 0.0 };
+            MinerStrategy::<BuRizunRule>::observe(s, &ctx, b);
+        };
+        // First move: agreement + closed gates → inject the split block.
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.0 };
+        let plan = MinerStrategy::<BuRizunRule>::plan(&mut s, &ctx);
+        assert_eq!(plan.size, ebc, "first move injects the split block");
+        let split = tree.extend(plan.parent, plan.size, MinerId(0));
+        observe(&mut s, &tree, &mut view, split);
+        // Victims (EB 1 MB) reject the split block and mine two blocks on
+        // their own branch from genesis: lead = 2 − 1 = 1 < k = 2, so the
+        // attacker keeps racing on the split branch — even though its own
+        // view has already defected to the longer victim chain.
+        let mut victim_tip = tree.extend(BlockId::GENESIS, ByteSize::mb(1), MinerId(1));
+        observe(&mut s, &tree, &mut view, victim_tip);
+        victim_tip = tree.extend(victim_tip, ByteSize::mb(1), MinerId(1));
+        observe(&mut s, &tree, &mut view, victim_tip);
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.3 };
+        let race = MinerStrategy::<BuRizunRule>::plan(&mut s, &ctx);
+        assert_eq!(race.parent, split, "lead < k keeps racing on the split branch");
+        // One more victim block: lead reaches k = 2 → concede onto the
+        // victims' tip with an ordinary block.
+        victim_tip = tree.extend(victim_tip, ByteSize::mb(1), MinerId(1));
+        observe(&mut s, &tree, &mut view, victim_tip);
+        let ctx = StrategyContext { tree: &tree, view: &view, now: 0.5 };
+        let concede = MinerStrategy::<BuRizunRule>::plan(&mut s, &ctx);
+        assert_eq!(concede.parent, victim_tip, "lead >= k must concede");
+        assert_eq!(concede.size, ByteSize::mb(1));
     }
 
     #[test]

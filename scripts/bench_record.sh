@@ -3,9 +3,10 @@
 # and appends their one-line machine-readable records (plus a timestamp and
 # the current commit) to JSONL history files at the repo root:
 #
-#   BENCH_sweep.json  — sweep_timing  ({"bench":"sweep_timing",...})
-#   BENCH_serve.json  — serve_load    ({"bench":"serve_load",...})
-#                       cluster_scaling ({"bench":"cluster_scaling",...})
+#   BENCH_sweep.json    — sweep_timing  ({"bench":"sweep_timing",...})
+#   BENCH_serve.json    — serve_load    ({"bench":"serve_load",...})
+#                         cluster_scaling ({"bench":"cluster_scaling",...})
+#   BENCH_scenario.json — scenario_scaling ({"bench":"scenario_scaling",...})
 #
 # Usage:
 #   scripts/bench_record.sh             # quick shapes, suitable for CI boxes
@@ -25,7 +26,7 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 echo "==> building bench binaries (release)"
 cargo build --release --offline -q -p bvc-bench \
-    --bin sweep_timing --bin serve_load --bin cluster_scaling
+    --bin sweep_timing --bin serve_load --bin cluster_scaling --bin scenario_scaling
 
 # annotate <record-line> — prefix the JSON object with run metadata.
 annotate() {
@@ -52,10 +53,12 @@ if $full; then
     sweep_args=(--reps 3)
     serve_args=(--clients 4 --requests 2000)
     scaling_args=(--workers 1,2,4)
+    scenario_args=(--nodes 100,400,1000 --blocks 400 --threads 1,2,4)
 else
     sweep_args=(--quick)
     serve_args=(--clients 2 --requests 200)
     scaling_args=(--quick --workers 1,2)
+    scenario_args=(--quick)
 fi
 
 echo "==> sweep_timing ${sweep_args[*]}"
@@ -69,5 +72,9 @@ run_and_append BENCH_serve.json serve_load \
 echo "==> cluster_scaling ${scaling_args[*]}"
 run_and_append BENCH_serve.json cluster_scaling \
     target/release/cluster_scaling "${scaling_args[@]}" --json
+
+echo "==> scenario_scaling ${scenario_args[*]}"
+run_and_append BENCH_scenario.json scenario_scaling \
+    target/release/scenario_scaling "${scenario_args[@]}" --json
 
 echo "==> bench records OK"

@@ -48,6 +48,9 @@ targets=(
     crates/serve/src/*.rs
     crates/bench/src/*.rs
     crates/bench/src/bin/*.rs
+    crates/sim/src/*.rs
+    crates/chain/src/*.rs
+    crates/scenario/src/*.rs
 )
 # jobs.rs is exempt from the float-eq lint only: it hosts the ported
 # crossval cell whose exact-zero guard is an intentional bitwise

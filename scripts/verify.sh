@@ -68,6 +68,10 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
     echo "==> cluster smoke (killed worker, lease recovery, byte-identical journal)"
     BVC_BIN=target/release/bvc TABLE2_BIN=target/release/table2 scripts/cluster_smoke.sh
 
+    echo "==> scenario smoke (SIGKILL resume + killed worker, byte-identical journals)"
+    BVC_BIN=target/release/bvc SCENARIO_BIN=target/release/scenario_crossval \
+        scripts/scenario_smoke.sh
+
     echo "==> chaos soak (in-process fault matrix: churn, drops, torn appends)"
     cargo run --release --offline -q -p bvc-bench --bin chaos_soak
 
