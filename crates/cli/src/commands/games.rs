@@ -1,7 +1,14 @@
-//! `bvc games` — the emergent-consensus games: `eb` (EB choosing game)
-//! and `bsig` (block size increasing game).
+//! `bvc games` — the emergent-consensus games: `eb` (EB choosing game),
+//! `bsig` (block size increasing game), `map` (one `bvc-gamesweep`
+//! equilibrium-map cell) and `frontier` (one coalition-frontier shard),
+//! plus `--list` for the canonical cluster workload cells.
 
 use bvc_games::{BlockSizeIncreasingGame, EbChoosingGame, MinerGroup};
+use bvc_gamesweep::{
+    frontier_cells, games_grid_specs, solve_frontier_cell, solve_game_cell, EconSpec, FrontierSpec,
+    GameSpec, PerturbSpec, PowerDist, FRONTIER_METRIC_ARITY, GAMES_SEED, GAME_METRIC_ARITY,
+    NO_CARTEL,
+};
 
 use crate::args::{parse_f64_list, ArgError, Args};
 
@@ -21,18 +28,94 @@ pub enum GamesCmd {
         /// countermeasure).
         threshold: f64,
     },
+    /// One equilibrium-map cell (defaults reproduce Figure 4).
+    Map {
+        /// The fully-resolved cell.
+        spec: GameSpec,
+        /// Emit metrics as one JSON object.
+        json: bool,
+    },
+    /// One coalition-frontier shard.
+    Frontier {
+        /// The fully-resolved shard.
+        spec: FrontierSpec,
+        /// Emit metrics as one JSON object.
+        json: bool,
+    },
+    /// List the canonical `games-grid` / `games-frontier` workload cells.
+    List,
 }
 
-/// Parses the subcommand (`eb` or `bsig` as the next positional).
+/// Parses the shared equilibrium-map flags into a validated [`GameSpec`];
+/// defaults mirror the pinned Figure 4 cell.
+fn parse_game_spec(args: &Args) -> Result<GameSpec, ArgError> {
+    let power = match args.get_or("power", "zipf".to_string())?.as_str() {
+        "uniform" => PowerDist::Uniform,
+        "zipf" => PowerDist::Zipf { s: args.get_or("zipf-s", -1.0)? },
+        "measured" => PowerDist::Measured,
+        "adversarial" => PowerDist::Adversarial { top: args.get_or("adv-top", 0.45)? },
+        other => {
+            return Err(ArgError(format!(
+                "--power must be uniform, zipf, measured or adversarial, got {other:?}"
+            )))
+        }
+    };
+    let econ = match args.get_or("econ", "ladder".to_string())?.as_str() {
+        "ladder" => EconSpec::Ladder,
+        "fee" => EconSpec::FeeMarket {
+            fee_per_mb: args.get_or("fee", 0.05)?,
+            bw_lo: args.get_or("bw-lo", 20.0)?,
+            bw_hi: args.get_or("bw-hi", 300.0)?,
+            latency: args.get_or("latency", 0.01)?,
+            cost: args.get_or("cost", 0.2)?,
+        },
+        other => return Err(ArgError(format!("--econ must be ladder or fee, got {other:?}"))),
+    };
+    let perturb = match args.get_or("perturb", "none".to_string())?.as_str() {
+        "none" => PerturbSpec::None,
+        "random" => PerturbSpec::Random {
+            trials: args.get_or("trials", 100u32)?,
+            kmax: args.get_or("kmax", 4u32)?,
+        },
+        other => return Err(ArgError(format!("--perturb must be none or random, got {other:?}"))),
+    };
+    let spec = GameSpec {
+        miners: args.get_or("miners", 4u32)?,
+        power,
+        econ,
+        threshold: args.get_or("threshold", 0.5)?,
+        perturb,
+        seed: args.get_or("seed", GAMES_SEED)?,
+    };
+    spec.validate().map_err(ArgError)?;
+    Ok(spec)
+}
+
+/// Parses the subcommand (`eb`, `bsig`, `map` or `frontier` as the next
+/// positional, or `--list`).
 pub fn parse(args: &Args) -> Result<GamesCmd, ArgError> {
+    if args.has("list") {
+        return Ok(GamesCmd::List);
+    }
     let which = args
         .positional()
         .get(1)
-        .ok_or_else(|| ArgError("expected a game: `eb` or `bsig`".into()))?;
+        .ok_or_else(|| ArgError("expected a game: `eb`, `bsig`, `map` or `frontier`".into()))?;
     match which.as_str() {
         "eb" => {
             let powers = parse_f64_list(&args.get::<String>("powers")?)?;
             Ok(GamesCmd::Eb { powers })
+        }
+        "map" => Ok(GamesCmd::Map { spec: parse_game_spec(args)?, json: args.has("json") }),
+        "frontier" => {
+            let spec = FrontierSpec {
+                spec: parse_game_spec(args)?,
+                size: args.get::<u32>("size")?,
+                shard: args.get_or("shard", 0u32)?,
+                shards: args.get_or("shards", 1u32)?,
+            };
+            spec.validate().map_err(ArgError)?;
+            Ok(GamesCmd::Frontier { spec, json: args.has("json") })
         }
         "bsig" => {
             let raw = args.get::<String>("groups")?;
@@ -51,7 +134,9 @@ pub fn parse(args: &Args) -> Result<GamesCmd, ArgError> {
             }
             Ok(GamesCmd::Bsig { groups, threshold: args.get_or("threshold", 0.5)? })
         }
-        other => Err(ArgError(format!("unknown game {other:?}; expected `eb` or `bsig`"))),
+        other => Err(ArgError(format!(
+            "unknown game {other:?}; expected `eb`, `bsig`, `map` or `frontier`"
+        ))),
     }
 }
 
@@ -61,20 +146,27 @@ pub fn run(cmd: &GamesCmd) -> Result<(), String> {
         GamesCmd::Eb { powers } => {
             let game = EbChoosingGame::new(powers.clone());
             println!("EB choosing game over {powers:?}");
-            if powers.len() <= 16 {
-                let eq = game.enumerate_equilibria();
-                println!("pure Nash equilibria: {}", eq.len());
-                for p in &eq {
-                    println!("  {p:?}");
+            match game.enumerate_equilibria() {
+                Ok(eq) => {
+                    println!("pure Nash equilibria: {}", eq.len());
+                    for p in &eq {
+                        println!("  {p:?}");
+                    }
                 }
-                match game.minimal_flipping_coalition() {
-                    Some(k) => println!(
-                        "minimal flipping coalition: {k} miner(s) can drag everyone to a new EB"
+                Err(err) => println!("({err}: enumeration skipped)"),
+            }
+            match game.minimal_flipping_coalition() {
+                Ok(Some(k)) => println!(
+                    "minimal flipping coalition: {k} miner(s) can drag everyone to a new EB"
+                ),
+                Ok(None) => println!("no coalition flip found (check the distribution)"),
+                Err(err) => match game.greedy_flipping_coalition() {
+                    Some(coalition) => println!(
+                        "greedy flipping coalition ({err}): {} miner(s) {coalition:?}",
+                        coalition.len()
                     ),
-                    None => println!("no coalition flip found (check the distribution)"),
-                }
-            } else {
-                println!("(n > 16: exhaustive analyses skipped)");
+                    None => println!("no greedy coalition flip found ({err})"),
+                },
             }
         }
         GamesCmd::Bsig { groups, threshold } => {
@@ -104,8 +196,80 @@ pub fn run(cmd: &GamesCmd) -> Result<(), String> {
             );
             println!("utilities: {:?}", game.utilities());
         }
+        GamesCmd::Map { spec, json } => {
+            if !json {
+                println!("running cell {}", spec.key());
+            }
+            let metrics = solve_game_cell(spec)?;
+            if metrics.len() != GAME_METRIC_ARITY {
+                return Err(format!(
+                    "internal: expected {GAME_METRIC_ARITY} metrics, got {}",
+                    metrics.len()
+                ));
+            }
+            let names: [&str; GAME_METRIC_ARITY] = [
+                "groups",
+                "terminal",
+                "rounds",
+                "passed_rounds",
+                "forced_out_power",
+                "nash_equilibria",
+                "flip_size",
+                "flip_power",
+                "perturb_flips",
+                "perturb_trials",
+            ];
+            print_metrics(&spec.key(), &names, &metrics, *json);
+        }
+        GamesCmd::Frontier { spec, json } => {
+            if !json {
+                println!("running cell {}", spec.key());
+            }
+            let metrics = solve_frontier_cell(spec)?;
+            if metrics.len() != FRONTIER_METRIC_ARITY {
+                return Err(format!(
+                    "internal: expected {FRONTIER_METRIC_ARITY} metrics, got {}",
+                    metrics.len()
+                ));
+            }
+            let names: [&str; FRONTIER_METRIC_ARITY] = [
+                "examined",
+                "effective",
+                "best_terminal",
+                "best_mask",
+                "min_cartel_power",
+                "base_terminal",
+            ];
+            print_metrics(&spec.key(), &names, &metrics, *json);
+            if !json && metrics[4] >= NO_CARTEL {
+                println!("  (no committed coalition in this shard moves the terminal)");
+            }
+        }
+        GamesCmd::List => {
+            println!("games-grid cells (sweep workload `games-grid`):");
+            for spec in games_grid_specs() {
+                println!("  {}", spec.key());
+            }
+            println!();
+            println!("games-frontier cells (sweep workload `games-frontier`):");
+            for spec in frontier_cells() {
+                println!("  {}", spec.key());
+            }
+        }
     }
     Ok(())
+}
+
+fn print_metrics(key: &str, names: &[&str], metrics: &[f64], json: bool) {
+    if json {
+        let fields: Vec<String> =
+            names.iter().zip(metrics).map(|(name, value)| format!("\"{name}\":{value}")).collect();
+        println!("{{\"key\":\"{key}\",{}}}", fields.join(","));
+    } else {
+        for (name, value) in names.iter().zip(metrics) {
+            println!("  {name:<18} {value}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +312,47 @@ mod tests {
             threshold: 0.5,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn map_defaults_to_the_figure4_cell() {
+        let cmd = parse(&args(&["games", "map"])).unwrap();
+        let GamesCmd::Map { spec, json } = &cmd else { panic!("expected map, got {cmd:?}") };
+        assert_eq!(*spec, bvc_gamesweep::figure4_spec());
+        assert!(!json);
+        run(&cmd).unwrap();
+        let cmd = parse(&args(&[
+            "games",
+            "map",
+            "--miners",
+            "12",
+            "--power",
+            "measured",
+            "--perturb",
+            "random",
+            "--trials",
+            "50",
+            "--json",
+        ]))
+        .unwrap();
+        run(&cmd).unwrap();
+    }
+
+    #[test]
+    fn frontier_needs_size_and_validates() {
+        assert!(parse(&args(&["games", "frontier"])).is_err(), "size is required");
+        assert!(
+            parse(&args(&["games", "frontier", "--size", "1", "--econ", "fee"])).is_err(),
+            "frontier cells require ladder economics"
+        );
+        let cmd = parse(&args(&["games", "frontier", "--size", "1", "--json"])).unwrap();
+        run(&cmd).unwrap();
+    }
+
+    #[test]
+    fn lists_the_canonical_cells() {
+        let cmd = parse(&args(&["games", "--list"])).unwrap();
+        assert_eq!(cmd, GamesCmd::List);
+        run(&cmd).unwrap();
     }
 }

@@ -60,9 +60,10 @@ pub fn parse(args: &Args) -> Result<ServeCmd, ArgError> {
                     "--preload expects table=path (e.g. table2=journal.jsonl), got {part:?}"
                 )));
             };
-            if !matches!(table, "table2" | "table3" | "table4") {
+            if !matches!(table, "table2" | "table3" | "table4" | "games-grid" | "games-frontier") {
                 return Err(ArgError(format!(
-                    "--preload table must be table2, table3 or table4, got {table:?}"
+                    "--preload table must be table2, table3, table4, games-grid or \
+                     games-frontier, got {table:?}"
                 )));
             }
             preload.push((table.to_string(), PathBuf::from(path)));

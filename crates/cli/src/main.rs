@@ -10,6 +10,9 @@
 //!              [--delay zero|constant|uniform|ring] [--blocks 1500] [--json] | --list
 //! bvc games eb   --powers 0.2,0.3,0.5
 //! bvc games bsig --groups 1:0.1,2:0.2,4:0.3,8:0.4 [--threshold 0.5]
+//! bvc games map  [--miners 4] [--power uniform|zipf|measured|adversarial] [--json]
+//! bvc games frontier --size K [--shard I --shards N] [--json]
+//! bvc games --list
 //! bvc audit    --alpha 0.25 [model flags as in solve] [--json] | --demo multichain|unreachable
 //! bvc serve    [--addr 127.0.0.1:8080] [--workers 4] [--cache-cells 4096] [--queue-cap 8]
 //!              [--deadline-s 30] [--preload table2=journal.jsonl,..]
@@ -46,6 +49,18 @@ USAGE:
   bvc games eb   --powers P1,P2,..          EB choosing game equilibria & fragility
   bvc games bsig --groups MPB:P,.. [--threshold T]
                                             block size increasing game playout
+  bvc games map  [--miners N] [--power uniform|zipf|measured|adversarial]
+               [--zipf-s S] [--adv-top P] [--econ ladder|fee] [--fee F]
+               [--bw-lo B] [--bw-hi B] [--latency Z] [--cost C]
+               [--threshold T] [--perturb none|random] [--trials N] [--kmax K]
+               [--seed S] [--json]
+               solve one bvc-gamesweep equilibrium-map cell (defaults are
+               the paper's Figure 4 game: terminal=1 after two rounds)
+  bvc games frontier --size K [--shard I --shards N] [map flags] [--json]
+               solve one committed-coalition frontier shard of the block
+               size increasing game (ladder economics only)
+  bvc games --list                          list the canonical games-grid /
+                                            games-frontier workload cells
   bvc audit    --alpha A [model flags as in solve] [--json]
                statically certify solver preconditions (stochastic rows,
                reachability, unichain) without solving; exits nonzero on a

@@ -17,6 +17,7 @@ use bvc_bu::{
     rewards, AttackConfig, AttackModel, AttackState, IncentiveModel, Setting, SolveOptions,
 };
 use bvc_chain::{BuRizunRule, ByteSize, MinerId};
+use bvc_gamesweep::{solve_frontier_cell, solve_game_cell, FrontierSpec, GameSpec};
 use bvc_journal::{f64_from_hex, f64_to_hex};
 use bvc_mdp::solve::{sample_path, XorShift64};
 use bvc_mdp::MdpError;
@@ -206,6 +207,17 @@ pub enum JobSpec {
         /// Index into [`bvc_scenario::crossval_cells`].
         index: usize,
     },
+    /// One §5 equilibrium-map cell (the `bvc-gamesweep` engine); like
+    /// scenario cells, the spec is self-contained on the wire.
+    Game {
+        /// The game cell.
+        spec: GameSpec,
+    },
+    /// One coalition-frontier shard of the block size increasing game.
+    GameFrontier {
+        /// The frontier shard.
+        spec: FrontierSpec,
+    },
 }
 
 impl JobSpec {
@@ -254,6 +266,8 @@ impl JobSpec {
                     None => format!("#{index} invalid"),
                 }
             }
+            JobSpec::Game { spec } => spec.key(),
+            JobSpec::GameFrontier { spec } => spec.key(),
         }
     }
 
@@ -278,14 +292,22 @@ impl JobSpec {
             JobSpec::StoneSim { scenario } => format!("ss;{scenario}"),
             JobSpec::Scenario { spec } => spec.encode(),
             JobSpec::ScenarioCrossval { index } => format!("sx;{index}"),
+            JobSpec::Game { spec } => spec.encode(),
+            JobSpec::GameFrontier { spec } => spec.encode(),
         }
     }
 
     /// Decodes a wire spec; `None` on any malformation.
     pub fn decode(text: &str) -> Option<JobSpec> {
-        // Scenario specs own the "sc;" prefix and their full codec.
+        // Scenario and game specs own their prefixes and full codecs.
         if text.starts_with("sc;") {
             return ScenarioSpec::decode(text).map(|spec| JobSpec::Scenario { spec });
+        }
+        if text.starts_with("gm;") {
+            return GameSpec::decode(text).map(|spec| JobSpec::Game { spec });
+        }
+        if text.starts_with("gf;") {
+            return FrontierSpec::decode(text).map(|spec| JobSpec::GameFrontier { spec });
         }
         let parts: Vec<&str> = text.split(';').collect();
         let ratio =
@@ -410,6 +432,10 @@ impl JobSpec {
                 };
                 run_scenario(cell, &ctx.solve_options::<SolveOptions>())
             }
+            JobSpec::Game { spec } => solve_game_cell(spec)
+                .map_err(|detail| MdpError::AuditFailed { check: "game cell spec", detail }),
+            JobSpec::GameFrontier { spec } => solve_frontier_cell(spec)
+                .map_err(|detail| MdpError::AuditFailed { check: "frontier cell spec", detail }),
         }
     }
 }
@@ -632,7 +658,7 @@ pub struct Workload {
 }
 
 /// Every named workload the registry can build.
-pub const WORKLOAD_NAMES: [&str; 13] = [
+pub const WORKLOAD_NAMES: [&str; 15] = [
     "table2-setting1",
     "table2-setting2",
     "table3-setting1",
@@ -646,6 +672,8 @@ pub const WORKLOAD_NAMES: [&str; 13] = [
     "stone-sim",
     "scenario-grid",
     "scenario-crossval",
+    "games-grid",
+    "games-frontier",
 ];
 
 /// Table 2 setting-1 cells, row-major over the published mask.
@@ -767,6 +795,24 @@ pub fn workload(name: &str) -> Option<Workload> {
                 .map(|index| JobSpec::ScenarioCrossval { index })
                 .collect(),
         ),
+        "games-grid" => (
+            "games-grid",
+            // Game cells never touch the MDP solver: the token is the
+            // game-engine version, shared with the serve games routes.
+            bvc_gamesweep::grid_config_token(),
+            bvc_gamesweep::games_grid_specs()
+                .into_iter()
+                .map(|spec| JobSpec::Game { spec })
+                .collect(),
+        ),
+        "games-frontier" => (
+            "games-frontier",
+            bvc_gamesweep::frontier_config_token(),
+            bvc_gamesweep::frontier_cells()
+                .into_iter()
+                .map(|spec| JobSpec::GameFrontier { spec })
+                .collect(),
+        ),
         _ => return None,
     };
     Some(Workload { name: WORKLOAD_NAMES.iter().find(|&&n| n == name)?, label, config_token, jobs })
@@ -832,6 +878,8 @@ mod tests {
         assert_eq!(workload("stone-sim").unwrap().jobs.len(), 3);
         assert_eq!(workload("scenario-grid").unwrap().jobs.len(), 13);
         assert_eq!(workload("scenario-crossval").unwrap().jobs.len(), 20);
+        assert_eq!(workload("games-grid").unwrap().jobs.len(), 18);
+        assert_eq!(workload("games-frontier").unwrap().jobs.len(), 26);
     }
 
     #[test]
@@ -848,6 +896,41 @@ mod tests {
         // Out-of-range crossval indices decode but fail to solve, like
         // the other indexed cell kinds.
         assert!(JobSpec::decode("sx;999").is_some());
+    }
+
+    #[test]
+    fn game_specs_roundtrip_and_figure4_solves_through_the_job_path() {
+        for name in ["games-grid", "games-frontier"] {
+            let w = workload(name).unwrap();
+            let tag = if name == "games-grid" { "gm;" } else { "gf;" };
+            for job in &w.jobs {
+                let wire = job.encode();
+                assert!(wire.starts_with(tag), "{name} wire tag: {wire}");
+                assert_eq!(JobSpec::decode(&wire).as_ref(), Some(job));
+            }
+        }
+        // The pinned Figure 4 cell, solved exactly as a worker would:
+        // terminal = 1, two rounds, round 0 passed.
+        let fig4 = JobSpec::Game { spec: bvc_gamesweep::figure4_spec() };
+        let ctx = CellContext {
+            attempt: 0,
+            budget: bvc_mdp::SolveBudget::unlimited(),
+            iteration_scale: 1.0,
+            tau_offset: 0.0,
+            audit: false,
+            solve_threads: 0,
+            shard_min_states: 0,
+        };
+        let m = fig4.solve(&ctx).expect("figure 4 solves");
+        assert_eq!(m[1], 1.0, "terminal group");
+        assert_eq!(m[2], 2.0, "rounds played");
+        assert_eq!(m[3], 1.0, "first raise passed");
+        // An invalid spec decodes (the codec is structural) but refuses
+        // to solve with a spec-audit error.
+        let bad = JobSpec::Game {
+            spec: bvc_gamesweep::GameSpec { miners: 1, ..bvc_gamesweep::figure4_spec() },
+        };
+        assert!(matches!(bad.solve(&ctx), Err(MdpError::AuditFailed { .. })));
     }
 
     #[test]

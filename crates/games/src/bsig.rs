@@ -77,7 +77,8 @@ impl BlockSizeIncreasingGame {
         let sum: f64 = groups.iter().map(|g| g.power).sum();
         assert!((sum - 1.0).abs() < 1e-9, "powers must sum to 1, got {sum}");
         assert!((0.0..=1.0).contains(&pass_threshold), "pass threshold must be a fraction");
-        groups.sort_by(|a, b| a.mpb.partial_cmp(&b.mpb).expect("MPBs must not be NaN"));
+        assert!(groups.iter().all(|g| g.mpb.is_finite()), "MPBs must be finite");
+        groups.sort_by(|a, b| a.mpb.total_cmp(&b.mpb));
         for w in groups.windows(2) {
             assert!(w[0].mpb < w[1].mpb, "MPBs must be distinct");
         }
@@ -126,7 +127,44 @@ impl BlockSizeIncreasingGame {
     /// Index of the first group of the terminal suffix: the smallest `j`
     /// with `{j, …}` stable (the paper's termination-state theorem).
     pub fn terminal_set(&self) -> usize {
-        self.stable_suffixes().iter().position(|&s| s).expect("the last suffix is always stable")
+        // The last suffix is always stable, so the fallback is unreachable.
+        self.stable_suffixes().iter().position(|&s| s).unwrap_or(self.groups.len() - 1)
+    }
+
+    /// [`BlockSizeIncreasingGame::stable_suffixes`] under a **committed
+    /// coalition**: every group with `committed[i]` true votes yes on any
+    /// raise that does not remove group `i` itself, even when the cascade
+    /// it triggers would force `i` out later — a block-size cartel. The
+    /// remaining groups vote rationally *given* those commitments. With no
+    /// commitments this reduces exactly to the base induction.
+    pub fn stable_suffixes_committed(&self, committed: &[bool]) -> Vec<bool> {
+        let n = self.groups.len();
+        assert_eq!(committed.len(), n, "one commitment flag per group");
+        let mut stable = vec![false; n];
+        stable[n - 1] = true;
+        let mut k = n - 1; // smallest known stable suffix start above j
+        for j in (0..n.saturating_sub(1)).rev() {
+            // Yes-voters on removing group j: the cascade survivors k..n
+            // plus the committed groups among the doomed middle j+1..k
+            // (group j itself never votes for its own exit).
+            let yes: f64 =
+                (j + 1..n).filter(|&i| i >= k || committed[i]).map(|i| self.groups[i].power).sum();
+            let total = self.power_range(j, n);
+            if yes < self.pass_threshold * total {
+                stable[j] = true;
+                k = j;
+            }
+        }
+        stable
+    }
+
+    /// The terminal suffix start under a committed coalition (see
+    /// [`BlockSizeIncreasingGame::stable_suffixes_committed`]).
+    pub fn terminal_committed(&self, committed: &[bool]) -> usize {
+        self.stable_suffixes_committed(committed)
+            .iter()
+            .position(|&s| s)
+            .unwrap_or(self.groups.len() - 1)
     }
 
     /// Plays the game round by round with fully rational voters (each group
@@ -139,8 +177,10 @@ impl BlockSizeIncreasingGame {
                        // Every round up to and including the terminal *failing* vote is
                        // recorded — Figure 4 shows the final round explicitly.
         while j < n - 1 {
-            // Cascade target if group j is removed: next stable suffix.
-            let k = (j + 1..n).find(|&i| stable[i]).expect("last suffix stable");
+            // Cascade target if group j is removed: next stable suffix
+            // (the last suffix is always stable, so the fallback is
+            // unreachable).
+            let k = (j + 1..n).find(|&i| stable[i]).unwrap_or(n - 1);
             let votes: Vec<(usize, bool)> = (j..n).map(|i| (i, i >= k)).collect();
             let yes: f64 =
                 votes.iter().filter(|&&(_, v)| v).map(|&(i, _)| self.groups[i].power).sum();
@@ -286,6 +326,25 @@ mod tests {
             assert!(t <= last, "tau {tau}: terminal {t} > previous {last}");
             last = t;
         }
+    }
+
+    /// Committed coalitions on the Figure 4 distribution: an empty
+    /// coalition reduces to the base game; committing the 30% group is
+    /// kamikaze (the cascade it enables runs past itself, terminal 1 → 3);
+    /// committing a group already at or above the terminal changes nothing.
+    #[test]
+    fn committed_coalitions_shift_the_terminal() {
+        let g = game(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(g.stable_suffixes_committed(&[false; 4]), g.stable_suffixes());
+        assert_eq!(g.terminal_committed(&[false; 4]), 1);
+        // Group 2 (30%) commits: rounds 2 and 3 now pass, everyone but the
+        // 40% group — the committed member included — is forced out.
+        assert_eq!(g.terminal_committed(&[false, false, true, false]), 3);
+        // Groups at the base terminal or above add nothing new.
+        assert_eq!(g.terminal_committed(&[false, true, false, false]), 1);
+        assert_eq!(g.terminal_committed(&[false, false, false, true]), 1);
+        // A full cartel drives the game to the last group.
+        assert_eq!(g.terminal_committed(&[true; 4]), 3);
     }
 
     /// The termination-state theorem agrees with the playout by

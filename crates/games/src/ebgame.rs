@@ -13,6 +13,39 @@
 /// Numeric guard for exact power ties.
 const TIE_EPS: f64 = 1e-12;
 
+/// Default miner-count cap for [`EbChoosingGame::enumerate_equilibria`]
+/// (2^n profiles are visited; 20 keeps a call under ~a million checks).
+pub const ENUM_CAP: usize = 20;
+
+/// Default miner-count cap for
+/// [`EbChoosingGame::minimal_flipping_coalition`] (2^n coalitions, each
+/// with a best-response playout).
+pub const COALITION_CAP: usize = 16;
+
+/// An exhaustive analysis was refused because it would be exponential in
+/// the miner count: `2^miners` exceeds what the `cap` allows. Callers
+/// decide whether to fall back to an analytic shortcut, a bounded search,
+/// or an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyMiners {
+    /// Number of miners in the game.
+    pub miners: usize,
+    /// The cap the analysis was invoked with.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for TooManyMiners {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive analysis over 2^{} profiles refused: {} miners exceeds the cap of {}",
+            self.miners, self.miners, self.cap
+        )
+    }
+}
+
+impl std::error::Error for TooManyMiners {}
+
 /// The EB choosing game: miners' power shares (positive, summing to 1).
 #[derive(Debug, Clone)]
 pub struct EbChoosingGame {
@@ -105,18 +138,27 @@ impl EbChoosingGame {
         (0..self.powers.len()).all(|i| self.best_response(i, profile) == profile[i])
     }
 
-    /// Exhaustively enumerates all pure Nash equilibria (requires `n ≤ 20`).
-    pub fn enumerate_equilibria(&self) -> Vec<Profile> {
+    /// Exhaustively enumerates all pure Nash equilibria, refusing games
+    /// above [`ENUM_CAP`] miners (the search visits `2^n` profiles).
+    pub fn enumerate_equilibria(&self) -> Result<Vec<Profile>, TooManyMiners> {
+        self.enumerate_equilibria_capped(ENUM_CAP)
+    }
+
+    /// Like [`EbChoosingGame::enumerate_equilibria`] with an explicit
+    /// miner-count cap — front ends bound per-request work with it.
+    pub fn enumerate_equilibria_capped(&self, cap: usize) -> Result<Vec<Profile>, TooManyMiners> {
         let n = self.powers.len();
-        assert!(n <= 20, "exhaustive enumeration is exponential; n = {n} too large");
+        if n > cap.min(62) {
+            return Err(TooManyMiners { miners: n, cap: cap.min(62) });
+        }
         let mut out = Vec::new();
-        for bits in 0u32..(1 << n) {
+        for bits in 0u64..(1 << n) {
             let profile: Profile = (0..n).map(|i| ((bits >> i) & 1) as u8).collect();
             if self.is_nash(&profile) {
                 out.push(profile);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Perturbs the all-zeros unanimity by flipping the miners in `flipped`
@@ -142,14 +184,26 @@ impl EbChoosingGame {
     }
 
     /// The size of the smallest coalition whose joint EB deviation flips
-    /// the entire network to the new value (by exhaustive subset search;
-    /// requires `n ≤ 16`). This is the paper's fragility made concrete:
-    /// with 2017-style pool concentration, a handful of pools suffice.
-    pub fn minimal_flipping_coalition(&self) -> Option<usize> {
+    /// the entire network to the new value (by exhaustive subset search,
+    /// refused above [`COALITION_CAP`] miners). This is the paper's
+    /// fragility made concrete: with 2017-style pool concentration, a
+    /// handful of pools suffice.
+    pub fn minimal_flipping_coalition(&self) -> Result<Option<usize>, TooManyMiners> {
+        self.minimal_flipping_coalition_capped(COALITION_CAP)
+    }
+
+    /// Like [`EbChoosingGame::minimal_flipping_coalition`] with an explicit
+    /// miner-count cap on the exponential subset search.
+    pub fn minimal_flipping_coalition_capped(
+        &self,
+        cap: usize,
+    ) -> Result<Option<usize>, TooManyMiners> {
         let n = self.powers.len();
-        assert!(n <= 16, "exhaustive search is exponential; n = {n} too large");
+        if n > cap.min(62) {
+            return Err(TooManyMiners { miners: n, cap: cap.min(62) });
+        }
         let mut best: Option<usize> = None;
-        for mask in 1u32..(1 << n) {
+        for mask in 1u64..(1 << n) {
             let size = mask.count_ones() as usize;
             if best.is_some_and(|b| size >= b) {
                 continue;
@@ -159,7 +213,28 @@ impl EbChoosingGame {
                 best = Some(size);
             }
         }
-        best
+        Ok(best)
+    }
+
+    /// A deterministic greedy *upper bound* on the minimal flipping
+    /// coalition for games too large for the exhaustive search: flip the
+    /// `k` most powerful miners for growing `k` until the network follows.
+    /// Returns the flipped miner indices, or `None` if even flipping
+    /// everyone but one miner fails to move the consensus.
+    pub fn greedy_flipping_coalition(&self) -> Option<Vec<usize>> {
+        let n = self.powers.len();
+        let mut by_power: Vec<usize> = (0..n).collect();
+        // Stable order on exact power ties: lower index first.
+        by_power.sort_by(|&a, &b| self.powers[b].total_cmp(&self.powers[a]).then(a.cmp(&b)));
+        for k in 1..n {
+            let flipped = &by_power[..k];
+            if self.perturb_and_converge(flipped) == Outcome::Flipped {
+                let mut coalition = flipped.to_vec();
+                coalition.sort_unstable();
+                return Some(coalition);
+            }
+        }
+        None
     }
 
     /// Runs best-response dynamics from `start` until a fixed point or the
@@ -218,7 +293,7 @@ mod tests {
     #[test]
     fn equilibria_are_exactly_unanimity() {
         let g = game(&[0.1, 0.15, 0.3, 0.45]);
-        let mut eq = g.enumerate_equilibria();
+        let mut eq = g.enumerate_equilibria().unwrap();
         eq.sort();
         assert_eq!(eq, vec![vec![0, 0, 0, 0], vec![1, 1, 1, 1]]);
     }
@@ -231,7 +306,7 @@ mod tests {
     #[test]
     fn majority_miner_destroys_all_equilibria() {
         let g = game(&[0.6, 0.25, 0.15]);
-        assert!(g.enumerate_equilibria().is_empty());
+        assert!(g.enumerate_equilibria().unwrap().is_empty());
         // Unanimity specifically is not a NE: the 60% miner defects.
         assert!(!g.is_nash(&vec![0, 0, 0]));
         assert_eq!(g.best_response(0, &vec![0, 0, 0]), 1);
@@ -279,7 +354,7 @@ mod tests {
         let g = game(&[0.1, 0.2, 0.3, 0.4]);
         // {2, 3} holds 70%: two miners suffice; no single miner does
         // (each defector returns before anyone has an incentive to follow).
-        assert_eq!(g.minimal_flipping_coalition(), Some(2));
+        assert_eq!(g.minimal_flipping_coalition(), Ok(Some(2)));
         // With a near-majority miner the consensus is even more brittle:
         // the 49% miner itself cannot flip the network (it returns,
         // restoring unanimity)...
@@ -293,7 +368,7 @@ mod tests {
         // miner 2's defection flips the network.) The "emergent consensus"
         // is one small miner's whim away from a network-wide EB change.
         assert_eq!(g.perturb_and_converge(&[2]), Outcome::Flipped);
-        assert_eq!(g.minimal_flipping_coalition(), Some(1));
+        assert_eq!(g.minimal_flipping_coalition(), Ok(Some(1)));
     }
 
     /// On the 2017-style pool distribution, four pools can flip the
@@ -301,7 +376,42 @@ mod tests {
     #[test]
     fn pool_concentration_fragility() {
         let g = game(&[0.17, 0.13, 0.10, 0.10, 0.08, 0.07, 0.06, 0.29]);
-        let k = g.minimal_flipping_coalition().unwrap();
+        let k = g.minimal_flipping_coalition().unwrap().unwrap();
         assert!(k <= 3, "with a 29% aggregate group, 3 parties suffice, got {k}");
+    }
+
+    /// Past the cap, the exhaustive analyses return a structured error
+    /// instead of attempting 2^n work (the old behaviour was an assert).
+    #[test]
+    fn exhaustive_analyses_refuse_past_the_cap() {
+        let n = 24;
+        let g = game(&vec![1.0 / n as f64; n]);
+        assert_eq!(g.enumerate_equilibria(), Err(TooManyMiners { miners: n, cap: ENUM_CAP }));
+        assert_eq!(
+            g.minimal_flipping_coalition(),
+            Err(TooManyMiners { miners: n, cap: COALITION_CAP })
+        );
+        // An explicit cap tightens the bound further.
+        let small = game(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(small.enumerate_equilibria_capped(3), Err(TooManyMiners { miners: 4, cap: 3 }));
+        assert!(small.enumerate_equilibria_capped(4).is_ok());
+    }
+
+    /// The greedy bound agrees with the exhaustive search when the most
+    /// powerful miners form a minimal coalition, and always flips when it
+    /// returns a coalition.
+    #[test]
+    fn greedy_coalition_is_a_valid_upper_bound() {
+        let g = game(&[0.1, 0.2, 0.3, 0.4]);
+        let coalition = g.greedy_flipping_coalition().unwrap();
+        assert_eq!(coalition, vec![2, 3]);
+        assert_eq!(g.perturb_and_converge(&coalition), Outcome::Flipped);
+        // 40 equal miners: far beyond the exhaustive cap, the greedy bound
+        // still terminates and flips with a bare majority.
+        let n = 40;
+        let g = game(&vec![1.0 / n as f64; n]);
+        let coalition = g.greedy_flipping_coalition().unwrap();
+        assert_eq!(g.perturb_and_converge(&coalition), Outcome::Flipped);
+        assert!(coalition.len() <= n / 2 + 1);
     }
 }

@@ -101,7 +101,7 @@ pub fn mpb_groups(miners: &[(MinerEconomics, f64)]) -> Vec<MinerGroup> {
         .iter()
         .filter_map(|(econ, power)| econ.max_profitable_size().map(|mpb| (mpb, *power)))
         .collect();
-    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("MPBs are finite"));
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Merge groups with (nearly) identical MPBs.
     let mut merged: Vec<(f64, f64)> = Vec::new();
     for (mpb, power) in entries {

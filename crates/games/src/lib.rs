@@ -35,5 +35,5 @@ pub mod ebgame;
 pub mod fee_market;
 
 pub use bsig::{BlockSizeIncreasingGame, GameTrace, MinerGroup, Round};
-pub use ebgame::{EbChoosingGame, Profile};
+pub use ebgame::{EbChoosingGame, Outcome, Profile, TooManyMiners, COALITION_CAP, ENUM_CAP};
 pub use fee_market::{mpb_groups, MinerEconomics};

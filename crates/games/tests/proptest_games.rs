@@ -1,0 +1,119 @@
+//! Property tests for the §5 game invariants.
+//!
+//! * **Analytical Result 4** — in the EB choosing game with every miner
+//!   strictly below 50%, the pure Nash equilibria are *exactly* the two
+//!   unanimous profiles; with a strict majority miner there is no pure
+//!   equilibrium at all.
+//! * **Analytical Result 5** — the block size increasing game's rational
+//!   playout terminates at the stable-set induction's terminal suffix, the
+//!   recorded rounds have the pass/fail shape the induction predicts, and
+//!   utilities split the unit reward over exactly the surviving suffix.
+//! * The committed-coalition induction with an *empty* coalition reduces
+//!   bit-for-bit to the base induction (the frontier engine's identity).
+
+use bvc_games::{BlockSizeIncreasingGame, EbChoosingGame, MinerGroup};
+use proptest::prelude::*;
+
+/// Normalizes integer weights to power shares summing to one.
+fn normalize(weights: &[u32]) -> Vec<f64> {
+    let sum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+    weights.iter().map(|&w| f64::from(w) / sum).collect()
+}
+
+fn weights() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..20, 3..9)
+}
+
+/// Thresholds exercised: BU's majority rule, two supermajorities, and the
+/// §6.3 countermeasure equivalent.
+const THRESHOLDS: [f64; 4] = [0.5, 0.6, 0.75, 0.9];
+
+/// Builds the block size increasing game on a strict MPB ladder, so only
+/// the power shape varies.
+fn ladder_game(weights: &[u32], threshold: f64) -> BlockSizeIncreasingGame {
+    let groups = normalize(weights)
+        .into_iter()
+        .enumerate()
+        .map(|(i, power)| MinerGroup { mpb: (i + 1) as f64, power })
+        .collect();
+    BlockSizeIncreasingGame::with_threshold(groups, threshold)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AR4, minority case: all miners below 50% ⟹ the pure Nash set is
+    /// exactly the two unanimities.
+    #[test]
+    fn minority_nash_set_is_the_two_unanimities(w in weights()) {
+        let sum: u32 = w.iter().sum();
+        prop_assume!(w.iter().all(|&x| 2 * x < sum));
+        let n = w.len();
+        let game = EbChoosingGame::new(normalize(&w));
+        let equilibria = game.enumerate_equilibria().expect("n is far below the cap");
+        prop_assert_eq!(equilibria.len(), 2);
+        prop_assert!(equilibria.contains(&vec![0u8; n]));
+        prop_assert!(equilibria.contains(&vec![1u8; n]));
+    }
+
+    /// AR4, majority case: a strict majority miner destroys every pure
+    /// equilibrium (it always prefers to mine its EB alone).
+    #[test]
+    fn majority_miner_kills_every_pure_equilibrium(w in weights()) {
+        let sum: u32 = w.iter().sum();
+        prop_assume!(w.iter().any(|&x| 2 * x > sum));
+        let game = EbChoosingGame::new(normalize(&w));
+        let equilibria = game.enumerate_equilibria().expect("n is far below the cap");
+        prop_assert!(equilibria.is_empty());
+    }
+
+    /// AR5: the rational playout and the stable-set backward induction
+    /// agree on the terminal suffix, and the trace has the predicted
+    /// shape — `terminal` passing rounds, then one failing round unless
+    /// the cascade ran all the way to the last group.
+    #[test]
+    fn playout_terminal_matches_the_stable_set_induction(
+        w in weights(),
+        t in 0usize..4,
+    ) {
+        let game = ladder_game(&w, THRESHOLDS[t]);
+        let n = game.len();
+        let stable = game.stable_suffixes();
+        prop_assert!(stable[n - 1]);
+        let first = stable.iter().position(|&s| s).expect("last suffix is always stable");
+        prop_assert_eq!(game.terminal_set(), first);
+
+        let trace = game.play();
+        prop_assert_eq!(trace.terminal, first);
+        for (r, round) in trace.rounds.iter().enumerate() {
+            prop_assert_eq!(round.leaving, r);
+            prop_assert_eq!(round.passed, r < first);
+        }
+        let expected_rounds = if first == n - 1 { n - 1 } else { first + 1 };
+        prop_assert_eq!(trace.rounds.len(), expected_rounds);
+
+        // Utilities: survivors (and only survivors) split the unit reward.
+        let utilities = game.utilities();
+        let total: f64 = utilities.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (i, &u) in utilities.iter().enumerate() {
+            prop_assert_eq!(u > 0.0, i >= first);
+        }
+    }
+
+    /// The committed-coalition induction with nobody committed reduces
+    /// exactly to the base induction — the identity the coalition-frontier
+    /// engine's `base_terminal` metric rests on. (Non-empty coalitions are
+    /// deliberately *not* compared against the base terminal: commitments
+    /// reshape cascade targets non-monotonically.)
+    #[test]
+    fn empty_coalition_reduces_to_the_base_induction(
+        w in weights(),
+        t in 0usize..4,
+    ) {
+        let game = ladder_game(&w, THRESHOLDS[t]);
+        let nobody = vec![false; game.len()];
+        prop_assert_eq!(game.stable_suffixes_committed(&nobody), game.stable_suffixes());
+        prop_assert_eq!(game.terminal_committed(&nobody), game.terminal_set());
+    }
+}

@@ -1,0 +1,407 @@
+//! Cell solvers: one equilibrium-map entry per [`GameSpec`], one
+//! coalition-frontier shard per [`FrontierSpec`]. Everything here is a
+//! pure function of the spec — no clocks, no global RNG — so a cell's
+//! metric vector is bit-identical at any thread or worker count, which is
+//! what lets the sweep/cluster journals replay and `cmp` equal.
+
+use crate::spec::{EconSpec, FrontierSpec, GameSpec, PerturbSpec};
+use bvc_chaos::SplitMix64;
+use bvc_games::{
+    mpb_groups, BlockSizeIncreasingGame, EbChoosingGame, MinerEconomics, MinerGroup, Outcome,
+};
+
+/// Metric arity of a [`GameSpec`] cell (part of the workload config
+/// token): `[groups, terminal, rounds, passed, forced_out_power,
+/// nash_count, flip_size, flip_power, perturb_flips, perturb_trials]`.
+pub const GAME_METRIC_ARITY: usize = 10;
+
+/// Metric arity of a [`FrontierSpec`] cell: `[examined, effective,
+/// best_terminal, best_mask, min_cartel_power, base_terminal]`.
+pub const FRONTIER_METRIC_ARITY: usize = 6;
+
+/// Sentinel for "no improving coalition found" in the `min_cartel_power`
+/// slot (power shares live in `[0, 1]`).
+pub const NO_CARTEL: f64 = 2.0;
+
+/// Miner-count ceiling for the exhaustive EB-game analyses inside a grid
+/// cell; larger games fall back to the Analytical-Result-4 closed form and
+/// the deterministic greedy coalition bound.
+pub const EXHAUSTIVE_MINERS: usize = 16;
+
+/// The EB choosing game of a cell: the raw power shares, indexed by MPB
+/// rank.
+pub fn eb_game(spec: &GameSpec) -> EbChoosingGame {
+    EbChoosingGame::new(spec.power.shares(spec.miners as usize))
+}
+
+/// The block size increasing game of a cell. Under [`EconSpec::Ladder`]
+/// the group count equals the miner count; under a fee market, unprofitable
+/// miners are dropped and near-equal MPBs merged by
+/// [`bvc_games::mpb_groups`], so it can be smaller.
+pub fn bsig_game(spec: &GameSpec) -> BlockSizeIncreasingGame {
+    let n = spec.miners as usize;
+    let shares = spec.power.shares(n);
+    let groups: Vec<MinerGroup> = match spec.econ {
+        EconSpec::Ladder => shares
+            .iter()
+            .enumerate()
+            .map(|(i, &power)| MinerGroup { mpb: (i + 1) as f64, power })
+            .collect(),
+        EconSpec::FeeMarket { fee_per_mb, bw_lo, bw_hi, latency, cost } => {
+            let ratio = bw_hi / bw_lo;
+            let miners: Vec<(MinerEconomics, f64)> = shares
+                .iter()
+                .enumerate()
+                .map(|(i, &power)| {
+                    let t = i as f64 / (n - 1) as f64;
+                    let econ = MinerEconomics {
+                        reward: 1.0,
+                        fee_per_mb,
+                        bandwidth: bw_lo * ratio.powf(t),
+                        latency,
+                        cost,
+                    };
+                    (econ, power)
+                })
+                .collect();
+            mpb_groups(&miners)
+        }
+    };
+    BlockSizeIncreasingGame::with_threshold(groups, spec.threshold)
+}
+
+/// Solves one equilibrium-map cell; the returned vector has
+/// [`GAME_METRIC_ARITY`] entries. `Err` only on an invalid spec.
+pub fn solve_game_cell(spec: &GameSpec) -> Result<Vec<f64>, String> {
+    spec.validate()?;
+    let shares = spec.power.shares(spec.miners as usize);
+
+    // §5.2: the block size increasing game — who survives?
+    let game = bsig_game(spec);
+    let trace = game.play();
+    let terminal = trace.terminal;
+    let passed = trace.rounds.iter().filter(|r| r.passed).count();
+    let forced_out: f64 = game.groups()[..terminal].iter().map(|g| g.power).sum();
+
+    // §5.1: the EB choosing game — equilibrium count and fragility.
+    let eb = eb_game(spec);
+    let nash = match eb.enumerate_equilibria_capped(EXHAUSTIVE_MINERS) {
+        Ok(eq) => eq.len() as f64,
+        // Analytical Result 4: with every miner strictly below one half
+        // the pure equilibria are exactly the two unanimous profiles; a
+        // strict-majority miner destroys them all.
+        Err(_) => {
+            let max = shares.iter().fold(0.0_f64, |a, &b| a.max(b));
+            if max > 0.5 {
+                0.0
+            } else {
+                2.0
+            }
+        }
+    };
+    let greedy = eb.greedy_flipping_coalition();
+    let flip_size = match eb.minimal_flipping_coalition_capped(EXHAUSTIVE_MINERS) {
+        Ok(best) => best.unwrap_or(0) as f64,
+        Err(_) => greedy.as_ref().map_or(0, Vec::len) as f64,
+    };
+    let flip_power =
+        greedy.as_ref().map_or(0.0, |coalition| coalition.iter().map(|&i| shares[i]).sum());
+
+    // The seeded perturbation schedule (§6.2 fragility, at scale).
+    let (flips, trials) = match spec.perturb {
+        PerturbSpec::None => (0, 0),
+        PerturbSpec::Random { trials, kmax } => {
+            let n = shares.len();
+            let mut rng = SplitMix64::new(spec.cell_seed());
+            let mut scratch: Vec<usize> = (0..n).collect();
+            let mut flips = 0_u32;
+            for _ in 0..trials {
+                let k = 1 + rng.next_range(u64::from(kmax)) as usize;
+                // Partial Fisher–Yates: the first k entries become a
+                // uniform size-k coalition.
+                for i in 0..k.min(n) {
+                    let j = i + rng.next_range((n - i) as u64) as usize;
+                    scratch.swap(i, j);
+                }
+                if eb.perturb_and_converge(&scratch[..k.min(n)]) == Outcome::Flipped {
+                    flips += 1;
+                }
+            }
+            (flips, trials)
+        }
+    };
+
+    Ok(vec![
+        game.len() as f64,
+        terminal as f64,
+        trace.rounds.len() as f64,
+        passed as f64,
+        forced_out,
+        nash,
+        flip_size,
+        flip_power,
+        f64::from(flips),
+        f64::from(trials),
+    ])
+}
+
+/// Solves one coalition-frontier shard; the returned vector has
+/// [`FRONTIER_METRIC_ARITY`] entries. `Err` only on an invalid spec.
+///
+/// The shard walks its lexicographic slice of the size-`k` committed
+/// coalitions, recomputing the backward induction of
+/// [`BlockSizeIncreasingGame::stable_suffixes_committed`] for each, and
+/// reports how many coalitions push the terminal set past the base game's
+/// (`effective`), the furthest terminal reached (`best_terminal`), the
+/// bitmask of the lexicographically first coalition reaching it
+/// (`best_mask`, 0 when no coalition improves), and the cheapest improving
+/// cartel's power (`min_cartel_power`, [`NO_CARTEL`] when none).
+pub fn solve_frontier_cell(frontier: &FrontierSpec) -> Result<Vec<f64>, String> {
+    frontier.validate()?;
+    let game = bsig_game(&frontier.spec);
+    let m = game.len();
+    let base = game.terminal_set();
+    let k = frontier.size as usize;
+    let (lo, hi) = frontier.rank_range();
+
+    let mut examined = 0_u64;
+    let mut effective = 0_u64;
+    let mut best_terminal = base;
+    let mut best_mask = 0_u64;
+    let mut min_cartel = NO_CARTEL;
+    if lo < hi {
+        let mut combo = combo_unrank(m, k, lo);
+        let mut committed = vec![false; m];
+        for _ in lo..hi {
+            for &i in &combo {
+                committed[i] = true;
+            }
+            let t = game.terminal_committed(&committed);
+            examined += 1;
+            if t > base {
+                effective += 1;
+                let power: f64 = combo.iter().map(|&i| game.groups()[i].power).sum();
+                if power < min_cartel {
+                    min_cartel = power;
+                }
+                if t > best_terminal {
+                    best_terminal = t;
+                    best_mask = combo.iter().map(|&i| 1_u64 << i).sum();
+                }
+            }
+            for &i in &combo {
+                committed[i] = false;
+            }
+            if !combo_next(m, &mut combo) {
+                break;
+            }
+        }
+    }
+
+    Ok(vec![
+        examined as f64,
+        effective as f64,
+        best_terminal as f64,
+        best_mask as f64,
+        min_cartel,
+        base as f64,
+    ])
+}
+
+/// The rank-`rank` size-`k` subset of `0..n` in lexicographic order (the
+/// combinatorial number system), for `rank < C(n, k)`.
+pub fn combo_unrank(n: usize, k: usize, mut rank: u64) -> Vec<usize> {
+    let mut combo = Vec::with_capacity(k);
+    let mut next = 0;
+    for slot in 0..k {
+        loop {
+            // Combinations continuing with `next` in this slot.
+            let rest = crate::spec::binomial((n - next - 1) as u64, (k - slot - 1) as u64);
+            if rank < rest {
+                break;
+            }
+            rank -= rest;
+            next += 1;
+        }
+        combo.push(next);
+        next += 1;
+    }
+    combo
+}
+
+/// Advances `combo` to its lexicographic successor over `0..n`; returns
+/// `false` (leaving the slice unchanged) when it was the last one.
+pub fn combo_next(n: usize, combo: &mut [usize]) -> bool {
+    let k = combo.len();
+    for i in (0..k).rev() {
+        if combo[i] < n - k + i {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::figure4_spec;
+    use crate::spec::{binomial, PowerDist};
+
+    #[test]
+    fn combo_enumeration_matches_unranking() {
+        let (n, k) = (7, 3);
+        let total = binomial(n as u64, k as u64);
+        let mut combo = combo_unrank(n, k, 0);
+        assert_eq!(combo, vec![0, 1, 2]);
+        for rank in 0..total {
+            assert_eq!(combo, combo_unrank(n, k, rank), "rank {rank}");
+            let more = combo_next(n, &mut combo);
+            assert_eq!(more, rank + 1 < total);
+        }
+        assert_eq!(combo, vec![4, 5, 6], "last combination");
+    }
+
+    /// The pinned Figure 4 cell: 10/20/30/40 with ladder MPBs terminates
+    /// at group 1 after two rounds (one passed), exactly the paper's trace.
+    #[test]
+    fn figure4_cell_is_pinned() {
+        let m = solve_game_cell(&figure4_spec()).unwrap();
+        assert_eq!(m.len(), GAME_METRIC_ARITY);
+        assert_eq!(m[0], 4.0, "groups");
+        assert_eq!(m[1], 1.0, "terminal");
+        assert_eq!(m[2], 2.0, "rounds");
+        assert_eq!(m[3], 1.0, "passed rounds");
+        assert!((m[4] - 0.1).abs() < 1e-12, "forced-out power");
+        assert_eq!(m[5], 2.0, "AR4: the two unanimous equilibria");
+        assert_eq!(m[6], 2.0, "minimal flipping coalition {{2,3}}");
+        assert!((m[7] - 0.7).abs() < 1e-12, "greedy coalition power");
+    }
+
+    /// The Figure 4 frontier layers, worked by hand: with k = 1 only the
+    /// 30% group's commitment moves the terminal (1 → 3, kamikaze); with
+    /// k = 2 three coalitions do, the cheapest being {0, 2} at 40%.
+    #[test]
+    fn figure4_frontier_layers_are_pinned() {
+        let spec = figure4_spec();
+        let k1 =
+            solve_frontier_cell(&FrontierSpec { spec: spec.clone(), size: 1, shard: 0, shards: 1 })
+                .unwrap();
+        assert_eq!(k1, vec![4.0, 1.0, 3.0, 4.0, 0.3, 1.0]);
+        let k2 = solve_frontier_cell(&FrontierSpec { spec, size: 2, shard: 0, shards: 1 }).unwrap();
+        assert_eq!(k2[0], 6.0, "C(4,2) coalitions examined");
+        assert_eq!(k2[1], 3.0, "coalitions {{0,2}}, {{1,2}}, {{2,3}} improve");
+        assert_eq!(k2[2], 3.0, "all the way to the 40% group");
+        assert_eq!(k2[3], 5.0, "lex-first improving mask {{0,2}}");
+        assert!((k2[4] - 0.4).abs() < 1e-12, "cheapest cartel {{0,2}}");
+    }
+
+    /// Sharding a frontier layer never changes what it finds: merging the
+    /// shard metrics reproduces the unsharded cell.
+    #[test]
+    fn sharded_frontier_merges_to_the_unsharded_layer() {
+        let spec = GameSpec {
+            miners: 9,
+            power: PowerDist::Measured,
+            econ: EconSpec::Ladder,
+            threshold: 0.5,
+            perturb: PerturbSpec::None,
+            seed: 1,
+        };
+        let whole =
+            solve_frontier_cell(&FrontierSpec { spec: spec.clone(), size: 3, shard: 0, shards: 1 })
+                .unwrap();
+        let shards = 4;
+        let mut examined = 0.0;
+        let mut effective = 0.0;
+        let mut best = whole[5];
+        let mut best_mask = 0.0;
+        let mut cartel = NO_CARTEL;
+        for shard in 0..shards {
+            let part =
+                solve_frontier_cell(&FrontierSpec { spec: spec.clone(), size: 3, shard, shards })
+                    .unwrap();
+            examined += part[0];
+            effective += part[1];
+            if part[2] > best {
+                best = part[2];
+                best_mask = part[3];
+            }
+            cartel = cartel.min(part[4]);
+        }
+        assert_eq!(examined, whole[0]);
+        assert_eq!(effective, whole[1]);
+        assert_eq!(best, whole[2]);
+        assert_eq!(best_mask, whole[3], "lex-first winner survives the merge");
+        assert_eq!(cartel, whole[4]);
+    }
+
+    /// Fee-market cells drop unprofitable miners: with a near-reward cost
+    /// and a wide bandwidth spread, the slow end of the network has no MPB
+    /// and the game runs over fewer groups than miners.
+    #[test]
+    fn fee_market_drops_unprofitable_miners() {
+        let spec = GameSpec {
+            miners: 24,
+            power: PowerDist::Zipf { s: 1.0 },
+            econ: EconSpec::FeeMarket {
+                fee_per_mb: 0.05,
+                bw_lo: 2.0,
+                bw_hi: 200.0,
+                latency: 0.05,
+                cost: 0.96,
+            },
+            threshold: 0.5,
+            perturb: PerturbSpec::None,
+            seed: 7,
+        };
+        let m = solve_game_cell(&spec).unwrap();
+        assert!(m[0] < 24.0, "some miners must be priced out, got {} groups", m[0]);
+        assert!(m[0] >= 1.0);
+    }
+
+    /// Perturbation metrics are deterministic in the cell seed and move
+    /// with it.
+    #[test]
+    fn perturbation_schedule_is_seed_deterministic() {
+        let spec = GameSpec {
+            miners: 12,
+            power: PowerDist::Measured,
+            econ: EconSpec::Ladder,
+            threshold: 0.5,
+            perturb: PerturbSpec::Random { trials: 100, kmax: 4 },
+            seed: 42,
+        };
+        let a = solve_game_cell(&spec).unwrap();
+        let b = solve_game_cell(&spec).unwrap();
+        assert_eq!(a, b, "bit-identical replay");
+        assert_eq!(a[9], 100.0);
+        assert!(a[8] > 0.0, "some sampled coalitions must flip a 12-pool network");
+        let reseeded = GameSpec { seed: 43, ..spec };
+        let c = solve_game_cell(&reseeded).unwrap();
+        assert!((0.0..=100.0).contains(&c[8]));
+    }
+
+    /// Grid metrics switch to the analytic/greedy forms past the
+    /// exhaustive cap without changing meaning: a 50-miner Zipf network
+    /// still reports two unanimous equilibria and a sub-majority flipping
+    /// coalition.
+    #[test]
+    fn large_games_use_the_bounded_analyses() {
+        let spec = GameSpec {
+            miners: 50,
+            power: PowerDist::Zipf { s: 1.0 },
+            econ: EconSpec::Ladder,
+            threshold: 0.5,
+            perturb: PerturbSpec::None,
+            seed: 2017,
+        };
+        let m = solve_game_cell(&spec).unwrap();
+        assert_eq!(m[5], 2.0, "AR4 closed form");
+        assert!(m[6] >= 1.0, "greedy coalition exists");
+        assert!(m[7] > 0.5 - 1e-9, "a flipping coalition needs a power majority");
+    }
+}

@@ -12,7 +12,7 @@ fn main() {
 
     // A representative sub-50% power distribution.
     let g = EbChoosingGame::new(vec![0.05, 0.10, 0.15, 0.30, 0.40]);
-    let eq = g.enumerate_equilibria();
+    let eq = g.enumerate_equilibria().expect("5 miners is well under the cap");
     println!("powers {:?}:", g.powers());
     for p in &eq {
         println!("  equilibrium: {p:?} (utilities {:?})", g.utilities(p));
@@ -32,7 +32,8 @@ fn main() {
     // when it holds"): the smallest coalition whose joint EB deviation
     // flips the whole network under best-response dynamics.
     let g2017 = EbChoosingGame::new(vec![0.17, 0.13, 0.10, 0.10, 0.08, 0.07, 0.06, 0.29]);
-    let k = g2017.minimal_flipping_coalition().expect("flippable");
+    let k =
+        g2017.minimal_flipping_coalition().expect("8 miners is under the cap").expect("flippable");
     println!("fragility on the 2017-style pool distribution:");
     println!("  minimal flipping coalition: {k} parties");
     println!("  -> a handful of pools signalling a new EB drags the whole network");
@@ -45,7 +46,7 @@ fn main() {
     // the paper's explanation of why all BU miners signalled EB = 1 MB.
     let april = EbChoosingGame::new(vec![0.6, 0.25, 0.15]);
     println!("majority-miner game, powers {:?}:", april.powers());
-    let eq = april.enumerate_equilibria();
+    let eq = april.enumerate_equilibria().expect("3 miners is well under the cap");
     println!("  pure equilibria: {}", eq.len());
     assert!(eq.is_empty());
     println!("  -> with a strict majority miner NO pure equilibrium exists: the");

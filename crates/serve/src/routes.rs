@@ -11,6 +11,9 @@
 //! | `GET /v1/table4` | one Table 4 cell (`u3`) |
 //! | `GET /v1/policy` | decoded optimal-policy summary for a cell |
 //! | `GET /v1/scenario` | one BU network scenario cell (`bvc-scenario` metrics) |
+//! | `GET /v1/games/map` | one §5 equilibrium-map cell (`bvc-gamesweep` metrics) |
+//! | `GET /v1/games/frontier` | one coalition-frontier shard (committed cartels) |
+//! | `GET /v1/games/eb` | EB choosing game analysis for explicit power shares |
 //! | `POST /v1/solve` | solve a JSON model spec (incl. audit demo models) |
 //! | `POST /admin/shutdown` | request a graceful drain |
 //!
@@ -27,6 +30,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bvc_bu::{Action, AttackConfig, AttackModel, IncentiveModel, Setting, SolveOptions};
+use bvc_games::EbChoosingGame;
+use bvc_gamesweep::{
+    frontier_config_token, grid_config_token, solve_frontier_cell, solve_game_cell, EconSpec,
+    FrontierSpec, GameSpec, PerturbSpec, PowerDist, FRONTIER_METRIC_ARITY, GAMES_SEED,
+    GAME_METRIC_ARITY, NO_CARTEL,
+};
 use bvc_journal::cell_fingerprint;
 use bvc_mdp::audit::{demo_multichain, demo_unreachable};
 use bvc_mdp::{audit_mdp, AuditOptions, MdpError, SolveBudget};
@@ -244,6 +253,9 @@ impl Service {
             ("GET", "/v1/table4") => self.table_route(req, Table::T4),
             ("GET", "/v1/policy") => self.policy_route(req),
             ("GET", "/v1/scenario") => self.scenario_route(req),
+            ("GET", "/v1/games/map") => self.games_map_route(req),
+            ("GET", "/v1/games/frontier") => self.games_frontier_route(req),
+            ("GET", "/v1/games/eb") => self.games_eb_route(req),
             ("POST", "/v1/solve") => self.solve_route(req),
             ("POST", "/admin/shutdown") => {
                 self.request_shutdown();
@@ -252,7 +264,8 @@ impl Service {
             (
                 _,
                 "/healthz" | "/metrics" | "/v1/table2" | "/v1/table3" | "/v1/table4" | "/v1/policy"
-                | "/v1/scenario" | "/v1/solve" | "/admin/shutdown",
+                | "/v1/scenario" | "/v1/games/map" | "/v1/games/frontier" | "/v1/games/eb"
+                | "/v1/solve" | "/admin/shutdown",
             ) => Response::json(
                 405,
                 JsonObject::new()
@@ -590,6 +603,240 @@ impl Service {
             .str("kind", if mdp { "mdp-replay" } else { "simulation" })
             .int("nodes", u64::from(spec.nodes))
             .int("blocks", u64::from(spec.blocks))
+            .raw("metrics", &metrics)
+            .str("cache", cache)
+            .bool("preloaded", cell.preloaded);
+        if cache == "miss" {
+            obj = obj.num("solve_ms", cell.solve_ms);
+        }
+        Response::json(200, obj.finish())
+    }
+
+    // --- §5 game cells ---
+
+    /// `GET /v1/games/map`: one `bvc-gamesweep` equilibrium-map cell.
+    /// Defaults reproduce the paper's Figure 4 game, so a bare request
+    /// answers the pinned trace (`terminal = 1`, two rounds). Cells cache
+    /// under the exact `games-grid` workload token, so a preloaded sweep
+    /// journal answers the same requests the sweep solved.
+    fn games_map_route(&self, req: &Request) -> Response {
+        let spec = match parse_games_params(req, &[]) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        let fp = cell_fingerprint(&spec.key(), &grid_config_token());
+        let cell_spec = spec.clone();
+        let fetched = self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let vals = solve_game_cell(&cell_spec)
+                .map_err(|detail| MdpError::AuditFailed { check: "game cell spec", detail })?;
+            Ok(CachedCell {
+                vals,
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states: 0,
+                preloaded: false,
+            })
+        });
+        self.games_fetched(fetched, fp, |cell, cache| self.games_map_response(&spec, cell, cache))
+    }
+
+    /// `GET /v1/games/frontier`: one committed-coalition frontier shard of
+    /// the block size increasing game. Same game parameters as
+    /// `/v1/games/map` (ladder economics only) plus `size`/`shard`/`shards`;
+    /// per-request work is capped far below the structural shard limit.
+    fn games_frontier_route(&self, req: &Request) -> Response {
+        let spec = match parse_frontier_params(req) {
+            Ok(spec) => spec,
+            Err(detail) => return bad_request(&detail),
+        };
+        let fp = cell_fingerprint(&spec.key(), &frontier_config_token());
+        let cell_spec = spec.clone();
+        let fetched = self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let vals = solve_frontier_cell(&cell_spec)
+                .map_err(|detail| MdpError::AuditFailed { check: "frontier cell spec", detail })?;
+            Ok(CachedCell {
+                vals,
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states: 0,
+                preloaded: false,
+            })
+        });
+        self.games_fetched(fetched, fp, |cell, cache| {
+            self.games_frontier_response(&spec, cell, cache)
+        })
+    }
+
+    /// `GET /v1/games/eb`: the EB choosing game over explicit power
+    /// shares. Uses the capped enumeration ([`bvc_games::ENUM_CAP`]) so a
+    /// request can never trigger the unbounded `O(2^n)` sweep; past the
+    /// coalition cap the greedy upper bound is reported instead.
+    fn games_eb_route(&self, req: &Request) -> Response {
+        let powers = match parse_eb_params(req) {
+            Ok(powers) => powers,
+            Err(detail) => return bad_request(&detail),
+        };
+        let key = format!(
+            "eb powers={}",
+            powers.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(",")
+        );
+        let fp = cell_fingerprint(&key, &config_token("games-eb"));
+        let cell_powers = powers.clone();
+        let fetched = self.cache.get_or_solve(fp, move || {
+            let started = Instant::now();
+            let game = EbChoosingGame::new(cell_powers);
+            let nash = game
+                .enumerate_equilibria()
+                .map_err(|err| MdpError::AuditFailed {
+                    check: "eb game size",
+                    detail: err.to_string(),
+                })?
+                .len();
+            // Exact minimal coalition when affordable, greedy bound past
+            // the cap (never an error: the parse gate bounds `n`).
+            let (flip, exact) = match game.minimal_flipping_coalition() {
+                Ok(k) => (k.map(|k| k as f64).unwrap_or(-1.0), 1.0),
+                Err(_) => {
+                    (game.greedy_flipping_coalition().map(|c| c.len() as f64).unwrap_or(-1.0), 0.0)
+                }
+            };
+            let flip_power = match game.greedy_flipping_coalition() {
+                Some(c) => c.iter().map(|&i| game.powers()[i]).sum(),
+                None => -1.0,
+            };
+            Ok(CachedCell {
+                vals: vec![game.num_miners() as f64, nash as f64, flip, flip_power, exact],
+                solve_ms: started.elapsed().as_secs_f64() * 1e3,
+                states: 0,
+                preloaded: false,
+            })
+        });
+        self.games_fetched(fetched, fp, |cell, cache| {
+            if cell.vals.len() != 5 {
+                return Response::json(
+                    500,
+                    "{\"error\":\"internal\",\"detail\":\"malformed eb cell\"}".to_string(),
+                );
+            }
+            let v = &cell.vals;
+            let mut obj = JsonObject::new()
+                .str("key", &key)
+                .str("fingerprint", &format!("{fp:016x}"))
+                .int("miners", v[0] as u64)
+                .int("nash_equilibria", v[1] as u64)
+                .str("coalition_bound", if v[4] > 0.5 { "exact" } else { "greedy" });
+            if v[2] >= 0.0 {
+                obj = obj.int("min_flipping_coalition", v[2] as u64);
+            }
+            if v[3] >= 0.0 {
+                obj = obj.num("greedy_coalition_power", v[3]);
+            }
+            obj = obj.str("cache", cache).bool("preloaded", cell.preloaded);
+            Response::json(200, obj.finish())
+        })
+    }
+
+    /// Shared fetch plumbing of the three games routes: metrics counters
+    /// plus the hit/miss/fail/shed mapping around a per-route renderer.
+    fn games_fetched(
+        &self,
+        fetched: Fetched,
+        _fp: u64,
+        render: impl Fn(&CachedCell, &str) -> Response,
+    ) -> Response {
+        match fetched {
+            Fetched::Hit(cell) => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+                render(&cell, "hit")
+            }
+            Fetched::Solved { cell, leader } => {
+                self.note_miss(leader, false);
+                render(&cell, "miss")
+            }
+            Fetched::Failed { failure, leader } => {
+                self.note_miss(leader, true);
+                failure_response(&failure)
+            }
+            Fetched::Shed => {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic counter
+                self.shed_retry_headers(Response::json(
+                    429,
+                    "{\"error\":\"overloaded\",\"detail\":\"solve queue is full\"}".to_string(),
+                ))
+            }
+        }
+    }
+
+    fn games_map_response(&self, spec: &GameSpec, cell: &CachedCell, cache: &str) -> Response {
+        if cell.vals.len() != GAME_METRIC_ARITY {
+            return Response::json(
+                500,
+                "{\"error\":\"internal\",\"detail\":\"malformed game cell\"}".to_string(),
+            );
+        }
+        let v = &cell.vals;
+        let metrics = JsonObject::new()
+            .int("groups", v[0] as u64)
+            .int("terminal", v[1] as u64)
+            .int("rounds", v[2] as u64)
+            .bool("first_raise_passed", v[3] > 0.5)
+            .num("forced_out_power", v[4])
+            .int("nash_equilibria", v[5] as u64)
+            .int("flip_size", v[6] as u64)
+            .num("flip_power", v[7])
+            .int("perturb_flips", v[8] as u64)
+            .int("perturb_trials", v[9] as u64)
+            .finish();
+        let mut obj = JsonObject::new()
+            .str("key", &spec.key())
+            .str(
+                "fingerprint",
+                &format!("{:016x}", cell_fingerprint(&spec.key(), &grid_config_token())),
+            )
+            .int("miners", u64::from(spec.miners))
+            .raw("metrics", &metrics)
+            .str("cache", cache)
+            .bool("preloaded", cell.preloaded);
+        if cache == "miss" {
+            obj = obj.num("solve_ms", cell.solve_ms);
+        }
+        Response::json(200, obj.finish())
+    }
+
+    fn games_frontier_response(
+        &self,
+        spec: &FrontierSpec,
+        cell: &CachedCell,
+        cache: &str,
+    ) -> Response {
+        if cell.vals.len() != FRONTIER_METRIC_ARITY {
+            return Response::json(
+                500,
+                "{\"error\":\"internal\",\"detail\":\"malformed frontier cell\"}".to_string(),
+            );
+        }
+        let v = &cell.vals;
+        let mut metrics = JsonObject::new()
+            .int("examined", v[0] as u64)
+            .int("effective", v[1] as u64)
+            .int("base_terminal", v[5] as u64);
+        // `NO_CARTEL` marks a shard where no coalition moved the terminal.
+        if v[4] < NO_CARTEL {
+            metrics = metrics
+                .int("best_terminal", v[2] as u64)
+                .int("best_mask", v[3] as u64)
+                .num("min_cartel_power", v[4]);
+        }
+        let metrics = metrics.finish();
+        let mut obj = JsonObject::new()
+            .str("key", &spec.key())
+            .str(
+                "fingerprint",
+                &format!("{:016x}", cell_fingerprint(&spec.key(), &frontier_config_token())),
+            )
+            .int("size", u64::from(spec.size))
+            .int("shard", u64::from(spec.shard))
+            .int("shards", u64::from(spec.shards))
             .raw("metrics", &metrics)
             .str("cache", cache)
             .bool("preloaded", cell.preloaded);
@@ -1014,6 +1261,195 @@ fn parse_scenario_params(req: &Request) -> Result<ScenarioSpec, String> {
     Ok(spec)
 }
 
+/// Serve-side cap on `trials * miners^2` for one game-map request: the
+/// perturbation schedule dominates the cell cost, and an interactive
+/// route must answer in milliseconds — heavier cells belong in the
+/// `games-grid` sweep workload.
+const GAMES_WORK_CAP: u64 = 2_000_000;
+
+/// Serve-side cap on the coalition count of one frontier shard, far below
+/// [`bvc_gamesweep::FRONTIER_CELL_CAP`]: wide layers belong in the
+/// `games-frontier` sweep workload, sharded across workers.
+const GAMES_FRONTIER_WORK_CAP: u64 = 100_000;
+
+/// Parses the shared game parameters of `GET /v1/games/map` and
+/// `GET /v1/games/frontier` into a validated [`GameSpec`]. Defaults
+/// reproduce the paper's Figure 4 cell (4 miners at 10/20/30/40, ladder
+/// MPBs, majority rule, no perturbation, the canonical seed); like the
+/// scenario route, sub-parameters of an enum choice are rejected when the
+/// choice does not use them.
+fn parse_games_params(req: &Request, extra: &[&str]) -> Result<GameSpec, String> {
+    const ALLOWED: [&str; 15] = [
+        "miners",
+        "power",
+        "zipf-s",
+        "adv-top",
+        "econ",
+        "fee",
+        "bw-lo",
+        "bw-hi",
+        "latency",
+        "cost",
+        "threshold",
+        "perturb",
+        "trials",
+        "kmax",
+        "seed",
+    ];
+    for (name, _) in &req.query {
+        if !ALLOWED.contains(&name.as_str()) && !extra.contains(&name.as_str()) {
+            let mut allowed: Vec<&str> = ALLOWED.to_vec();
+            allowed.extend_from_slice(extra);
+            return Err(format!("unknown parameter {name:?} (allowed: {})", allowed.join(", ")));
+        }
+    }
+    let get = |name: &str| req.query_param(name);
+    let float = |name: &str| get(name).map(|v| parse_f64(v, name)).transpose();
+
+    let power_kind = get("power").unwrap_or("zipf");
+    if get("zipf-s").is_some() && power_kind != "zipf" {
+        return Err("zipf-s only applies with power=zipf".to_string());
+    }
+    if get("adv-top").is_some() && power_kind != "adversarial" {
+        return Err("adv-top only applies with power=adversarial".to_string());
+    }
+    let power = match power_kind {
+        "uniform" => PowerDist::Uniform,
+        "zipf" => PowerDist::Zipf { s: float("zipf-s")?.unwrap_or(-1.0) },
+        "measured" => PowerDist::Measured,
+        "adversarial" => PowerDist::Adversarial { top: float("adv-top")?.unwrap_or(0.45) },
+        other => {
+            return Err(format!(
+                "power must be uniform, zipf, measured or adversarial, got {other:?}"
+            ))
+        }
+    };
+
+    let econ_kind = get("econ").unwrap_or("ladder");
+    for name in ["fee", "bw-lo", "bw-hi", "latency", "cost"] {
+        if get(name).is_some() && econ_kind != "fee" {
+            return Err(format!("{name} only applies with econ=fee"));
+        }
+    }
+    let econ = match econ_kind {
+        "ladder" => EconSpec::Ladder,
+        "fee" => EconSpec::FeeMarket {
+            fee_per_mb: float("fee")?.unwrap_or(0.05),
+            bw_lo: float("bw-lo")?.unwrap_or(20.0),
+            bw_hi: float("bw-hi")?.unwrap_or(300.0),
+            latency: float("latency")?.unwrap_or(0.01),
+            cost: float("cost")?.unwrap_or(0.2),
+        },
+        other => return Err(format!("econ must be ladder or fee, got {other:?}")),
+    };
+
+    let perturb_kind = get("perturb").unwrap_or("none");
+    for name in ["trials", "kmax"] {
+        if get(name).is_some() && perturb_kind != "random" {
+            return Err(format!("{name} only applies with perturb=random"));
+        }
+    }
+    let miners = parse_int(get("miners").unwrap_or("4"), "miners", 2, 512)? as u32;
+    let perturb = match perturb_kind {
+        "none" => PerturbSpec::None,
+        "random" => PerturbSpec::Random {
+            trials: parse_int(get("trials").unwrap_or("100"), "trials", 1, 100_000)? as u32,
+            kmax: parse_int(get("kmax").unwrap_or("4"), "kmax", 1, u64::from(miners))? as u32,
+        },
+        other => return Err(format!("perturb must be none or random, got {other:?}")),
+    };
+
+    let spec = GameSpec {
+        miners,
+        power,
+        econ,
+        threshold: float("threshold")?.unwrap_or(0.5),
+        perturb,
+        seed: get("seed")
+            .map(|v| parse_int(v, "seed", 0, u64::MAX))
+            .transpose()?
+            .unwrap_or(GAMES_SEED),
+    };
+    if let PerturbSpec::Random { trials, .. } = spec.perturb {
+        let work = u64::from(trials) * u64::from(spec.miners) * u64::from(spec.miners);
+        if work > GAMES_WORK_CAP {
+            return Err(format!(
+                "trials*miners^2 is capped at {GAMES_WORK_CAP} per request (got {work}); run \
+                 larger cells through the games-grid sweep workload"
+            ));
+        }
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Parses `GET /v1/games/frontier` parameters: the shared game parameters
+/// plus the shard coordinates (`size` required; `shard`/`shards` default
+/// to the unsharded layer).
+fn parse_frontier_params(req: &Request) -> Result<FrontierSpec, String> {
+    let spec = parse_games_params(req, &["size", "shard", "shards"])?;
+    let get = |name: &str| req.query_param(name);
+    let shards =
+        get("shards").map(|v| parse_int(v, "shards", 1, 1 << 20)).transpose()?.unwrap_or(1);
+    let frontier = FrontierSpec {
+        size: parse_int(
+            get("size").ok_or("frontier requests need size (coalition size k)")?,
+            "size",
+            1,
+            23,
+        )? as u32,
+        shard: get("shard").map(|v| parse_int(v, "shard", 0, shards - 1)).transpose()?.unwrap_or(0)
+            as u32,
+        shards: shards as u32,
+        spec,
+    };
+    frontier.validate()?;
+    let (lo, hi) = frontier.rank_range();
+    if hi - lo > GAMES_FRONTIER_WORK_CAP {
+        return Err(format!(
+            "coalitions per shard are capped at {GAMES_FRONTIER_WORK_CAP} per request (got {}); \
+             raise shards or run the games-frontier sweep workload",
+            hi - lo
+        ));
+    }
+    Ok(frontier)
+}
+
+/// Parses `GET /v1/games/eb`: an explicit comma-separated `powers` list,
+/// bounded by the enumeration cap and renormalized so well-formed shares
+/// can never trip the game constructor's exact-sum assertion.
+fn parse_eb_params(req: &Request) -> Result<Vec<f64>, String> {
+    for (name, _) in &req.query {
+        if name != "powers" {
+            return Err(format!("unknown parameter {name:?} (allowed: powers)"));
+        }
+    }
+    let raw = req.query_param("powers").ok_or("powers is required (comma-separated shares)")?;
+    let mut powers = Vec::new();
+    for part in raw.split(',') {
+        let p = parse_f64(part.trim(), "powers")?;
+        if p <= 0.0 || !p.is_finite() {
+            return Err(format!("powers must be positive and finite, got {part:?}"));
+        }
+        powers.push(p);
+    }
+    if powers.len() < 2 || powers.len() > bvc_games::ENUM_CAP {
+        return Err(format!(
+            "powers needs 2..={} shares (got {}); larger games belong in /v1/games/map",
+            bvc_games::ENUM_CAP,
+            powers.len()
+        ));
+    }
+    let sum: f64 = powers.iter().sum();
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(format!("powers must sum to 1 (got {sum})"));
+    }
+    for p in &mut powers {
+        *p /= sum;
+    }
+    Ok(powers)
+}
+
 /// Builds the journal-compatible cell key. For the paper-default shape
 /// (`AD = 6/6`, 144-block gate, default double-spend terms) this is
 /// byte-identical to the key the corresponding sweep binary journals, so a
@@ -1124,13 +1560,23 @@ pub fn start(config: ServeConfig) -> io::Result<RunningServer> {
     let listener = TcpListener::bind(&config.addr)?;
     let service = Arc::new(Service::new(&config));
     for (table, path) in &config.preload {
-        if !matches!(table.as_str(), "table2" | "table3" | "table4") {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("--preload table must be table2, table3 or table4, got {table:?}"),
-            ));
-        }
-        let loaded = service.cache.preload_journal(path, &config_token(table));
+        let token = match table.as_str() {
+            "table2" | "table3" | "table4" => config_token(table),
+            // Game journals preload under their exact workload tokens, so
+            // a sweep's journal warm-starts the /v1/games/* routes.
+            "games-grid" => grid_config_token(),
+            "games-frontier" => frontier_config_token(),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "--preload table must be table2, table3, table4, games-grid or \
+                         games-frontier, got {table:?}"
+                    ),
+                ));
+            }
+        };
+        let loaded = service.cache.preload_journal(path, &token);
         // ordering: Relaxed — independent monotonic counter bumped once at startup.
         service.metrics.preloaded.fetch_add(loaded as u64, Ordering::Relaxed);
     }
@@ -1288,6 +1734,79 @@ mod tests {
             .handle(&get("/v1/scenario?attacker=mdp&alpha=0.25&nodes=4&blocks=100&large-frac=0"));
         assert_eq!(resp.status, 422);
         assert!(String::from_utf8(resp.body).unwrap().contains("\"check\":\"scenario-spec\""));
+    }
+
+    #[test]
+    fn games_map_route_reproduces_figure4_and_caches() {
+        let service = Service::new(&ServeConfig::default());
+        // Bare request = the pinned Figure 4 cell.
+        let resp = service.handle(&get("/v1/games/map"));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"terminal\":1"), "body = {body}");
+        assert!(body.contains("\"rounds\":2"), "body = {body}");
+        assert!(body.contains("\"first_raise_passed\":true"), "body = {body}");
+        assert!(body.contains("\"nash_equilibria\":2"), "body = {body}");
+        assert!(body.contains("\"cache\":\"miss\""), "body = {body}");
+        let resp = service.handle(&get("/v1/games/map"));
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"cache\":\"hit\""));
+        // Strict parsing: unknown params, enum sub-param misuse, work cap.
+        assert_eq!(service.handle(&get("/v1/games/map?minersz=4")).status, 400);
+        assert_eq!(service.handle(&get("/v1/games/map?power=uniform&zipf-s=1")).status, 400);
+        assert_eq!(service.handle(&get("/v1/games/map?trials=5")).status, 400);
+        assert_eq!(
+            service.handle(&get("/v1/games/map?miners=500&perturb=random&trials=100000")).status,
+            400
+        );
+        // Invalid spec values fail validation with a 400, not a panic.
+        assert_eq!(service.handle(&get("/v1/games/map?threshold=1.5")).status, 400);
+    }
+
+    #[test]
+    fn games_frontier_route_finds_the_kamikaze_cartel() {
+        let service = Service::new(&ServeConfig::default());
+        let resp = service.handle(&get("/v1/games/frontier?size=1"));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        // Figure 4, k=1: committing the 30% group moves the terminal from
+        // group 2 to group 4 (mask 4 = group index 2).
+        assert!(body.contains("\"base_terminal\":1"), "body = {body}");
+        assert!(body.contains("\"best_terminal\":3"), "body = {body}");
+        assert!(body.contains("\"best_mask\":4"), "body = {body}");
+        assert!(body.contains("\"examined\":4"), "body = {body}");
+        // size is required; fee-market economics are rejected; oversized
+        // shards are capped.
+        assert_eq!(service.handle(&get("/v1/games/frontier")).status, 400);
+        assert_eq!(service.handle(&get("/v1/games/frontier?size=1&econ=fee")).status, 400);
+        assert_eq!(service.handle(&get("/v1/games/frontier?miners=24&size=12")).status, 400);
+        // Sharding the layer passes the cap again.
+        let resp = service.handle(&get("/v1/games/frontier?miners=24&size=12&shard=0&shards=64"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn games_eb_route_is_capped_not_exponential() {
+        let service = Service::new(&ServeConfig::default());
+        let resp = service.handle(&get("/v1/games/eb?powers=0.1,0.2,0.3,0.4"));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"nash_equilibria\":2"), "body = {body}");
+        assert!(body.contains("\"min_flipping_coalition\":2"), "body = {body}");
+        assert!(body.contains("\"coalition_bound\":\"exact\""), "body = {body}");
+        // 21 shares exceed the enumeration cap: a structural 400 before
+        // any exponential work happens.
+        let too_many: Vec<String> = (0..21).map(|_| format!("{}", 1.0 / 21.0)).collect();
+        let resp = service.handle(&get(&format!("/v1/games/eb?powers={}", too_many.join(","))));
+        assert_eq!(resp.status, 400);
+        // 18 shares are allowed but past the exact-coalition cap: the
+        // greedy bound answers instead of the exponential search.
+        let many: Vec<String> = (0..18).map(|_| format!("{}", 1.0 / 18.0)).collect();
+        let resp = service.handle(&get(&format!("/v1/games/eb?powers={}", many.join(","))));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"coalition_bound\":\"greedy\""), "body = {body}");
+        assert_eq!(service.handle(&get("/v1/games/eb")).status, 400);
+        assert_eq!(service.handle(&get("/v1/games/eb?powers=0.5,0.4")).status, 400);
     }
 
     #[test]

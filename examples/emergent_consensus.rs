@@ -34,7 +34,7 @@ fn main() {
 
     // --- EB choosing game. ---
     let eb = EbChoosingGame::new(powers.clone());
-    let eq = eb.enumerate_equilibria();
+    let eq = eb.enumerate_equilibria().expect("8 pools is far below the cap");
     println!("EB choosing game: {} pure Nash equilibria", eq.len());
     println!("  (the unanimous profiles — consensus is an equilibrium, but the game");
     println!("   never selects which EB, and any shock restarts the coordination)");

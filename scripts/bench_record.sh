@@ -7,6 +7,7 @@
 #   BENCH_serve.json    — serve_load    ({"bench":"serve_load",...})
 #                         cluster_scaling ({"bench":"cluster_scaling",...})
 #   BENCH_scenario.json — scenario_scaling ({"bench":"scenario_scaling",...})
+#   BENCH_games.json    — games_scaling ({"bench":"games_scaling",...})
 #
 # Usage:
 #   scripts/bench_record.sh             # quick shapes, suitable for CI boxes
@@ -26,7 +27,8 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 echo "==> building bench binaries (release)"
 cargo build --release --offline -q -p bvc-bench \
-    --bin sweep_timing --bin serve_load --bin cluster_scaling --bin scenario_scaling
+    --bin sweep_timing --bin serve_load --bin cluster_scaling --bin scenario_scaling \
+    --bin games_scaling
 
 # annotate <record-line> — prefix the JSON object with run metadata.
 annotate() {
@@ -54,11 +56,13 @@ if $full; then
     serve_args=(--clients 4 --requests 2000)
     scaling_args=(--workers 1,2,4)
     scenario_args=(--nodes 100,400,1000 --blocks 400 --threads 1,2,4)
+    games_args=(--miners 20,22,24 --size 8 --threads 1,2,4)
 else
     sweep_args=(--quick)
     serve_args=(--clients 2 --requests 200)
     scaling_args=(--quick --workers 1,2)
     scenario_args=(--quick)
+    games_args=(--quick)
 fi
 
 echo "==> sweep_timing ${sweep_args[*]}"
@@ -76,5 +80,9 @@ run_and_append BENCH_serve.json cluster_scaling \
 echo "==> scenario_scaling ${scenario_args[*]}"
 run_and_append BENCH_scenario.json scenario_scaling \
     target/release/scenario_scaling "${scenario_args[@]}" --json
+
+echo "==> games_scaling ${games_args[*]}"
+run_and_append BENCH_games.json games_scaling \
+    target/release/games_scaling "${games_args[@]}" --json
 
 echo "==> bench records OK"

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Game-engine smoke: the games-frontier workload (26 committed-coalition
+# frontier shards of the block size increasing game) run three ways, all
+# demanded byte-identical:
+#
+#   1. locally, single-threaded, journaled -> the reference journal;
+#   2. interrupted (SIGKILL mid-run with shards already journaled) and then
+#      resumed from the same journal — the completed shards must replay
+#      (not re-solve) and the final journal must be byte-identical to the
+#      reference (`cmp`, not `diff`);
+#   3. distributed (`games_map --frontier --cluster`) with two local
+#      workers, one of which claims a batch, solves one shard and then
+#      hangs (--die-after 1 --die-mode hang), so its shards only come back
+#      through lease expiry / straggler re-dispatch — and the cluster
+#      journal must still be byte-identical to the local reference.
+#
+# Usage: scripts/games_smoke.sh
+# Set BVC_BIN / GAMES_BIN to prebuilt binaries to skip the cargo builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+if [[ -z "${BVC_BIN:-}" || -z "${GAMES_BIN:-}" ]]; then
+    echo "==> building release binaries (bvc, games_map)"
+    cargo build --release --offline -q -p bvc-cli -p bvc-repro \
+        --bin bvc --bin games_map
+fi
+BVC_BIN=${BVC_BIN:-target/release/bvc}
+GAMES_BIN=${GAMES_BIN:-target/release/games_map}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+lines() { [[ -f "$1" ]] && wc -l < "$1" || echo 0; }
+
+echo "==> [1/3] local reference run (single-threaded, journaled)"
+"$GAMES_BIN" --frontier --threads 1 --journal "$workdir/ref.jsonl" \
+    > "$workdir/ref.txt"
+if ! grep -q 'solved 26' "$workdir/ref.txt"; then
+    echo "GAMES SMOKE FAILED: reference run did not solve all 26 shards" >&2
+    cat "$workdir/ref.txt" >&2
+    exit 1
+fi
+if ! grep -q 'reproduced' "$workdir/ref.txt"; then
+    echo "GAMES SMOKE FAILED: pinned Figure 4 frontier layer not reproduced" >&2
+    cat "$workdir/ref.txt" >&2
+    exit 1
+fi
+
+echo "==> [2/3] SIGKILL mid-run, then resume from the torn journal"
+# Frontier shards solve in microseconds, so the victim run is paced with
+# chaos latency on its journal appends (a pure stall: the bytes written
+# are untouched) to open a reliable kill window mid-journal.
+"$GAMES_BIN" --frontier --threads 1 --journal "$workdir/resume.jsonl" \
+    --chaos "seed=7,latency_ms=400" \
+    > "$workdir/interrupted.txt" 2>&1 &
+victim=$!
+pids+=("$victim")
+for _ in $(seq 100); do
+    [[ "$(lines "$workdir/resume.jsonl")" -ge 3 ]] && break
+    sleep 0.1
+done
+count=$(lines "$workdir/resume.jsonl")
+if [[ "$count" -lt 3 || "$count" -ge 26 ]]; then
+    echo "GAMES SMOKE FAILED: wanted to SIGKILL mid-run," \
+         "journal has $count lines" >&2
+    exit 1
+fi
+{ kill -9 "$victim" && wait "$victim"; } 2>/dev/null || true
+"$GAMES_BIN" --frontier --threads 1 --journal "$workdir/resume.jsonl" \
+    > "$workdir/resumed.txt"
+if ! grep -qE 'solved 26 \([1-9][0-9]* replayed\)' "$workdir/resumed.txt"; then
+    echo "GAMES SMOKE FAILED: resume did not replay the journaled shards" >&2
+    cat "$workdir/resumed.txt" >&2
+    exit 1
+fi
+if ! cmp "$workdir/ref.jsonl" "$workdir/resume.jsonl"; then
+    echo "GAMES SMOKE FAILED: resumed journal differs from the reference" >&2
+    diff "$workdir/ref.jsonl" "$workdir/resume.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "==> [3/3] distributed run: one healthy worker, one killed mid-batch"
+port=$(( (RANDOM % 2000) + 23000 ))
+addr="127.0.0.1:$port"
+"$GAMES_BIN" --frontier --cluster "$addr" --journal "$workdir/cluster.jsonl" \
+    --lease 1 --cluster-batch 4 > "$workdir/coordinator.txt" 2>&1 &
+coord_pid=$!
+pids+=("$coord_pid")
+
+# Worker A claims a batch of 4, solves one shard, then hangs (heartbeats
+# stop, socket stays open); its shards come back only via lease expiry or
+# straggler re-dispatch. Workers retry the connect, so racing the
+# coordinator's bind is fine.
+"$BVC_BIN" cluster work --connect "$addr" --die-after 1 --die-mode hang \
+    > "$workdir/worker_a.txt" 2>&1 &
+pids+=("$!")
+sleep 0.5
+"$BVC_BIN" cluster work --connect "$addr" > "$workdir/worker_b.txt" 2>&1 &
+pids+=("$!")
+
+if ! wait "$coord_pid"; then
+    echo "GAMES SMOKE FAILED: cluster coordinator exited nonzero" >&2
+    cat "$workdir/coordinator.txt" >&2
+    exit 1
+fi
+wait || true # the workers; the hung one wakes up and exits on its own
+
+if ! grep -q 'solved 26' "$workdir/coordinator.txt"; then
+    echo "GAMES SMOKE FAILED: cluster run did not solve all 26 shards" >&2
+    cat "$workdir/coordinator.txt" >&2
+    exit 1
+fi
+if ! cmp "$workdir/ref.jsonl" "$workdir/cluster.jsonl"; then
+    echo "GAMES SMOKE FAILED: cluster journal differs from the local" \
+         "reference" >&2
+    diff "$workdir/ref.jsonl" "$workdir/cluster.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "==> games smoke OK (resume replay, killed-worker recovery," \
+     "byte-identical journals)"

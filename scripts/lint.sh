@@ -37,7 +37,12 @@ echo "==> custom lint: no unwrap/expect/float-eq in solver hot paths"
 # lock must surface as a structured error, never a panic — the no-unwrap
 # lint covers those crates wholesale. Bench binaries are included too:
 # they feed BENCH history and CI smokes, so a bad flag or failed solve
-# must exit with a structured error, not a panic backtrace.
+# must exit with a structured error, not a panic backtrace. The §5 game
+# solvers (crates/games) and the distributed game engine (crates/gamesweep)
+# joined the contract when their cells became cluster workloads: a bad
+# GameSpec must come back as a structured decode/validate error, and
+# equilibrium checks on power fractions must never use exact float
+# equality.
 targets=(
     crates/mdp/src/solve/*.rs
     crates/mdp/src/shard.rs
@@ -51,6 +56,8 @@ targets=(
     crates/sim/src/*.rs
     crates/chain/src/*.rs
     crates/scenario/src/*.rs
+    crates/games/src/*.rs
+    crates/gamesweep/src/*.rs
 )
 # jobs.rs is exempt from the float-eq lint only: it hosts the ported
 # crossval cell whose exact-zero guard is an intentional bitwise

@@ -72,6 +72,10 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
     BVC_BIN=target/release/bvc SCENARIO_BIN=target/release/scenario_crossval \
         scripts/scenario_smoke.sh
 
+    echo "==> games smoke (frontier SIGKILL resume + killed worker, byte-identical journals)"
+    BVC_BIN=target/release/bvc GAMES_BIN=target/release/games_map \
+        scripts/games_smoke.sh
+
     echo "==> chaos soak (in-process fault matrix: churn, drops, torn appends)"
     cargo run --release --offline -q -p bvc-bench --bin chaos_soak
 

@@ -74,7 +74,7 @@ fn analytical_result_3_orphan_amplification() {
 #[test]
 fn analytical_result_4_eb_equilibria() {
     let g = EbChoosingGame::new(vec![0.2, 0.25, 0.25, 0.3]);
-    let eq = g.enumerate_equilibria();
+    let eq = g.enumerate_equilibria().expect("4 miners is far below the cap");
     assert_eq!(eq.len(), 2);
     assert!(eq.iter().all(|p| p.iter().all(|&c| c == p[0])));
 }
